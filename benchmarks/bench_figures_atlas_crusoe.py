@@ -1,0 +1,101 @@
+"""Bench: Figures 2-7 — the six Atlas/Crusoe parameter sweeps.
+
+Each test regenerates one figure's full-resolution series (speed panel,
+pattern-size panel, energy panel), asserts the paper's prose shape
+claims, writes the CSV artefact, and times the sweep.
+
+Shape claims (Section 4.3, Atlas/Crusoe, rho = 3):
+
+* Fig 2 (C):     pair starts (0.45,0.45), ends (0.45,0.8) at C=5000;
+                 two speeds save up to ~35%.
+* Fig 3 (V):     pair stabilises at (0.6,0.45) by V=5000.
+* Fig 4 (lambda): Wopt shrinks, speeds climb to the max as lambda grows;
+                 infeasible beyond lambda ~ 1.2e-3.
+* Fig 5 (rho):   speeds climb as rho tightens; Wopt(s1,s2) >= Wopt(s,s)
+                 divergence appears near the feasibility frontier.
+* Fig 6 (Pidle): speeds climb with Pidle (sigma1 first); overhead rises.
+* Fig 7 (Pio):   speeds unaffected; sigma2 = sigma1 throughout; overhead
+                 rises mildly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.savings import summarize_savings
+from repro.reporting.csvio import write_series_csv
+from repro.sweep.figures import figure_spec, run_panel
+
+
+def _run(benchmark, results_dir, figure_id: str, panel: str, n: int = 34):
+    spec = figure_spec(figure_id)
+    series = benchmark.pedantic(
+        run_panel, args=(spec, panel), kwargs={"n": n}, rounds=1, iterations=1
+    )
+    write_series_csv(results_dir / f"{figure_id}_{panel}.csv", series)
+    return series
+
+
+def test_fig2_checkpoint_cost(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig2", "C")
+    pairs = series.speed_pairs()
+    assert pairs[0] == (0.45, 0.45)
+    assert pairs[-1] == (0.45, 0.8)
+    s = summarize_savings(series)
+    assert 28.0 <= s.max_savings_percent <= 40.0
+    print(f"\nFig 2: max saving {s.max_savings_percent:.1f}% at C = {s.argmax_value:g}")
+
+
+def test_fig3_verification_cost(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig3", "V")
+    assert series.speed_pairs()[-1] == (0.6, 0.45)
+    s = summarize_savings(series)
+    assert s.max_savings_percent > 10.0
+    print(f"\nFig 3: max saving {s.max_savings_percent:.1f}% at V = {s.argmax_value:g}")
+
+
+def test_fig4_error_rate(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig4", "lambda")
+    w = series.work_two()
+    s1 = series.sigma1()
+    ok = np.isfinite(w)
+    # Pattern shrinks by more than an order of magnitude across the
+    # feasible range; speeds rise.
+    assert w[ok][0] / w[ok][-1] > 3.0
+    assert s1[ok][-1] > s1[ok][0]
+    # Beyond the frontier (rho = 3 unattainable) points are infeasible.
+    assert not ok[-1]
+    print(f"\nFig 4: feasible up to lambda = {series.values[ok][-1]:.2e}")
+
+
+def test_fig5_performance_bound(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig5", "rho", n=50)
+    mask = series.feasible_mask()
+    assert not mask[0] and mask[-1]
+    s1 = series.sigma1()
+    first_ok = int(np.argmax(mask))
+    # Tightest feasible bound uses a faster (or equal) first speed than
+    # the loosest.
+    assert s1[first_ok] >= s1[-1]
+    s = summarize_savings(series)
+    assert s.max_savings_percent > 10.0
+    print(f"\nFig 5: max saving {s.max_savings_percent:.1f}% at rho = {s.argmax_value:g}")
+
+
+def test_fig6_idle_power(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig6", "Pidle")
+    s1, e2 = series.sigma1(), series.energy_two()
+    assert s1[-1] > s1[0]          # speeds climb with Pidle
+    assert e2[-1] > e2[0]          # overhead climbs with Pidle
+    print(f"\nFig 6: sigma1 {s1[0]} -> {s1[-1]}, E/W {e2[0]:.0f} -> {e2[-1]:.0f}")
+
+
+def test_fig7_io_power(benchmark, results_dir):
+    series = _run(benchmark, results_dir, "fig7", "Pio")
+    s1, s2 = series.sigma1(), series.sigma2()
+    assert np.all(s1 == s1[0])     # speeds unaffected by Pio
+    np.testing.assert_array_equal(s1, s2)  # sigma2 == sigma1 throughout
+    e2 = series.energy_two()
+    assert e2[-1] > e2[0]
+    print(f"\nFig 7: pair fixed at ({s1[0]}, {s2[0]}), E/W {e2[0]:.0f} -> {e2[-1]:.0f}")

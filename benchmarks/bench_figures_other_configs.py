@@ -1,0 +1,75 @@
+"""Bench: Figures 8-14 — all six sweeps for the other seven configurations.
+
+Each test regenerates one figure (six panels: C, V, lambda, rho, Pidle,
+Pio), writes one CSV per panel, asserts the cross-configuration
+invariants plus the figure-specific observations of Section 4.3.4, and
+times the full-figure run.
+
+Section 4.3.4 spot claims:
+
+* Crusoe with platforms other than Atlas (Figs 12-14): the pair stays
+  (0.45, 0.45) across the whole C range (smaller error rates).
+* Coastal SSD/XScale (Fig 11): Pio *does* move the optimal pair (large
+  C, small dynamic CPU power).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reporting.csvio import write_series_csv
+from repro.sweep.figures import figure_spec, run_figure
+
+FIGS = ["fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"]
+
+
+def _check_common(panels) -> None:
+    """Invariants every figure must satisfy."""
+    for name, series in panels.items():
+        e2, e1 = series.energy_two(), series.energy_single()
+        ok = np.isfinite(e2) & np.isfinite(e1)
+        assert ok.any(), f"panel {name}: no feasible point"
+        # Two speeds never lose to one speed.
+        assert np.all(e2[ok] <= e1[ok] + 1e-9)
+        # Wopt positive wherever feasible.
+        w = series.work_two()
+        assert np.all(w[np.isfinite(w)] > 0)
+
+
+@pytest.mark.parametrize("figure_id", FIGS)
+def test_figure_all_panels(benchmark, results_dir, figure_id):
+    panels = benchmark.pedantic(
+        run_figure, args=(figure_id,), kwargs={"n": 26}, rounds=1, iterations=1
+    )
+    _check_common(panels)
+    for panel, series in panels.items():
+        write_series_csv(results_dir / f"{figure_id}_{panel}.csv", series)
+
+    spec = figure_spec(figure_id)
+    # Figure-specific observations from Section 4.3.4.
+    if figure_id in ("fig12", "fig13", "fig14"):
+        # Crusoe + non-Atlas platform: pair pinned at (0.45, 0.45) vs C.
+        assert all(p == (0.45, 0.45) for p in panels["C"].speed_pairs())
+    if figure_id == "fig11":
+        # Coastal SSD/XScale: Pio moves the pair.
+        assert len(set(panels["Pio"].speed_pairs())) > 1
+    if figure_id in ("fig8", "fig9"):
+        # XScale + high-rate platforms: lambda panel eventually infeasible
+        # at rho = 3 within the 1e-2 range.
+        assert not panels["lambda"].feasible_mask()[-1]
+    if figure_id in ("fig10", "fig13"):
+        # Coastal (lambda axis capped at 1e-3): feasible over almost the
+        # whole axis; with C = 1051 s the rho = 3 bound becomes
+        # unattainable just below 1e-3 (2 sqrt(C lambda / (s1 s2)) alone
+        # exceeds the slack), which is why the paper narrows this axis.
+        lam_series = panels["lambda"]
+        mask = lam_series.feasible_mask()
+        assert mask[0]
+        last_feasible = lam_series.values[mask][-1]
+        assert last_feasible > 3e-4
+
+    summary = ", ".join(
+        f"{p}: pair@end={panels[p].speed_pairs()[-1]}" for p in ("C", "lambda")
+    )
+    print(f"\n{figure_id} ({spec.config_name}): {summary}")

@@ -1,0 +1,88 @@
+"""Bench: Monte-Carlo validation and simulator throughput.
+
+Two purposes: (a) the substitution-validation artefact — the simulator
+(our stand-in for the authors' platforms) agrees with Propositions 2/3
+and the Section-5 closed forms at solver-chosen operating points on all
+eight configurations; (b) throughput numbers for the vectorised engine
+(patterns simulated per second), which is the practical limit on how
+finely the model can be validated.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core.solver import solve_bicrit
+from repro.errors import CombinedErrors
+from repro.platforms import configuration_names, get_configuration
+from repro.simulation import PatternSimulator, check_agreement
+
+
+def test_agreement_all_configs(benchmark, results_dir):
+    """Validate model-vs-simulator on every configuration and record z-scores."""
+
+    def run_all():
+        reports = {}
+        for name in configuration_names():
+            cfg = get_configuration(name)
+            best = solve_bicrit(cfg, 3.0).best
+            reports[name] = check_agreement(
+                cfg, work=best.work, sigma1=best.sigma1, sigma2=best.sigma2,
+                n=20_000, rng=hash(name) % 2**31,
+            )
+        return reports
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with (results_dir / "montecarlo_agreement.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["config", "work", "sigma1", "sigma2",
+                    "expected_time", "mean_time", "z_time",
+                    "expected_energy", "mean_energy", "z_energy"])
+        for name, rep in reports.items():
+            s = rep.summary
+            w.writerow([
+                name, f"{rep.work:.1f}", rep.sigma1, rep.sigma2,
+                f"{rep.expected_time:.3f}", f"{s.mean_time:.3f}", f"{rep.time_zscore:.3f}",
+                f"{rep.expected_energy:.3f}", f"{s.mean_energy:.3f}", f"{rep.energy_zscore:.3f}",
+            ])
+    for name, rep in reports.items():
+        assert rep.agrees(), f"{name}: z={rep.max_abs_zscore:.2f}"
+    worst = max(rep.max_abs_zscore for rep in reports.values())
+    print(f"\nall 8 configurations agree; worst |z| = {worst:.2f}")
+
+
+@pytest.mark.parametrize("f", [0.25, 1.0], ids=["mixed", "failstop-only"])
+def test_agreement_combined(benchmark, f):
+    cfg = get_configuration("hera-xscale")
+    errors = CombinedErrors(5e-4, f)
+
+    def run():
+        return check_agreement(
+            cfg, work=3000.0, sigma1=0.4, sigma2=0.8,
+            errors=errors, n=20_000, rng=int(1e6 * f),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.agrees()
+    print(f"\nf={f}: z_time={report.time_zscore:+.2f} z_energy={report.energy_zscore:+.2f}")
+
+
+def test_engine_throughput(benchmark):
+    """Raw vectorised-engine speed: simulate 50k patterns per call."""
+    cfg = get_configuration("hera-xscale")
+    sim = PatternSimulator(cfg, rng=1)
+
+    batch = benchmark(sim.run, 2764.0, 0.4, 0.4, 50_000)
+    assert batch.size == 50_000
+
+
+def test_engine_throughput_high_error_rate(benchmark):
+    """Throughput with heavy re-execution traffic (many rounds)."""
+    cfg = get_configuration("hera-xscale").with_error_rate(2e-4)
+    sim = PatternSimulator(cfg, rng=2)
+
+    batch = benchmark(sim.run, 2764.0, 0.4, 0.4, 50_000)
+    assert batch.size == 50_000
+    assert batch.summary().mean_reexecutions > 0.5

@@ -1,0 +1,80 @@
+"""Bench: the four Section-4.2 speed-pair tables (Hera/XScale).
+
+Regenerates each table, checks every row against the paper's printed
+values (exactly — the evaluation is analytic), writes the CSV artefact,
+and times the O(K^2) solve.
+
+Paper reference values (sigma1 -> best sigma2, Wopt, E/W; '-' rows are
+None):
+
+rho = 8     : 0.15->(0.4,1711,466) 0.4->(0.4,2764,416) 0.6->(0.4,3639,674)
+              0.8->(0.4,4627,1082) 1.0->(0.4,5742,1625); best (0.4,0.4)
+rho = 3     : 0.15 infeasible, rest as above; best (0.4,0.4)
+rho = 1.775 : 0.6->(0.8,4251,690) 0.8/1.0 as above; best (0.6,0.8)
+rho = 1.4   : only 0.8 and 1.0 feasible; best (0.8,0.4)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import get_configuration
+from repro.reporting.csvio import write_table_csv
+from repro.reporting.tables import format_speed_pair_table
+from repro.sweep.tables import speed_pair_table
+
+PAPER_ROWS = {
+    8.0: {
+        0.15: (0.4, 1711, 466),
+        0.4: (0.4, 2764, 416),
+        0.6: (0.4, 3639, 674),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    },
+    3.0: {
+        0.15: None,
+        0.4: (0.4, 2764, 416),
+        0.6: (0.4, 3639, 674),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    },
+    1.775: {
+        0.15: None,
+        0.4: None,
+        0.6: (0.8, 4251, 690),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    },
+    1.4: {
+        0.15: None,
+        0.4: None,
+        0.6: None,
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    },
+}
+
+BEST_PAIRS = {8.0: (0.4, 0.4), 3.0: (0.4, 0.4), 1.775: (0.6, 0.8), 1.4: (0.8, 0.4)}
+
+
+def _check_table(table, rho: float) -> None:
+    for s1, expected in PAPER_ROWS[rho].items():
+        row = table.row_for(s1)
+        if expected is None:
+            assert not row.feasible
+        else:
+            s2, wopt, energy = expected
+            assert row.best_sigma2 == s2
+            assert row.work == pytest.approx(wopt, abs=1.5)
+            assert row.energy_overhead == pytest.approx(energy, abs=1.5)
+    assert table.best_row.solution.speed_pair == BEST_PAIRS[rho]
+
+
+@pytest.mark.parametrize("rho", [8.0, 3.0, 1.775, 1.4], ids=lambda r: f"rho{r}")
+def test_table_sec42(benchmark, results_dir, rho):
+    cfg = get_configuration("hera-xscale")
+    table = benchmark(speed_pair_table, cfg, rho)
+    _check_table(table, rho)
+    write_table_csv(results_dir / f"table_sec42_rho{rho:g}.csv", table)
+    print()
+    print(format_speed_pair_table(table))

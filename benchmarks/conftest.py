@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench writes its regenerated artefact (table/series CSV) under
+``results/`` so the repository carries the reproduced data alongside
+the timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where regenerated paper artefacts are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

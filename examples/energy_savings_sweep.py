@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Reproduce Figure 2: energy savings vs checkpoint cost on Atlas/Crusoe.
+
+Sweeps the checkpointing cost C from 50 s to 5000 s, solving the
+two-speed and single-speed problems at each point, and prints the three
+panels of the paper's Figure 2 as one table: optimal speeds, optimal
+pattern sizes, energy overheads — plus the savings column that yields
+the paper's "up to 35%" headline.
+
+Run:
+    python examples/energy_savings_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis import series_savings, summarize_savings, find_pair_changes
+from repro.sweep import checkpoint_axis, run_sweep
+
+
+def main() -> None:
+    cfg = repro.get_configuration("atlas-crusoe")
+    rho = 3.0
+    axis = checkpoint_axis(lo=50.0, hi=5000.0, n=34)
+    print(f"sweeping C over [{axis.values[0]:g}, {axis.values[-1]:g}] s "
+          f"on {cfg.name} at rho = {rho} ...\n")
+    series = run_sweep(cfg, rho, axis)
+    savings = series_savings(series)
+
+    print(f"{'C':>7}  {'s1':>5} {'s2':>5} | {'s':>5}  "
+          f"{'W(s1,s2)':>9} {'W(s,s)':>9}  {'E2/W':>8} {'E1/W':>8}  {'saving':>7}")
+    for i, p in enumerate(series.points):
+        two, one = p.two_speed, p.single_speed
+        print(
+            f"{p.value:>7.0f}  {two.sigma1:>5.2f} {two.sigma2:>5.2f} | "
+            f"{one.sigma1:>5.2f}  {two.work:>9.0f} {one.work:>9.0f}  "
+            f"{two.energy_overhead:>8.1f} {one.energy_overhead:>8.1f}  "
+            f"{savings[i]:>6.1f}%"
+        )
+
+    print()
+    summary = summarize_savings(series)
+    print(f"maximum saving: {summary.max_savings_percent:.1f}% at C = {summary.argmax_value:g} s")
+    print(f"(paper's Section 4.3.1 claim: 'up to 35% improvement')")
+
+    print("\noptimal-pair crossovers along the sweep:")
+    for ch in find_pair_changes(series):
+        print(f"  C in ({ch.value_before:.0f}, {ch.value_after:.0f}]: "
+              f"{ch.pair_before} -> {ch.pair_after}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Theorem 2: re-executing twice faster changes the checkpointing law.
+
+The classical Young/Daly result says the optimal checkpointing period
+scales as Theta(sqrt(MTBF)).  Theorem 2 of the paper shows that with
+fail-stop errors and a re-execution speed sigma2 = 2 sigma1, the
+Young/Daly lambda*W term *cancels* and the optimum becomes
+
+    Wopt = (12 C / lambda^2)^(1/3) * sigma = Theta(lambda^(-2/3)).
+
+This example verifies the claim numerically: it minimises the *exact*
+expected time overhead (no Taylor approximation) across a range of
+error rates, fits the scaling exponent, and compares against both the
+Theorem-2 formula and the Young/Daly baseline at sigma2 = sigma1.
+
+Run:
+    python examples/failstop_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fit_power_law
+from repro.core.youngdaly import work_failstop
+from repro.errors import CombinedErrors
+from repro.failstop import theorem2_work, time_optimal_work
+from repro.platforms import Configuration, Platform, XSCALE
+
+CHECKPOINT = 300.0  # seconds (Hera-like)
+SIGMA = 0.4
+
+
+def exact_optimum(lam: float, sigma2_ratio: float) -> float:
+    cfg = Configuration(
+        platform=Platform("failstop", error_rate=lam,
+                          checkpoint_time=CHECKPOINT, verification_time=0.0),
+        processor=XSCALE,
+    )
+    return time_optimal_work(
+        cfg, CombinedErrors(lam, failstop_fraction=1.0), SIGMA, sigma2_ratio * SIGMA
+    )
+
+
+def main() -> None:
+    lams = np.logspace(-7, -4, 8)
+
+    print("=== sigma2 = 2 sigma1 (Theorem 2 regime) ===")
+    print(f"{'lambda':>10}  {'W exact':>12}  {'W = (12C/l^2)^(1/3) s':>22}  {'ratio':>7}")
+    w_double = []
+    for lam in lams:
+        w_num = exact_optimum(float(lam), 2.0)
+        w_th = theorem2_work(float(lam), CHECKPOINT, SIGMA)
+        w_double.append(w_num)
+        print(f"{lam:>10.1e}  {w_num:>12.1f}  {w_th:>22.1f}  {w_num / w_th:>7.4f}")
+    fit2 = fit_power_law(lams, np.array(w_double))
+    print(f"fitted exponent: {fit2.exponent:+.4f}   (Theorem 2: -2/3 = {-2/3:+.4f})")
+
+    print("\n=== sigma2 = sigma1 (classical Young/Daly regime) ===")
+    print(f"{'lambda':>10}  {'W exact':>12}  {'W = s*sqrt(2C/l)':>18}  {'ratio':>7}")
+    w_same = []
+    for lam in lams:
+        w_num = exact_optimum(float(lam), 1.0)
+        w_yd = work_failstop(CHECKPOINT, float(lam), SIGMA)
+        w_same.append(w_num)
+        print(f"{lam:>10.1e}  {w_num:>12.1f}  {w_yd:>18.1f}  {w_num / w_yd:>7.4f}")
+    fit1 = fit_power_law(lams, np.array(w_same))
+    print(f"fitted exponent: {fit1.exponent:+.4f}   (Young/Daly: -1/2 = {-0.5:+.4f})")
+
+    print(
+        "\nThe two regimes genuinely differ: re-executing twice faster "
+        f"yields exponent {fit2.exponent:+.3f} instead of {fit1.exponent:+.3f} - "
+        "the first known deviation from the sqrt(MTBF) law."
+    )
+
+
+if __name__ == "__main__":
+    main()

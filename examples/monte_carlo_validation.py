@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Validate the analytical model against the Monte-Carlo simulator.
+
+For each of the paper's eight configurations, the BiCrit optimum is
+computed analytically and then 20,000 independent pattern executions
+are simulated at exactly that operating point.  The sample means of
+time and energy must match Propositions 2/3 within sampling noise —
+this is the evidence that the closed forms describe the stochastic
+process correctly.
+
+Also demonstrates the combined fail-stop + silent model of Section 5
+and prints a Figure-1-style event trace of a small application run.
+
+Run:
+    python examples/monte_carlo_validation.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.errors import CombinedErrors
+from repro.simulation import ApplicationSimulator, check_agreement
+
+
+def validate_all_configs() -> None:
+    print("=== Propositions 2/3 vs Monte-Carlo (silent errors) ===")
+    print(f"{'configuration':28} {'E[T] model':>11} {'E[T] sim':>11} "
+          f"{'z_T':>6} {'z_E':>6}  verdict")
+    for name in repro.configuration_names():
+        cfg = repro.get_configuration(name)
+        best = repro.solve_bicrit(cfg, 3.0).best
+        report = check_agreement(
+            cfg, work=best.work, sigma1=best.sigma1, sigma2=best.sigma2,
+            n=20_000, rng=hash(name) % 2**31,
+        )
+        s = report.summary
+        verdict = "PASS" if report.agrees() else "FAIL"
+        print(
+            f"{name:28} {report.expected_time:>11.1f} {s.mean_time:>11.1f} "
+            f"{report.time_zscore:>+6.2f} {report.energy_zscore:>+6.2f}  {verdict}"
+        )
+
+
+def validate_combined() -> None:
+    print("\n=== Section 5 closed forms vs Monte-Carlo (fail-stop + silent) ===")
+    cfg = repro.get_configuration("hera-xscale")
+    for f in (0.25, 0.5, 1.0):
+        errors = CombinedErrors(total_rate=5e-4, failstop_fraction=f)
+        report = check_agreement(
+            cfg, work=3000.0, sigma1=0.4, sigma2=0.8,
+            errors=errors, n=20_000, rng=int(f * 1000),
+        )
+        verdict = "PASS" if report.agrees() else "FAIL"
+        print(f"  f = {f:4.2f}: z_time = {report.time_zscore:+.2f}, "
+              f"z_energy = {report.energy_zscore:+.2f}  {verdict}")
+
+
+def show_figure1_trace() -> None:
+    print("\n=== Figure-1-style event trace (high error rate for visibility) ===")
+    cfg = repro.get_configuration("hera-xscale").with_error_rate(2e-4)
+    sim = ApplicationSimulator(cfg, rng=20160601)
+    res = sim.run(total_work=12_000.0, work=3000.0, sigma1=0.4, sigma2=0.8)
+    print(f"patterns: {res.num_patterns}, silent errors: {res.num_silent}, "
+          f"total time: {res.total_time:.0f} s")
+    for e in res.events[:24]:
+        label = e.kind.value.upper()
+        speed = f"@{e.speed:g}" if e.speed else "     "
+        print(f"  t={e.start:>9.1f}s  {label:<10} {speed:<6} "
+              f"dur={e.duration:>8.1f}s  pattern {e.pattern_index} attempt {e.attempt}")
+    if len(res.events) > 24:
+        print(f"  ... ({len(res.events) - 24} more events)")
+
+
+if __name__ == "__main__":
+    validate_all_configs()
+    validate_combined()
+    show_figure1_trace()

@@ -1,0 +1,159 @@
+"""repro — reproduction of "A different re-execution speed can help".
+
+Benoit, Cavelan, Le Fèvre, Robert, Sun (ICPP 2016 / INRIA RR-8888).
+
+The library models a divisible-load application checkpointing
+periodically under silent (and optionally fail-stop) errors on a DVFS
+platform, and solves the bi-criteria problem of minimising expected
+energy per unit of work subject to a bound on expected time per unit of
+work, allowing re-executions after failures to run at a *different*
+speed.
+
+Quickstart
+----------
+>>> import repro
+>>> cfg = repro.get_configuration("hera-xscale")
+>>> sol = repro.solve_bicrit(cfg, rho=3.0)
+>>> sol.best.speed_pair, round(sol.best.work)
+((0.4, 0.4), 2764)
+"""
+
+from .core import (
+    BiCritSolution,
+    CandidateOutcome,
+    Pattern,
+    PatternSolution,
+    energy_optimal_work,
+    energy_overhead,
+    energy_overhead_fo,
+    expected_energy,
+    expected_time,
+    min_performance_bound,
+    optimal_work,
+    solve_bicrit,
+    solve_bicrit_exact,
+    solve_single_speed,
+    time_overhead,
+    time_overhead_fo,
+)
+from .errors import CombinedErrors, ExponentialErrors
+from .exceptions import (
+    ApproximationDomainError,
+    ConvergenceError,
+    InfeasibleBoundError,
+    InvalidParameterError,
+    ReproError,
+    SpeedNotAvailableError,
+)
+from .platforms import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    CRUSOE,
+    HERA,
+    XSCALE,
+    Configuration,
+    Platform,
+    Processor,
+    all_configurations,
+    configuration_names,
+    get_configuration,
+)
+from .power import PowerModel
+
+# Extension surface (lazy-ish: these are light imports, re-exported for
+# discoverability; the full APIs live in their subpackages).
+from .analysis import (
+    ParetoFrontier,
+    fit_power_law,
+    map_regions,
+    optimal_pairs_by_rho,
+    pareto_frontier,
+    summarize_savings,
+)
+from .failstop import (
+    solve_bicrit_combined,
+    theorem2_work,
+    time_optimal_work,
+)
+from .simulation import (
+    ApplicationSimulator,
+    PatternSimulator,
+    check_agreement,
+    simulate_until,
+)
+from .sweep import (
+    run_figure,
+    run_sweep,
+    run_sweep_fast,
+    speed_pair_table,
+    sweep_failstop_fraction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors / exceptions
+    "ReproError",
+    "InvalidParameterError",
+    "InfeasibleBoundError",
+    "SpeedNotAvailableError",
+    "ApproximationDomainError",
+    "ConvergenceError",
+    # substrates
+    "ExponentialErrors",
+    "CombinedErrors",
+    "PowerModel",
+    "Platform",
+    "Processor",
+    "Configuration",
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "XSCALE",
+    "CRUSOE",
+    "all_configurations",
+    "configuration_names",
+    "get_configuration",
+    # core
+    "Pattern",
+    "PatternSolution",
+    "CandidateOutcome",
+    "BiCritSolution",
+    "expected_time",
+    "expected_energy",
+    "time_overhead",
+    "energy_overhead",
+    "time_overhead_fo",
+    "energy_overhead_fo",
+    "energy_optimal_work",
+    "optimal_work",
+    "min_performance_bound",
+    "solve_bicrit",
+    "solve_bicrit_exact",
+    "solve_single_speed",
+    # failstop extensions
+    "solve_bicrit_combined",
+    "theorem2_work",
+    "time_optimal_work",
+    # simulation
+    "PatternSimulator",
+    "ApplicationSimulator",
+    "check_agreement",
+    "simulate_until",
+    # sweeps / experiments
+    "run_sweep",
+    "run_sweep_fast",
+    "run_figure",
+    "speed_pair_table",
+    "sweep_failstop_fraction",
+    # analysis
+    "pareto_frontier",
+    "ParetoFrontier",
+    "map_regions",
+    "optimal_pairs_by_rho",
+    "summarize_savings",
+    "fit_power_law",
+]

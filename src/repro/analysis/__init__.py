@@ -1,0 +1,31 @@
+"""Derived analyses: savings, crossovers, scaling, Pareto, regions, breakdown."""
+
+from .breakdown import EnergyBreakdown, energy_breakdown
+from .crossover import Crossover, PairInterval, find_pair_changes, optimal_pairs_by_rho
+from .pareto import ParetoFrontier, ParetoPoint, pareto_frontier
+from .regions import RegionMap, map_regions
+from .savings import SavingsSummary, savings_percent, series_savings, summarize_savings
+from .scaling import PowerLawFit, fit_power_law
+from .sensitivity import Elasticities, parameter_elasticities
+
+__all__ = [
+    "savings_percent",
+    "series_savings",
+    "SavingsSummary",
+    "summarize_savings",
+    "Crossover",
+    "PairInterval",
+    "find_pair_changes",
+    "optimal_pairs_by_rho",
+    "PowerLawFit",
+    "fit_power_law",
+    "ParetoPoint",
+    "ParetoFrontier",
+    "pareto_frontier",
+    "RegionMap",
+    "map_regions",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "Elasticities",
+    "parameter_elasticities",
+]

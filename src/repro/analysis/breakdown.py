@@ -1,0 +1,152 @@
+"""Energy breakdown: where do the millijoules actually go?
+
+Decomposes the exact Proposition-3 expected pattern energy into its
+physical components — first execution, verification, re-executions,
+checkpoint, recovery, and the static (idle) share — so the effect of a
+design change ("lower the re-execution speed", "buy faster storage")
+can be attributed.  Components sum exactly to
+:func:`repro.core.exact.expected_energy` (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import exact
+from ..platforms.configuration import Configuration
+
+__all__ = ["EnergyBreakdown", "energy_breakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Component-wise expected energy of one pattern (mJ).
+
+    Attributes
+    ----------
+    first_execution:
+        Computation of the first attempt, ``(W/s1)(kappa s1^3 + Pidle)``.
+    first_verification:
+        Verification of the first attempt.
+    reexecution:
+        Expected computation energy of all sigma2 re-executions.
+    reverification:
+        Expected verification energy of all re-executions.
+    checkpoint:
+        The single committed checkpoint.
+    recovery:
+        Expected recovery energy (one R per failed attempt).
+    idle_share:
+        The part of the total drawn by ``Pidle`` (informational: it is
+        *contained* in the other components, not additional).
+    """
+
+    sigma1: float
+    sigma2: float
+    work: float
+    first_execution: float
+    first_verification: float
+    reexecution: float
+    reverification: float
+    checkpoint: float
+    recovery: float
+    idle_share: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the six disjoint components (== Prop 3)."""
+        return (
+            self.first_execution
+            + self.first_verification
+            + self.reexecution
+            + self.reverification
+            + self.checkpoint
+            + self.recovery
+        )
+
+    @property
+    def resilience_overhead(self) -> float:
+        """Energy spent purely on fault tolerance: everything except the
+        first execution (verification, re-execution, checkpoint,
+        recovery)."""
+        return self.total - self.first_execution
+
+    @property
+    def resilience_fraction(self) -> float:
+        """``resilience_overhead / total``."""
+        return self.resilience_overhead / self.total
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dict of the six components (for CSV/JSON export)."""
+        return {
+            "first_execution": self.first_execution,
+            "first_verification": self.first_verification,
+            "reexecution": self.reexecution,
+            "reverification": self.reverification,
+            "checkpoint": self.checkpoint,
+            "recovery": self.recovery,
+        }
+
+
+def energy_breakdown(
+    cfg: Configuration,
+    work: float,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> EnergyBreakdown:
+    """Decompose the exact expected pattern energy (Proposition 3).
+
+    The re-execution factor ``retry = (1 - e^{-lam W/s1}) e^{lam W/s2}``
+    is the expected number of sigma2 attempts; every component below is
+    an exact term of Prop 3.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> cfg = get_configuration("hera-xscale")
+    >>> bd = energy_breakdown(cfg, 2764.0, 0.4)
+    >>> import math
+    >>> from repro.core import exact
+    >>> math.isclose(bd.total, exact.expected_energy(cfg, 2764.0, 0.4))
+    True
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    if work <= 0:
+        raise ValueError("work must be > 0")
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+
+    lam = cfg.lam
+    V = cfg.verification_time
+    pm = cfg.power
+    p_io = pm.io_total_power()
+    p1 = pm.compute_power(sigma1)
+    p2 = pm.compute_power(sigma2)
+    retry = float(-np.expm1(-lam * work / sigma1) * np.exp(lam * work / sigma2))
+
+    first_execution = work / sigma1 * p1
+    first_verification = V / sigma1 * p1
+    reexecution = retry * work / sigma2 * p2
+    reverification = retry * V / sigma2 * p2
+    checkpoint = cfg.checkpoint_time * p_io
+    recovery = retry * cfg.recovery_time * p_io
+
+    # Idle share: Pidle times every second of expected activity.
+    expected_seconds = exact.expected_time(cfg, work, sigma1, sigma2)
+    idle_share = pm.idle * expected_seconds
+
+    return EnergyBreakdown(
+        sigma1=sigma1,
+        sigma2=sigma2,
+        work=work,
+        first_execution=first_execution,
+        first_verification=first_verification,
+        reexecution=reexecution,
+        reverification=reverification,
+        checkpoint=checkpoint,
+        recovery=recovery,
+        idle_share=idle_share,
+    )

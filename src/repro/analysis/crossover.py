@@ -1,0 +1,110 @@
+"""Crossover analysis: where does the optimal speed pair switch?
+
+Two observations of the paper are quantified here:
+
+* along every sweep the optimal pair changes at discrete crossover
+  values ("the execution speeds are adapted — first sigma2 and then
+  sigma1", Section 4.3.1): :func:`find_pair_changes` locates them;
+* "it is possible, for a well-chosen rho, to have almost any speed pair
+  as the optimal solution" (Section 4.2): :func:`optimal_pairs_by_rho`
+  maps each speed pair to the ``rho`` ranges where it wins, making that
+  statement checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.solver import solve_bicrit
+from ..exceptions import InfeasibleBoundError
+from ..platforms.configuration import Configuration
+from ..sweep.runner import SweepSeries
+
+__all__ = ["Crossover", "find_pair_changes", "optimal_pairs_by_rho", "PairInterval"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """A change of optimal pair between two consecutive sweep values."""
+
+    value_before: float
+    value_after: float
+    pair_before: tuple[float, float] | None
+    pair_after: tuple[float, float] | None
+
+
+def find_pair_changes(series: SweepSeries) -> tuple[Crossover, ...]:
+    """All consecutive optimal-pair changes along a sweep series.
+
+    Feasibility transitions (pair <-> ``None``) count as crossovers too,
+    which captures the feasibility frontier of the ``rho`` sweeps.
+    """
+    pairs = series.speed_pairs()
+    values = series.values
+    out = []
+    for i in range(1, len(pairs)):
+        if pairs[i] != pairs[i - 1]:
+            out.append(
+                Crossover(
+                    value_before=float(values[i - 1]),
+                    value_after=float(values[i]),
+                    pair_before=pairs[i - 1],
+                    pair_after=pairs[i],
+                )
+            )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class PairInterval:
+    """A maximal ``rho`` interval where one speed pair is optimal."""
+
+    pair: tuple[float, float]
+    rho_min: float
+    rho_max: float
+
+
+def optimal_pairs_by_rho(
+    cfg: Configuration,
+    rho_lo: float = 1.0,
+    rho_hi: float = 10.0,
+    n: int = 400,
+) -> tuple[PairInterval, ...]:
+    """Scan ``rho`` and return the maximal intervals per winning pair.
+
+    Infeasible bounds produce no interval.  The scan is grid-based: the
+    reported interval ends are grid values, accurate to the grid step
+    (``(rho_hi - rho_lo) / (n - 1)``).
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> iv = optimal_pairs_by_rho(get_configuration("hera-xscale"), 1.2, 9.0, 80)
+    >>> len({i.pair for i in iv}) >= 3   # several distinct winners
+    True
+    """
+    grid = np.linspace(rho_lo, rho_hi, n)
+    intervals: list[PairInterval] = []
+    current_pair: tuple[float, float] | None = None
+    start = None
+    prev = None
+    for rho in grid:
+        try:
+            pair = solve_bicrit(cfg, float(rho)).best.speed_pair
+        except InfeasibleBoundError:
+            pair = None
+        if pair != current_pair:
+            if current_pair is not None:
+                intervals.append(
+                    PairInterval(pair=current_pair, rho_min=float(start), rho_max=float(prev))
+                )
+            current_pair = pair
+            start = rho
+        prev = rho
+    if current_pair is not None:
+        intervals.append(
+            PairInterval(pair=current_pair, rho_min=float(start), rho_max=float(prev))
+        )
+    return tuple(intervals)

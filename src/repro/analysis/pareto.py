@@ -1,0 +1,138 @@
+"""Bi-criteria Pareto frontier: energy vs time trade-off curve.
+
+BiCrit fixes a time budget ``rho`` and minimises energy.  Sweeping
+``rho`` traces the full Pareto frontier of the (time overhead, energy
+overhead) bi-criteria problem — the curve a practitioner actually
+negotiates against.  This module builds that frontier, verifies its
+monotonicity, and locates the *knee* (the point of diminishing
+returns) via the maximum-distance-to-chord rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.solution import PatternSolution
+from ..core.solver import solve_bicrit
+from ..exceptions import InfeasibleBoundError
+from ..platforms.configuration import Configuration
+
+__all__ = ["ParetoPoint", "ParetoFrontier", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One frontier point: the optimum at a given bound."""
+
+    rho: float
+    solution: PatternSolution
+
+    @property
+    def time_overhead(self) -> float:
+        """Achieved (not just allowed) expected time per work unit."""
+        return self.solution.time_overhead
+
+    @property
+    def energy_overhead(self) -> float:
+        """Minimal expected energy per work unit at this bound."""
+        return self.solution.energy_overhead
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """The energy-vs-time frontier of one configuration."""
+
+    config_name: str
+    points: tuple[ParetoPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Achieved time overheads, one per frontier point."""
+        return np.array([p.time_overhead for p in self.points])
+
+    @property
+    def energies(self) -> np.ndarray:
+        """Energy overheads, one per frontier point."""
+        return np.array([p.energy_overhead for p in self.points])
+
+    def knee(self) -> ParetoPoint:
+        """The maximum-distance-to-chord knee of the frontier.
+
+        Normalises both axes to [0, 1], draws the chord between the
+        frontier's endpoints, and returns the point farthest from it —
+        the standard knee heuristic.  With fewer than 3 points the
+        first point is returned.
+        """
+        if len(self.points) < 3:
+            return self.points[0]
+        t = self.times
+        e = self.energies
+        t_span = float(np.ptp(t)) or 1.0
+        e_span = float(np.ptp(e)) or 1.0
+        tn = (t - t.min()) / t_span
+        en = (e - e.min()) / e_span
+        p0 = np.array([tn[0], en[0]])
+        p1 = np.array([tn[-1], en[-1]])
+        chord = p1 - p0
+        norm = np.hypot(*chord)
+        if norm == 0.0:
+            return self.points[0]
+        # Perpendicular distance of each point to the chord.
+        d = np.abs(chord[0] * (en - p0[1]) - chord[1] * (tn - p0[0])) / norm
+        return self.points[int(np.argmax(d))]
+
+    def dominates(self, time_overhead: float, energy_overhead: float) -> bool:
+        """True if some frontier point weakly dominates the given point."""
+        return bool(
+            np.any((self.times <= time_overhead) & (self.energies <= energy_overhead))
+        )
+
+
+def pareto_frontier(
+    cfg: Configuration,
+    rho_lo: float | None = None,
+    rho_hi: float = 10.0,
+    n: int = 60,
+) -> ParetoFrontier:
+    """Trace the Pareto frontier by sweeping the bound.
+
+    ``rho_lo`` defaults to just above the configuration's minimum
+    feasible bound.  Consecutive duplicate optima (same achieved time
+    and energy — the unconstrained plateau at loose bounds) are
+    collapsed, so the frontier contains only distinct trade-offs.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> fr = pareto_frontier(get_configuration("hera-xscale"), n=40)
+    >>> import numpy as np
+    >>> bool(np.all(np.diff(fr.energies) <= 1e-9))  # energy falls as time relaxes
+    True
+    """
+    from ..core.feasibility import min_performance_bound_config
+
+    if rho_lo is None:
+        rho_lo = min_performance_bound_config(cfg) * 1.0001
+    if not rho_lo < rho_hi:
+        raise ValueError(f"need rho_lo < rho_hi, got [{rho_lo}, {rho_hi}]")
+
+    points: list[ParetoPoint] = []
+    for rho in np.linspace(rho_lo, rho_hi, n):
+        try:
+            sol = solve_bicrit(cfg, float(rho)).best
+        except InfeasibleBoundError:
+            continue
+        if points:
+            prev = points[-1].solution
+            if (
+                abs(prev.time_overhead - sol.time_overhead) < 1e-12
+                and abs(prev.energy_overhead - sol.energy_overhead) < 1e-12
+            ):
+                continue
+        points.append(ParetoPoint(rho=float(rho), solution=sol))
+    return ParetoFrontier(config_name=cfg.name, points=tuple(points))

@@ -1,0 +1,134 @@
+"""2-D optimal-pair region maps ("phase diagrams").
+
+The paper's figures vary one parameter at a time.  Downstream users
+typically ask the two-dimensional question — e.g. *for which (C, lambda)
+combinations does a different re-execution speed pay off?*  This module
+solves BiCrit over a grid of two sweep axes and exposes the winning
+speed pair and the two-speed savings per cell, from which the
+"two speeds help here" region falls out directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.singlespeed import solve_single_speed
+from ..core.solver import solve_bicrit
+from ..exceptions import InfeasibleBoundError
+from ..platforms.configuration import Configuration
+from ..sweep.axes import SweepAxis
+
+__all__ = ["RegionMap", "map_regions"]
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """Grid of BiCrit outcomes over two parameter axes.
+
+    Array layout: index ``[i, j]`` corresponds to ``x_values[i]`` x
+    ``y_values[j]``.  Infeasible cells hold NaN (and ``(nan, nan)``
+    pairs).
+    """
+
+    config_name: str
+    rho: float
+    x_name: str
+    y_name: str
+    x_values: np.ndarray
+    y_values: np.ndarray
+    sigma1: np.ndarray = field(repr=False)
+    sigma2: np.ndarray = field(repr=False)
+    savings: np.ndarray = field(repr=False)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(len(x_values), len(y_values))``."""
+        return (len(self.x_values), len(self.y_values))
+
+    def feasible_mask(self) -> np.ndarray:
+        """Cells where the two-speed problem is feasible."""
+        return np.isfinite(self.sigma1)
+
+    def two_speed_region(self, threshold: float = 0.01) -> np.ndarray:
+        """Cells where using two different speeds saves > ``threshold`` %."""
+        with np.errstate(invalid="ignore"):
+            return self.savings > threshold
+
+    def distinct_pairs(self) -> set[tuple[float, float]]:
+        """The set of winning pairs over the feasible region."""
+        out = set()
+        mask = self.feasible_mask()
+        for i, j in zip(*np.nonzero(mask)):
+            out.add((float(self.sigma1[i, j]), float(self.sigma2[i, j])))
+        return out
+
+    def fraction_two_speed(self, threshold: float = 0.01) -> float:
+        """Fraction of feasible cells where two speeds help (> threshold %)."""
+        mask = self.feasible_mask()
+        if not mask.any():
+            return 0.0
+        return float(self.two_speed_region(threshold)[mask].mean())
+
+
+def map_regions(
+    cfg: Configuration,
+    rho: float,
+    x_axis: SweepAxis,
+    y_axis: SweepAxis,
+) -> RegionMap:
+    """Solve both problems over the full 2-D grid of two axes.
+
+    Axes compose: the x-axis value is applied first, the y-axis second
+    (ordering matters only if both touch the same parameter, which is
+    rejected).
+
+    Raises
+    ------
+    ValueError
+        If the two axes address the same parameter.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> from repro.sweep.axes import checkpoint_axis, error_rate_axis
+    >>> m = map_regions(get_configuration("hera-xscale"), 3.0,
+    ...                 checkpoint_axis(n=4), error_rate_axis(n=4, hi=1e-4))
+    >>> m.shape
+    (4, 4)
+    """
+    if x_axis.name == y_axis.name:
+        raise ValueError(f"both axes address {x_axis.name!r}")
+    nx, ny = len(x_axis), len(y_axis)
+    sigma1 = np.full((nx, ny), np.nan)
+    sigma2 = np.full((nx, ny), np.nan)
+    savings = np.full((nx, ny), np.nan)
+
+    for i, xv in enumerate(x_axis.values):
+        cfg_x, rho_x = x_axis.apply(cfg, rho, xv)
+        for j, yv in enumerate(y_axis.values):
+            cfg_xy, rho_xy = y_axis.apply(cfg_x, rho_x, yv)
+            try:
+                two = solve_bicrit(cfg_xy, rho_xy).best
+            except InfeasibleBoundError:
+                continue
+            sigma1[i, j] = two.sigma1
+            sigma2[i, j] = two.sigma2
+            try:
+                one = solve_single_speed(cfg_xy, rho_xy).best
+                savings[i, j] = (1.0 - two.energy_overhead / one.energy_overhead) * 100.0
+            except InfeasibleBoundError:
+                savings[i, j] = np.nan
+
+    return RegionMap(
+        config_name=cfg.name,
+        rho=rho,
+        x_name=x_axis.name,
+        y_name=y_axis.name,
+        x_values=np.asarray(x_axis.values),
+        y_values=np.asarray(y_axis.values),
+        sigma1=sigma1,
+        sigma2=sigma2,
+        savings=savings,
+    )

@@ -1,0 +1,85 @@
+"""Energy savings of the two-speed solution over the one-speed baseline.
+
+The paper's headline claim: "up to 35% of the energy consumption can be
+saved by using a different re-execution speed while meeting a prescribed
+performance constraint" (Section 4.3.5, observed on the Atlas/Crusoe
+checkpoint-cost sweep).  These helpers compute per-point and per-series
+savings and locate the maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sweep.runner import SweepSeries
+
+__all__ = ["savings_percent", "series_savings", "SavingsSummary", "summarize_savings"]
+
+
+def savings_percent(two_speed_energy: float, single_speed_energy: float) -> float:
+    """Relative saving ``(1 - E_two / E_one) * 100`` in percent.
+
+    Positive means the two-speed solution is cheaper; by construction it
+    is never negative when both solvers saw the same candidate set (the
+    diagonal is a subset of the pair grid), so a negative value flags a
+    solver inconsistency.
+    """
+    if single_speed_energy <= 0:
+        raise ValueError("single_speed_energy must be > 0")
+    return (1.0 - two_speed_energy / single_speed_energy) * 100.0
+
+
+def series_savings(series: SweepSeries) -> np.ndarray:
+    """Per-point savings (%) along a sweep; NaN where either is infeasible."""
+    one = series.energy_single()
+    two = series.energy_two()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return (1.0 - two / one) * 100.0
+
+
+@dataclass(frozen=True)
+class SavingsSummary:
+    """Summary of the savings along one sweep series."""
+
+    config_name: str
+    axis_name: str
+    max_savings_percent: float
+    argmax_value: float
+    mean_savings_percent: float
+    num_points_with_savings: int
+
+    @property
+    def any_savings(self) -> bool:
+        """True when at least one sweep point saves energy (> 0.01%)."""
+        return self.num_points_with_savings > 0
+
+
+def summarize_savings(series: SweepSeries, *, threshold: float = 0.01) -> SavingsSummary:
+    """Summarise two-speed savings along a sweep series.
+
+    ``threshold`` (percent) filters numeric dust when counting points
+    with genuine savings.
+
+    Raises
+    ------
+    ValueError
+        If no sweep point is feasible for both solvers (nothing to
+        compare).
+    """
+    s = series_savings(series)
+    finite = np.isfinite(s)
+    if not finite.any():
+        raise ValueError("no sweep point is feasible for both solvers")
+    values = series.values
+    sf = np.where(finite, s, -np.inf)
+    k = int(np.argmax(sf))
+    return SavingsSummary(
+        config_name=series.config_name,
+        axis_name=series.axis_name,
+        max_savings_percent=float(s[k]),
+        argmax_value=float(values[k]),
+        mean_savings_percent=float(np.mean(s[finite])),
+        num_points_with_savings=int(np.sum(s[finite] > threshold)),
+    )

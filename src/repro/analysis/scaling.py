@@ -1,0 +1,68 @@
+"""Power-law scaling fits — the Theorem-2 exponent check.
+
+Theorem 2 predicts ``Wopt = Theta(lambda^{-2/3})`` for fail-stop errors
+with ``sigma2 = 2 sigma1``, versus Young/Daly's ``Theta(lambda^{-1/2})``.
+:func:`fit_power_law` recovers the exponent from ``(lambda, Wopt)``
+samples by ordinary least squares in log-log space, with the coefficient
+of determination to judge fit quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Fit of ``y = prefactor * x ** exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x):
+        """Evaluate the fitted law (broadcasts over ``x``)."""
+        return self.prefactor * np.asarray(x, dtype=float) ** self.exponent
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Least-squares fit of ``log y = log a + b log x``.
+
+    Parameters
+    ----------
+    x, y:
+        Positive samples (at least three points so the fit quality is
+        meaningful).
+
+    Raises
+    ------
+    ValueError
+        On fewer than 3 points, non-positive data, or mismatched shapes.
+
+    Examples
+    --------
+    >>> lam = np.logspace(-6, -3, 10)
+    >>> fit = fit_power_law(lam, 12.0 * lam ** -0.5)
+    >>> round(fit.exponent, 6)
+    -0.5
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError("x and y must have the same shape")
+    if xa.size < 3:
+        raise ValueError("need at least 3 points to fit a power law")
+    if np.any(xa <= 0) or np.any(ya <= 0):
+        raise ValueError("power-law fits need strictly positive data")
+    lx = np.log(xa)
+    ly = np.log(ya)
+    b, a = np.polyfit(lx, ly, 1)
+    resid = ly - (a + b * lx)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=float(b), prefactor=float(np.exp(a)), r_squared=r2)

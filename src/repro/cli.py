@@ -1,0 +1,372 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``configs``
+    List the eight catalog configurations.
+``table``
+    Regenerate a Section-4.2 speed-pair table
+    (``repro table --config hera-xscale --rho 3``).
+``sweep``
+    Run one parameter sweep and print/export the series
+    (``repro sweep --config atlas-crusoe --axis C --csv out.csv``).
+``figure``
+    Run every panel of one paper figure
+    (``repro figure fig2``).
+``validate``
+    Monte-Carlo vs model agreement check
+    (``repro validate --config hera-xscale --work 2764 --sigma1 0.4``).
+``theorem2``
+    Demonstrate the Theta(lambda^{-2/3}) scaling of Theorem 2.
+``pareto``
+    Trace the energy-vs-time Pareto frontier and locate its knee.
+``fraction``
+    Sweep the fail-stop fraction f of the Section-5 combined model.
+``multiverif``
+    Optimise the number of verifications per checkpoint (extension).
+``trace``
+    Simulate a short application run and render a Figure-1 timeline.
+``report``
+    Regenerate the headline reproduction report (Markdown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis.savings import summarize_savings
+from .analysis.scaling import fit_power_law
+from .errors.combined import CombinedErrors
+from .failstop.secondorder import theorem2_work
+from .failstop.solver import time_optimal_work
+from .platforms.catalog import configuration_names, get_configuration
+from .platforms.configuration import Configuration
+from .platforms.platform import Platform
+from .platforms.catalog import XSCALE
+from .reporting.csvio import write_series_csv, write_table_csv
+from .reporting.tables import (
+    format_savings_line,
+    format_speed_pair_table,
+    format_sweep_series,
+)
+from .simulation.estimators import check_agreement
+from .sweep.axes import AXIS_NAMES, axis_by_name
+from .sweep.figures import FIGURES, run_figure
+from .sweep.runner import run_sweep
+from .sweep.tables import speed_pair_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A different re-execution speed can help' (ICPP 2016).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("configs", help="list catalog configurations")
+
+    p_table = sub.add_parser("table", help="Section-4.2 speed-pair table")
+    p_table.add_argument("--config", default="hera-xscale", help="configuration name")
+    p_table.add_argument("--rho", type=float, default=3.0, help="performance bound")
+    p_table.add_argument("--csv", default=None, help="also write CSV to this path")
+
+    p_sweep = sub.add_parser("sweep", help="parameter sweep (one figure panel)")
+    p_sweep.add_argument("--config", default="atlas-crusoe")
+    p_sweep.add_argument("--axis", choices=AXIS_NAMES, default="C")
+    p_sweep.add_argument("--rho", type=float, default=3.0)
+    p_sweep.add_argument("--points", type=int, default=None, help="axis resolution")
+    p_sweep.add_argument("--csv", default=None, help="also write CSV to this path")
+
+    p_fig = sub.add_parser("figure", help="run all panels of one paper figure")
+    p_fig.add_argument("figure_id", choices=sorted(FIGURES, key=lambda f: int(f[3:])))
+    p_fig.add_argument("--rho", type=float, default=3.0)
+    p_fig.add_argument("--points", type=int, default=None)
+    p_fig.add_argument("--csv-dir", default=None, help="write one CSV per panel here")
+
+    p_val = sub.add_parser("validate", help="Monte-Carlo vs model agreement")
+    p_val.add_argument("--config", default="hera-xscale")
+    p_val.add_argument("--work", type=float, default=2764.0)
+    p_val.add_argument("--sigma1", type=float, default=0.4)
+    p_val.add_argument("--sigma2", type=float, default=None)
+    p_val.add_argument("--failstop-fraction", type=float, default=0.0)
+    p_val.add_argument("--samples", type=int, default=20000)
+    p_val.add_argument("--seed", type=int, default=12345)
+
+    p_t2 = sub.add_parser("theorem2", help="Theta(lambda^-2/3) scaling demo")
+    p_t2.add_argument("--checkpoint", type=float, default=300.0, help="C (s)")
+    p_t2.add_argument("--sigma", type=float, default=0.5, help="first speed")
+    p_t2.add_argument("--points", type=int, default=7)
+
+    p_par = sub.add_parser("pareto", help="energy-vs-time Pareto frontier")
+    p_par.add_argument("--config", default="hera-xscale")
+    p_par.add_argument("--rho-max", type=float, default=10.0)
+    p_par.add_argument("--points", type=int, default=60)
+
+    p_frac = sub.add_parser("fraction", help="fail-stop fraction sweep (Section 5)")
+    p_frac.add_argument("--config", default="hera-xscale")
+    p_frac.add_argument("--rho", type=float, default=3.0)
+    p_frac.add_argument("--rate", type=float, default=None, help="total error rate")
+    p_frac.add_argument("--points", type=int, default=11)
+
+    p_mv = sub.add_parser("multiverif", help="optimise verifications per checkpoint")
+    p_mv.add_argument("--config", default="hera-xscale")
+    p_mv.add_argument("--rho", type=float, default=3.0)
+    p_mv.add_argument("--max-q", type=int, default=6)
+    p_mv.add_argument("--recall", type=float, default=1.0)
+    p_mv.add_argument("--rate", type=float, default=None, help="override error rate")
+
+    p_tr = sub.add_parser("trace", help="Figure-1 timeline of a simulated run")
+    p_tr.add_argument("--config", default="hera-xscale")
+    p_tr.add_argument("--rate", type=float, default=2e-4, help="error rate (amplified default for visibility)")
+    p_tr.add_argument("--failstop-fraction", type=float, default=0.0)
+    p_tr.add_argument("--patterns", type=int, default=4)
+    p_tr.add_argument("--sigma1", type=float, default=0.4)
+    p_tr.add_argument("--sigma2", type=float, default=0.8)
+    p_tr.add_argument("--seed", type=int, default=20160601)
+    p_tr.add_argument("--width", type=int, default=100)
+
+    p_rep = sub.add_parser("report", help="regenerate the reproduction report")
+    p_rep.add_argument("--out", default=None, help="write Markdown here (default stdout)")
+    p_rep.add_argument("--montecarlo-samples", type=int, default=0,
+                       help="add a simulation-agreement section with this many samples")
+
+    return parser
+
+
+def _cmd_configs(_: argparse.Namespace) -> int:
+    for name in configuration_names():
+        cfg = get_configuration(name)
+        print(
+            f"{name:22s} lambda={cfg.lam:.3g}  C={cfg.checkpoint_time:g}s  "
+            f"V={cfg.verification_time:g}s  speeds={cfg.speeds}"
+        )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    cfg = get_configuration(args.config)
+    table = speed_pair_table(cfg, args.rho)
+    print(format_speed_pair_table(table))
+    if args.csv:
+        path = write_table_csv(args.csv, table)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cfg = get_configuration(args.config)
+    kwargs = {"n": args.points} if args.points else {}
+    axis = axis_by_name(args.axis, **kwargs)
+    series = run_sweep(cfg, args.rho, axis)
+    print(format_sweep_series(series, max_rows=40))
+    try:
+        s = summarize_savings(series)
+        print()
+        print(format_savings_line(s.config_name, s.axis_name, s.max_savings_percent, s.argmax_value))
+    except ValueError:
+        print("\n(no point feasible for both solvers)")
+    if args.csv:
+        path = write_series_csv(args.csv, series)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    panels = run_figure(args.figure_id, rho=args.rho, n=args.points)
+    for panel, series in panels.items():
+        print(format_sweep_series(series, max_rows=16))
+        try:
+            s = summarize_savings(series)
+            print(format_savings_line(s.config_name, s.axis_name, s.max_savings_percent, s.argmax_value))
+        except ValueError:
+            print("(no point feasible for both solvers)")
+        print()
+        if args.csv_dir:
+            path = write_series_csv(
+                f"{args.csv_dir}/{args.figure_id}_{panel}.csv", series
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    cfg = get_configuration(args.config)
+    errors = None
+    if args.failstop_fraction > 0:
+        errors = CombinedErrors(cfg.lam, args.failstop_fraction)
+    report = check_agreement(
+        cfg,
+        work=args.work,
+        sigma1=args.sigma1,
+        sigma2=args.sigma2,
+        errors=errors,
+        n=args.samples,
+        rng=args.seed,
+    )
+    s = report.summary
+    print(f"config          : {cfg.name}")
+    print(f"pattern         : W={report.work:g}  s1={report.sigma1}  s2={report.sigma2}")
+    print(f"samples         : {s.n}")
+    print(f"expected time   : {report.expected_time:.3f} s")
+    print(f"simulated time  : {s.mean_time:.3f} +- {s.sem_time:.3f} s  (z={report.time_zscore:+.2f})")
+    print(f"expected energy : {report.expected_energy:.3f} mJ")
+    print(f"simulated energy: {s.mean_energy:.3f} +- {s.sem_energy:.3f} mJ  (z={report.energy_zscore:+.2f})")
+    print(f"mean re-execs   : {s.mean_reexecutions:.4f}")
+    ok = report.agrees()
+    print(f"agreement (|z| <= 4): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _cmd_theorem2(args: argparse.Namespace) -> int:
+    lams = np.logspace(-6, -3, args.points)
+    works = []
+    print(f"{'lambda':>10}  {'W numeric':>12}  {'W theorem2':>12}  {'ratio':>7}")
+    for lam in lams:
+        plat = Platform(
+            "theorem2", error_rate=float(lam),
+            checkpoint_time=args.checkpoint, verification_time=0.0,
+        )
+        cfg = Configuration(platform=plat, processor=XSCALE)
+        w_num = time_optimal_work(
+            cfg, CombinedErrors(float(lam), 1.0), args.sigma, 2.0 * args.sigma
+        )
+        w_th = theorem2_work(float(lam), args.checkpoint, args.sigma)
+        works.append(w_num)
+        print(f"{lam:>10.2e}  {w_num:>12.1f}  {w_th:>12.1f}  {w_num / w_th:>7.4f}")
+    fit = fit_power_law(lams, np.array(works))
+    print(f"\nfitted exponent: {fit.exponent:.4f}  (Theorem 2 predicts -2/3 = {-2/3:.4f};")
+    print("Young/Daly would give -1/2)")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .analysis.pareto import pareto_frontier
+
+    cfg = get_configuration(args.config)
+    frontier = pareto_frontier(cfg, rho_hi=args.rho_max, n=args.points)
+    knee = frontier.knee()
+    print(f"{cfg.name}: Pareto frontier ({len(frontier)} distinct trade-offs)")
+    print(f"{'rho':>8}  {'T/W':>8}  {'E/W':>10}  {'pair':>12}")
+    for p in frontier.points:
+        marker = "  <- knee" if p is knee else ""
+        print(
+            f"{p.rho:>8.3f}  {p.time_overhead:>8.4f}  {p.energy_overhead:>10.2f}  "
+            f"({p.solution.sigma1}, {p.solution.sigma2}){marker}"
+        )
+    return 0
+
+
+def _cmd_fraction(args: argparse.Namespace) -> int:
+    from .sweep.fraction import sweep_failstop_fraction
+
+    cfg = get_configuration(args.config)
+    sweep = sweep_failstop_fraction(
+        cfg,
+        args.rho,
+        total_rate=args.rate,
+        fractions=np.linspace(0.0, 1.0, args.points),
+    )
+    print(
+        f"{cfg.name}: combined-error optimum vs fail-stop fraction "
+        f"(rho = {args.rho:g}, lambda = {sweep.total_rate:g}/s)"
+    )
+    print(f"{'f':>5}  {'s1':>5} {'s2':>5}  {'Wopt':>9}  {'E/W':>9}  {'T/W':>7}")
+    for f, s1, s2, w, e, t in zip(
+        sweep.fractions, sweep.sigma1(), sweep.sigma2(),
+        sweep.work(), sweep.energy_overhead(), sweep.time_overhead(),
+    ):
+        if np.isnan(e):
+            print(f"{f:>5.2f}  {'-':>5} {'-':>5}  {'-':>9}  {'-':>9}  {'-':>7}")
+        else:
+            print(f"{f:>5.2f}  {s1:>5.2f} {s2:>5.2f}  {w:>9.0f}  {e:>9.1f}  {t:>7.3f}")
+    return 0
+
+
+def _cmd_multiverif(args: argparse.Namespace) -> int:
+    from .core.numeric import solve_bicrit_exact
+    from .extensions.multiverif import solve_bicrit_multiverif
+
+    cfg = get_configuration(args.config)
+    if args.rate is not None:
+        cfg = cfg.with_error_rate(args.rate)
+    best = solve_bicrit_multiverif(cfg, args.rho, max_q=args.max_q, recall=args.recall)
+    single = solve_bicrit_exact(cfg, args.rho)
+    print(f"{cfg.name}  rho = {args.rho:g}  lambda = {cfg.lam:g}/s  recall = {args.recall:g}")
+    print(f"  best q           : {best.q} verifications per checkpoint")
+    print(f"  speed pair       : ({best.sigma1}, {best.sigma2})")
+    print(f"  pattern size     : {best.work:.0f} work units")
+    print(f"  energy overhead  : {best.energy_overhead:.2f} mJ/work")
+    print(f"  single-verif ref : {single.energy_overhead:.2f} mJ/work "
+          f"(pair ({single.sigma1}, {single.sigma2}))")
+    gain = (1 - best.energy_overhead / single.energy_overhead) * 100
+    print(f"  gain over q = 1  : {gain:.2f}%")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .reporting.gantt import format_timeline, format_trace
+    from .simulation.application import ApplicationSimulator
+
+    cfg = get_configuration(args.config).with_error_rate(args.rate)
+    errors = None
+    if args.failstop_fraction > 0:
+        errors = CombinedErrors(args.rate, args.failstop_fraction)
+    sim = ApplicationSimulator(cfg, errors=errors, rng=args.seed)
+    from .core.solver import solve_bicrit
+
+    best = solve_bicrit(cfg, 3.0).best
+    work = best.work
+    result = sim.run(
+        total_work=args.patterns * work, work=work,
+        sigma1=args.sigma1, sigma2=args.sigma2,
+    )
+    print(format_timeline(result, width=args.width))
+    print()
+    print(format_trace(result, max_events=30))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting.summary import build_report, write_report
+
+    if args.out:
+        result = write_report(args.out, montecarlo_samples=args.montecarlo_samples)
+        print(f"wrote {args.out}")
+    else:
+        result = build_report(montecarlo_samples=args.montecarlo_samples)
+        print(result.markdown)
+    return 0 if result.ok else 1
+
+
+_COMMANDS = {
+    "configs": _cmd_configs,
+    "table": _cmd_table,
+    "sweep": _cmd_sweep,
+    "figure": _cmd_figure,
+    "validate": _cmd_validate,
+    "theorem2": _cmd_theorem2,
+    "pareto": _cmd_pareto,
+    "fraction": _cmd_fraction,
+    "multiverif": _cmd_multiverif,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

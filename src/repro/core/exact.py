@@ -1,0 +1,163 @@
+"""Exact expected time and energy of a pattern under silent errors.
+
+Implements Propositions 1-3 of the paper.  With silent errors of rate
+``lambda``, pattern work ``W``, verification ``V`` (work-like),
+checkpoint ``C`` and recovery ``R`` (plain seconds):
+
+Proposition 1 (single speed ``sigma``)::
+
+    T(W, s, s) = C + e^{lam W / s} (W + V)/s + (e^{lam W / s} - 1) R
+
+Proposition 2 (two speeds)::
+
+    T(W, s1, s2) = C + (W + V)/s1
+                 + (1 - e^{-lam W / s1}) e^{lam W / s2} (R + (W + V)/s2)
+
+Proposition 3 (energy)::
+
+    E(W, s1, s2) = (C + (1 - e^{-lam W/s1}) e^{lam W/s2} R) (Pio + Pidle)
+                 + (W + V)/s1 (kappa s1^3 + Pidle)
+                 + (W + V)/s2 (1 - e^{-lam W/s1}) e^{lam W/s2}
+                   (kappa s2^3 + Pidle)
+
+All functions broadcast over ``work`` (NumPy arrays accepted) and return
+a scalar for scalar input.  Silent errors strike only during the
+*computation* window ``W / sigma`` (they are data corruptions; the
+verification at the end of the pattern detects them), which is why the
+exponent uses ``W`` and not ``W + V``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..platforms.configuration import Configuration
+from ..quantities import as_float_array, is_scalar
+
+__all__ = [
+    "expected_time",
+    "expected_energy",
+    "expected_time_single_speed",
+    "expected_reexecutions",
+    "time_overhead",
+    "energy_overhead",
+]
+
+
+def _validate(work, sigma1: float, sigma2: float) -> np.ndarray:
+    w = as_float_array(work)
+    if np.any(w <= 0):
+        raise ValueError("work must be > 0")
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+    return w
+
+
+def expected_time_single_speed(cfg: Configuration, work, sigma: float):
+    """Proposition 1: exact expected pattern time with a single speed.
+
+    Equivalent to ``expected_time(cfg, work, sigma, sigma)`` — the
+    separate entry point exists because the paper states it separately
+    and the identity is worth a regression test.
+    """
+    w = _validate(work, sigma, sigma)
+    lam = cfg.lam
+    with np.errstate(over="ignore"):
+        growth = np.exp(lam * w / sigma)
+    t = (
+        cfg.checkpoint_time
+        + growth * (w + cfg.verification_time) / sigma
+        + (growth - 1.0) * cfg.recovery_time
+    )
+    return float(t) if is_scalar(work) else t
+
+
+def expected_time(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """Proposition 2: exact expected pattern time with two speeds.
+
+    ``sigma2 = None`` defaults to ``sigma1``.  The re-execution factor
+    ``(1 - e^{-lam W/s1}) e^{lam W/s2}`` is the probability of a first
+    failure times the expected geometric number of sigma2 attempts.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    w = _validate(work, sigma1, sigma2)
+    lam = cfg.lam
+    V = cfg.verification_time
+    p1 = -np.expm1(-lam * w / sigma1)  # 1 - e^{-lam W / s1}
+    # exp overflows to +inf for extreme lam*W, which is the correct
+    # limit (re-executions never succeed, the expectation diverges).
+    with np.errstate(over="ignore"):
+        retry = p1 * np.exp(lam * w / sigma2)
+    t = (
+        cfg.checkpoint_time
+        + (w + V) / sigma1
+        + retry * (cfg.recovery_time + (w + V) / sigma2)
+    )
+    return float(t) if is_scalar(work) else t
+
+
+def expected_energy(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """Proposition 3: exact expected pattern energy (mJ) with two speeds.
+
+    Checkpoint/recovery segments draw ``Pio + Pidle``; computation and
+    verification at speed ``s`` draw ``kappa s^3 + Pidle``.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    w = _validate(work, sigma1, sigma2)
+    lam = cfg.lam
+    V = cfg.verification_time
+    pm = cfg.power
+    p_io = pm.io_total_power()
+    p1cpu = pm.compute_power(sigma1)
+    p2cpu = pm.compute_power(sigma2)
+    with np.errstate(over="ignore"):
+        retry = -np.expm1(-lam * w / sigma1) * np.exp(lam * w / sigma2)
+    e = (
+        (cfg.checkpoint_time + retry * cfg.recovery_time) * p_io
+        + (w + V) / sigma1 * p1cpu
+        + (w + V) / sigma2 * retry * p2cpu
+    )
+    return float(e) if is_scalar(work) else e
+
+
+def expected_reexecutions(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """Expected number of re-executions (sigma2 attempts) per pattern.
+
+    The first execution fails with probability ``p1 = 1 - e^{-lam W/s1}``;
+    each subsequent attempt at ``sigma2`` succeeds with probability
+    ``q2 = e^{-lam W/s2}``, so the expected count of sigma2 attempts is
+    ``p1 / q2 = p1 * e^{lam W / s2}`` (a geometric series).  Useful as a
+    simulator cross-check.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    w = _validate(work, sigma1, sigma2)
+    lam = cfg.lam
+    with np.errstate(over="ignore"):
+        n = -np.expm1(-lam * w / sigma1) * np.exp(lam * w / sigma2)
+    return float(n) if is_scalar(work) else n
+
+
+def time_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """Exact expected time per unit of work, ``T(W, s1, s2) / W``.
+
+    This is the quantity bounded by ``rho`` in the BiCrit problem; for
+    long-lasting applications the expected makespan is
+    ``time_overhead * W_base`` (Section 2.3).
+    """
+    w = as_float_array(work)
+    r = expected_time(cfg, work, sigma1, sigma2) / w
+    return float(r) if is_scalar(work) else r
+
+
+def energy_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """Exact expected energy per unit of work, ``E(W, s1, s2) / W`` (mJ).
+
+    The BiCrit objective; the expected application energy is
+    ``energy_overhead * W_base`` (Section 2.3).
+    """
+    w = as_float_array(work)
+    r = expected_energy(cfg, work, sigma1, sigma2) / w
+    return float(r) if is_scalar(work) else r

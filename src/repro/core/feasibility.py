@@ -1,0 +1,137 @@
+"""Feasibility of the performance bound — the quadratic of Theorem 1.
+
+Enforcing the first-order time bound ``T(W,s1,s2)/W <= rho`` is
+equivalent (multiply Eq. (2) by ``W``) to
+
+.. math::  a W^2 + b W + c \\le 0,
+
+with ``a = lam/(s1 s2)``, ``b = x_T - rho`` (the W-independent part of
+Eq. (2) minus the bound) and ``c = C + V/s1``.  Since ``a, c > 0`` the
+parabola opens upwards with a positive product of roots, so either there
+is no positive solution (``b > -2 sqrt(a c)``) or ``W`` must lie in the
+root interval ``[W1, W2]`` with ``0 < W1 <= W2``.
+
+Setting the discriminant to zero yields the *minimum feasible bound* for
+a speed pair (Eq. 6):
+
+.. math::
+
+    \\rho_{i,j} = \\frac{1}{\\sigma_i}
+        + 2 \\sqrt{\\Big(C + \\frac{V}{\\sigma_i}\\Big)
+                   \\frac{\\lambda}{\\sigma_i\\sigma_j}}
+        + \\lambda\\Big(\\frac{R}{\\sigma_i} +
+                        \\frac{V}{\\sigma_i\\sigma_j}\\Big).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..platforms.configuration import Configuration
+from .firstorder import time_coefficients
+
+__all__ = [
+    "QuadraticCoefficients",
+    "feasibility_quadratic",
+    "feasible_interval",
+    "min_performance_bound",
+    "min_performance_bound_config",
+]
+
+
+@dataclass(frozen=True)
+class QuadraticCoefficients:
+    """The ``a W^2 + b W + c <= 0`` constraint of Theorem 1."""
+
+    a: float
+    b: float
+    c: float
+
+    @property
+    def discriminant(self) -> float:
+        """``b^2 - 4 a c``; >= 0 iff the bound is achievable."""
+        return self.b * self.b - 4.0 * self.a * self.c
+
+    @property
+    def is_feasible(self) -> bool:
+        """True iff a positive ``W`` satisfies the constraint.
+
+        Theorem 1 phrases this as ``b <= -2 sqrt(a c)``; since ``a`` and
+        ``c`` are positive this is equivalent to ``b <= 0`` *and* a
+        non-negative discriminant, the form used here to avoid taking a
+        square root of a negative rounding residue.
+        """
+        return self.b <= 0.0 and self.discriminant >= 0.0
+
+    def roots(self) -> tuple[float, float]:
+        """The root interval ``(W1, W2)`` with ``W1 <= W2``.
+
+        Uses the numerically stable quadratic formula: the larger-in-
+        magnitude root via ``(-b + sqrt(disc)) / 2a`` and the companion
+        through the product ``c / a`` to avoid catastrophic cancellation
+        when ``b^2 >> 4ac`` (typical: ``a = O(lambda)`` is tiny).
+
+        Raises
+        ------
+        ValueError
+            If the constraint is infeasible.
+        """
+        if not self.is_feasible:
+            raise ValueError("infeasible constraint has no real positive roots")
+        disc = max(self.discriminant, 0.0)
+        sq = math.sqrt(disc)
+        # b <= 0 here, so -b + sq is the well-conditioned sum.
+        w2 = (-self.b + sq) / (2.0 * self.a)
+        w1 = self.c / (self.a * w2) if w2 > 0 else w2
+        return (min(w1, w2), max(w1, w2))
+
+    def violation(self, work: float) -> float:
+        """Signed constraint value ``a W^2 + b W + c`` (<= 0 is feasible)."""
+        return self.a * work * work + self.b * work + self.c
+
+
+def feasibility_quadratic(
+    cfg: Configuration, sigma1: float, sigma2: float | None, rho: float
+) -> QuadraticCoefficients:
+    """Build the Theorem-1 quadratic for a speed pair and bound ``rho``."""
+    coeffs = time_coefficients(cfg, sigma1, sigma2)
+    return QuadraticCoefficients(a=coeffs.y, b=coeffs.x - rho, c=coeffs.z)
+
+
+def feasible_interval(
+    cfg: Configuration, sigma1: float, sigma2: float | None, rho: float
+) -> tuple[float, float] | None:
+    """The feasible pattern-size interval ``[W1, W2]``, or ``None``.
+
+    ``None`` means the pair ``(sigma1, sigma2)`` cannot meet ``rho`` at
+    any pattern size (first-order model).
+    """
+    quad = feasibility_quadratic(cfg, sigma1, sigma2, rho)
+    if not quad.is_feasible:
+        return None
+    return quad.roots()
+
+
+def min_performance_bound(
+    cfg: Configuration, sigma1: float, sigma2: float | None = None
+) -> float:
+    """Eq. (6): the smallest ``rho`` for which the pair is feasible.
+
+    Obtained by setting ``b = -2 sqrt(a c)`` in the quadratic, i.e. the
+    bound at which the feasible interval degenerates to the single point
+    ``W = sqrt(c / a)``.
+    """
+    coeffs = time_coefficients(cfg, sigma1, sigma2)
+    return coeffs.minimum_value()
+
+
+def min_performance_bound_config(cfg: Configuration) -> float:
+    """The smallest feasible ``rho`` over *all* speed pairs of ``cfg``.
+
+    Below this value :func:`repro.core.solver.solve_bicrit` raises
+    :class:`~repro.exceptions.InfeasibleBoundError`.
+    """
+    return min(
+        min_performance_bound(cfg, s1, s2) for s1 in cfg.speeds for s2 in cfg.speeds
+    )

@@ -1,0 +1,142 @@
+"""First-order (Taylor) overhead approximations — Equations (2) and (3).
+
+Using ``e^{lam W} = 1 + lam W + O(lam^2 W^2)`` the paper derives the
+per-unit-work overheads in the canonical form
+
+.. math::  x + y W + z / W + O(\\lambda^2 W),
+
+which is minimised at ``W = sqrt(z / y) = Theta(lambda^{-1/2})`` — the
+Young/Daly shape.  The coefficients are:
+
+Time (Eq. 2)::
+
+    x_T = 1/s1 + lam * (R/s1 + V/(s1 s2))
+    y_T = lam / (s1 s2)
+    z_T = C + V/s1
+
+Energy (Eq. 3)::
+
+    x_E = (kappa s1^3 + Pidle)/s1
+          + lam R (Pio + Pidle)/s1 + lam V (kappa s1^3 + Pidle)/(s1 s2)
+    y_E = lam (kappa s2^3 + Pidle) / (s1 s2)
+    z_E = C (Pio + Pidle) + V (kappa s1^3 + Pidle)/s1
+
+The :class:`OverheadCoefficients` view exposes ``(x, y, z)`` directly;
+Theorem 1 (see :mod:`repro.core.feasibility` / :mod:`repro.core.optimum`)
+is phrased entirely in terms of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..platforms.configuration import Configuration
+from ..quantities import as_float_array, is_scalar
+
+__all__ = [
+    "OverheadCoefficients",
+    "time_coefficients",
+    "energy_coefficients",
+    "time_overhead_fo",
+    "energy_overhead_fo",
+]
+
+
+@dataclass(frozen=True)
+class OverheadCoefficients:
+    """Coefficients of an ``x + y W + z / W`` overhead expansion.
+
+    ``x`` is the W-independent floor, ``y`` the linear (failure
+    re-execution) coefficient and ``z`` the per-pattern fixed cost.
+    """
+
+    x: float
+    y: float
+    z: float
+
+    def evaluate(self, work):
+        """Evaluate ``x + y W + z / W`` (broadcasts over ``work``)."""
+        w = as_float_array(work)
+        if np.any(w <= 0):
+            raise ValueError("work must be > 0")
+        v = self.x + self.y * w + self.z / w
+        return float(v) if is_scalar(work) else v
+
+    def unconstrained_minimiser(self) -> float:
+        """``W* = sqrt(z / y)``, the Young/Daly-style interior optimum.
+
+        Only meaningful when ``y > 0`` and ``z > 0`` (always true for the
+        silent-error model; the combined-error model can make the linear
+        term vanish — see Section 5.2 and :mod:`repro.failstop`).
+        """
+        if self.y <= 0:
+            raise ValueError(
+                f"no interior minimiser: linear coefficient y={self.y} <= 0"
+            )
+        if self.z <= 0:
+            raise ValueError(
+                f"no interior minimiser: fixed-cost coefficient z={self.z} <= 0"
+            )
+        return float(np.sqrt(self.z / self.y))
+
+    def minimum_value(self) -> float:
+        """Overhead at the interior optimum: ``x + 2 sqrt(y z)``."""
+        return self.x + 2.0 * float(np.sqrt(self.y * self.z))
+
+
+def time_coefficients(
+    cfg: Configuration, sigma1: float, sigma2: float | None = None
+) -> OverheadCoefficients:
+    """Eq. (2) coefficients of the first-order time overhead."""
+    if sigma2 is None:
+        sigma2 = sigma1
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+    lam = cfg.lam
+    V = cfg.verification_time
+    x = 1.0 / sigma1 + lam * (cfg.recovery_time / sigma1 + V / (sigma1 * sigma2))
+    y = lam / (sigma1 * sigma2)
+    z = cfg.checkpoint_time + V / sigma1
+    return OverheadCoefficients(x=x, y=y, z=z)
+
+
+def energy_coefficients(
+    cfg: Configuration, sigma1: float, sigma2: float | None = None
+) -> OverheadCoefficients:
+    """Eq. (3) coefficients of the first-order energy overhead (mJ/work)."""
+    if sigma2 is None:
+        sigma2 = sigma1
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+    lam = cfg.lam
+    V = cfg.verification_time
+    pm = cfg.power
+    p_io = pm.io_total_power()
+    p1 = pm.compute_power(sigma1)
+    p2 = pm.compute_power(sigma2)
+    x = (
+        p1 / sigma1
+        + lam * cfg.recovery_time * p_io / sigma1
+        + lam * V * p1 / (sigma1 * sigma2)
+    )
+    y = lam * p2 / (sigma1 * sigma2)
+    z = cfg.checkpoint_time * p_io + V * p1 / sigma1
+    return OverheadCoefficients(x=x, y=y, z=z)
+
+
+def time_overhead_fo(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """First-order time overhead ``T(W,s1,s2)/W`` per Eq. (2)."""
+    return time_coefficients(cfg, sigma1, sigma2).evaluate(work)
+
+
+def energy_overhead_fo(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+    """First-order energy overhead ``E(W,s1,s2)/W`` per Eq. (3).
+
+    This is the objective the paper's solver minimises and the value its
+    tables report (e.g. 416 mJ/work-unit for Hera/XScale at
+    ``(0.4, 0.4)``); the exact Prop-3 value is available via
+    :func:`repro.core.exact.energy_overhead`.
+    """
+    return energy_coefficients(cfg, sigma1, sigma2).evaluate(work)

@@ -1,0 +1,65 @@
+"""The optimal pattern size — Equations (4) and (5) of Theorem 1.
+
+The first-order energy overhead (Eq. 3) is of the form
+``x_E + y_E W + z_E / W`` and is convex in ``W``; its unconstrained
+minimiser is
+
+.. math::
+
+    W_e = \\sqrt{\\frac{C (P_{io} + P_{idle})
+                        + \\frac{V}{\\sigma_1}(\\kappa\\sigma_1^3 + P_{idle})}
+                      {\\frac{\\lambda}{\\sigma_1\\sigma_2}
+                        (\\kappa\\sigma_2^3 + P_{idle})}}
+    \\qquad\\text{(Eq. 5)}
+
+If ``W_e`` violates the performance bound, convexity pushes the optimum
+to the nearest end of the feasible interval ``[W1, W2]``:
+
+.. math::  W_{opt} = \\min(\\max(W_1, W_e), W_2) \\qquad\\text{(Eq. 4)}
+"""
+
+from __future__ import annotations
+
+from ..platforms.configuration import Configuration
+from .feasibility import feasible_interval
+from .firstorder import energy_coefficients
+
+__all__ = ["energy_optimal_work", "optimal_work", "clamp_to_interval"]
+
+
+def energy_optimal_work(
+    cfg: Configuration, sigma1: float, sigma2: float | None = None
+) -> float:
+    """Eq. (5): the unconstrained energy-optimal pattern size ``W_e``.
+
+    Equal to ``sqrt(z_E / y_E)`` of the Eq. (3) coefficients; this is the
+    Young/Daly analogue for the energy objective with a DVFS power model.
+    """
+    return energy_coefficients(cfg, sigma1, sigma2).unconstrained_minimiser()
+
+
+def clamp_to_interval(value: float, interval: tuple[float, float]) -> float:
+    """Eq. (4) clamp: project ``value`` onto ``[W1, W2]``.
+
+    By convexity of the energy overhead, the constrained optimum is the
+    projection of the unconstrained one onto the feasible interval.
+    """
+    w1, w2 = interval
+    if w1 > w2:
+        raise ValueError(f"empty interval [{w1}, {w2}]")
+    return min(max(w1, value), w2)
+
+
+def optimal_work(
+    cfg: Configuration, sigma1: float, sigma2: float | None, rho: float
+) -> float | None:
+    """Theorem 1: the optimal pattern size for a speed pair under ``rho``.
+
+    Returns ``None`` when the pair is infeasible for this bound (the
+    caller decides whether that is an error or simply an excluded
+    candidate, matching the "-" rows of the paper's tables).
+    """
+    interval = feasible_interval(cfg, sigma1, sigma2, rho)
+    if interval is None:
+        return None
+    return clamp_to_interval(energy_optimal_work(cfg, sigma1, sigma2), interval)

@@ -1,0 +1,74 @@
+"""The periodic checkpointing pattern value type.
+
+A *pattern* (Figure 1 of the paper) is ``W`` units of work executed at a
+first speed ``sigma1``, followed by a verification and a checkpoint; on a
+detected error the application recovers and re-executes the pattern at a
+second speed ``sigma2``, repeating at ``sigma2`` until success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..quantities import require_positive, require_speed
+
+__all__ = ["Pattern"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An immutable (W, sigma1, sigma2) triple.
+
+    Parameters
+    ----------
+    work:
+        Pattern size ``W`` in work units (seconds at full speed), > 0.
+    sigma1:
+        Speed of the first execution.
+    sigma2:
+        Speed of every re-execution.  Defaults to ``sigma1`` (the
+        classical single-speed model).
+
+    Examples
+    --------
+    >>> p = Pattern(work=1000.0, sigma1=0.6)
+    >>> p.sigma2
+    0.6
+    >>> p.uses_two_speeds
+    False
+    >>> p.with_work(2000.0).work
+    2000.0
+    """
+
+    work: float
+    sigma1: float
+    sigma2: float | None = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.work, "work")
+        require_speed(self.sigma1, "sigma1")
+        if self.sigma2 is None:
+            object.__setattr__(self, "sigma2", self.sigma1)
+        else:
+            require_speed(self.sigma2, "sigma2")
+
+    # ------------------------------------------------------------------
+    @property
+    def uses_two_speeds(self) -> bool:
+        """True when the re-execution speed differs from the first speed."""
+        return self.sigma2 != self.sigma1
+
+    @property
+    def speed_ratio(self) -> float:
+        """``sigma2 / sigma1`` — the quantity bounding first-order validity
+        in the combined-error analysis (Section 5.2)."""
+        return self.sigma2 / self.sigma1  # type: ignore[operator]
+
+    # ------------------------------------------------------------------
+    def with_work(self, work: float) -> "Pattern":
+        """Copy with a different pattern size."""
+        return replace(self, work=work)
+
+    def with_speeds(self, sigma1: float, sigma2: float | None = None) -> "Pattern":
+        """Copy with a different speed pair."""
+        return Pattern(work=self.work, sigma1=sigma1, sigma2=sigma2)

@@ -1,0 +1,124 @@
+"""Result containers for the BiCrit solvers.
+
+A :class:`PatternSolution` is one feasible candidate (a speed pair, its
+optimal pattern size and the resulting overheads); a
+:class:`BiCritSolution` is the full solver output: the winning candidate
+plus the per-pair candidate list needed to regenerate the paper's
+tables (best ``sigma2`` per ``sigma1``, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PatternSolution", "CandidateOutcome", "BiCritSolution"]
+
+
+@dataclass(frozen=True)
+class PatternSolution:
+    """One feasible (speed pair, pattern size) solution and its overheads.
+
+    Attributes
+    ----------
+    sigma1, sigma2:
+        The speed pair.
+    work:
+        Optimal pattern size ``Wopt`` (work units).
+    energy_overhead:
+        First-order expected energy per work unit (Eq. 3) at ``work`` —
+        the value the paper's tables report.
+    time_overhead:
+        First-order expected time per work unit (Eq. 2) at ``work``.
+    energy_overhead_exact, time_overhead_exact:
+        The same quantities from the exact Propositions 2/3, for
+        approximation-quality diagnostics.
+    rho_min:
+        The pair's minimum feasible bound (Eq. 6).
+    """
+
+    sigma1: float
+    sigma2: float
+    work: float
+    energy_overhead: float
+    time_overhead: float
+    energy_overhead_exact: float
+    time_overhead_exact: float
+    rho_min: float
+
+    @property
+    def uses_two_speeds(self) -> bool:
+        """True when re-execution uses a different speed."""
+        return self.sigma1 != self.sigma2
+
+    @property
+    def speed_pair(self) -> tuple[float, float]:
+        """``(sigma1, sigma2)`` as a tuple."""
+        return (self.sigma1, self.sigma2)
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """Outcome of evaluating one speed pair against a bound.
+
+    ``solution`` is ``None`` when the pair cannot satisfy the bound
+    (``rho < rho_min``, the "-" entries of the paper's tables).
+    """
+
+    sigma1: float
+    sigma2: float
+    rho_min: float
+    solution: PatternSolution | None
+
+    @property
+    def feasible(self) -> bool:
+        """True when this pair admits a pattern meeting the bound."""
+        return self.solution is not None
+
+
+@dataclass(frozen=True)
+class BiCritSolution:
+    """Full output of the O(K^2) BiCrit enumeration.
+
+    Attributes
+    ----------
+    rho:
+        The performance bound that was solved for.
+    best:
+        The energy-minimal feasible candidate (never ``None``: an
+        infeasible problem raises instead of returning a solution).
+    candidates:
+        Every (sigma_i, sigma_j) outcome, in enumeration order
+        (``sigma1`` ascending, then ``sigma2`` ascending).
+    """
+
+    rho: float
+    best: PatternSolution
+    candidates: tuple[CandidateOutcome, ...] = field(repr=False)
+
+    # ------------------------------------------------------------------
+    def feasible_candidates(self) -> tuple[PatternSolution, ...]:
+        """All feasible pattern solutions, enumeration order."""
+        return tuple(c.solution for c in self.candidates if c.solution is not None)
+
+    def best_for_sigma1(self, sigma1: float) -> PatternSolution | None:
+        """The best re-execution speed for a given first speed.
+
+        This is exactly one row of the Section-4.2 tables: for the given
+        ``sigma1``, the feasible ``sigma2`` minimising the energy
+        overhead, or ``None`` when no ``sigma2`` is feasible ("-" row).
+        """
+        rows = [
+            c.solution
+            for c in self.candidates
+            if c.sigma1 == sigma1 and c.solution is not None
+        ]
+        if not rows:
+            return None
+        return min(rows, key=lambda s: s.energy_overhead)
+
+    def sigma1_values(self) -> tuple[float, ...]:
+        """Distinct first speeds in enumeration order."""
+        seen: dict[float, None] = {}
+        for c in self.candidates:
+            seen.setdefault(c.sigma1, None)
+        return tuple(seen)

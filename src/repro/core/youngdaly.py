@@ -1,0 +1,85 @@
+"""Classical checkpointing-period formulas (Young/Daly and the silent variant).
+
+These are the reference points the paper extends (Section 1):
+
+* **Young [1974] / Daly [2006]**, fail-stop errors: the time-optimal
+  checkpointing *period* is ``T = sqrt(2 C / lambda)`` seconds — errors
+  are detected immediately and, on average, strike at half the period.
+* **Silent errors with verified checkpoints**: the period becomes
+  ``T = sqrt((V + C) / lambda)`` — a silent error is only caught by the
+  verification at the *end* of the period, so the whole period is lost
+  and the missing factor 2 disappears (and ``C`` is replaced by the full
+  fixed cost ``V + C``).
+
+Both are periods in *seconds*; at speed ``sigma`` a period of ``T``
+seconds carries ``W = sigma * T`` units of work, which is how these
+compare against the paper's pattern sizes (``work_*`` helpers below).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..quantities import require_nonnegative, require_positive
+
+__all__ = [
+    "period_failstop",
+    "period_silent",
+    "work_failstop",
+    "work_silent",
+]
+
+
+def period_failstop(checkpoint_time: float, error_rate: float) -> float:
+    """Young/Daly period ``sqrt(2 C / lambda)`` (seconds) for fail-stop errors."""
+    c = require_nonnegative(checkpoint_time, "checkpoint_time")
+    lam = require_positive(error_rate, "error_rate")
+    return math.sqrt(2.0 * c / lam)
+
+
+def period_silent(
+    checkpoint_time: float, verification_time: float, error_rate: float
+) -> float:
+    """Silent-error period ``sqrt((V + C) / lambda)`` (seconds).
+
+    ``V`` here is the verification cost in seconds at the execution
+    speed; at full speed it coincides with the platform's
+    ``verification_time``.
+    """
+    c = require_nonnegative(checkpoint_time, "checkpoint_time")
+    v = require_nonnegative(verification_time, "verification_time")
+    lam = require_positive(error_rate, "error_rate")
+    return math.sqrt((v + c) / lam)
+
+
+def work_failstop(
+    checkpoint_time: float, error_rate: float, speed: float = 1.0
+) -> float:
+    """Pattern *work* ``W = sigma * sqrt(2 C / lambda)`` at ``speed``.
+
+    The exposure window of ``W`` work at speed ``sigma`` is ``W / sigma``
+    seconds, so a period of ``T`` seconds corresponds to ``sigma * T``
+    work units.
+    """
+    require_positive(speed, "speed")
+    return speed * period_failstop(checkpoint_time, error_rate)
+
+
+def work_silent(
+    checkpoint_time: float,
+    verification_time: float,
+    error_rate: float,
+    speed: float = 1.0,
+) -> float:
+    """Pattern work ``W = sigma * sqrt((C + V/sigma) / lambda)`` at ``speed``.
+
+    This is the paper's single-speed, pure-time optimum: minimising the
+    Eq. (2) time overhead with ``sigma1 = sigma2 = sigma`` gives
+    ``W = sqrt(z_T / y_T) = sigma * sqrt((C + V/sigma) / lambda)``.  The
+    verification cost seen at speed ``sigma`` is ``V / sigma`` seconds,
+    so the period in seconds is ``W / sigma = sqrt((C + V/sigma)/lambda)``
+    — :func:`period_silent` with the speed-scaled verification cost.  At
+    ``sigma = 1`` this reduces to the classic ``sqrt((V + C)/lambda)``.
+    """
+    require_positive(speed, "speed")
+    return speed * period_silent(checkpoint_time, verification_time / speed, error_rate)

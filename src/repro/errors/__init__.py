@@ -1,0 +1,6 @@
+"""Error-process substrate: exponential arrivals and the fail-stop/silent split."""
+
+from .combined import CombinedErrors
+from .exponential import ExponentialErrors
+
+__all__ = ["ExponentialErrors", "CombinedErrors"]

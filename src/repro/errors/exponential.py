@@ -1,0 +1,137 @@
+"""Exponential (Poisson-arrival) error processes.
+
+The paper models both silent and fail-stop errors as Poisson processes:
+the probability that at least one error strikes during ``T`` seconds of
+exposure is ``p(T) = 1 - exp(-lambda * T)`` (Section 2.1).  The platform
+MTBF is ``mu = 1 / lambda``.
+
+This module provides the :class:`ExponentialErrors` process used by both
+the analytical model and the Monte-Carlo simulator, including the
+expected time lost to an *interrupting* (fail-stop) error,
+
+.. math::
+
+    T_{lost}(w, \\sigma) = \\frac{1}{\\lambda}
+        - \\frac{w/\\sigma}{e^{\\lambda w / \\sigma} - 1},
+
+which is the conditional mean of an exponential arrival truncated to the
+execution window ``w / sigma`` (Section 5.1, citing Herault & Robert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantities import as_float_array, is_scalar, require_positive
+
+__all__ = ["ExponentialErrors"]
+
+
+@dataclass(frozen=True)
+class ExponentialErrors:
+    """A memoryless error process with arrival rate ``rate`` (per second).
+
+    Parameters
+    ----------
+    rate:
+        Arrival rate ``lambda`` in errors per second.  Must be > 0; use
+        rates around ``1e-6`` .. ``1e-2`` to match the paper's platforms.
+
+    Examples
+    --------
+    >>> errs = ExponentialErrors(rate=1e-4)
+    >>> round(errs.mtbf)
+    10000
+    >>> 0 < errs.strike_probability(100.0) < 1
+    True
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate")
+
+    # ------------------------------------------------------------------
+    # Analytic quantities
+    # ------------------------------------------------------------------
+    @property
+    def mtbf(self) -> float:
+        """Mean time between errors ``mu = 1 / lambda`` in seconds."""
+        return 1.0 / self.rate
+
+    def strike_probability(self, exposure):
+        """Probability ``p(T) = 1 - exp(-lambda T)`` of >= 1 error in ``T`` s.
+
+        Accepts scalars or arrays; negative exposures are rejected because
+        a negative time window has no physical meaning.
+        """
+        t = as_float_array(exposure)
+        if np.any(t < 0):
+            raise ValueError("exposure must be >= 0")
+        p = -np.expm1(-self.rate * t)
+        return float(p) if is_scalar(exposure) else p
+
+    def survival_probability(self, exposure):
+        """Probability ``exp(-lambda T)`` that no error strikes in ``T`` s."""
+        t = as_float_array(exposure)
+        if np.any(t < 0):
+            raise ValueError("exposure must be >= 0")
+        q = np.exp(-self.rate * t)
+        return float(q) if is_scalar(exposure) else q
+
+    def expected_time_lost(self, work, speed):
+        """Expected time lost to an interrupting error, ``T_lost(w, sigma)``.
+
+        This is the mean arrival time of the first error *conditioned on
+        the error striking within the window* ``tau = work / speed``:
+
+        ``E[X | X < tau] = 1/lambda - tau / (exp(lambda tau) - 1)``.
+
+        For ``lambda * tau -> 0`` this tends to ``tau / 2`` (an error
+        strikes "on average at half the period", the classic Young/Daly
+        heuristic); we use the numerically stable ``expm1`` form and fall
+        back to the Taylor value ``tau/2 * (1 - lambda tau / 6)`` when
+        ``lambda * tau`` underflows.
+        """
+        w = as_float_array(work)
+        s = as_float_array(speed)
+        if np.any(w < 0):
+            raise ValueError("work must be >= 0")
+        if np.any(s <= 0):
+            raise ValueError("speed must be > 0")
+        tau = w / s
+        x = self.rate * tau
+        # For huge lambda*tau, expm1 overflows to inf and tau/inf -> 0,
+        # which is the correct limit (the loss tends to the MTBF).
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            exact = 1.0 / self.rate - tau / np.expm1(x)
+        # Series fallback where lambda*tau is so small that expm1(x) ~ x
+        # loses all precision in the subtraction (x below ~1e-8).
+        series = tau / 2.0 * (1.0 - x / 6.0)
+        out = np.where(x < 1e-8, series, exact)
+        return float(out) if (is_scalar(work) and is_scalar(speed)) else out
+
+    # ------------------------------------------------------------------
+    # Sampling (Monte-Carlo substrate)
+    # ------------------------------------------------------------------
+    def sample_arrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Draw first-arrival times ``X ~ Exp(lambda)`` (seconds)."""
+        return rng.exponential(scale=self.mtbf, size=size)
+
+    def sample_strikes(self, rng: np.random.Generator, exposure, size) -> np.ndarray:
+        """Draw Bernoulli indicators of >= 1 error within ``exposure`` s."""
+        p = self.strike_probability(exposure)
+        return rng.random(size) < p
+
+    # ------------------------------------------------------------------
+    # Derived processes
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "ExponentialErrors":
+        """A new process with rate multiplied by ``factor`` (> 0).
+
+        Useful for splitting a total rate into fail-stop and silent
+        fractions (see :class:`repro.errors.combined.CombinedErrors`).
+        """
+        return ExponentialErrors(rate=self.rate * require_positive(factor, "factor"))

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every model/solver failure with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InfeasibleBoundError",
+    "SpeedNotAvailableError",
+    "ApproximationDomainError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model parameter is outside its physical domain.
+
+    Raised eagerly at construction time (e.g. a negative error rate, an
+    empty DVFS speed set, a speed outside ``(0, +inf)``) so that invalid
+    configurations never reach the solvers.
+    """
+
+
+class InfeasibleBoundError(ReproError):
+    """The BiCrit problem admits no solution for the requested bound.
+
+    Corresponds to the ``b > -2*sqrt(a*c)`` branch of Theorem 1: for every
+    available speed pair the minimum achievable time overhead
+    :math:`\\rho_{i,j}` (Eq. 6) exceeds the requested ``rho``.
+
+    The offending bound and, when available, the minimum feasible bound
+    over all pairs are attached for diagnostics.
+    """
+
+    def __init__(self, rho: float, rho_min: float | None = None):
+        self.rho = rho
+        self.rho_min = rho_min
+        if rho_min is None:
+            msg = f"BiCrit is infeasible for performance bound rho={rho!r}"
+        else:
+            msg = (
+                f"BiCrit is infeasible for performance bound rho={rho!r}; "
+                f"the smallest feasible bound for this configuration is "
+                f"rho_min={rho_min!r}"
+            )
+        super().__init__(msg)
+
+
+class SpeedNotAvailableError(ReproError, ValueError):
+    """A requested speed is not a member of the processor's DVFS set."""
+
+    def __init__(self, speed: float, available: tuple[float, ...]):
+        self.speed = speed
+        self.available = available
+        super().__init__(
+            f"speed {speed!r} is not in the available DVFS set {available!r}"
+        )
+
+
+class ApproximationDomainError(ReproError):
+    """A Taylor-expansion result is requested outside its validity domain.
+
+    Section 5.2 of the paper shows the first-order approximation with two
+    error sources is valid only when
+    ``(2(1+s/f))**-0.5 < sigma2/sigma1 < 2(1+s/f)``; requesting the
+    first-order optimum outside that window raises this error rather than
+    silently returning a meaningless (e.g. negative-coefficient) optimum.
+    """
+
+
+class ConvergenceError(ReproError):
+    """A numeric routine (root bracketing, minimisation) failed to converge."""

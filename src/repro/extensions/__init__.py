@@ -1,0 +1,32 @@
+"""Extensions beyond the paper's evaluated scope.
+
+* :mod:`~repro.extensions.multiverif` — q verifications per checkpoint
+  (the related-work direction of Benoit/Robert/Raina) combined with the
+  paper's two-speed re-execution, including partial verifications;
+* :mod:`~repro.extensions.simulator` — Monte-Carlo validation engine
+  for the multi-verification model.
+"""
+
+from .multiverif import (
+    MultiVerifSolution,
+    energy_overhead,
+    expected_energy,
+    expected_time,
+    segment_detection_profile,
+    solve_bicrit_multiverif,
+    solve_pattern,
+    time_overhead,
+)
+from .simulator import MultiVerifSimulator
+
+__all__ = [
+    "expected_time",
+    "expected_energy",
+    "time_overhead",
+    "energy_overhead",
+    "segment_detection_profile",
+    "MultiVerifSolution",
+    "solve_pattern",
+    "solve_bicrit_multiverif",
+    "MultiVerifSimulator",
+]

@@ -1,0 +1,286 @@
+"""Multi-verification patterns: q verifications per checkpoint.
+
+The paper verifies exactly once per pattern (just before the
+checkpoint).  Its related work (Benoit, Robert & Raina, "Efficient
+checkpoint/verification patterns") shows that *interleaving several
+verifications* within a pattern can pay off: an error struck in segment
+``i`` of ``q`` is caught after ``i`` segments instead of after the whole
+pattern, at the price of ``q`` verification costs.  This module extends
+that idea to the paper's two-speed re-execution model — the natural
+"further work" combination.
+
+Model
+-----
+A pattern is ``q`` equal segments of ``W/q`` work, each followed by a
+verification (cost ``V`` work-like); a checkpoint follows the last
+verification.  Intermediate verifications may be *partial* (recall
+``r``: they catch an error with probability ``r``); the final
+verification is always guaranteed, so no corrupted checkpoint is ever
+stored — exactly the guarantee of the base model.  On detection the
+application recovers and re-executes the whole pattern at ``sigma2``
+(and keeps re-executing at ``sigma2`` until success).
+
+With ``q = 1`` (and any ``r``) this reduces *exactly* to the paper's
+model (Propositions 1-3), which the tests assert.
+
+Notation: per segment at speed ``s``: work ``w = W/q``, segment time
+``tau = (w + V)/s``, exposure ``x = lam*w/s``, failure ``p = 1 - e^-x``.
+An error first strikes segment ``i`` with probability ``e^{-(i-1)x} p``
+and is detected at verification ``j >= i`` with probability
+``r (1-r)^{j-i}`` for ``j < q`` and with the remaining mass at ``j = q``
+(the guaranteed final verification).  Detection after ``j`` segments
+costs elapsed time ``j * tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InfeasibleBoundError, InvalidParameterError
+from ..platforms.configuration import Configuration
+from ..quantities import require_probability
+
+__all__ = [
+    "segment_detection_profile",
+    "expected_time",
+    "expected_energy",
+    "time_overhead",
+    "energy_overhead",
+    "MultiVerifSolution",
+    "solve_pattern",
+    "solve_bicrit_multiverif",
+]
+
+
+def _validate(work: float, q: int, sigma1: float, sigma2: float, recall: float):
+    if work <= 0:
+        raise InvalidParameterError(f"work must be > 0, got {work!r}")
+    if not isinstance(q, (int, np.integer)) or q < 1:
+        raise InvalidParameterError(f"q must be an integer >= 1, got {q!r}")
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise InvalidParameterError("speeds must be > 0")
+    require_probability(recall, "recall")
+
+
+def segment_detection_profile(q: int, x: float, recall: float) -> tuple[np.ndarray, float]:
+    """Distribution of the detection point of a failed execution.
+
+    Returns ``(d, p_fail)`` where ``d[j-1]`` is the probability that the
+    execution fails *and* the error is detected right after segment
+    ``j`` (``j = 1..q``), and ``p_fail = d.sum()`` is the total failure
+    probability ``1 - e^{-q x}``.
+
+    ``x`` is the per-segment exposure ``lam * (W/q) / sigma``.
+    """
+    if q < 1:
+        raise InvalidParameterError(f"q must be >= 1, got {q!r}")
+    i = np.arange(1, q + 1)
+    strike = np.exp(-(i - 1) * x) * (-np.expm1(-x))  # error first in segment i
+    d = np.zeros(q)
+    for ii in range(1, q + 1):
+        mass = strike[ii - 1]
+        if mass == 0.0:
+            continue
+        remaining = mass
+        for j in range(ii, q):
+            caught = remaining * recall
+            d[j - 1] += caught
+            remaining -= caught
+        d[q - 1] += remaining  # guaranteed final verification
+    return d, float(-np.expm1(-q * x))
+
+
+def _attempt_stats(
+    cfg: Configuration, work: float, q: int, sigma: float, recall: float
+) -> tuple[float, float, float]:
+    """One attempt at speed ``sigma``: (p_fail, E[time], E[CPU seconds]).
+
+    ``E[time]`` and CPU seconds coincide here (all attempt phases are
+    CPU phases); kept separate for clarity at the call sites.
+    """
+    lam = cfg.lam
+    V = cfg.verification_time
+    w = work / q
+    tau = (w + V) / sigma
+    x = lam * w / sigma
+    d, p_fail = segment_detection_profile(q, x, recall)
+    j = np.arange(1, q + 1)
+    t_fail = float(np.dot(d, j)) * tau          # failed attempts: j segments
+    t_ok = (1.0 - p_fail) * q * tau             # clean attempt: q segments
+    elapsed = t_fail + t_ok
+    return p_fail, elapsed, elapsed
+
+
+def expected_time(
+    cfg: Configuration,
+    work: float,
+    q: int,
+    sigma1: float,
+    sigma2: float | None = None,
+    *,
+    recall: float = 1.0,
+) -> float:
+    """Exact expected pattern time with ``q`` verifications per checkpoint.
+
+    Reduces to Proposition 2 at ``q = 1``.  Derivation mirrors the
+    paper's recursion: a failed first attempt (probability ``p1``) pays
+    its elapsed-time profile plus ``R`` plus the all-``sigma2`` fixed
+    point; the fixed point solves the same one-speed recursion.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    _validate(work, q, sigma1, sigma2, recall)
+
+    p1, m1, _ = _attempt_stats(cfg, work, q, sigma1, recall)
+    p2, m2, _ = _attempt_stats(cfg, work, q, sigma2, recall)
+    R, C = cfg.recovery_time, cfg.checkpoint_time
+    q2 = 1.0 - p2
+    # Fixed point at sigma2: T2 = m2 + p2 (R + T2) + (1-p2) C.  For
+    # extreme exposures q2 underflows to 0 and the expectation is
+    # rightly +inf (success almost never happens).
+    with np.errstate(divide="ignore"):
+        t2 = (m2 + p2 * R + q2 * C) / q2 if q2 > 0 else np.inf
+    return m1 + p1 * (R + t2) + (1.0 - p1) * C
+
+
+def expected_energy(
+    cfg: Configuration,
+    work: float,
+    q: int,
+    sigma1: float,
+    sigma2: float | None = None,
+    *,
+    recall: float = 1.0,
+) -> float:
+    """Exact expected pattern energy (mJ) with ``q`` verifications."""
+    if sigma2 is None:
+        sigma2 = sigma1
+    _validate(work, q, sigma1, sigma2, recall)
+    pm = cfg.power
+    p_io = pm.io_total_power()
+    R, C = cfg.recovery_time, cfg.checkpoint_time
+
+    p1, _, cpu1 = _attempt_stats(cfg, work, q, sigma1, recall)
+    p2, _, cpu2 = _attempt_stats(cfg, work, q, sigma2, recall)
+    e1 = cpu1 * pm.compute_power(sigma1)
+    e2 = cpu2 * pm.compute_power(sigma2)
+    q2 = 1.0 - p2
+    # Fixed point at sigma2 for energy (inf when success is impossible).
+    with np.errstate(divide="ignore"):
+        e_fix = (e2 + p2 * R * p_io + q2 * C * p_io) / q2 if q2 > 0 else np.inf
+    return e1 + p1 * (R * p_io + e_fix) + (1.0 - p1) * C * p_io
+
+
+def time_overhead(cfg, work, q, sigma1, sigma2=None, *, recall: float = 1.0) -> float:
+    """Expected time per unit of work."""
+    return expected_time(cfg, work, q, sigma1, sigma2, recall=recall) / work
+
+
+def energy_overhead(cfg, work, q, sigma1, sigma2=None, *, recall: float = 1.0) -> float:
+    """Expected energy (mJ) per unit of work."""
+    return expected_energy(cfg, work, q, sigma1, sigma2, recall=recall) / work
+
+
+@dataclass(frozen=True)
+class MultiVerifSolution:
+    """Optimal multi-verification pattern for one (or the best) q."""
+
+    sigma1: float
+    sigma2: float
+    q: int
+    work: float
+    energy_overhead: float
+    time_overhead: float
+    recall: float
+
+
+def solve_pattern(
+    cfg: Configuration,
+    q: int,
+    sigma1: float,
+    sigma2: float,
+    rho: float,
+    *,
+    recall: float = 1.0,
+) -> MultiVerifSolution | None:
+    """Best pattern size for fixed ``(q, sigma1, sigma2)`` under ``rho``.
+
+    Same minimise/bracket/minimise scheme as the exact solvers; returns
+    ``None`` when the bound is unattainable for this combination.
+    """
+    import math
+
+    from scipy.optimize import brentq, minimize_scalar
+
+    from ..core.numeric import minimize_unimodal
+
+    def t_over(w: float) -> float:
+        with np.errstate(over="ignore"):
+            return time_overhead(cfg, w, q, sigma1, sigma2, recall=recall)
+
+    w_star, t_min = minimize_unimodal(t_over)
+    if t_min > rho:
+        return None
+
+    def shifted(w: float) -> float:
+        v = t_over(w) - rho
+        return v if math.isfinite(v) else 1e300
+
+    lo = 1e-3
+    w1 = lo if shifted(lo) <= 0 else float(brentq(shifted, lo, w_star, xtol=1e-9))
+    hi = w_star
+    while shifted(hi) <= 0:
+        hi *= 2.0
+    w2 = float(brentq(shifted, w_star, hi, xtol=1e-9))
+
+    def e_over(w: float) -> float:
+        with np.errstate(over="ignore"):
+            return energy_overhead(cfg, w, q, sigma1, sigma2, recall=recall)
+
+    res = minimize_scalar(e_over, bounds=(w1, w2), method="bounded")
+    cands = [(float(res.x), float(res.fun)), (w1, e_over(w1)), (w2, e_over(w2))]
+    w_opt, e_opt = min(cands, key=lambda p: p[1])
+    return MultiVerifSolution(
+        sigma1=sigma1,
+        sigma2=sigma2,
+        q=q,
+        work=w_opt,
+        energy_overhead=e_opt,
+        time_overhead=t_over(w_opt),
+        recall=recall,
+    )
+
+
+def solve_bicrit_multiverif(
+    cfg: Configuration,
+    rho: float,
+    *,
+    max_q: int = 8,
+    recall: float = 1.0,
+) -> MultiVerifSolution:
+    """BiCrit over speed pairs *and* the verification count ``q``.
+
+    Enumerates ``q = 1..max_q`` on top of the O(K^2) speed grid.  With
+    ``q = 1`` included in the search, the result can only improve on
+    (or match) the paper's single-verification optimum — the ablation
+    bench quantifies by how much.
+
+    Raises
+    ------
+    InfeasibleBoundError
+        When no combination meets ``rho``.
+    """
+    best: MultiVerifSolution | None = None
+    for q in range(1, max_q + 1):
+        for s1 in cfg.speeds:
+            for s2 in cfg.speeds:
+                sol = solve_pattern(cfg, q, s1, s2, rho, recall=recall)
+                if sol is not None and (
+                    best is None or sol.energy_overhead < best.energy_overhead
+                ):
+                    best = sol
+    if best is None:
+        raise InfeasibleBoundError(rho)
+    return best

@@ -1,0 +1,153 @@
+"""Monte-Carlo validation of the multi-verification model.
+
+A vectorised simulator for the q-verification pattern of
+:mod:`repro.extensions.multiverif`, mirroring the base engine's
+semantics (silent errors only; error struck in segment ``i`` is caught
+by the first succeeding verification ``j >= i``, intermediate
+verifications catch with probability ``recall``, the final one always
+catches).  Used by the test suite to certify the extension's closed
+forms the same way the base model is certified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from ..platforms.configuration import Configuration
+from ..quantities import require_positive, require_probability
+from ..simulation.outcomes import PatternBatch
+
+__all__ = ["MultiVerifSimulator"]
+
+_MAX_ROUNDS = 100_000
+
+
+class MultiVerifSimulator:
+    """Simulate q-verification patterns under silent errors.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> sim = MultiVerifSimulator(get_configuration("hera-xscale"), rng=0)
+    >>> batch = sim.run(work=3000.0, q=3, sigma1=0.4, n=100)
+    >>> batch.size
+    100
+    """
+
+    def __init__(
+        self,
+        cfg: Configuration,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.cfg = cfg
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def _attempt(self, m: int, work: float, q: int, sigma: float, recall: float):
+        """Vectorised single attempt for ``m`` samples at ``sigma``.
+
+        Returns ``(elapsed_cpu_seconds, failed)`` arrays.  Elapsed time
+        covers executed segments + their verifications up to (and
+        including) the detecting verification, or all ``q`` on success.
+        """
+        cfg = self.cfg
+        lam = cfg.lam
+        w = work / q
+        tau = (w + cfg.verification_time) / sigma
+        x = lam * w / sigma
+        p_seg = -np.expm1(-x)
+
+        # Segment where the error first strikes (q+1 = no error), drawn
+        # from the truncated geometric implied by per-segment exposure.
+        u = self.rng.random(m)
+        # P(no error in first k segments) = e^{-k x}.
+        # strike_segment = smallest i with error; inverse-CDF sampling:
+        surv = np.exp(-x)
+        if p_seg == 0.0:
+            strike = np.full(m, q + 1)
+        else:
+            # u < 1 - surv**q  <=> an error strikes somewhere.
+            strike = np.floor(np.log1p(-u) / np.log(surv)).astype(np.int64) + 1
+            strike = np.where(strike > q, q + 1, strike)
+
+        failed = strike <= q
+        # Detection verification: first j >= strike that catches.
+        detect = np.full(m, q, dtype=np.int64)
+        idx = np.flatnonzero(failed)
+        if idx.size:
+            s = strike[idx]
+            if recall >= 1.0:
+                detect_j = s
+            else:
+                # Geometric number of missed verifications, capped at q.
+                extra = self.rng.geometric(recall, idx.size) - 1 if recall > 0 else None
+                if recall == 0.0:
+                    detect_j = np.full(idx.size, q)
+                else:
+                    detect_j = np.minimum(s + extra, q)
+            detect[idx] = detect_j
+        segments = np.where(failed, detect, q)
+        elapsed = segments * tau
+        return elapsed, failed
+
+    def run(
+        self,
+        work: float,
+        q: int,
+        sigma1: float,
+        sigma2: float | None = None,
+        *,
+        recall: float = 1.0,
+        n: int = 10_000,
+    ) -> PatternBatch:
+        """Simulate ``n`` independent q-verification patterns."""
+        require_positive(work, "work")
+        require_positive(sigma1, "sigma1")
+        if sigma2 is None:
+            sigma2 = sigma1
+        require_positive(sigma2, "sigma2")
+        require_probability(recall, "recall")
+        if q < 1:
+            raise ValueError("q must be >= 1")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+
+        cfg = self.cfg
+        pm = cfg.power
+        p_io = pm.io_total_power()
+        R, C = cfg.recovery_time, cfg.checkpoint_time
+
+        times = np.zeros(n)
+        energies = np.zeros(n)
+        attempts = np.zeros(n, dtype=np.int64)
+        silent = np.zeros(n, dtype=np.int64)
+
+        active = np.arange(n)
+        speed = sigma1
+        rounds = 0
+        while active.size:
+            rounds += 1
+            if rounds > _MAX_ROUNDS:  # pragma: no cover
+                raise ConvergenceError("multi-verif patterns failed to complete")
+            elapsed, failed = self._attempt(active.size, work, q, speed, recall)
+            times[active] += elapsed
+            energies[active] += elapsed * pm.compute_power(speed)
+            attempts[active] += 1
+            silent[active] += failed
+
+            failed_idx = active[failed]
+            done_idx = active[~failed]
+            times[failed_idx] += R
+            energies[failed_idx] += R * p_io
+            times[done_idx] += C
+            energies[done_idx] += C * p_io
+            active = failed_idx
+            speed = sigma2
+
+        return PatternBatch(
+            times=times,
+            energies=energies,
+            attempts=attempts,
+            failstop_errors=np.zeros(n, dtype=np.int64),
+            silent_errors=silent,
+        )

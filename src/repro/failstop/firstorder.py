@@ -1,0 +1,120 @@
+"""First-order overheads with both error sources — Proposition 6.
+
+With total rate ``lambda`` split into a fail-stop fraction ``f`` and a
+silent fraction ``s = 1 - f`` (Section 5.2), the paper derives
+
+Time (Eq. 9)::
+
+    T/W = (C + V/s1)/W
+        + [ (f+s)/(s1 s2) - f/(2 s1^2) ] lam W
+        + [ (f+s) lam (R + V/s2) + 1 - f lam V/s1 ] / s1
+        + O(lam^2 W)
+
+Energy (Eq. 10)::
+
+    E/W = [ C (Pio+Pidle) + V (kappa s1^3 + Pidle)/s1 ] / W
+        + [ (f+s)(kappa s2^3+Pidle)/(s1 s2) - f (kappa s1^3+Pidle)/(2 s1^2) ] lam W
+        + (f+s) lam [ R (Pio+Pidle) + V (kappa s2^3+Pidle)/s2 ] / s1
+        + (1 - f lam V/s1)(kappa s1^3 + Pidle)/s1
+
+The crucial novelty versus the silent-only case: the linear-in-W
+coefficient ``y`` can now be *negative* (when ``sigma2/sigma1`` exceeds
+``2(1 + s/f)`` for the time overhead), in which case the expansion has
+no interior minimiser and the first-order approach breaks down — that is
+the limit analysed in Section 5.2 and the reason Theorem 2 needs the
+second-order expansion.  :meth:`OverheadCoefficients.unconstrained_minimiser`
+raises on ``y <= 0``; :mod:`repro.failstop.validity` exposes the windows.
+
+These transcribe the paper verbatim.  Note the paper's own constant
+terms drop some ``O(lambda V)`` contributions relative to the exact
+expansion (see the erratum note in :mod:`repro.failstop.exact`); the
+difference is ``O(lambda V) ~ 1e-4`` for every catalog platform and is
+covered by the approximation-error tests.
+"""
+
+from __future__ import annotations
+
+from ..errors.combined import CombinedErrors
+from ..core.firstorder import OverheadCoefficients
+from ..platforms.configuration import Configuration
+
+__all__ = [
+    "time_coefficients",
+    "energy_coefficients",
+    "time_overhead_fo",
+    "energy_overhead_fo",
+]
+
+
+def time_coefficients(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> OverheadCoefficients:
+    """Eq. (9) coefficients ``(x, y, z)`` of the time overhead."""
+    if sigma2 is None:
+        sigma2 = sigma1
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+    lam = errors.total_rate
+    f = errors.failstop_fraction
+    s = errors.silent_fraction
+    V = cfg.verification_time
+    R = cfg.recovery_time
+    x = ((f + s) * lam * (R + V / sigma2) + 1.0 - f * lam * V / sigma1) / sigma1
+    y = lam * ((f + s) / (sigma1 * sigma2) - f / (2.0 * sigma1 * sigma1))
+    z = cfg.checkpoint_time + V / sigma1
+    return OverheadCoefficients(x=x, y=y, z=z)
+
+
+def energy_coefficients(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> OverheadCoefficients:
+    """Eq. (10) coefficients ``(x, y, z)`` of the energy overhead (mJ)."""
+    if sigma2 is None:
+        sigma2 = sigma1
+    if sigma1 <= 0 or sigma2 <= 0:
+        raise ValueError("speeds must be > 0")
+    lam = errors.total_rate
+    f = errors.failstop_fraction
+    s = errors.silent_fraction
+    V = cfg.verification_time
+    R = cfg.recovery_time
+    pm = cfg.power
+    p_io = pm.io_total_power()
+    p1 = pm.compute_power(sigma1)
+    p2 = pm.compute_power(sigma2)
+    x = (f + s) * lam * (R * p_io + V * p2 / sigma2) / sigma1 + (
+        1.0 - f * lam * V / sigma1
+    ) * p1 / sigma1
+    y = lam * (
+        (f + s) * p2 / (sigma1 * sigma2) - f * p1 / (2.0 * sigma1 * sigma1)
+    )
+    z = cfg.checkpoint_time * p_io + V * p1 / sigma1
+    return OverheadCoefficients(x=x, y=y, z=z)
+
+
+def time_overhead_fo(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    work,
+    sigma1: float,
+    sigma2: float | None = None,
+):
+    """First-order time overhead per Eq. (9) (broadcasts over ``work``)."""
+    return time_coefficients(cfg, errors, sigma1, sigma2).evaluate(work)
+
+
+def energy_overhead_fo(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    work,
+    sigma1: float,
+    sigma2: float | None = None,
+):
+    """First-order energy overhead per Eq. (10) (broadcasts over ``work``)."""
+    return energy_coefficients(cfg, errors, sigma1, sigma2).evaluate(work)

@@ -1,0 +1,145 @@
+"""Second-order expansion and Theorem 2 (fail-stop errors only, Section 5.3).
+
+With only fail-stop errors (``s = 0``) and no verification, Proposition 7
+expands the time overhead to second order:
+
+.. math::
+
+    \\frac{T}{W} = \\frac{1}{\\sigma_1} + \\frac{C}{W}
+      + \\Big(\\frac{1}{\\sigma_1\\sigma_2} -
+              \\frac{1}{2\\sigma_1^2}\\Big)\\lambda W
+      + \\frac{\\lambda R}{\\sigma_1}
+      + \\Big(\\frac{1}{6\\sigma_1^3} - \\frac{1}{2\\sigma_1^2\\sigma_2}
+              + \\frac{1}{2\\sigma_1\\sigma_2^2}\\Big)\\lambda^2 W^2
+      + O(\\lambda^3 W^2).
+
+At ``sigma2 = 2 sigma1`` the **linear term vanishes** and the quadratic
+coefficient becomes ``1/(24 sigma1^3)``, giving
+
+.. math::
+
+    \\frac{T}{W} \\approx \\frac{1}{\\sigma} + \\frac{C}{W}
+        + \\frac{\\lambda^2 W^2}{24\\sigma^3} + \\frac{\\lambda R}{\\sigma},
+
+minimised at **Theorem 2's striking result**
+
+.. math::  W_{opt} = \\sqrt[3]{\\frac{12 C}{\\lambda^2}}\\,\\sigma
+           = \\Theta(\\lambda^{-2/3}),
+
+the first known resilience setting where the optimal checkpointing
+period is *not* of the order of the square root of the MTBF.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..quantities import (
+    as_float_array,
+    is_scalar,
+    require_nonnegative,
+    require_positive,
+    require_speed,
+)
+
+__all__ = [
+    "second_order_time_overhead",
+    "second_order_coefficients",
+    "theorem2_work",
+    "theorem2_overhead",
+    "linear_coefficient_vanishes",
+]
+
+
+def second_order_coefficients(
+    error_rate: float,
+    checkpoint_time: float,
+    recovery_time: float,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> tuple[float, float, float, float]:
+    """Proposition 7 coefficients ``(x, z, y1, y2)`` of
+    ``T/W = x + z/W + y1*W + y2*W**2``.
+
+    ``x`` collects the W-free terms (``1/sigma1 + lam R / sigma1``),
+    ``z = C``, ``y1`` the ``lambda W`` coefficient and ``y2`` the
+    ``lambda^2 W^2`` coefficient.  Fail-stop-only and verification-free
+    (the classical re-execution setting of Theorem 2).
+    """
+    lam = require_positive(error_rate, "error_rate")
+    c = require_nonnegative(checkpoint_time, "checkpoint_time")
+    r = require_nonnegative(recovery_time, "recovery_time")
+    s1 = require_speed(sigma1, "sigma1")
+    s2 = s1 if sigma2 is None else require_speed(sigma2, "sigma2")
+    x = 1.0 / s1 + lam * r / s1
+    z = c
+    y1 = lam * (1.0 / (s1 * s2) - 1.0 / (2.0 * s1 * s1))
+    y2 = lam * lam * (
+        1.0 / (6.0 * s1**3) - 1.0 / (2.0 * s1 * s1 * s2) + 1.0 / (2.0 * s1 * s2 * s2)
+    )
+    return (x, z, y1, y2)
+
+
+def second_order_time_overhead(
+    error_rate: float,
+    checkpoint_time: float,
+    recovery_time: float,
+    work,
+    sigma1: float,
+    sigma2: float | None = None,
+):
+    """Evaluate the Proposition 7 expansion at ``work`` (broadcasts)."""
+    x, z, y1, y2 = second_order_coefficients(
+        error_rate, checkpoint_time, recovery_time, sigma1, sigma2
+    )
+    w = as_float_array(work)
+    if np.any(w <= 0):
+        raise ValueError("work must be > 0")
+    v = x + z / w + y1 * w + y2 * w * w
+    return float(v) if is_scalar(work) else v
+
+
+def linear_coefficient_vanishes(sigma1: float, sigma2: float) -> bool:
+    """True iff ``sigma2 = 2 sigma1`` (the Theorem-2 re-execution regime).
+
+    That is exactly when ``1/(s1 s2) = 1/(2 s1^2)`` and the Young/Daly
+    ``lambda W`` term of the expansion cancels.
+    """
+    require_speed(sigma1, "sigma1")
+    require_speed(sigma2, "sigma2")
+    return math.isclose(sigma2, 2.0 * sigma1, rel_tol=1e-12)
+
+
+def theorem2_work(error_rate: float, checkpoint_time: float, sigma: float) -> float:
+    """Theorem 2: ``Wopt = (12 C / lambda^2)**(1/3) * sigma``.
+
+    The time-overhead-optimal pattern size when fail-stop errors strike
+    at rate ``lambda`` and re-execution runs at ``2 sigma`` — note the
+    ``Theta(lambda^{-2/3})`` scaling, versus Young/Daly's
+    ``Theta(lambda^{-1/2})``.
+    """
+    lam = require_positive(error_rate, "error_rate")
+    c = require_positive(checkpoint_time, "checkpoint_time")
+    s = require_speed(sigma, "sigma")
+    return (12.0 * c / (lam * lam)) ** (1.0 / 3.0) * s
+
+
+def theorem2_overhead(
+    error_rate: float,
+    checkpoint_time: float,
+    recovery_time: float,
+    sigma: float,
+) -> float:
+    """The minimal second-order time overhead at the Theorem-2 optimum.
+
+    ``T/W = 1/sigma + lam R/sigma + C/Wopt + lam^2 Wopt^2/(24 sigma^3)``
+    evaluated at ``Wopt = (12 C/lam^2)^{1/3} sigma``; by the first-order
+    condition the two W-dependent terms are in ratio 2:1, giving
+    ``1/sigma + lam R/sigma + (3/2) C / Wopt``.
+    """
+    w = theorem2_work(error_rate, checkpoint_time, sigma)
+    return second_order_time_overhead(
+        error_rate, checkpoint_time, recovery_time, w, sigma, 2.0 * sigma
+    )

@@ -1,0 +1,172 @@
+"""Theorem-1-style closed forms for the combined-error model (Section 5).
+
+Inside the first-order validity window (both Prop-6 linear coefficients
+positive — see :mod:`repro.failstop.validity`), the combined-error
+overheads have the same ``x + yW + z/W`` shape as the silent-only case,
+so the whole Theorem-1 machinery transfers verbatim:
+
+* minimum feasible bound ``rho_min = x_T + 2 sqrt(y_T z_T)``;
+* feasible interval from ``y_T W^2 + (x_T - rho) W + z_T <= 0``;
+* unconstrained energy optimum ``W_e = sqrt(z_E / y_E)``;
+* ``Wopt = min(max(W1, W_e), W2)``.
+
+Outside the window the expansion has no interior optimum (the paper's
+Section-5.2 impossibility); requesting the closed form there raises
+:class:`~repro.exceptions.ApproximationDomainError`, and callers fall
+back to the exact numeric solver (:mod:`repro.failstop.solver`).  The
+tests verify the two agree closely inside the window at catalog rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors.combined import CombinedErrors
+from ..exceptions import ApproximationDomainError, InfeasibleBoundError
+from ..platforms.configuration import Configuration
+from ..quantities import require_positive
+from .firstorder import energy_coefficients, time_coefficients
+from .validity import check_first_order
+
+__all__ = [
+    "CombinedFirstOrderSolution",
+    "min_performance_bound_combined",
+    "optimal_work_combined_fo",
+    "solve_bicrit_combined_fo",
+]
+
+
+@dataclass(frozen=True)
+class CombinedFirstOrderSolution:
+    """Closed-form combined-error solution for one speed pair."""
+
+    sigma1: float
+    sigma2: float
+    work: float
+    energy_overhead: float
+    time_overhead: float
+    rho_min: float
+    failstop_fraction: float
+
+
+def _require_valid(cfg: Configuration, errors: CombinedErrors, s1: float, s2: float) -> None:
+    report = check_first_order(cfg, errors, s1, s2)
+    if not report.valid:
+        lo, hi = report.window
+        raise ApproximationDomainError(
+            f"first-order approximation invalid for sigma2/sigma1 = "
+            f"{report.ratio:.4f} at f = {errors.failstop_fraction} "
+            f"(time coefficient positive: {report.time_coefficient_positive}, "
+            f"energy coefficient positive: {report.energy_coefficient_positive}; "
+            f"Pidle=0 window ({lo:.4f}, {hi:.4f})); "
+            "use repro.failstop.solver for the exact numeric solution"
+        )
+
+
+def min_performance_bound_combined(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> float:
+    """Eq.-(6) analogue with both error sources: ``x_T + 2 sqrt(y_T z_T)``.
+
+    Raises
+    ------
+    ApproximationDomainError
+        Outside the first-order validity window.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    _require_valid(cfg, errors, sigma1, sigma2)
+    return time_coefficients(cfg, errors, sigma1, sigma2).minimum_value()
+
+
+def optimal_work_combined_fo(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    sigma1: float,
+    sigma2: float | None,
+    rho: float,
+) -> float | None:
+    """Theorem-1 clamp on the Prop-6 expansions (``None`` = infeasible).
+
+    Raises
+    ------
+    ApproximationDomainError
+        Outside the first-order validity window.
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    require_positive(rho, "rho")
+    _require_valid(cfg, errors, sigma1, sigma2)
+    tc = time_coefficients(cfg, errors, sigma1, sigma2)
+    ec = energy_coefficients(cfg, errors, sigma1, sigma2)
+
+    a, b, c = tc.y, tc.x - rho, tc.z
+    disc = b * b - 4.0 * a * c
+    if b > 0.0 or disc < 0.0:
+        return None
+    sq = math.sqrt(max(disc, 0.0))
+    w2 = (-b + sq) / (2.0 * a)
+    w1 = c / (a * w2) if w2 > 0 else w2
+    we = ec.unconstrained_minimiser()
+    return min(max(w1, we), w2)
+
+
+def solve_bicrit_combined_fo(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    rho: float,
+) -> CombinedFirstOrderSolution:
+    """Closed-form combined-error BiCrit over the *valid* speed pairs.
+
+    Pairs outside the first-order window are skipped (the paper cannot
+    treat them either); if every pair is outside,
+    :class:`~repro.exceptions.ApproximationDomainError` is raised, and
+    if valid pairs exist but none meets the bound,
+    :class:`~repro.exceptions.InfeasibleBoundError`.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> from repro.errors import CombinedErrors
+    >>> cfg = get_configuration("hera-xscale")
+    >>> sol = solve_bicrit_combined_fo(cfg, CombinedErrors(cfg.lam, 0.5), 3.0)
+    >>> sol.sigma1 in cfg.speeds
+    True
+    """
+    require_positive(rho, "rho")
+    best: CombinedFirstOrderSolution | None = None
+    any_valid = False
+    for s1 in cfg.speeds:
+        for s2 in cfg.speeds:
+            try:
+                work = optimal_work_combined_fo(cfg, errors, s1, s2, rho)
+            except ApproximationDomainError:
+                continue
+            any_valid = True
+            if work is None:
+                continue
+            tc = time_coefficients(cfg, errors, s1, s2)
+            ec = energy_coefficients(cfg, errors, s1, s2)
+            sol = CombinedFirstOrderSolution(
+                sigma1=s1,
+                sigma2=s2,
+                work=work,
+                energy_overhead=ec.evaluate(work),
+                time_overhead=tc.evaluate(work),
+                rho_min=tc.minimum_value(),
+                failstop_fraction=errors.failstop_fraction,
+            )
+            if best is None or sol.energy_overhead < best.energy_overhead:
+                best = sol
+    if not any_valid:
+        raise ApproximationDomainError(
+            "no speed pair lies inside the first-order validity window; "
+            "use repro.failstop.solver.solve_bicrit_combined"
+        )
+    if best is None:
+        raise InfeasibleBoundError(rho)
+    return best

@@ -1,0 +1,90 @@
+"""Validity windows of the first-order approximation (Section 5.2).
+
+With both error sources the linear coefficient of the first-order
+expansions can turn negative:
+
+* **time** (Eq. 9): ``y_T > 0`` iff ``sigma2/sigma1 < 2 (1 + s/f)``;
+* **energy** (Eq. 10): ``y_E > 0`` iff
+  ``sigma2/sigma1 < 2 (1 + s/f) (kappa sigma2^3 + Pidle) /
+  (kappa sigma1^3 + Pidle)``; with ``Pidle = 0`` this simplifies to
+  ``sigma2/sigma1 > (2 (1 + s/f))**-1/2``.
+
+The paper's combined statement (for ``Pidle = 0``): the first-order
+approach yields a solution iff
+
+.. math::
+
+    \\Big(2\\big(1+\\tfrac{s}{f}\\big)\\Big)^{-1/2}
+    \\;<\\; \\frac{\\sigma_2}{\\sigma_1} \\;<\\;
+    2\\big(1+\\tfrac{s}{f}\\big).
+
+This module evaluates both the simplified window and the exact
+coefficient signs (valid for any ``Pidle``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors.combined import CombinedErrors
+from ..platforms.configuration import Configuration
+from .firstorder import energy_coefficients, time_coefficients
+
+__all__ = ["ValidityReport", "first_order_window", "check_first_order"]
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Outcome of the first-order validity check for one speed pair."""
+
+    sigma1: float
+    sigma2: float
+    ratio: float
+    window: tuple[float, float]
+    time_coefficient_positive: bool
+    energy_coefficient_positive: bool
+
+    @property
+    def valid(self) -> bool:
+        """True when both expansions admit an interior minimiser."""
+        return self.time_coefficient_positive and self.energy_coefficient_positive
+
+    @property
+    def in_simplified_window(self) -> bool:
+        """True when the ratio lies in the paper's ``Pidle = 0`` window."""
+        lo, hi = self.window
+        return lo < self.ratio < hi
+
+
+def first_order_window(errors: CombinedErrors) -> tuple[float, float]:
+    """The ``Pidle = 0`` validity window for ``sigma2/sigma1``.
+
+    ``(0, inf)`` when there are no fail-stop errors — the silent-only
+    expansion is valid for every speed pair.
+    """
+    return errors.speed_ratio_validity_window()
+
+
+def check_first_order(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    sigma1: float,
+    sigma2: float | None = None,
+) -> ValidityReport:
+    """Exact validity check (any ``Pidle``) for one speed pair.
+
+    Evaluates the sign of the linear coefficients of Eqs. (9)/(10)
+    directly rather than the simplified window, so the report is correct
+    even when ``Pidle`` is large (where the simplified lower bound can be
+    off — see the Section 5.2 discussion).
+    """
+    if sigma2 is None:
+        sigma2 = sigma1
+    return ValidityReport(
+        sigma1=sigma1,
+        sigma2=sigma2,
+        ratio=sigma2 / sigma1,
+        window=first_order_window(errors),
+        time_coefficient_positive=time_coefficients(cfg, errors, sigma1, sigma2).y > 0,
+        energy_coefficient_positive=energy_coefficients(cfg, errors, sigma1, sigma2).y > 0,
+    )

@@ -1,0 +1,35 @@
+"""Platform & processor catalog substrate (Tables 1 and 2 of the paper)."""
+
+from .catalog import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    CRUSOE,
+    HERA,
+    PLATFORMS,
+    PROCESSORS,
+    XSCALE,
+    all_configurations,
+    configuration_names,
+    get_configuration,
+)
+from .configuration import Configuration
+from .platform import Platform
+from .processor import Processor
+
+__all__ = [
+    "Platform",
+    "Processor",
+    "Configuration",
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "XSCALE",
+    "CRUSOE",
+    "PLATFORMS",
+    "PROCESSORS",
+    "all_configurations",
+    "configuration_names",
+    "get_configuration",
+]

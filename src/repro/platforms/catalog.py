@@ -1,0 +1,160 @@
+"""The paper's platform and processor catalog (Tables 1 and 2).
+
+Platforms (Table 1, from Moody et al., SC'10):
+
+==============  ========  ======  ======
+Platform        lambda    C (s)   V (s)
+==============  ========  ======  ======
+Hera            3.38e-6   300     15.4
+Atlas           7.78e-6   439     9.1
+Coastal         2.01e-6   1051    4.5
+Coastal SSD     2.01e-6   2500    180.0
+==============  ========  ======  ======
+
+Processors (Table 2, from Rizvandi et al.):
+
+=================  ============================  =====================
+Processor          Normalised speeds             P(sigma) (mW)
+=================  ============================  =====================
+Intel XScale       0.15, 0.4, 0.6, 0.8, 1        1550 sigma^3 + 60
+Transmeta Crusoe   0.45, 0.6, 0.8, 0.9, 1        5756 sigma^3 + 4.4
+=================  ============================  =====================
+
+The experiments combine each platform with each processor into eight
+virtual configurations (Section 4.1); :func:`all_configurations`
+enumerates them and :func:`get_configuration` resolves names like
+``"atlas-crusoe"``.
+"""
+
+from __future__ import annotations
+
+from .configuration import Configuration
+from .platform import Platform
+from .processor import Processor
+
+__all__ = [
+    "HERA",
+    "ATLAS",
+    "COASTAL",
+    "COASTAL_SSD",
+    "PLATFORMS",
+    "XSCALE",
+    "CRUSOE",
+    "PROCESSORS",
+    "all_configurations",
+    "get_configuration",
+    "configuration_names",
+]
+
+# ----------------------------------------------------------------------
+# Table 1 — platforms
+# ----------------------------------------------------------------------
+HERA = Platform(
+    name="Hera",
+    error_rate=3.38e-6,
+    checkpoint_time=300.0,
+    verification_time=15.4,
+)
+
+ATLAS = Platform(
+    name="Atlas",
+    error_rate=7.78e-6,
+    checkpoint_time=439.0,
+    verification_time=9.1,
+)
+
+COASTAL = Platform(
+    name="Coastal",
+    error_rate=2.01e-6,
+    checkpoint_time=1051.0,
+    verification_time=4.5,
+)
+
+COASTAL_SSD = Platform(
+    name="Coastal SSD",
+    error_rate=2.01e-6,
+    checkpoint_time=2500.0,
+    verification_time=180.0,
+)
+
+PLATFORMS: tuple[Platform, ...] = (HERA, ATLAS, COASTAL, COASTAL_SSD)
+
+# ----------------------------------------------------------------------
+# Table 2 — processors
+# ----------------------------------------------------------------------
+XSCALE = Processor(
+    name="Intel XScale",
+    speeds=(0.15, 0.4, 0.6, 0.8, 1.0),
+    kappa=1550.0,
+    idle_power=60.0,
+)
+
+CRUSOE = Processor(
+    name="Transmeta Crusoe",
+    speeds=(0.45, 0.6, 0.8, 0.9, 1.0),
+    kappa=5756.0,
+    idle_power=4.4,
+)
+
+PROCESSORS: tuple[Processor, ...] = (XSCALE, CRUSOE)
+
+# ----------------------------------------------------------------------
+# The eight virtual configurations of Section 4.1
+# ----------------------------------------------------------------------
+_SLUGS = {
+    "hera": HERA,
+    "atlas": ATLAS,
+    "coastal": COASTAL,
+    "coastal-ssd": COASTAL_SSD,
+    "xscale": XSCALE,
+    "crusoe": CRUSOE,
+}
+
+
+def _slug(name: str) -> str:
+    """Canonical slug for a platform/processor name ("Coastal SSD" -> "coastal-ssd")."""
+    return name.lower().replace(" ", "-").replace("_", "-")
+
+
+def all_configurations() -> tuple[Configuration, ...]:
+    """The eight platform x processor configurations of the paper, in the
+    order (Hera, Atlas, Coastal, Coastal SSD) x (XScale, Crusoe)."""
+    return tuple(
+        Configuration(platform=p, processor=c) for p in PLATFORMS for c in PROCESSORS
+    )
+
+
+def configuration_names() -> tuple[str, ...]:
+    """Canonical ``"<platform>-<processor>"`` names of the eight configs."""
+    return tuple(
+        f"{_slug(p.name)}-{_slug(c.name.split()[-1])}"
+        for p in PLATFORMS
+        for c in PROCESSORS
+    )
+
+
+def get_configuration(name: str) -> Configuration:
+    """Resolve a configuration by name, e.g. ``"hera-xscale"``.
+
+    The name is ``"<platform>-<processor>"`` with platform one of
+    ``hera | atlas | coastal | coastal-ssd`` and processor one of
+    ``xscale | crusoe`` (case-insensitive; spaces and underscores accepted).
+
+    Raises
+    ------
+    KeyError
+        If the name does not resolve, listing the valid choices.
+    """
+    slug = _slug(name)
+    for proc_key in ("xscale", "crusoe"):
+        suffix = f"-{proc_key}"
+        if slug.endswith(suffix):
+            plat_key = slug[: -len(suffix)]
+            if plat_key in _SLUGS and proc_key in _SLUGS:
+                platform = _SLUGS[plat_key]
+                processor = _SLUGS[proc_key]
+                if isinstance(platform, Platform) and isinstance(processor, Processor):
+                    return Configuration(platform=platform, processor=processor)
+    raise KeyError(
+        f"unknown configuration {name!r}; valid names: {', '.join(configuration_names())}"
+    )

@@ -1,0 +1,93 @@
+"""Checkpointing-platform parameters (Table 1 of the paper).
+
+A :class:`Platform` bundles the resilience parameters of a machine:
+error rate ``lambda``, checkpoint cost ``C`` (seconds), verification
+cost ``V`` (work-like seconds at full speed) and recovery cost ``R``
+(seconds).  The paper sets ``R = C`` throughout (Section 4.1: a read
+costs the same as a write); we keep ``R`` explicit so sweeps and
+what-if analyses can decouple them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..quantities import require_nonnegative, require_positive
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Resilience parameters of a checkpointing platform.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"Hera"``).
+    error_rate:
+        Silent-error (or total-error, for Section 5 studies) rate
+        ``lambda`` per second.
+    checkpoint_time:
+        ``C`` in seconds; I/O-bound, does not scale with CPU speed.
+    verification_time:
+        ``V`` in seconds *at full speed*; CPU-bound, a verification at
+        speed ``sigma`` takes ``V / sigma`` seconds.
+    recovery_time:
+        ``R`` in seconds.  ``None`` (the default) means ``R = C``.
+
+    Examples
+    --------
+    >>> p = Platform("Toy", error_rate=1e-5, checkpoint_time=60.0,
+    ...              verification_time=6.0)
+    >>> p.recovery_time == p.checkpoint_time
+    True
+    >>> round(p.mtbf)
+    100000
+    """
+
+    name: str
+    error_rate: float
+    checkpoint_time: float
+    verification_time: float
+    recovery_time: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        require_positive(self.error_rate, "error_rate")
+        require_nonnegative(self.checkpoint_time, "checkpoint_time")
+        require_nonnegative(self.verification_time, "verification_time")
+        if self.recovery_time is None:
+            # Frozen dataclass: route the default through __setattr__.
+            object.__setattr__(self, "recovery_time", self.checkpoint_time)
+        else:
+            require_nonnegative(self.recovery_time, "recovery_time")
+
+    # ------------------------------------------------------------------
+    @property
+    def mtbf(self) -> float:
+        """Platform mean time between errors, ``mu = 1 / lambda`` seconds."""
+        return 1.0 / self.error_rate
+
+    # ------------------------------------------------------------------
+    # Sweep helpers — each returns a modified copy (dataclass is frozen).
+    # ------------------------------------------------------------------
+    def with_error_rate(self, error_rate: float) -> "Platform":
+        """Copy with a different ``lambda`` (Figure 4 sweeps)."""
+        return replace(self, error_rate=error_rate)
+
+    def with_checkpoint_time(self, checkpoint_time: float, *, keep_recovery: bool = False) -> "Platform":
+        """Copy with a different ``C`` (Figure 2 sweeps).
+
+        Unless ``keep_recovery`` is set, ``R`` tracks the new ``C`` — the
+        paper keeps ``R = C`` when varying the checkpoint cost.
+        """
+        r = self.recovery_time if keep_recovery else None
+        return replace(self, checkpoint_time=checkpoint_time, recovery_time=r)
+
+    def with_verification_time(self, verification_time: float) -> "Platform":
+        """Copy with a different ``V`` (Figure 3 sweeps)."""
+        return replace(self, verification_time=verification_time)
+
+    def with_recovery_time(self, recovery_time: float) -> "Platform":
+        """Copy with a different ``R`` (decoupled from ``C``)."""
+        return replace(self, recovery_time=recovery_time)

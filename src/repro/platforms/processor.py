@@ -1,0 +1,106 @@
+"""DVFS-processor parameters (Table 2 of the paper).
+
+A :class:`Processor` bundles a discrete set of normalised speeds and the
+coefficients of its power law ``P(sigma) = kappa * sigma**3 + Pidle``
+(milliwatts).  The two catalog entries reproduce Table 2: the Intel
+XScale (``1550 sigma^3 + 60``) and the Transmeta Crusoe
+(``5756 sigma^3 + 4.4``), with speed sets normalised to the maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import SpeedNotAvailableError
+from ..quantities import require_nonnegative, require_positive, require_speed_set
+
+__all__ = ["Processor"]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A DVFS-capable processor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"Intel XScale"``).
+    speeds:
+        The discrete DVFS speed set ``S`` (normalised, ascending after
+        canonicalisation).
+    kappa:
+        Cubic dynamic-power coefficient (mW).
+    idle_power:
+        Static power ``Pidle`` (mW).
+
+    Examples
+    --------
+    >>> cpu = Processor("Toy", speeds=(0.5, 1.0), kappa=1000.0, idle_power=10.0)
+    >>> cpu.min_speed, cpu.max_speed
+    (0.5, 1.0)
+    >>> cpu.power(1.0)
+    1010.0
+    """
+
+    name: str
+    speeds: tuple[float, ...]
+    kappa: float
+    idle_power: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "speeds", require_speed_set(self.speeds))
+        require_positive(self.kappa, "kappa")
+        require_nonnegative(self.idle_power, "idle_power")
+
+    # ------------------------------------------------------------------
+    @property
+    def min_speed(self) -> float:
+        """Lowest available DVFS speed."""
+        return self.speeds[0]
+
+    @property
+    def max_speed(self) -> float:
+        """Highest available DVFS speed."""
+        return self.speeds[-1]
+
+    @property
+    def num_speeds(self) -> int:
+        """``K``, the size of the speed set."""
+        return len(self.speeds)
+
+    # ------------------------------------------------------------------
+    def power(self, speed: float) -> float:
+        """Total power ``kappa * sigma**3 + Pidle`` at ``speed`` (mW).
+
+        ``speed`` need not belong to the discrete set — the power law is
+        defined for any speed (used when sweeping hypothetical speeds).
+        """
+        require_positive(speed, "speed")
+        return self.kappa * speed**3 + self.idle_power
+
+    def dynamic_power(self, speed: float) -> float:
+        """Dynamic share only, ``kappa * sigma**3`` (mW)."""
+        require_positive(speed, "speed")
+        return self.kappa * speed**3
+
+    def require_member(self, speed: float) -> float:
+        """Validate that ``speed`` belongs to the DVFS set and return it.
+
+        Raises
+        ------
+        SpeedNotAvailableError
+            If the speed is not in the set (exact float match; the
+            catalog values are exact decimals so no tolerance is used).
+        """
+        if speed not in self.speeds:
+            raise SpeedNotAvailableError(speed, self.speeds)
+        return speed
+
+    # ------------------------------------------------------------------
+    def with_idle_power(self, idle_power: float) -> "Processor":
+        """Copy with a different ``Pidle`` (Figure 6 sweeps)."""
+        return replace(self, idle_power=idle_power)
+
+    def with_speeds(self, speeds) -> "Processor":
+        """Copy with a different speed set (solver-scaling ablations)."""
+        return replace(self, speeds=tuple(speeds))

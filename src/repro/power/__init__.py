@@ -1,0 +1,12 @@
+"""DVFS power/energy substrate."""
+
+from .energy import compute_energy, compute_time, elapsed_compute_energy, io_energy
+from .model import PowerModel
+
+__all__ = [
+    "PowerModel",
+    "compute_energy",
+    "compute_time",
+    "elapsed_compute_energy",
+    "io_energy",
+]

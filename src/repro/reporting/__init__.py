@@ -1,0 +1,38 @@
+"""Output rendering: ASCII tables, traces, CSV/JSON, reproduction reports."""
+
+from .artifacts import write_fraction_csv, write_frontier_csv, write_regions_csv
+from .csvio import read_series_csv_rows, write_series_csv, write_table_csv
+from .gantt import format_timeline, format_trace
+from .summary import ReportResult, build_report, write_report
+from .serialize import (
+    dump_json,
+    load_json,
+    series_from_dict,
+    series_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from .tables import format_savings_line, format_speed_pair_table, format_sweep_series
+
+__all__ = [
+    "format_speed_pair_table",
+    "format_sweep_series",
+    "format_savings_line",
+    "write_series_csv",
+    "write_table_csv",
+    "read_series_csv_rows",
+    "solution_to_dict",
+    "solution_from_dict",
+    "series_to_dict",
+    "series_from_dict",
+    "dump_json",
+    "load_json",
+    "format_trace",
+    "format_timeline",
+    "ReportResult",
+    "build_report",
+    "write_report",
+    "write_frontier_csv",
+    "write_fraction_csv",
+    "write_regions_csv",
+]

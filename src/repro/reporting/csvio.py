@@ -1,0 +1,87 @@
+"""CSV writers for sweep series and speed-pair tables.
+
+Plain ``csv`` module output, one row per axis value / table row, with
+empty cells for infeasible entries — the files under ``results/`` that
+the benches emit are regenerated through these writers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..sweep.runner import SweepSeries
+from ..sweep.tables import SpeedPairTable
+
+__all__ = ["write_series_csv", "write_table_csv", "read_series_csv_rows"]
+
+_SERIES_FIELDS = (
+    "value",
+    "sigma1",
+    "sigma2",
+    "work_two",
+    "energy_two",
+    "time_two",
+    "sigma_single",
+    "work_single",
+    "energy_single",
+)
+
+
+def write_series_csv(path: str | Path, series: SweepSeries) -> Path:
+    """Write one sweep series to ``path``; returns the resolved path.
+
+    Header row first; infeasible entries are empty cells (not NaN
+    strings), which round-trips cleanly through spreadsheet tools.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_SERIES_FIELDS)
+        for p in series.points:
+            two = p.two_speed
+            one = p.single_speed
+            writer.writerow(
+                [
+                    f"{p.value:.10g}",
+                    f"{two.sigma1:.6g}" if two else "",
+                    f"{two.sigma2:.6g}" if two else "",
+                    f"{two.work:.10g}" if two else "",
+                    f"{two.energy_overhead:.10g}" if two else "",
+                    f"{two.time_overhead:.10g}" if two else "",
+                    f"{one.sigma1:.6g}" if one else "",
+                    f"{one.work:.10g}" if one else "",
+                    f"{one.energy_overhead:.10g}" if one else "",
+                ]
+            )
+    return path
+
+
+def write_table_csv(path: str | Path, table: SpeedPairTable) -> Path:
+    """Write a Section-4.2 speed-pair table to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["sigma1", "best_sigma2", "work", "energy_overhead", "is_best"])
+        for row in table.rows:
+            if row.feasible:
+                writer.writerow(
+                    [
+                        f"{row.sigma1:.6g}",
+                        f"{row.best_sigma2:.6g}",
+                        f"{row.work:.10g}",
+                        f"{row.energy_overhead:.10g}",
+                        "1" if row.is_best else "0",
+                    ]
+                )
+            else:
+                writer.writerow([f"{row.sigma1:.6g}", "", "", "", "0"])
+    return path
+
+
+def read_series_csv_rows(path: str | Path) -> list[dict[str, str]]:
+    """Read back a series CSV as a list of dict rows (round-trip tests)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

@@ -1,0 +1,102 @@
+"""ASCII rendering of application traces — Figure 1 in text form.
+
+Turns an :class:`~repro.simulation.application.ApplicationResult` into
+the paper's Figure-1 timeline: execution segments labelled with their
+speed, verifications, checkpoints, recoveries, and error markers.
+
+Two renderers:
+
+* :func:`format_trace` — one line per event, exact timestamps;
+* :func:`format_timeline` — a compact single-line bar where each
+  character is one time quantum (``#`` execute, ``v`` verify, ``C``
+  checkpoint, ``R`` recover, ``!`` fail-stop, ``x`` silent detection),
+  the visual analogue of Figure 1.
+"""
+
+from __future__ import annotations
+
+from ..simulation.application import ApplicationResult, EventKind, TraceEvent
+
+__all__ = ["format_trace", "format_timeline"]
+
+_BAR_CHARS = {
+    EventKind.EXECUTE: "#",
+    EventKind.PARTIAL_EXECUTE: "#",
+    EventKind.VERIFY: "v",
+    EventKind.CHECKPOINT: "C",
+    EventKind.RECOVER: "R",
+}
+
+_MARKERS = {
+    EventKind.FAILSTOP: "!",
+    EventKind.SILENT_DETECTED: "x",
+}
+
+
+def _label(event: TraceEvent) -> str:
+    kind = event.kind.value.upper()
+    if event.kind in (EventKind.EXECUTE, EventKind.PARTIAL_EXECUTE, EventKind.VERIFY):
+        return f"{kind}@{event.speed:g}"
+    return kind
+
+
+def format_trace(result: ApplicationResult, *, max_events: int | None = None) -> str:
+    """One line per event with timestamps, durations and attempt labels.
+
+    ``max_events`` truncates long traces (an ellipsis line reports how
+    many events were dropped).
+    """
+    events = result.events
+    shown = events if max_events is None else events[:max_events]
+    lines = [
+        f"{len(events)} events, {result.num_patterns} patterns, "
+        f"{result.num_failstop} fail-stop + {result.num_silent} silent errors, "
+        f"total {result.total_time:.1f} s"
+    ]
+    for e in shown:
+        lines.append(
+            f"  t={e.start:>12.1f}s  {_label(e):<14} dur={e.duration:>10.1f}s  "
+            f"pattern {e.pattern_index} attempt {e.attempt}"
+        )
+    if len(shown) < len(events):
+        lines.append(f"  ... ({len(events) - len(shown)} more events)")
+    return "\n".join(lines)
+
+
+def format_timeline(result: ApplicationResult, *, width: int = 100) -> str:
+    """A Figure-1-style bar: one character per time quantum.
+
+    Zero-duration markers (error strikes/detections) overwrite the
+    character at their position so they stay visible at any scale.
+    Includes a legend line.
+    """
+    if not result.events:
+        return "(empty trace)"
+    total = result.total_time
+    if total <= 0:
+        return "(zero-length trace)"
+    quantum = total / width
+    bar = [" "] * width
+
+    # Paint in priority order: long CPU segments first, then the short
+    # I/O segments (recoveries/checkpoints are often sub-quantum and
+    # must stay visible), then zero-duration error markers.
+    def paint(kinds) -> None:
+        for e in result.events:
+            if e.kind in kinds and e.duration > 0:
+                ch = _BAR_CHARS.get(e.kind, "?")
+                lo = min(int(e.start / quantum), width - 1)
+                hi = min(int(e.end / quantum), width - 1)
+                for k in range(lo, hi + 1):
+                    bar[k] = ch
+
+    paint({EventKind.EXECUTE, EventKind.PARTIAL_EXECUTE, EventKind.VERIFY})
+    paint({EventKind.RECOVER, EventKind.CHECKPOINT})
+    for e in result.events:
+        if e.kind in _MARKERS:
+            pos = min(int(e.start / quantum), width - 1)
+            bar[pos] = _MARKERS[e.kind]
+
+    legend = "# execute   v verify   C checkpoint   R recover   ! fail-stop   x silent-detected"
+    scale = f"0 {'-' * (width - len(f'{total:.0f} s') - 4)} {total:.0f} s"
+    return "\n".join(["".join(bar), scale, legend])

@@ -1,0 +1,117 @@
+"""JSON round-trips for solver outputs and sweep series.
+
+Each ``*_to_dict`` produces plain JSON-serialisable dictionaries (floats,
+strings, lists, ``None``); the matching ``*_from_dict`` restores the
+dataclasses exactly.  A ``schema`` tag guards against loading a payload
+into the wrong decoder.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.solution import PatternSolution
+from ..sweep.runner import SweepPoint, SweepSeries
+
+__all__ = [
+    "solution_to_dict",
+    "solution_from_dict",
+    "series_to_dict",
+    "series_from_dict",
+    "dump_json",
+    "load_json",
+]
+
+_SOLUTION_SCHEMA = "repro/pattern-solution/v1"
+_SERIES_SCHEMA = "repro/sweep-series/v1"
+
+
+def solution_to_dict(sol: PatternSolution) -> dict[str, Any]:
+    """Serialise one :class:`PatternSolution`."""
+    return {
+        "schema": _SOLUTION_SCHEMA,
+        "sigma1": sol.sigma1,
+        "sigma2": sol.sigma2,
+        "work": sol.work,
+        "energy_overhead": sol.energy_overhead,
+        "time_overhead": sol.time_overhead,
+        "energy_overhead_exact": sol.energy_overhead_exact,
+        "time_overhead_exact": sol.time_overhead_exact,
+        "rho_min": sol.rho_min,
+    }
+
+
+def solution_from_dict(data: dict[str, Any]) -> PatternSolution:
+    """Restore a :class:`PatternSolution` (validates the schema tag)."""
+    if data.get("schema") != _SOLUTION_SCHEMA:
+        raise ValueError(f"not a pattern-solution payload: {data.get('schema')!r}")
+    return PatternSolution(
+        sigma1=data["sigma1"],
+        sigma2=data["sigma2"],
+        work=data["work"],
+        energy_overhead=data["energy_overhead"],
+        time_overhead=data["time_overhead"],
+        energy_overhead_exact=data["energy_overhead_exact"],
+        time_overhead_exact=data["time_overhead_exact"],
+        rho_min=data["rho_min"],
+    )
+
+
+def series_to_dict(series: SweepSeries) -> dict[str, Any]:
+    """Serialise one :class:`SweepSeries` (points carry ``None`` for
+    infeasible solver outcomes)."""
+    return {
+        "schema": _SERIES_SCHEMA,
+        "config_name": series.config_name,
+        "axis_name": series.axis_name,
+        "axis_label": series.axis_label,
+        "rho": series.rho,
+        "points": [
+            {
+                "value": p.value,
+                "two_speed": solution_to_dict(p.two_speed) if p.two_speed else None,
+                "single_speed": solution_to_dict(p.single_speed)
+                if p.single_speed
+                else None,
+            }
+            for p in series.points
+        ],
+    }
+
+
+def series_from_dict(data: dict[str, Any]) -> SweepSeries:
+    """Restore a :class:`SweepSeries` (validates the schema tag)."""
+    if data.get("schema") != _SERIES_SCHEMA:
+        raise ValueError(f"not a sweep-series payload: {data.get('schema')!r}")
+    points = tuple(
+        SweepPoint(
+            value=p["value"],
+            two_speed=solution_from_dict(p["two_speed"]) if p["two_speed"] else None,
+            single_speed=solution_from_dict(p["single_speed"])
+            if p["single_speed"]
+            else None,
+        )
+        for p in data["points"]
+    )
+    return SweepSeries(
+        config_name=data["config_name"],
+        axis_name=data["axis_name"],
+        axis_label=data["axis_label"],
+        rho=data["rho"],
+        points=points,
+    )
+
+
+def dump_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a payload dict as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Load a JSON payload written by :func:`dump_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,88 @@
+"""Paper-style ASCII rendering of tables and sweep series.
+
+The renderers are deliberately plain (no third-party table libraries):
+fixed-width columns, the paper's "-" convention for infeasible rows,
+and a ``*`` marker on the overall-best (the paper's bold) row.
+"""
+
+from __future__ import annotations
+
+from ..sweep.runner import SweepSeries
+from ..sweep.tables import SpeedPairTable
+
+__all__ = ["format_speed_pair_table", "format_sweep_series", "format_savings_line"]
+
+
+def format_speed_pair_table(table: SpeedPairTable) -> str:
+    """Render a Section-4.2 table.
+
+    Example output (Hera/XScale, rho = 3)::
+
+        sigma1   best sigma2       Wopt    E/W
+        ------   -----------   --------   ----
+          0.15             -          -      -
+          0.40          0.40       2764    417 *
+
+    The trailing ``*`` marks the overall best pair (the paper's bold).
+    """
+    lines = [
+        f"{table.config_name}   rho = {table.rho:g}",
+        f"{'sigma1':>6}   {'best sigma2':>11}   {'Wopt':>8}   {'E/W':>6}",
+        f"{'-' * 6}   {'-' * 11}   {'-' * 8}   {'-' * 6}",
+    ]
+    for row in table.rows:
+        if not row.feasible:
+            lines.append(f"{row.sigma1:>6.2f}   {'-':>11}   {'-':>8}   {'-':>6}")
+        else:
+            star = " *" if row.is_best else ""
+            lines.append(
+                f"{row.sigma1:>6.2f}   {row.best_sigma2:>11.2f}   "
+                f"{row.work:>8.0f}   {row.energy_overhead:>6.0f}{star}"
+            )
+    return "\n".join(lines)
+
+
+def format_sweep_series(series: SweepSeries, *, max_rows: int | None = None) -> str:
+    """Render a sweep series as a fixed-width table.
+
+    Columns match the three panels of the paper's figures: the axis
+    value, the optimal speeds (two-speed pair and one-speed baseline),
+    the optimal pattern sizes, and the energy overheads.  ``max_rows``
+    thins long series for terminal display (first/last rows kept).
+    """
+    header = (
+        f"{series.config_name}   axis = {series.axis_name}   rho = {series.rho:g}\n"
+        f"{'value':>12}  {'s1':>5} {'s2':>5} {'s':>5}  "
+        f"{'W(s1,s2)':>10} {'W(s,s)':>10}  {'E2/W':>10} {'E1/W':>10}"
+    )
+    rows = []
+    pts = list(series.points)
+    idx = range(len(pts))
+    if max_rows is not None and len(pts) > max_rows:
+        half = max_rows // 2
+        idx = list(range(half)) + list(range(len(pts) - (max_rows - half), len(pts)))
+    for i in idx:
+        p = pts[i]
+        if p.two_speed is None:
+            two = f"{'-':>5} {'-':>5}  {'-':>10}"
+            e2 = f"{'-':>10}"
+        else:
+            two = f"{p.two_speed.sigma1:>5.2f} {p.two_speed.sigma2:>5.2f}"
+            e2 = f"{p.two_speed.energy_overhead:>10.1f}"
+        if p.single_speed is None:
+            one_s, one_w, e1 = f"{'-':>5}", f"{'-':>10}", f"{'-':>10}"
+        else:
+            one_s = f"{p.single_speed.sigma1:>5.2f}"
+            one_w = f"{p.single_speed.work:>10.0f}"
+            e1 = f"{p.single_speed.energy_overhead:>10.1f}"
+        w2 = f"{p.two_speed.work:>10.0f}" if p.two_speed else f"{'-':>10}"
+        rows.append(f"{p.value:>12.6g}  {two} {one_s}  {w2} {one_w}  {e2} {e1}")
+    return "\n".join([header, *rows])
+
+
+def format_savings_line(config_name: str, axis_name: str, max_savings: float, at_value: float) -> str:
+    """One-line savings summary, e.g. for figure captions."""
+    return (
+        f"{config_name} [{axis_name}]: up to {max_savings:.1f}% energy saving "
+        f"(at {axis_name} = {at_value:g})"
+    )

@@ -1,0 +1,26 @@
+"""Monte-Carlo simulation substrate: pattern engine, application runs, estimators."""
+
+from .application import (
+    ApplicationResult,
+    ApplicationSimulator,
+    EventKind,
+    TraceEvent,
+)
+from .convergence import ConvergedEstimate, simulate_until
+from .engine import PatternSimulator
+from .estimators import AgreementReport, check_agreement
+from .outcomes import BatchSummary, PatternBatch
+
+__all__ = [
+    "PatternSimulator",
+    "PatternBatch",
+    "BatchSummary",
+    "ApplicationSimulator",
+    "ApplicationResult",
+    "EventKind",
+    "TraceEvent",
+    "AgreementReport",
+    "check_agreement",
+    "ConvergedEstimate",
+    "simulate_until",
+]

@@ -1,0 +1,107 @@
+"""Result containers for Monte-Carlo pattern simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PatternBatch", "BatchSummary"]
+
+
+@dataclass(frozen=True)
+class PatternBatch:
+    """Per-sample outcomes of ``n`` independent pattern executions.
+
+    All arrays have the same length ``n`` (one entry per simulated
+    pattern):
+
+    Attributes
+    ----------
+    times:
+        Wall-clock seconds until the pattern's checkpoint commits.
+    energies:
+        Millijoules consumed until the checkpoint commits.
+    attempts:
+        Total number of executions (1 = clean run, 2 = one re-execution…).
+    failstop_errors:
+        Count of fail-stop interruptions suffered.
+    silent_errors:
+        Count of silent corruptions caught by a verification (a silent
+        error masked by a fail-stop interruption in the same attempt is
+        not counted — the attempt is charged to the fail-stop error,
+        matching the branch structure of the paper's recursion (8)).
+    """
+
+    times: np.ndarray
+    energies: np.ndarray
+    attempts: np.ndarray
+    failstop_errors: np.ndarray
+    silent_errors: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.times)
+        for name in ("energies", "attempts", "failstop_errors", "silent_errors"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must have the same length as times")
+
+    @property
+    def size(self) -> int:
+        """Number of simulated patterns."""
+        return int(len(self.times))
+
+    def summary(self) -> "BatchSummary":
+        """Mean/sem summary for model-agreement checks."""
+        return BatchSummary.from_batch(self)
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Sample means with standard errors for a :class:`PatternBatch`."""
+
+    n: int
+    mean_time: float
+    sem_time: float
+    mean_energy: float
+    sem_energy: float
+    mean_attempts: float
+    mean_reexecutions: float
+    total_failstop: int
+    total_silent: int
+
+    @classmethod
+    def from_batch(cls, batch: PatternBatch) -> "BatchSummary":
+        n = batch.size
+        if n < 2:
+            raise ValueError("need at least 2 samples to estimate a standard error")
+        sqrt_n = math.sqrt(n)
+        return cls(
+            n=n,
+            mean_time=float(np.mean(batch.times)),
+            sem_time=float(np.std(batch.times, ddof=1) / sqrt_n),
+            mean_energy=float(np.mean(batch.energies)),
+            sem_energy=float(np.std(batch.energies, ddof=1) / sqrt_n),
+            mean_attempts=float(np.mean(batch.attempts)),
+            mean_reexecutions=float(np.mean(batch.attempts - 1)),
+            total_failstop=int(np.sum(batch.failstop_errors)),
+            total_silent=int(np.sum(batch.silent_errors)),
+        )
+
+    def time_zscore(self, expected: float) -> float:
+        """Standardised deviation of the sample mean time from ``expected``."""
+        return (self.mean_time - expected) / self.sem_time
+
+    def energy_zscore(self, expected: float) -> float:
+        """Standardised deviation of the sample mean energy from ``expected``."""
+        return (self.mean_energy - expected) / self.sem_energy
+
+    def time_ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean time."""
+        h = 1.959963984540054 * self.sem_time
+        return (self.mean_time - h, self.mean_time + h)
+
+    def energy_ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean energy."""
+        h = 1.959963984540054 * self.sem_energy
+        return (self.mean_energy - h, self.mean_energy + h)

@@ -1,0 +1,156 @@
+"""Sweep axes: the six parameters the paper varies (Figures 2-14).
+
+Each axis knows how to apply one value to a ``(Configuration, rho)``
+pair: the ``C``, ``V``, ``lambda``, ``Pidle`` and ``Pio`` axes rebuild
+the configuration; the ``rho`` axis rebinds the performance bound.
+
+Default ranges follow the paper: cost/power axes span 0..5000 (with the
+lone zero replaced where it would degenerate the model — e.g. sweeping
+``V`` to 0 is fine while ``C > 0``), ``rho`` spans 1..3.5, and the error
+rate is log-spaced from 1e-6 up to 1e-2 (1e-3 for the low-rate Coastal
+platforms, matching the paper's axes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..platforms.configuration import Configuration
+
+__all__ = [
+    "SweepAxis",
+    "checkpoint_axis",
+    "verification_axis",
+    "error_rate_axis",
+    "rho_axis",
+    "idle_power_axis",
+    "io_power_axis",
+    "axis_by_name",
+    "AXIS_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """A named parameter axis with values and an application rule.
+
+    ``apply(cfg, rho, value) -> (cfg', rho')`` returns the configuration
+    and bound to solve at ``value``.
+    """
+
+    name: str
+    label: str
+    values: tuple[float, ...]
+    _apply: Callable[[Configuration, float, float], tuple[Configuration, float]]
+
+    def apply(
+        self, cfg: Configuration, rho: float, value: float
+    ) -> tuple[Configuration, float]:
+        """Materialise the ``(cfg, rho)`` pair for one axis value."""
+        return self._apply(cfg, rho, value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def _linspace(lo: float, hi: float, n: int) -> tuple[float, ...]:
+    return tuple(float(v) for v in np.linspace(lo, hi, n))
+
+
+def _logspace(lo: float, hi: float, n: int) -> tuple[float, ...]:
+    return tuple(float(v) for v in np.logspace(np.log10(lo), np.log10(hi), n))
+
+
+def checkpoint_axis(lo: float = 50.0, hi: float = 5000.0, n: int = 34) -> SweepAxis:
+    """Vary the checkpoint cost ``C`` (with ``R`` tracking ``C``).
+
+    The paper plots from 0; we start at a small positive cost because
+    ``C = 0`` with ``V = 0`` would degenerate ``We`` to 0 — every catalog
+    platform has ``V > 0`` so 0 *is* admissible there, but a small floor
+    keeps the axis safe for arbitrary configurations.
+    """
+    return SweepAxis(
+        name="C",
+        label="checkpoint time C (s)",
+        values=_linspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg.with_checkpoint_time(v), rho),
+    )
+
+
+def verification_axis(lo: float = 0.0, hi: float = 5000.0, n: int = 34) -> SweepAxis:
+    """Vary the verification cost ``V`` (at full speed)."""
+    return SweepAxis(
+        name="V",
+        label="verification time V (s)",
+        values=_linspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg.with_verification_time(v), rho),
+    )
+
+
+def error_rate_axis(lo: float = 1e-6, hi: float = 1e-2, n: int = 25) -> SweepAxis:
+    """Vary the error rate ``lambda`` on a log scale."""
+    return SweepAxis(
+        name="lambda",
+        label="error rate lambda (1/s)",
+        values=_logspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg.with_error_rate(v), rho),
+    )
+
+
+def rho_axis(lo: float = 1.05, hi: float = 3.5, n: int = 50) -> SweepAxis:
+    """Vary the performance bound ``rho`` (points below the minimum
+    feasible bound simply yield infeasible sweep points)."""
+    return SweepAxis(
+        name="rho",
+        label="performance bound rho",
+        values=_linspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg, v),
+    )
+
+
+def idle_power_axis(lo: float = 0.0, hi: float = 5000.0, n: int = 34) -> SweepAxis:
+    """Vary the static power ``Pidle`` (mW)."""
+    return SweepAxis(
+        name="Pidle",
+        label="idle power Pidle (mW)",
+        values=_linspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg.with_idle_power(v), rho),
+    )
+
+
+def io_power_axis(lo: float = 0.0, hi: float = 5000.0, n: int = 34) -> SweepAxis:
+    """Vary the dynamic I/O power ``Pio`` (mW)."""
+    return SweepAxis(
+        name="Pio",
+        label="I/O power Pio (mW)",
+        values=_linspace(lo, hi, n),
+        _apply=lambda cfg, rho, v: (cfg.with_io_power(v), rho),
+    )
+
+
+#: Axis factories by canonical name (the panel order of Figures 8-14).
+_FACTORIES: dict[str, Callable[..., SweepAxis]] = {
+    "C": checkpoint_axis,
+    "V": verification_axis,
+    "lambda": error_rate_axis,
+    "rho": rho_axis,
+    "Pidle": idle_power_axis,
+    "Pio": io_power_axis,
+}
+
+AXIS_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def axis_by_name(name: str, **kwargs) -> SweepAxis:
+    """Build a default axis by canonical name (``C``, ``V``, ``lambda``,
+    ``rho``, ``Pidle``, ``Pio``); ``kwargs`` forward to the factory."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown axis {name!r}; valid names: {', '.join(AXIS_NAMES)}"
+        ) from None
+    return factory(**kwargs)

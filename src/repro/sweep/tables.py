@@ -1,0 +1,120 @@
+"""The Section-4.2 speed-pair tables.
+
+For a configuration and bound ``rho``, the paper tabulates, for every
+first speed ``sigma1``: the best re-execution speed ``sigma2``, the
+optimal pattern size ``Wopt``, and the energy overhead — with "-" where
+no ``sigma2`` makes ``sigma1`` feasible, and the overall best pair in
+bold.  :func:`speed_pair_table` regenerates exactly those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.solution import PatternSolution
+from ..core.solver import solve_bicrit
+from ..exceptions import InfeasibleBoundError
+from ..platforms.configuration import Configuration
+
+__all__ = ["TableRow", "SpeedPairTable", "speed_pair_table"]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a Section-4.2 table (one first speed).
+
+    ``solution`` is ``None`` for the "-" rows (no feasible ``sigma2``);
+    ``is_best`` marks the paper's bold row.
+    """
+
+    sigma1: float
+    solution: PatternSolution | None
+    is_best: bool
+
+    @property
+    def feasible(self) -> bool:
+        """True when this first speed admits a feasible re-execution speed."""
+        return self.solution is not None
+
+    @property
+    def best_sigma2(self) -> float | None:
+        """The energy-minimal re-execution speed, or ``None``."""
+        return self.solution.sigma2 if self.solution else None
+
+    @property
+    def work(self) -> float | None:
+        """``Wopt`` for the row's best pair, or ``None``."""
+        return self.solution.work if self.solution else None
+
+    @property
+    def energy_overhead(self) -> float | None:
+        """Energy overhead for the row's best pair, or ``None``."""
+        return self.solution.energy_overhead if self.solution else None
+
+
+@dataclass(frozen=True)
+class SpeedPairTable:
+    """A full Section-4.2 table: one row per first speed."""
+
+    config_name: str
+    rho: float
+    rows: tuple[TableRow, ...]
+
+    @property
+    def best_row(self) -> TableRow | None:
+        """The bold row (overall energy-minimal pair), if any is feasible."""
+        for row in self.rows:
+            if row.is_best:
+                return row
+        return None
+
+    def row_for(self, sigma1: float) -> TableRow:
+        """The row for a given first speed.
+
+        Raises
+        ------
+        KeyError
+            If ``sigma1`` is not a row of this table.
+        """
+        for row in self.rows:
+            if row.sigma1 == sigma1:
+                return row
+        raise KeyError(f"no row for sigma1={sigma1!r}")
+
+
+def speed_pair_table(cfg: Configuration, rho: float) -> SpeedPairTable:
+    """Regenerate one Section-4.2 table for ``cfg`` under ``rho``.
+
+    The table exists even when the whole problem is infeasible (all rows
+    are then "-" rows), matching how the paper's tables degrade as
+    ``rho`` tightens.
+
+    Examples
+    --------
+    >>> from repro.platforms import get_configuration
+    >>> t = speed_pair_table(get_configuration("hera-xscale"), rho=3.0)
+    >>> t.row_for(0.15).feasible
+    False
+    >>> t.best_row.sigma1
+    0.4
+    """
+    try:
+        solution = solve_bicrit(cfg, rho)
+    except InfeasibleBoundError:
+        rows = tuple(
+            TableRow(sigma1=s1, solution=None, is_best=False) for s1 in cfg.speeds
+        )
+        return SpeedPairTable(config_name=cfg.name, rho=rho, rows=rows)
+
+    best = solution.best
+    rows = []
+    for s1 in cfg.speeds:
+        row_sol = solution.best_for_sigma1(s1)
+        rows.append(
+            TableRow(
+                sigma1=s1,
+                solution=row_sol,
+                is_best=row_sol is not None and row_sol.speed_pair == best.speed_pair,
+            )
+        )
+    return SpeedPairTable(config_name=cfg.name, rho=rho, rows=tuple(rows))

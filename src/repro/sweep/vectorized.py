@@ -1,0 +1,208 @@
+"""Vectorised Theorem-1 solver: whole sweeps in a handful of NumPy ops.
+
+The reference sweep path (:mod:`repro.sweep.runner`) solves one
+configuration at a time — clear, but Python-loop-bound.  Because the
+entire Theorem-1 pipeline (Eq. 2/3 coefficients -> feasibility quadratic
+-> We -> clamp -> energy) is closed-form arithmetic, it vectorises
+perfectly: this module evaluates *all sweep values x all K^2 speed
+pairs at once* on broadcast arrays, then reduces with ``argmin``.
+
+This is the hpc-parallel playbook (vectorise the inner loop, avoid
+Python-level per-item work); the equivalence tests pin it bit-for-bit
+against the scalar solver and the ablation bench measures the speedup
+(typically ~100x on figure-resolution sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..platforms.configuration import Configuration
+from ..sweep.axes import SweepAxis
+
+__all__ = ["GridSolution", "solve_bicrit_grid", "run_sweep_fast"]
+
+
+@dataclass(frozen=True)
+class GridSolution:
+    """Vectorised solver output: one entry per sweep value.
+
+    All arrays have the sweep's length; NaN marks infeasible values.
+    ``*_single`` fields are the diagonal-restricted (one-speed) optimum.
+    """
+
+    values: np.ndarray
+    sigma1: np.ndarray
+    sigma2: np.ndarray
+    work: np.ndarray
+    energy: np.ndarray
+    time: np.ndarray
+    sigma_single: np.ndarray = field(repr=False)
+    work_single: np.ndarray = field(repr=False)
+    energy_single: np.ndarray = field(repr=False)
+
+    def feasible_mask(self) -> np.ndarray:
+        """Values where the two-speed problem is feasible."""
+        return np.isfinite(self.energy)
+
+    def savings_percent(self) -> np.ndarray:
+        """Two-speed saving over the one-speed baseline, per value (%)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return (1.0 - self.energy / self.energy_single) * 100.0
+
+
+def solve_bicrit_grid(
+    *,
+    lam,
+    checkpoint,
+    verification,
+    recovery,
+    kappa,
+    idle_power,
+    io_power,
+    rho,
+    speeds: tuple[float, ...],
+) -> GridSolution:
+    """Solve BiCrit for arrays of parameters in one broadcast pass.
+
+    Every scalar parameter of the model may instead be a 1-D array of
+    length ``n`` (all arrays must share that length; scalars broadcast).
+    Returns per-value optima over the ``K x K`` speed-pair grid and over
+    its diagonal (the single-speed baseline).
+    """
+    n = max(
+        np.size(a)
+        for a in (lam, checkpoint, verification, recovery, kappa, idle_power, io_power, rho)
+    )
+
+    def col(a):
+        # shape (n, 1, 1) for broadcasting against the (K, K) pair grid
+        arr = np.broadcast_to(np.asarray(a, dtype=np.float64), (n,))
+        return arr.reshape(n, 1, 1)
+
+    lam_, C, V, R = col(lam), col(checkpoint), col(verification), col(recovery)
+    kap, p_idle, p_io_dyn, rho_ = col(kappa), col(idle_power), col(io_power), col(rho)
+
+    s = np.asarray(speeds, dtype=np.float64)
+    k = s.size
+    s1 = s.reshape(1, k, 1)  # first speed varies along axis 1
+    s2 = s.reshape(1, 1, k)  # re-execution speed along axis 2
+
+    p1 = kap * s1**3 + p_idle
+    p2 = kap * s2**3 + p_idle
+    p_io = p_io_dyn + p_idle
+
+    # Eq. (2) time coefficients.
+    x_t = 1.0 / s1 + lam_ * (R / s1 + V / (s1 * s2))
+    y_t = lam_ / (s1 * s2)
+    z_t = C + V / s1
+
+    # Theorem-1 feasibility quadratic.
+    b = x_t - rho_
+    disc = b * b - 4.0 * y_t * z_t
+    feasible = (b <= 0.0) & (disc >= 0.0)
+    sq = np.sqrt(np.maximum(disc, 0.0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w_hi = (-b + sq) / (2.0 * y_t)
+        w_lo = z_t / (y_t * w_hi)
+
+    # Eq. (3) energy coefficients and Eq. (5) We.
+    x_e = p1 / s1 + lam_ * R * p_io / s1 + lam_ * V * p1 / (s1 * s2)
+    y_e = lam_ * p2 / (s1 * s2)
+    z_e = C * p_io + V * p1 / s1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w_e = np.sqrt(z_e / y_e)
+        w_opt = np.clip(w_e, w_lo, w_hi)
+        energy = x_e + y_e * w_opt + z_e / w_opt
+        time = x_t + y_t * w_opt + z_t / w_opt
+
+    energy = np.where(feasible, energy, np.inf)
+
+    def reduce(energy_grid, mask):
+        """argmin over the pair grid (optionally masked) per value."""
+        e = np.where(mask, energy_grid, np.inf)
+        flat = e.reshape(n, -1)
+        idx = np.argmin(flat, axis=1)
+        best_e = flat[np.arange(n), idx]
+        ok = np.isfinite(best_e)
+        i1, i2 = np.unravel_index(idx, (k, k))
+        out_s1 = np.where(ok, s[i1], np.nan)
+        out_s2 = np.where(ok, s[i2], np.nan)
+        w = w_opt.reshape(n, -1)[np.arange(n), idx]
+        t = time.reshape(n, -1)[np.arange(n), idx]
+        return (
+            out_s1,
+            out_s2,
+            np.where(ok, w, np.nan),
+            np.where(ok, best_e, np.nan),
+            np.where(ok, t, np.nan),
+        )
+
+    all_mask = np.ones((1, k, k), dtype=bool)
+    diag_mask = np.eye(k, dtype=bool).reshape(1, k, k)
+    b1, b2, bw, be, bt = reduce(energy, all_mask)
+    d1, _, dw, de, _ = reduce(energy, diag_mask)
+
+    return GridSolution(
+        values=np.arange(n, dtype=float),
+        sigma1=b1,
+        sigma2=b2,
+        work=bw,
+        energy=be,
+        time=bt,
+        sigma_single=d1,
+        work_single=dw,
+        energy_single=de,
+    )
+
+
+def run_sweep_fast(cfg: Configuration, rho: float, axis: SweepAxis) -> GridSolution:
+    """Vectorised equivalent of :func:`repro.sweep.runner.run_sweep`.
+
+    Builds the parameter arrays implied by the axis (only the swept
+    parameter varies; the rest broadcast) and solves the whole sweep in
+    one :func:`solve_bicrit_grid` call.  The equivalence tests assert it
+    matches the scalar path exactly.
+    """
+    vals = np.asarray(axis.values, dtype=np.float64)
+    params = {
+        "lam": cfg.lam,
+        "checkpoint": cfg.checkpoint_time,
+        "verification": cfg.verification_time,
+        "recovery": cfg.recovery_time,
+        "kappa": cfg.processor.kappa,
+        "idle_power": cfg.processor.idle_power,
+        "io_power": cfg.io_power,
+        "rho": rho,
+    }
+    name = axis.name
+    if name == "C":
+        params["checkpoint"] = vals
+        params["recovery"] = vals  # R tracks C (Section 4.1)
+    elif name == "V":
+        params["verification"] = vals
+    elif name == "lambda":
+        params["lam"] = vals
+    elif name == "rho":
+        params["rho"] = vals
+    elif name == "Pidle":
+        params["idle_power"] = vals
+    elif name == "Pio":
+        params["io_power"] = vals
+    else:  # pragma: no cover - new axes must be registered here
+        raise KeyError(f"axis {name!r} has no vectorised mapping")
+
+    out = solve_bicrit_grid(speeds=cfg.speeds, **params)
+    return GridSolution(
+        values=vals,
+        sigma1=out.sigma1,
+        sigma2=out.sigma2,
+        work=out.work,
+        energy=out.energy,
+        time=out.time,
+        sigma_single=out.sigma_single,
+        work_single=out.work_single,
+        energy_single=out.energy_single,
+    )

@@ -1,0 +1,81 @@
+"""Unit tests for the 2-D optimal-pair region maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import map_regions
+from repro.sweep.axes import checkpoint_axis, error_rate_axis, rho_axis
+
+
+class TestMapRegions:
+    @pytest.fixture
+    def small_map(self, hera_xscale):
+        return map_regions(
+            hera_xscale,
+            3.0,
+            checkpoint_axis(lo=100.0, hi=4000.0, n=5),
+            error_rate_axis(lo=1e-6, hi=1e-4, n=5),
+        )
+
+    def test_shape(self, small_map):
+        assert small_map.shape == (5, 5)
+        assert small_map.sigma1.shape == (5, 5)
+
+    def test_cells_match_scalar_solver(self, hera_xscale, small_map):
+        from repro.core.solver import solve_bicrit
+
+        # Spot-check a cell against the scalar path.
+        i, j = 2, 3
+        cfg = hera_xscale.with_checkpoint_time(float(small_map.x_values[i]))
+        cfg = cfg.with_error_rate(float(small_map.y_values[j]))
+        best = solve_bicrit(cfg, 3.0).best
+        assert small_map.sigma1[i, j] == best.sigma1
+        assert small_map.sigma2[i, j] == best.sigma2
+
+    def test_savings_nonnegative(self, small_map):
+        s = small_map.savings
+        finite = np.isfinite(s)
+        assert np.all(s[finite] >= -1e-9)
+
+    def test_distinct_pairs_nonempty(self, small_map):
+        pairs = small_map.distinct_pairs()
+        assert len(pairs) >= 1
+        for s1, s2 in pairs:
+            assert s1 > 0 and s2 > 0
+
+    def test_two_speed_region_fraction_in_unit_interval(self, small_map):
+        frac = small_map.fraction_two_speed()
+        assert 0.0 <= frac <= 1.0
+
+    def test_infeasible_cells_nan(self, hera_xscale):
+        # rho on one axis: the tight-rho rows are infeasible.
+        m = map_regions(
+            hera_xscale,
+            3.0,
+            rho_axis(lo=1.01, hi=3.5, n=6),
+            checkpoint_axis(lo=100.0, hi=1000.0, n=3),
+        )
+        mask = m.feasible_mask()
+        assert not mask[0].any()   # rho = 1.01 infeasible everywhere
+        assert mask[-1].all()      # rho = 3.5 feasible everywhere
+
+    def test_same_axis_twice_rejected(self, hera_xscale):
+        with pytest.raises(ValueError):
+            map_regions(hera_xscale, 3.0, checkpoint_axis(n=3), checkpoint_axis(n=3))
+
+    def test_two_speed_region_grows_with_checkpoint_cost(self, atlas_crusoe):
+        # Figure 2's lesson in 2-D: large C is where the second speed
+        # pays, so the high-C half of the (C, V) grid must contain the
+        # bulk of the two-speed region.
+        m = map_regions(
+            atlas_crusoe,
+            3.0,
+            checkpoint_axis(lo=100.0, hi=5000.0, n=8),
+            error_rate_axis(lo=5e-6, hi=5e-5, n=4),
+        )
+        region = m.two_speed_region()
+        low_c = region[:4].sum()
+        high_c = region[4:].sum()
+        assert high_c >= low_c

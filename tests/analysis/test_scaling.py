@@ -1,0 +1,71 @@
+"""Unit tests for the power-law scaling fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_recovery(self):
+        x = np.logspace(-6, -2, 12)
+        fit = fit_power_law(x, 3.5 * x**-0.75)
+        assert fit.exponent == pytest.approx(-0.75, abs=1e-10)
+        assert fit.prefactor == pytest.approx(3.5, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_roundtrip(self):
+        x = np.logspace(1, 3, 8)
+        y = 2.0 * x**0.5
+        fit = fit_power_law(x, y)
+        np.testing.assert_allclose(fit.predict(x), y, rtol=1e-9)
+
+    def test_noise_lowers_r_squared(self):
+        rng = np.random.default_rng(0)
+        x = np.logspace(-6, -2, 40)
+        y = x**-0.5 * np.exp(rng.normal(0, 0.3, x.size))
+        fit = fit_power_law(x, y)
+        assert fit.r_squared < 1.0
+        assert fit.exponent == pytest.approx(-0.5, abs=0.15)
+
+    def test_young_daly_exponent_from_model(self, hera_xscale):
+        # We = Theta(lambda^{-1/2}) out of Eq. (5).
+        from repro.core.optimum import energy_optimal_work
+
+        lams = np.logspace(-7, -3, 9)
+        works = [
+            energy_optimal_work(hera_xscale.with_error_rate(float(l)), 0.4, 0.4)
+            for l in lams
+        ]
+        fit = fit_power_law(lams, works)
+        assert fit.exponent == pytest.approx(-0.5, abs=1e-9)
+
+    def test_theorem2_exponent_from_exact_model(self):
+        # The headline Theorem-2 check: fail-stop only, sigma2 = 2 sigma1,
+        # Wopt from the exact model scales as lambda^{-2/3}.
+        from repro.errors import CombinedErrors
+        from repro.failstop.solver import time_optimal_work
+        from repro.platforms import Configuration, Platform, XSCALE
+
+        lams = np.logspace(-7, -4, 7)
+        works = []
+        for lam in lams:
+            cfg = Configuration(
+                platform=Platform("fs", float(lam), 300.0, 0.0), processor=XSCALE
+            )
+            works.append(
+                time_optimal_work(cfg, CombinedErrors(float(lam), 1.0), 0.4, 0.8)
+            )
+        fit = fit_power_law(lams, works)
+        assert fit.exponent == pytest.approx(-2 / 3, abs=0.01)
+        assert fit.r_squared > 0.9999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, 2.0])  # too few points
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0, -3.0], [1.0, 2.0, 3.0])  # negative x
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])  # shape mismatch

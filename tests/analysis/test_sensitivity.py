@@ -1,0 +1,106 @@
+"""Unit tests for the parameter-elasticity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import parameter_elasticities
+
+
+class TestElasticities:
+    @pytest.fixture(scope="class")
+    def el(self):
+        from repro.platforms import get_configuration
+
+        return parameter_elasticities(get_configuration("hera-xscale"), 3.0)
+
+    def test_all_six_parameters_covered(self, el):
+        assert set(el.values) == {"C", "V", "lambda", "Pidle", "Pio", "rho"}
+
+    def test_costs_have_positive_elasticity(self, el):
+        # More expensive checkpoints / verifications / errors / power can
+        # only raise the optimal energy.
+        for p in ("C", "V", "lambda", "Pidle", "Pio"):
+            assert el.values[p] is not None
+            assert el.values[p] >= 0, p
+
+    def test_rho_inactive_at_loose_bound(self, el):
+        # At rho = 3 the Hera/XScale optimum is unconstrained (We is
+        # interior), so the bound has zero local effect.
+        assert el.values["rho"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rho_active_at_tight_bound(self):
+        # rho = 1.8 binds (the (0.6, 0.6) optimum achieves exactly 1.8;
+        # rho = 1.5 would sit in the unconstrained plateau of (0.8, 0.4)
+        # where the elasticity is legitimately zero).
+        from repro.platforms import get_configuration
+
+        el = parameter_elasticities(get_configuration("hera-xscale"), 1.8)
+        # Active bound: relaxing rho buys energy, elasticity negative.
+        assert el.values["rho"] is not None
+        assert el.values["rho"] < 0
+
+    def test_sqrt_law_elasticities_match_theory(self, el):
+        # At an interior optimum E* = x_E + 2 sqrt(y_E z_E); for the
+        # rare-error catalog regime x_E dominates and both C and lambda
+        # enter only the sqrt term, so epsilon_C ~ epsilon_lambda ~
+        # sqrt(y z)/E* * (their share).  Check they are small and that
+        # C and lambda have comparable magnitudes.
+        eps_c = el.values["C"]
+        eps_lam = el.values["lambda"]
+        assert 0 < eps_c < 0.1
+        assert 0 < eps_lam < 0.1
+        assert eps_c == pytest.approx(eps_lam, rel=0.5)
+
+    def test_ranking(self, el):
+        ranked = el.ranked()
+        mags = [abs(v) for _, v in ranked]
+        assert mags == sorted(mags, reverse=True)
+        assert el.most_influential() == ranked[0][0]
+
+    def test_zero_base_value_skipped(self, toy_config):
+        cfg = toy_config.with_verification_time(0.0)
+        el = parameter_elasticities(cfg, 3.0)
+        assert el.values["V"] is None
+
+    def test_infeasible_perturbation_skipped(self):
+        from repro.core.feasibility import min_performance_bound_config
+        from repro.platforms import get_configuration
+
+        cfg = get_configuration("hera-xscale")
+        rho_edge = min_performance_bound_config(cfg) * 1.005
+        el = parameter_elasticities(cfg, rho_edge, rel_step=0.02)
+        # Perturbing rho downward by 2% crosses the feasibility edge.
+        assert el.values["rho"] is None
+
+    def test_parameter_subset(self):
+        from repro.platforms import get_configuration
+
+        el = parameter_elasticities(
+            get_configuration("hera-xscale"), 3.0, parameters=("C", "lambda")
+        )
+        assert set(el.values) == {"C", "lambda"}
+
+    def test_unknown_parameter_rejected(self):
+        from repro.platforms import get_configuration
+
+        with pytest.raises(KeyError):
+            parameter_elasticities(
+                get_configuration("hera-xscale"), 3.0, parameters=("bogus",)
+            )
+
+    def test_invalid_step(self):
+        from repro.platforms import get_configuration
+
+        with pytest.raises(ValueError):
+            parameter_elasticities(get_configuration("hera-xscale"), 3.0, rel_step=0.9)
+
+    def test_finite_difference_consistency(self):
+        # Halving the step barely moves the estimate (the underlying
+        # map is smooth between crossovers).
+        from repro.platforms import get_configuration
+
+        cfg = get_configuration("hera-xscale")
+        a = parameter_elasticities(cfg, 3.0, rel_step=0.02).values["C"]
+        b = parameter_elasticities(cfg, 3.0, rel_step=0.01).values["C"]
+        assert a == pytest.approx(b, rel=0.05)

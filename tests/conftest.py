@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.platforms import (
+    Configuration,
+    Platform,
+    Processor,
+    all_configurations,
+    get_configuration,
+)
+
+
+@pytest.fixture
+def hera_xscale() -> Configuration:
+    """The paper's Hera/XScale configuration (Section 4.2 tables)."""
+    return get_configuration("hera-xscale")
+
+
+@pytest.fixture
+def atlas_crusoe() -> Configuration:
+    """The paper's Atlas/Crusoe configuration (Figures 2-7)."""
+    return get_configuration("atlas-crusoe")
+
+
+@pytest.fixture(params=[
+    "hera-xscale", "atlas-xscale", "coastal-xscale", "coastal-ssd-xscale",
+    "hera-crusoe", "atlas-crusoe", "coastal-crusoe", "coastal-ssd-crusoe",
+])
+def any_config(request) -> Configuration:
+    """Parametrised over all eight paper configurations."""
+    return get_configuration(request.param)
+
+
+@pytest.fixture
+def all_configs() -> tuple[Configuration, ...]:
+    """All eight configurations at once."""
+    return all_configurations()
+
+
+@pytest.fixture
+def toy_config() -> Configuration:
+    """A small, fast configuration with a high error rate.
+
+    High lambda makes Monte-Carlo effects visible with few samples and
+    exercises the re-execution paths heavily.
+    """
+    platform = Platform(
+        name="Toy",
+        error_rate=1e-3,
+        checkpoint_time=20.0,
+        verification_time=5.0,
+    )
+    processor = Processor(
+        name="ToyCPU",
+        speeds=(0.5, 1.0),
+        kappa=100.0,
+        idle_power=10.0,
+    )
+    return Configuration(platform=platform, processor=processor)
+
+
+@pytest.fixture
+def combined_half() -> CombinedErrors:
+    """A 50/50 fail-stop/silent split at a visible rate."""
+    return CombinedErrors(total_rate=1e-3, failstop_fraction=0.5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for simulation tests."""
+    return np.random.default_rng(20160601)

@@ -1,0 +1,141 @@
+"""Unit tests for the Theorem-1 feasibility quadratic and Eq. (6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import (
+    QuadraticCoefficients,
+    feasibility_quadratic,
+    feasible_interval,
+    min_performance_bound,
+    min_performance_bound_config,
+)
+from repro.core.firstorder import time_coefficients, time_overhead_fo
+
+
+class TestQuadratic:
+    def test_coefficients_from_eq2(self, hera_xscale):
+        cfg = hera_xscale
+        rho = 3.0
+        q = feasibility_quadratic(cfg, 0.4, 0.4, rho)
+        c = time_coefficients(cfg, 0.4, 0.4)
+        assert q.a == pytest.approx(c.y)
+        assert q.b == pytest.approx(c.x - rho)
+        assert q.c == pytest.approx(c.z)
+
+    def test_feasible_iff_bound_above_minimum(self, hera_xscale):
+        rho_min = min_performance_bound(hera_xscale, 0.4, 0.4)
+        assert feasibility_quadratic(hera_xscale, 0.4, 0.4, rho_min * 1.001).is_feasible
+        assert not feasibility_quadratic(
+            hera_xscale, 0.4, 0.4, rho_min * 0.999
+        ).is_feasible
+
+    def test_roots_bracket_feasible_region(self, hera_xscale):
+        q = feasibility_quadratic(hera_xscale, 0.4, 0.4, 3.0)
+        w1, w2 = q.roots()
+        assert 0 < w1 < w2
+        # Interior feasible, exterior infeasible.
+        assert q.violation((w1 + w2) / 2) < 0
+        assert q.violation(w1 * 0.9) > 0
+        assert q.violation(w2 * 1.1) > 0
+
+    def test_roots_raise_when_infeasible(self, hera_xscale):
+        q = feasibility_quadratic(hera_xscale, 0.15, 0.15, 3.0)
+        assert not q.is_feasible
+        with pytest.raises(ValueError):
+            q.roots()
+
+    def test_roots_numerically_stable(self):
+        # a tiny, b O(1): the naive formula loses the small root.
+        q = QuadraticCoefficients(a=1e-12, b=-1.0, c=1e-3)
+        w1, w2 = q.roots()
+        # Exact small root ~ c / |b| = 1e-3 (Vieta).
+        assert w1 == pytest.approx(1e-3, rel=1e-6)
+        assert w1 * w2 == pytest.approx(q.c / q.a, rel=1e-9)
+
+    def test_degenerate_double_root(self):
+        # b = -2 sqrt(ac): W1 == W2.
+        a, c = 1e-6, 400.0
+        b = -2 * math.sqrt(a * c)
+        q = QuadraticCoefficients(a=a, b=b, c=c)
+        w1, w2 = q.roots()
+        assert w1 == pytest.approx(w2, rel=1e-6)
+        assert w1 == pytest.approx(math.sqrt(c / a), rel=1e-6)
+
+
+class TestFeasibleInterval:
+    def test_none_when_infeasible(self, hera_xscale):
+        # 0.15 cannot meet rho=3 (1/0.15 > 3) on Hera/XScale.
+        assert feasible_interval(hera_xscale, 0.15, 0.15, 3.0) is None
+
+    def test_time_overhead_at_roots_equals_rho(self, hera_xscale):
+        rho = 3.0
+        w1, w2 = feasible_interval(hera_xscale, 0.4, 0.8, rho)
+        assert time_overhead_fo(hera_xscale, w1, 0.4, 0.8) == pytest.approx(rho, rel=1e-9)
+        assert time_overhead_fo(hera_xscale, w2, 0.4, 0.8) == pytest.approx(rho, rel=1e-9)
+
+    def test_interval_widens_with_rho(self, hera_xscale):
+        w1a, w2a = feasible_interval(hera_xscale, 0.4, 0.4, 3.0)
+        w1b, w2b = feasible_interval(hera_xscale, 0.4, 0.4, 8.0)
+        assert w1b < w1a and w2b > w2a
+
+
+class TestEquation6:
+    def test_closed_form(self, hera_xscale):
+        cfg = hera_xscale
+        si, sj = 0.4, 0.8
+        lam, V, R, C = cfg.lam, cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
+        expected = (
+            1 / si
+            + 2 * math.sqrt((C + V / si) * lam / (si * sj))
+            + lam * (R / si + V / (si * sj))
+        )
+        assert min_performance_bound(cfg, si, sj) == pytest.approx(expected, rel=1e-12)
+
+    def test_dominated_by_inverse_speed(self, hera_xscale):
+        # rho_min ~ 1/sigma_i for small lambda.
+        for s in hera_xscale.speeds:
+            assert min_performance_bound(hera_xscale, s, s) > 1 / s
+            assert min_performance_bound(hera_xscale, s, s) < 1 / s * 1.2
+
+    def test_paper_feasibility_pattern_rho3(self, hera_xscale):
+        # At rho=3 only sigma1 = 0.15 is excluded (paper table, rho=3).
+        for s1 in hera_xscale.speeds:
+            feasible_any = any(
+                min_performance_bound(hera_xscale, s1, s2) <= 3.0
+                for s2 in hera_xscale.speeds
+            )
+            assert feasible_any == (s1 != 0.15)
+
+    def test_paper_feasibility_pattern_rho14(self, hera_xscale):
+        # At rho=1.4 only 0.8 and 1.0 remain (paper table, rho=1.4).
+        for s1 in hera_xscale.speeds:
+            feasible_any = any(
+                min_performance_bound(hera_xscale, s1, s2) <= 1.4
+                for s2 in hera_xscale.speeds
+            )
+            assert feasible_any == (s1 in (0.8, 1.0))
+
+    def test_config_minimum_over_pairs(self, hera_xscale):
+        rho_min = min_performance_bound_config(hera_xscale)
+        all_bounds = [
+            min_performance_bound(hera_xscale, s1, s2)
+            for s1 in hera_xscale.speeds
+            for s2 in hera_xscale.speeds
+        ]
+        assert rho_min == pytest.approx(min(all_bounds))
+
+    def test_boundary_bound_admits_exactly_one_pattern(self, hera_xscale):
+        # Just above rho_{i,j} the interval degenerates to ~sqrt(c/a).
+        # (Exactly at rho_{i,j} the discriminant can round below zero, so
+        # the bound is nudged by 1e-9 relative.)
+        s1, s2 = 0.6, 0.8
+        rho = min_performance_bound(hera_xscale, s1, s2) * (1 + 1e-9)
+        w1, w2 = feasible_interval(hera_xscale, s1, s2, rho)
+        assert w1 == pytest.approx(w2, rel=1e-3)
+        q = feasibility_quadratic(hera_xscale, s1, s2, rho)
+        assert w1 == pytest.approx(math.sqrt(q.c / q.a), rel=1e-3)

@@ -1,0 +1,135 @@
+"""Unit tests for the first-order overheads (Equations 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import exact
+from repro.core.firstorder import (
+    OverheadCoefficients,
+    energy_coefficients,
+    energy_overhead_fo,
+    time_coefficients,
+    time_overhead_fo,
+)
+
+
+class TestOverheadCoefficients:
+    def test_evaluate(self):
+        c = OverheadCoefficients(x=1.0, y=2.0, z=8.0)
+        assert c.evaluate(2.0) == pytest.approx(1.0 + 4.0 + 4.0)
+
+    def test_unconstrained_minimiser(self):
+        c = OverheadCoefficients(x=0.0, y=2.0, z=8.0)
+        assert c.unconstrained_minimiser() == pytest.approx(2.0)
+
+    def test_minimum_value(self):
+        c = OverheadCoefficients(x=1.0, y=2.0, z=8.0)
+        assert c.minimum_value() == pytest.approx(1.0 + 2.0 * 4.0)
+
+    def test_minimiser_is_argmin(self):
+        c = OverheadCoefficients(x=0.5, y=3e-6, z=450.0)
+        w_star = c.unconstrained_minimiser()
+        grid = np.linspace(w_star * 0.2, w_star * 5, 2001)
+        vals = c.evaluate(grid)
+        assert c.evaluate(w_star) <= vals.min() + 1e-12
+
+    def test_negative_linear_coefficient_rejected(self):
+        with pytest.raises(ValueError, match="y="):
+            OverheadCoefficients(x=0.0, y=-1.0, z=8.0).unconstrained_minimiser()
+
+    def test_zero_fixed_cost_rejected(self):
+        with pytest.raises(ValueError, match="z="):
+            OverheadCoefficients(x=0.0, y=1.0, z=0.0).unconstrained_minimiser()
+
+    def test_evaluate_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            OverheadCoefficients(1.0, 1.0, 1.0).evaluate(0.0)
+
+
+class TestTimeCoefficients:
+    def test_equation_2_terms(self, hera_xscale):
+        cfg = hera_xscale
+        s1, s2 = 0.4, 0.8
+        c = time_coefficients(cfg, s1, s2)
+        lam, V, R, C = cfg.lam, cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
+        assert c.x == pytest.approx(1 / s1 + lam * (R / s1 + V / (s1 * s2)))
+        assert c.y == pytest.approx(lam / (s1 * s2))
+        assert c.z == pytest.approx(C + V / s1)
+
+    def test_default_sigma2(self, hera_xscale):
+        assert time_coefficients(hera_xscale, 0.6) == time_coefficients(
+            hera_xscale, 0.6, 0.6
+        )
+
+    def test_approximates_exact_to_first_order(self, any_config):
+        # At W = Theta(lambda^-1/2) the dominant neglected term is
+        # lambda^2 W^2 = Theta(lambda), so a 100x rate drop shrinks the
+        # gap by ~100x (and the gap itself is tiny).
+        cfg = any_config
+        s1, s2 = cfg.speeds[1], cfg.speeds[-1]
+        gaps = []
+        for factor in (1.0, 0.01):
+            c = cfg.with_error_rate(cfg.lam * factor)
+            w = (c.checkpoint_time / c.lam) ** 0.5  # Theta(lambda^-1/2)
+            gaps.append(
+                abs(
+                    exact.time_overhead(c, w, s1, s2)
+                    - time_overhead_fo(c, w, s1, s2)
+                )
+            )
+        assert gaps[1] < gaps[0] / 50
+        assert gaps[0] < 1e-2  # absolute gap already negligible
+
+
+class TestEnergyCoefficients:
+    def test_equation_3_terms(self, hera_xscale):
+        cfg = hera_xscale
+        s1, s2 = 0.4, 0.8
+        c = energy_coefficients(cfg, s1, s2)
+        lam, V, R, C = cfg.lam, cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
+        pm = cfg.power
+        p_io, p1, p2 = pm.io_total_power(), pm.compute_power(s1), pm.compute_power(s2)
+        assert c.x == pytest.approx(
+            p1 / s1 + lam * R * p_io / s1 + lam * V * p1 / (s1 * s2)
+        )
+        assert c.y == pytest.approx(lam * p2 / (s1 * s2))
+        assert c.z == pytest.approx(C * p_io + V * p1 / s1)
+
+    def test_paper_value_hera_xscale(self, hera_xscale):
+        # The paper's table: (0.4, 0.4) at Wopt = 2764 gives E/W = 416.
+        e = energy_overhead_fo(hera_xscale, 2764.0, 0.4, 0.4)
+        assert round(e) in (416, 417)
+
+    def test_approximates_exact(self, hera_xscale):
+        w = 2764.0
+        fo = energy_overhead_fo(hera_xscale, w, 0.4, 0.4)
+        ex = exact.energy_overhead(hera_xscale, w, 0.4, 0.4)
+        assert fo == pytest.approx(ex, rel=1e-3)
+
+    def test_energy_exceeds_time_times_compute_power_floor(self, hera_xscale):
+        # E/W >= (T/W) * min power is a loose sanity bound with Pidle>0.
+        w = 2764.0
+        t = time_overhead_fo(hera_xscale, w, 0.4, 0.4)
+        e = energy_overhead_fo(hera_xscale, w, 0.4, 0.4)
+        assert e > t * hera_xscale.power.idle
+
+
+class TestSpeedRelations:
+    def test_time_floor_decreases_with_sigma1(self, hera_xscale):
+        # The dominant 1/sigma1 term: higher first speed = lower bound.
+        t_slow = time_coefficients(hera_xscale, 0.4, 0.4).x
+        t_fast = time_coefficients(hera_xscale, 1.0, 0.4).x
+        assert t_fast < t_slow
+
+    def test_linear_term_decreases_with_sigma2(self, hera_xscale):
+        y_slow = time_coefficients(hera_xscale, 0.4, 0.4).y
+        y_fast = time_coefficients(hera_xscale, 0.4, 1.0).y
+        assert y_fast < y_slow
+
+    def test_invalid_speeds_rejected(self, hera_xscale):
+        with pytest.raises(ValueError):
+            time_coefficients(hera_xscale, 0.0)
+        with pytest.raises(ValueError):
+            energy_coefficients(hera_xscale, 0.4, -1.0)

@@ -1,0 +1,107 @@
+"""Unit tests for the exact-numeric BiCrit cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import exact
+from repro.core.numeric import (
+    exact_feasible_interval,
+    minimize_unimodal,
+    solve_bicrit_exact,
+    solve_pair_exact,
+)
+from repro.core.solver import solve_bicrit
+from repro.exceptions import InfeasibleBoundError
+
+
+class TestMinimizeUnimodal:
+    def test_quadratic(self):
+        x, v = minimize_unimodal(lambda w: (w - 1234.0) ** 2 + 7.0, 1.0, 1e6)
+        assert x == pytest.approx(1234.0, rel=1e-4)
+        assert v == pytest.approx(7.0, abs=1e-3)
+
+    def test_young_daly_shape(self):
+        # x + yW + z/W: argmin sqrt(z/y).
+        y, z = 3e-6, 450.0
+        x, _ = minimize_unimodal(lambda w: 1.0 + y * w + z / w)
+        assert x == pytest.approx(np.sqrt(z / y), rel=1e-4)
+
+    def test_handles_overflowing_tail(self, hera_xscale):
+        # The exact overhead overflows for giant W; the scan must not
+        # crash or return inf as the minimum.
+        fn = lambda w: float(exact.time_overhead(hera_xscale, w, 0.4, 0.4))
+        with np.errstate(over="ignore"):
+            x, v = minimize_unimodal(fn)
+        assert np.isfinite(v)
+        assert 100 < x < 1e6
+
+
+class TestExactFeasibleInterval:
+    def test_close_to_first_order_interval(self, hera_xscale):
+        from repro.core.feasibility import feasible_interval
+
+        rho = 3.0
+        exact_iv = exact_feasible_interval(hera_xscale, 0.4, 0.4, rho)
+        fo_iv = feasible_interval(hera_xscale, 0.4, 0.4, rho)
+        assert exact_iv is not None
+        # The left end sits at small W where lambda*W is tiny: tight
+        # agreement.  The right end sits where lambda*W/sigma ~ 0.2, so
+        # the exponential deviates from its linearisation by ~10%.
+        assert exact_iv[0] == pytest.approx(fo_iv[0], rel=0.02)
+        assert exact_iv[1] == pytest.approx(fo_iv[1], rel=0.15)
+        # The exact interval is strictly inside the linearised one on the
+        # right (the exponential exceeds its tangent line).
+        assert exact_iv[1] < fo_iv[1]
+
+    def test_overhead_at_ends_equals_rho(self, hera_xscale):
+        rho = 2.0
+        w1, w2 = exact_feasible_interval(hera_xscale, 0.6, 0.8, rho)
+        assert exact.time_overhead(hera_xscale, w1, 0.6, 0.8) == pytest.approx(rho, rel=1e-8)
+        assert exact.time_overhead(hera_xscale, w2, 0.6, 0.8) == pytest.approx(rho, rel=1e-8)
+
+    def test_none_when_infeasible(self, hera_xscale):
+        assert exact_feasible_interval(hera_xscale, 0.15, 0.15, 3.0) is None
+
+
+class TestSolvePairExact:
+    def test_close_to_theorem1(self, hera_xscale):
+        # Exact-numeric Wopt vs the closed form: sub-percent agreement
+        # in the paper's regime (the ablation bench quantifies this).
+        from repro.core.optimum import optimal_work
+
+        sol = solve_pair_exact(hera_xscale, 0.4, 0.4, 3.0)
+        w_fo = optimal_work(hera_xscale, 0.4, 0.4, 3.0)
+        assert sol.work == pytest.approx(w_fo, rel=0.02)
+
+    def test_respects_bound(self, hera_xscale):
+        sol = solve_pair_exact(hera_xscale, 0.6, 0.8, 1.775)
+        assert sol.time_overhead <= 1.775 + 1e-9
+
+    def test_interior_optimality(self, hera_xscale):
+        sol = solve_pair_exact(hera_xscale, 0.4, 0.4, 8.0)
+        w1, w2 = sol.interval
+        grid = np.linspace(max(w1, sol.work * 0.5), min(w2, sol.work * 2), 2001)
+        vals = exact.energy_overhead(hera_xscale, grid, 0.4, 0.4)
+        assert sol.energy_overhead <= vals.min() + 1e-9
+
+    def test_none_when_infeasible(self, hera_xscale):
+        assert solve_pair_exact(hera_xscale, 0.15, 0.15, 3.0) is None
+
+
+class TestSolveBicritExact:
+    def test_same_winner_as_first_order(self, hera_xscale):
+        for rho in (1.4, 1.775, 3.0, 8.0):
+            ex = solve_bicrit_exact(hera_xscale, rho)
+            fo = solve_bicrit(hera_xscale, rho)
+            assert (ex.sigma1, ex.sigma2) == fo.best.speed_pair
+
+    def test_energy_close_to_first_order(self, atlas_crusoe):
+        ex = solve_bicrit_exact(atlas_crusoe, 3.0)
+        fo = solve_bicrit(atlas_crusoe, 3.0)
+        assert ex.energy_overhead == pytest.approx(fo.best.energy_overhead, rel=0.01)
+
+    def test_infeasible_raises(self, hera_xscale):
+        with pytest.raises(InfeasibleBoundError):
+            solve_bicrit_exact(hera_xscale, 1.0)

@@ -1,0 +1,109 @@
+"""Unit tests for Equations (4)/(5): We and the Wopt clamp."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import feasible_interval
+from repro.core.firstorder import energy_overhead_fo
+from repro.core.optimum import clamp_to_interval, energy_optimal_work, optimal_work
+
+
+class TestEquation5:
+    def test_closed_form(self, hera_xscale):
+        cfg = hera_xscale
+        s1, s2 = 0.4, 0.4
+        lam, V, C = cfg.lam, cfg.verification_time, cfg.checkpoint_time
+        pm = cfg.power
+        num = C * pm.io_total_power() + V / s1 * pm.compute_power(s1)
+        den = lam / (s1 * s2) * pm.compute_power(s2)
+        assert energy_optimal_work(cfg, s1, s2) == pytest.approx(math.sqrt(num / den))
+
+    def test_paper_value_0404(self, hera_xscale):
+        # Hera/XScale (0.4, 0.4): We = 2764 (paper tables rho=8 and rho=3).
+        assert round(energy_optimal_work(hera_xscale, 0.4, 0.4)) == 2764
+
+    def test_paper_value_01504(self, hera_xscale):
+        # Hera/XScale (0.15, 0.4): We = 1711 (paper table rho=8).
+        assert round(energy_optimal_work(hera_xscale, 0.15, 0.4)) == 1711
+
+    def test_is_argmin_of_fo_energy(self, any_config):
+        cfg = any_config
+        s1, s2 = cfg.speeds[0], cfg.speeds[-1]
+        we = energy_optimal_work(cfg, s1, s2)
+        grid = np.linspace(we * 0.3, we * 3, 4001)
+        vals = energy_overhead_fo(cfg, grid, s1, s2)
+        assert energy_overhead_fo(cfg, we, s1, s2) <= vals.min() + 1e-9
+
+    def test_scaling_with_error_rate(self, hera_xscale):
+        # We = Theta(lambda^{-1/2}): 100x rate -> 10x smaller We.
+        w1 = energy_optimal_work(hera_xscale, 0.4, 0.4)
+        w2 = energy_optimal_work(hera_xscale.with_error_rate(hera_xscale.lam * 100), 0.4, 0.4)
+        assert w1 / w2 == pytest.approx(10.0, rel=1e-9)
+
+    def test_grows_with_checkpoint_cost(self, hera_xscale):
+        w_small = energy_optimal_work(hera_xscale, 0.4, 0.4)
+        w_large = energy_optimal_work(hera_xscale.with_checkpoint_time(3000.0), 0.4, 0.4)
+        assert w_large > w_small
+
+
+class TestClamp:
+    def test_interior_untouched(self):
+        assert clamp_to_interval(5.0, (1.0, 10.0)) == 5.0
+
+    def test_clamped_low(self):
+        assert clamp_to_interval(0.5, (1.0, 10.0)) == 1.0
+
+    def test_clamped_high(self):
+        assert clamp_to_interval(50.0, (1.0, 10.0)) == 10.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            clamp_to_interval(5.0, (10.0, 1.0))
+
+
+class TestOptimalWork:
+    def test_none_when_infeasible(self, hera_xscale):
+        assert optimal_work(hera_xscale, 0.15, 0.15, 3.0) is None
+
+    def test_unconstrained_when_we_feasible(self, hera_xscale):
+        # rho=8 is loose: Wopt = We for (0.4, 0.4).
+        assert optimal_work(hera_xscale, 0.4, 0.4, 8.0) == pytest.approx(
+            energy_optimal_work(hera_xscale, 0.4, 0.4)
+        )
+
+    def test_clamped_when_we_violates_bound(self, hera_xscale):
+        # Find a tight rho where We falls outside [W1, W2].
+        s1, s2 = 0.6, 0.8
+        we = energy_optimal_work(hera_xscale, s1, s2)
+        rho = 1.775  # paper's table: this pair is active and constrained
+        interval = feasible_interval(hera_xscale, s1, s2, rho)
+        assert interval is not None
+        w1, w2 = interval
+        wopt = optimal_work(hera_xscale, s1, s2, rho)
+        assert wopt == pytest.approx(min(max(w1, we), w2))
+        # The paper's number for this cell.
+        assert round(wopt) in (4251, 4252)
+
+    def test_wopt_always_within_interval(self, any_config):
+        cfg = any_config
+        rho = 3.0
+        for s1 in cfg.speeds:
+            for s2 in cfg.speeds:
+                w = optimal_work(cfg, s1, s2, rho)
+                if w is None:
+                    continue
+                interval = feasible_interval(cfg, s1, s2, rho)
+                w1, w2 = interval
+                assert w1 - 1e-9 <= w <= w2 + 1e-9
+
+    def test_wopt_minimises_energy_on_interval(self, hera_xscale):
+        s1, s2, rho = 0.8, 0.4, 1.4
+        wopt = optimal_work(hera_xscale, s1, s2, rho)
+        w1, w2 = feasible_interval(hera_xscale, s1, s2, rho)
+        grid = np.linspace(w1, w2, 4001)
+        vals = energy_overhead_fo(hera_xscale, grid, s1, s2)
+        assert energy_overhead_fo(hera_xscale, wopt, s1, s2) <= vals.min() + 1e-9

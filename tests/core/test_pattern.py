@@ -1,0 +1,51 @@
+"""Unit tests for the Pattern value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Pattern
+from repro.exceptions import InvalidParameterError
+
+
+class TestPattern:
+    def test_sigma2_defaults_to_sigma1(self):
+        p = Pattern(work=100.0, sigma1=0.6)
+        assert p.sigma2 == 0.6
+        assert not p.uses_two_speeds
+
+    def test_two_speeds(self):
+        p = Pattern(work=100.0, sigma1=0.5, sigma2=1.0)
+        assert p.uses_two_speeds
+        assert p.speed_ratio == pytest.approx(2.0)
+
+    def test_with_work(self):
+        p = Pattern(work=100.0, sigma1=0.5).with_work(250.0)
+        assert p.work == 250.0
+        assert p.sigma1 == 0.5
+
+    def test_with_speeds(self):
+        p = Pattern(work=100.0, sigma1=0.5).with_speeds(0.8, 0.4)
+        assert (p.sigma1, p.sigma2) == (0.8, 0.4)
+        assert p.work == 100.0
+
+    def test_with_speeds_default_sigma2(self):
+        p = Pattern(work=100.0, sigma1=0.5, sigma2=1.0).with_speeds(0.8)
+        assert p.sigma2 == 0.8
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_work(self, bad):
+        with pytest.raises(InvalidParameterError):
+            Pattern(work=bad, sigma1=0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5])
+    def test_invalid_speed(self, bad):
+        with pytest.raises(InvalidParameterError):
+            Pattern(work=1.0, sigma1=bad)
+        with pytest.raises(InvalidParameterError):
+            Pattern(work=1.0, sigma1=0.5, sigma2=bad)
+
+    def test_frozen(self):
+        p = Pattern(work=100.0, sigma1=0.5)
+        with pytest.raises(AttributeError):
+            p.work = 200.0  # type: ignore[misc]

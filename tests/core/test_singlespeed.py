@@ -1,0 +1,68 @@
+"""Unit tests for the single-speed baseline solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.singlespeed import evaluate_single_speed, solve_single_speed
+from repro.core.solver import solve_bicrit
+from repro.exceptions import InfeasibleBoundError
+
+
+class TestSolveSingleSpeed:
+    def test_diagonal_only(self, any_config):
+        sol = solve_single_speed(any_config, 3.0)
+        for c in sol.candidates:
+            assert c.sigma1 == c.sigma2
+        assert sol.best.sigma1 == sol.best.sigma2
+
+    def test_candidate_count_is_k(self, hera_xscale):
+        sol = solve_single_speed(hera_xscale, 3.0)
+        assert len(sol.candidates) == len(hera_xscale.speeds)
+
+    def test_never_beats_two_speed(self, any_config):
+        # The diagonal is a subset of the pair grid.
+        for rho in (1.5, 2.0, 3.0, 8.0):
+            try:
+                one = solve_single_speed(any_config, rho)
+            except InfeasibleBoundError:
+                continue
+            two = solve_bicrit(any_config, rho)
+            assert two.best.energy_overhead <= one.best.energy_overhead + 1e-12
+
+    def test_matches_two_speed_when_diagonal_wins(self, hera_xscale):
+        # At rho=3 the two-speed winner is (0.4, 0.4) — a diagonal pair —
+        # so both solvers must coincide.
+        one = solve_single_speed(hera_xscale, 3.0)
+        two = solve_bicrit(hera_xscale, 3.0)
+        assert one.best.speed_pair == two.best.speed_pair
+        assert one.best.energy_overhead == pytest.approx(two.best.energy_overhead)
+
+    def test_infeasible_raises(self, hera_xscale):
+        with pytest.raises(InfeasibleBoundError):
+            solve_single_speed(hera_xscale, 1.0)
+
+    def test_speed_restriction(self, hera_xscale):
+        sol = solve_single_speed(hera_xscale, 3.0, speeds=(0.8, 1.0))
+        assert sol.best.sigma1 in (0.8, 1.0)
+
+    def test_evaluate_single_speed(self, hera_xscale):
+        out = evaluate_single_speed(hera_xscale, 0.4, 3.0)
+        assert out.sigma1 == out.sigma2 == 0.4
+        assert out.feasible
+
+
+class TestBaselineGap:
+    def test_two_speed_strictly_better_at_tight_bound(self, hera_xscale):
+        # rho = 1.775: the paper's winner is (0.6, 0.8) — off-diagonal —
+        # so the one-speed baseline must be strictly worse.
+        two = solve_bicrit(hera_xscale, 1.775)
+        one = solve_single_speed(hera_xscale, 1.775)
+        assert two.best.uses_two_speeds
+        assert two.best.energy_overhead < one.best.energy_overhead
+
+    def test_savings_meaningful_at_tight_bound(self, hera_xscale):
+        two = solve_bicrit(hera_xscale, 1.775)
+        one = solve_single_speed(hera_xscale, 1.775)
+        saving = 1 - two.best.energy_overhead / one.best.energy_overhead
+        assert saving > 0.05  # more than 5% at this bound

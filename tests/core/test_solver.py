@@ -1,0 +1,157 @@
+"""Unit tests for the O(K^2) BiCrit solver — including the paper's tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import evaluate_pair, solve_bicrit
+from repro.exceptions import InfeasibleBoundError
+
+
+class TestEvaluatePair:
+    def test_feasible_pair(self, hera_xscale):
+        out = evaluate_pair(hera_xscale, 0.4, 0.4, 3.0)
+        assert out.feasible
+        assert out.solution.work == pytest.approx(2764, abs=1.0)
+
+    def test_infeasible_pair(self, hera_xscale):
+        out = evaluate_pair(hera_xscale, 0.15, 0.15, 3.0)
+        assert not out.feasible
+        assert out.solution is None
+        assert out.rho_min > 3.0
+
+    def test_solution_satisfies_bound(self, hera_xscale):
+        out = evaluate_pair(hera_xscale, 0.6, 0.8, 1.775)
+        assert out.solution.time_overhead <= 1.775 + 1e-9
+
+    def test_exact_overheads_populated(self, hera_xscale):
+        sol = evaluate_pair(hera_xscale, 0.4, 0.4, 3.0).solution
+        # First-order and exact must be close in this regime.
+        assert sol.energy_overhead == pytest.approx(sol.energy_overhead_exact, rel=1e-2)
+        assert sol.time_overhead == pytest.approx(sol.time_overhead_exact, rel=1e-2)
+
+    def test_off_catalog_speeds_allowed(self, hera_xscale):
+        out = evaluate_pair(hera_xscale, 0.5, 0.7, 3.0)
+        assert out.feasible
+
+    def test_invalid_rho(self, hera_xscale):
+        with pytest.raises(Exception):
+            evaluate_pair(hera_xscale, 0.4, 0.4, 0.0)
+
+
+class TestPaperTables:
+    """The four Section-4.2 tables, row by row."""
+
+    ROWS_RHO8 = {
+        0.15: (0.4, 1711, 466),
+        0.4: (0.4, 2764, 416),
+        0.6: (0.4, 3639, 674),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    }
+    ROWS_RHO3 = {
+        0.15: None,
+        0.4: (0.4, 2764, 416),
+        0.6: (0.4, 3639, 674),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    }
+    ROWS_RHO1775 = {
+        0.15: None,
+        0.4: None,
+        0.6: (0.8, 4251, 690),
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    }
+    ROWS_RHO14 = {
+        0.15: None,
+        0.4: None,
+        0.6: None,
+        0.8: (0.4, 4627, 1082),
+        1.0: (0.4, 5742, 1625),
+    }
+
+    @pytest.mark.parametrize(
+        "rho, rows, best_sigma1",
+        [
+            (8.0, ROWS_RHO8, 0.4),
+            (3.0, ROWS_RHO3, 0.4),
+            (1.775, ROWS_RHO1775, 0.6),
+            (1.4, ROWS_RHO14, 0.8),
+        ],
+        ids=["rho8", "rho3", "rho1.775", "rho1.4"],
+    )
+    def test_table(self, hera_xscale, rho, rows, best_sigma1):
+        sol = solve_bicrit(hera_xscale, rho)
+        for s1, expected in rows.items():
+            row = sol.best_for_sigma1(s1)
+            if expected is None:
+                assert row is None, f"sigma1={s1} should be infeasible at rho={rho}"
+            else:
+                s2, wopt, energy = expected
+                assert row.sigma2 == s2, f"sigma1={s1}: wrong best sigma2"
+                # The paper prints integers; allow 1 work unit / 1 mJ of
+                # rounding slack.
+                assert row.work == pytest.approx(wopt, abs=1.5)
+                assert row.energy_overhead == pytest.approx(energy, abs=1.5)
+        assert sol.best.sigma1 == best_sigma1
+
+
+class TestSolveBicrit:
+    def test_best_is_minimum_energy(self, any_config):
+        sol = solve_bicrit(any_config, 3.0)
+        feasible = sol.feasible_candidates()
+        assert sol.best.energy_overhead == min(s.energy_overhead for s in feasible)
+
+    def test_candidate_count_is_k_squared(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0)
+        k = len(hera_xscale.speeds)
+        assert len(sol.candidates) == k * k
+
+    def test_infeasible_bound_raises_with_diagnostics(self, hera_xscale):
+        with pytest.raises(InfeasibleBoundError) as exc:
+            solve_bicrit(hera_xscale, 1.0)  # below 1/sigma_max = 1 plus costs
+        assert exc.value.rho == 1.0
+        assert exc.value.rho_min is not None
+        assert exc.value.rho_min > 1.0
+
+    def test_bound_just_above_minimum_feasible(self, hera_xscale):
+        from repro.core.feasibility import min_performance_bound_config
+
+        rho_min = min_performance_bound_config(hera_xscale)
+        sol = solve_bicrit(hera_xscale, rho_min * 1.0001)
+        assert sol.best is not None
+
+    def test_speed_restriction(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0, speeds=(0.8,))
+        assert sol.best.sigma1 == 0.8
+        assert len(sol.candidates) == len(hera_xscale.speeds)
+
+    def test_sigma2_restriction(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0, sigma2_choices=(1.0,))
+        assert sol.best.sigma2 == 1.0
+
+    def test_all_configs_solve_at_default_rho(self, all_configs):
+        for cfg in all_configs:
+            sol = solve_bicrit(cfg, 3.0)
+            assert sol.best.time_overhead <= 3.0 + 1e-9
+
+    def test_loose_bound_gives_unconstrained_optimum(self, any_config):
+        # At a very loose bound the solution must sit at We of its pair.
+        from repro.core.optimum import energy_optimal_work
+
+        sol = solve_bicrit(any_config, 50.0)
+        we = energy_optimal_work(any_config, sol.best.sigma1, sol.best.sigma2)
+        assert sol.best.work == pytest.approx(we, rel=1e-9)
+
+    def test_sigma1_values_ordering(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0)
+        assert sol.sigma1_values() == hera_xscale.speeds
+
+
+class TestTighterBoundCostsEnergy:
+    def test_energy_monotone_in_rho(self, hera_xscale):
+        # Shrinking the feasible set cannot reduce the optimal energy.
+        rhos = [1.4, 1.775, 3.0, 8.0]
+        energies = [solve_bicrit(hera_xscale, r).best.energy_overhead for r in rhos]
+        assert energies == sorted(energies, reverse=True)

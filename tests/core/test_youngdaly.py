@@ -1,0 +1,71 @@
+"""Unit tests for the classical Young/Daly reference formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.firstorder import time_coefficients
+from repro.core.youngdaly import (
+    period_failstop,
+    period_silent,
+    work_failstop,
+    work_silent,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPeriods:
+    def test_failstop_closed_form(self):
+        assert period_failstop(300.0, 1e-5) == pytest.approx(math.sqrt(2 * 300 / 1e-5))
+
+    def test_silent_closed_form(self):
+        assert period_silent(300.0, 15.4, 1e-5) == pytest.approx(
+            math.sqrt((15.4 + 300) / 1e-5)
+        )
+
+    def test_silent_shorter_than_failstop(self):
+        # The missing factor 2: silent-error periods are shorter (for
+        # comparable fixed costs) because the whole period is lost.
+        c, lam = 300.0, 1e-5
+        assert period_silent(c, 0.0, lam) < period_failstop(c, lam)
+
+    def test_scaling_with_mtbf(self):
+        # Period = Theta(sqrt(mu)).
+        assert period_failstop(300.0, 1e-6) / period_failstop(300.0, 1e-4) == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            period_failstop(300.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            period_silent(-1.0, 1.0, 1e-5)
+
+
+class TestWork:
+    def test_work_at_full_speed_equals_period(self):
+        assert work_failstop(300.0, 1e-5, 1.0) == pytest.approx(period_failstop(300.0, 1e-5))
+        assert work_silent(300.0, 15.4, 1e-5, 1.0) == pytest.approx(
+            period_silent(300.0, 15.4, 1e-5)
+        )
+
+    def test_work_silent_matches_fo_time_minimiser(self, hera_xscale):
+        # Minimising Eq. (2) at sigma1 = sigma2 = sigma gives exactly
+        # the silent-error Young/Daly work.
+        cfg = hera_xscale
+        for s in cfg.speeds:
+            c = time_coefficients(cfg, s, s)
+            w_fo = math.sqrt(c.z / c.y)
+            w_yd = work_silent(
+                cfg.checkpoint_time, cfg.verification_time, cfg.lam, speed=s
+            )
+            assert w_fo == pytest.approx(w_yd, rel=1e-12)
+
+    def test_work_scales_linearly_with_speed_failstop(self):
+        assert work_failstop(300.0, 1e-5, 0.5) == pytest.approx(
+            0.5 * work_failstop(300.0, 1e-5, 1.0)
+        )
+
+    def test_invalid_speed(self):
+        with pytest.raises(InvalidParameterError):
+            work_failstop(300.0, 1e-5, 0.0)

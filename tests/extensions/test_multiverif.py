@@ -1,0 +1,182 @@
+"""Unit tests for the multi-verification pattern extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import exact
+from repro.exceptions import InfeasibleBoundError, InvalidParameterError
+from repro.extensions.multiverif import (
+    energy_overhead,
+    expected_energy,
+    expected_time,
+    segment_detection_profile,
+    solve_bicrit_multiverif,
+    solve_pattern,
+    time_overhead,
+)
+
+
+class TestDetectionProfile:
+    def test_sums_to_failure_probability(self):
+        d, p_fail = segment_detection_profile(q=5, x=0.1, recall=1.0)
+        assert d.sum() == pytest.approx(p_fail)
+        assert p_fail == pytest.approx(1 - np.exp(-0.5))
+
+    def test_guaranteed_recall_detects_at_strike_segment(self):
+        # recall=1: detection at j equals the strike distribution.
+        q, x = 4, 0.2
+        d, _ = segment_detection_profile(q, x, recall=1.0)
+        i = np.arange(1, q + 1)
+        expected = np.exp(-(i - 1) * x) * (1 - np.exp(-x))
+        np.testing.assert_allclose(d, expected)
+
+    def test_zero_recall_pushes_all_detection_to_final(self):
+        q, x = 4, 0.2
+        d, p_fail = segment_detection_profile(q, x, recall=0.0)
+        assert d[:-1].sum() == 0.0
+        assert d[-1] == pytest.approx(p_fail)
+
+    def test_partial_recall_two_segment_closed_form(self):
+        # q = 2 is small enough to write out by hand:
+        #   d[0] = strike_1 * r                   (caught immediately)
+        #   d[1] = strike_1 * (1 - r) + strike_2  (final verification)
+        import math
+
+        q, x, r = 2, 0.3, 0.4
+        d, p_fail = segment_detection_profile(q, x, recall=r)
+        strike1 = 1 - math.exp(-x)
+        strike2 = math.exp(-x) * (1 - math.exp(-x))
+        assert d[0] == pytest.approx(strike1 * r)
+        assert d[1] == pytest.approx(strike1 * (1 - r) + strike2)
+        assert p_fail == pytest.approx(strike1 + strike2)
+
+    def test_partial_recall_mass_shifts_towards_final(self):
+        # Lower recall moves detection mass to later verifications but
+        # never changes the total failure probability.
+        q, x = 5, 0.2
+        d_hi, p_hi = segment_detection_profile(q, x, recall=0.9)
+        d_lo, p_lo = segment_detection_profile(q, x, recall=0.2)
+        assert p_hi == pytest.approx(p_lo)
+        assert d_lo[-1] > d_hi[-1]          # more mass at the final check
+        assert d_lo[0] < d_hi[0]            # less caught immediately
+
+    def test_zero_exposure(self):
+        d, p_fail = segment_detection_profile(q=3, x=0.0, recall=1.0)
+        assert p_fail == 0.0
+        assert d.sum() == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(InvalidParameterError):
+            segment_detection_profile(q=0, x=0.1, recall=1.0)
+
+
+class TestReductionToBaseModel:
+    """q = 1 must reproduce Propositions 1-3 exactly."""
+
+    def test_time_q1(self, any_config):
+        cfg = any_config
+        for w in (500.0, 2764.0, 20000.0):
+            assert expected_time(cfg, w, 1, 0.4, 0.8) == pytest.approx(
+                exact.expected_time(cfg, w, 0.4, 0.8), rel=1e-12
+            )
+
+    def test_energy_q1(self, any_config):
+        cfg = any_config
+        assert expected_energy(cfg, 2764.0, 1, 0.4, 0.8) == pytest.approx(
+            exact.expected_energy(cfg, 2764.0, 0.4, 0.8), rel=1e-12
+        )
+
+    def test_q1_recall_irrelevant(self, hera_xscale):
+        # With a single (final, guaranteed) verification the recall of
+        # intermediate verifications cannot matter.
+        t_full = expected_time(hera_xscale, 1000.0, 1, 0.4, recall=1.0)
+        t_half = expected_time(hera_xscale, 1000.0, 1, 0.4, recall=0.5)
+        assert t_full == pytest.approx(t_half, rel=1e-12)
+
+
+class TestBehaviour:
+    def test_more_verifications_cost_more_without_errors(self, hera_xscale):
+        # lambda -> 0: failures vanish, extra verifications are pure cost.
+        cfg = hera_xscale.with_error_rate(1e-15)
+        t1 = expected_time(cfg, 3000.0, 1, 0.4)
+        t4 = expected_time(cfg, 3000.0, 4, 0.4)
+        assert t4 > t1
+        # The gap is exactly 3 extra verifications.
+        assert t4 - t1 == pytest.approx(3 * cfg.verification_time / 0.4, rel=1e-6)
+
+    def test_more_verifications_help_at_high_rate_large_pattern(self, hera_xscale):
+        # High exposure: early detection beats the extra verification
+        # cost (the whole point of interleaving verifications).
+        cfg = hera_xscale.with_error_rate(5e-4)
+        w = 20_000.0
+        t1 = expected_time(cfg, w, 1, 0.4)
+        t4 = expected_time(cfg, w, 4, 0.4)
+        assert t4 < t1
+
+    def test_higher_recall_never_hurts(self, hera_xscale):
+        cfg = hera_xscale.with_error_rate(1e-4)
+        w = 10_000.0
+        times = [
+            expected_time(cfg, w, 5, 0.4, recall=r) for r in (0.0, 0.3, 0.7, 1.0)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_overheads_are_ratios(self, hera_xscale):
+        w = 3000.0
+        assert time_overhead(hera_xscale, w, 3, 0.4, 0.8) == pytest.approx(
+            expected_time(hera_xscale, w, 3, 0.4, 0.8) / w
+        )
+        assert energy_overhead(hera_xscale, w, 3, 0.4, 0.8) == pytest.approx(
+            expected_energy(hera_xscale, w, 3, 0.4, 0.8) / w
+        )
+
+    def test_invalid_inputs(self, hera_xscale):
+        with pytest.raises(InvalidParameterError):
+            expected_time(hera_xscale, -1.0, 2, 0.4)
+        with pytest.raises(InvalidParameterError):
+            expected_time(hera_xscale, 100.0, 0, 0.4)
+        with pytest.raises(InvalidParameterError):
+            expected_time(hera_xscale, 100.0, 2, 0.4, recall=1.5)
+
+
+class TestSolver:
+    def test_fixed_q_solution_respects_bound(self, hera_xscale):
+        sol = solve_pattern(hera_xscale, 2, 0.4, 0.8, 3.0)
+        assert sol is not None
+        assert sol.time_overhead <= 3.0 + 1e-9
+        assert sol.q == 2
+
+    def test_infeasible_returns_none(self, hera_xscale):
+        assert solve_pattern(hera_xscale, 2, 0.15, 0.15, 3.0) is None
+
+    def test_q_search_never_loses_to_q1(self, hera_xscale):
+        # q=1 is in the search space, so the multi-q optimum is <= the
+        # single-verification optimum.
+        from repro.core.numeric import solve_bicrit_exact
+
+        multi = solve_bicrit_multiverif(hera_xscale, 3.0, max_q=4)
+        single = solve_bicrit_exact(hera_xscale, 3.0)
+        assert multi.energy_overhead <= single.energy_overhead * (1 + 1e-9)
+
+    def test_high_rate_prefers_multiple_verifications(self, hera_xscale):
+        # At an amplified error rate the optimal q exceeds 1 (early
+        # detection pays; Hera's V is cheap).
+        cfg = hera_xscale.with_error_rate(1e-4)
+        sol = solve_bicrit_multiverif(cfg, 3.0, max_q=6)
+        assert sol.q > 1
+
+    def test_low_rate_keeps_single_verification(self, hera_xscale):
+        # At the catalog rate errors are rare: q = 1 wins (or at least
+        # q stays small); assert the energy gain from q > 1 is tiny.
+        from repro.core.numeric import solve_bicrit_exact
+
+        multi = solve_bicrit_multiverif(hera_xscale, 3.0, max_q=4)
+        single = solve_bicrit_exact(hera_xscale, 3.0)
+        gain = 1 - multi.energy_overhead / single.energy_overhead
+        assert gain < 0.02
+
+    def test_infeasible_bound_raises(self, hera_xscale):
+        with pytest.raises(InfeasibleBoundError):
+            solve_bicrit_multiverif(hera_xscale, 1.0, max_q=2)

@@ -1,0 +1,92 @@
+"""Monte-Carlo certification of the multi-verification closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.multiverif import expected_energy, expected_time
+from repro.extensions.simulator import MultiVerifSimulator
+
+
+@pytest.fixture
+def hot_config(hera_xscale):
+    """Hera/XScale with an amplified rate so failures actually occur."""
+    return hera_xscale.with_error_rate(2e-4)
+
+
+class TestStructure:
+    def test_batch_size_and_determinism(self, hot_config):
+        b1 = MultiVerifSimulator(hot_config, rng=9).run(3000.0, 3, 0.4, n=500)
+        b2 = MultiVerifSimulator(hot_config, rng=9).run(3000.0, 3, 0.4, n=500)
+        assert b1.size == 500
+        np.testing.assert_array_equal(b1.times, b2.times)
+
+    def test_clean_run_floor(self, hot_config):
+        cfg = hot_config
+        q, w, s = 3, 3000.0, 0.4
+        batch = MultiVerifSimulator(cfg, rng=1).run(w, q, s, n=4000)
+        floor = q * (w / q + cfg.verification_time) / s + cfg.checkpoint_time
+        clean = batch.attempts == 1
+        assert clean.any()
+        np.testing.assert_allclose(batch.times[clean], floor)
+
+    def test_failed_attempts_detected_early_cost_less(self, hot_config):
+        # With q > 1 a failure detected at segment 1 costs ~1/q of the
+        # full attempt, so the cheapest failed-once sample spent close
+        # to tau + R + q*tau + C, well below the single-verification
+        # equivalent 2*q*tau + R + C.
+        q, w, s = 4, 4000.0, 0.4
+        batch = MultiVerifSimulator(hot_config, rng=2).run(w, q, s, n=8000)
+        failed = batch.attempts == 2
+        assert failed.any()
+        tau = (w / q + hot_config.verification_time) / s
+        single_verif_equivalent = (
+            2 * q * tau + hot_config.recovery_time + hot_config.checkpoint_time
+        )
+        # At least one failed sample was caught before the last segment.
+        assert batch.times[failed].min() < single_verif_equivalent - tau / 2
+        # And the earliest possible detection point is respected.
+        floor = tau + hot_config.recovery_time + q * tau + hot_config.checkpoint_time
+        assert batch.times[failed].min() >= floor - 1e-9
+
+    def test_invalid_inputs(self, hot_config):
+        sim = MultiVerifSimulator(hot_config, rng=0)
+        with pytest.raises(Exception):
+            sim.run(0.0, 2, 0.4)
+        with pytest.raises(ValueError):
+            sim.run(100.0, 0, 0.4)
+        with pytest.raises(ValueError):
+            sim.run(100.0, 2, 0.4, n=0)
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize("q", [1, 2, 5])
+    def test_time_and_energy_means(self, hot_config, q):
+        cfg = hot_config
+        w, s1, s2, n = 5000.0, 0.4, 0.8, 30_000
+        batch = MultiVerifSimulator(cfg, rng=100 + q).run(w, q, s1, s2, n=n)
+        s = batch.summary()
+        assert abs(s.time_zscore(expected_time(cfg, w, q, s1, s2))) < 4
+        assert abs(s.energy_zscore(expected_energy(cfg, w, q, s1, s2))) < 4
+
+    @pytest.mark.parametrize("recall", [0.3, 0.7])
+    def test_partial_verification_means(self, hot_config, recall):
+        cfg = hot_config
+        w, q, s1, n = 5000.0, 4, 0.4, 30_000
+        batch = MultiVerifSimulator(cfg, rng=int(1000 * recall)).run(
+            w, q, s1, recall=recall, n=n
+        )
+        s = batch.summary()
+        t_exp = expected_time(cfg, w, q, s1, recall=recall)
+        assert abs(s.time_zscore(t_exp)) < 4
+
+    def test_failure_rate_matches_model(self, hot_config):
+        import math
+
+        cfg = hot_config
+        w, q, s1, n = 5000.0, 4, 0.4, 30_000
+        batch = MultiVerifSimulator(cfg, rng=77).run(w, q, s1, n=n)
+        p_fail = float(np.mean(batch.attempts > 1))
+        p_model = 1 - math.exp(-cfg.lam * w / s1)  # whole-pattern exposure
+        assert p_fail == pytest.approx(p_model, abs=4 * np.sqrt(p_model / n))

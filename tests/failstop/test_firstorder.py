@@ -1,0 +1,109 @@
+"""Unit tests for the Proposition-6 first-order overheads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import firstorder as silent_fo
+from repro.errors import CombinedErrors
+from repro.failstop import exact as combined_exact
+from repro.failstop.firstorder import (
+    energy_coefficients,
+    energy_overhead_fo,
+    time_coefficients,
+    time_overhead_fo,
+)
+
+
+class TestEquation9:
+    def test_coefficients_verbatim(self, hera_xscale):
+        cfg = hera_xscale
+        errors = CombinedErrors(cfg.lam, 0.3)
+        s1, s2 = 0.4, 0.8
+        lam, f, s = errors.total_rate, 0.3, 0.7
+        V, R, C = cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
+        c = time_coefficients(cfg, errors, s1, s2)
+        assert c.z == pytest.approx(C + V / s1)
+        assert c.y == pytest.approx(lam * ((f + s) / (s1 * s2) - f / (2 * s1 * s1)))
+        assert c.x == pytest.approx(
+            ((f + s) * lam * (R + V / s2) + 1 - f * lam * V / s1) / s1
+        )
+
+    def test_linear_coefficient_sign_flip(self, hera_xscale):
+        # f=1: y > 0 iff sigma2 < 2 sigma1 (Section 5.2).
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        assert time_coefficients(hera_xscale, errors, 0.4, 0.79).y > 0
+        assert time_coefficients(hera_xscale, errors, 0.4, 0.81).y < 0
+
+    def test_vanishes_exactly_at_double_speed(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        assert time_coefficients(hera_xscale, errors, 0.4, 0.8).y == pytest.approx(
+            0.0, abs=1e-20
+        )
+
+    def test_approximates_exact(self, hera_xscale):
+        # Inside the validity window the FO overhead tracks the exact one.
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        w = 3000.0
+        fo = time_overhead_fo(hera_xscale, errors, w, 0.4, 0.6)
+        ex = combined_exact.time_overhead(hera_xscale, errors, w, 0.4, 0.6)
+        assert fo == pytest.approx(ex, rel=1e-3)
+
+    def test_silent_only_nearly_matches_eq2(self, hera_xscale):
+        # f=0 reduces Prop 6 to Eq. (2) up to the paper's dropped
+        # O(lambda V) constants — identical here since f=0 kills them.
+        errors = CombinedErrors(hera_xscale.lam, 0.0)
+        c6 = time_coefficients(hera_xscale, errors, 0.4, 0.8)
+        c2 = silent_fo.time_coefficients(hera_xscale, 0.4, 0.8)
+        assert c6.y == pytest.approx(c2.y, rel=1e-12)
+        assert c6.z == pytest.approx(c2.z, rel=1e-12)
+        assert c6.x == pytest.approx(c2.x, rel=1e-6)
+
+
+class TestEquation10:
+    def test_coefficients_verbatim(self, hera_xscale):
+        cfg = hera_xscale
+        errors = CombinedErrors(cfg.lam, 0.3)
+        s1, s2 = 0.4, 0.8
+        lam, f, s = errors.total_rate, 0.3, 0.7
+        V, R, C = cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
+        pm = cfg.power
+        p_io, p1, p2 = pm.io_total_power(), pm.compute_power(s1), pm.compute_power(s2)
+        c = energy_coefficients(cfg, errors, s1, s2)
+        assert c.z == pytest.approx(C * p_io + V * p1 / s1)
+        assert c.y == pytest.approx(
+            lam * ((f + s) * p2 / (s1 * s2) - f * p1 / (2 * s1 * s1))
+        )
+        assert c.x == pytest.approx(
+            (f + s) * lam * (R * p_io + V * p2 / s2) / s1
+            + (1 - f * lam * V / s1) * p1 / s1
+        )
+
+    def test_energy_lower_validity_bound(self, hera_xscale):
+        # With the cubic power model, a slow sigma2 makes kappa s2^3
+        # small and can flip y_E negative even where y_T > 0 — the
+        # energy-side constraint of Section 5.2.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        # Very slow re-execution relative to sigma1 = 1.0:
+        c = energy_coefficients(hera_xscale, errors, 1.0, 0.15)
+        assert c.y < 0
+
+    def test_approximates_exact(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        w = 3000.0
+        fo = energy_overhead_fo(hera_xscale, errors, w, 0.4, 0.6)
+        ex = combined_exact.energy_overhead(hera_xscale, errors, w, 0.4, 0.6)
+        assert fo == pytest.approx(ex, rel=1e-3)
+
+    def test_default_sigma2(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.4)
+        assert energy_coefficients(hera_xscale, errors, 0.6) == energy_coefficients(
+            hera_xscale, errors, 0.6, 0.6
+        )
+
+    def test_invalid_speeds(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.4)
+        with pytest.raises(ValueError):
+            time_coefficients(hera_xscale, errors, 0.0)
+        with pytest.raises(ValueError):
+            energy_coefficients(hera_xscale, errors, 0.4, 0.0)

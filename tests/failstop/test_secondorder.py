@@ -1,0 +1,131 @@
+"""Unit tests for Proposition 7 and Theorem 2."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.exceptions import InvalidParameterError
+from repro.failstop import exact as combined_exact
+from repro.failstop.secondorder import (
+    linear_coefficient_vanishes,
+    second_order_coefficients,
+    second_order_time_overhead,
+    theorem2_overhead,
+    theorem2_work,
+)
+from repro.platforms import Configuration, Platform, XSCALE
+
+
+def _failstop_cfg(lam: float, c: float = 300.0) -> Configuration:
+    """A verification-free platform for the Theorem-2 setting."""
+    return Configuration(
+        platform=Platform("fs", error_rate=lam, checkpoint_time=c, verification_time=0.0),
+        processor=XSCALE,
+    )
+
+
+class TestProposition7:
+    def test_coefficients(self):
+        lam, c, r = 1e-4, 300.0, 300.0
+        s1, s2 = 0.5, 0.8
+        x, z, y1, y2 = second_order_coefficients(lam, c, r, s1, s2)
+        assert x == pytest.approx(1 / s1 + lam * r / s1)
+        assert z == pytest.approx(c)
+        assert y1 == pytest.approx(lam * (1 / (s1 * s2) - 1 / (2 * s1**2)))
+        assert y2 == pytest.approx(
+            lam**2 * (1 / (6 * s1**3) - 1 / (2 * s1**2 * s2) + 1 / (2 * s1 * s2**2))
+        )
+
+    def test_linear_term_zero_at_double_speed(self):
+        _, _, y1, y2 = second_order_coefficients(1e-4, 300.0, 300.0, 0.5, 1.0)
+        assert y1 == pytest.approx(0.0, abs=1e-22)
+        # and the quadratic coefficient is lambda^2 / (24 sigma^3)
+        assert y2 == pytest.approx(1e-8 / (24 * 0.5**3))
+
+    def test_matches_exact_expansion(self):
+        # The expansion must track the exact overhead to O(lambda^3 W^2):
+        # at W = Theta(lambda^-2/3), halving lambda shrinks the gap
+        # superlinearly.
+        s1, s2 = 0.5, 1.0
+        gaps = []
+        for lam in (1e-4, 1e-5):
+            cfg = _failstop_cfg(lam)
+            errors = CombinedErrors(lam, 1.0)
+            w = theorem2_work(lam, 300.0, s1)
+            so = second_order_time_overhead(lam, 300.0, 300.0, w, s1, s2)
+            ex = combined_exact.time_overhead(cfg, errors, w, s1, s2)
+            gaps.append(abs(so - ex))
+        assert gaps[1] < gaps[0] / 10
+        assert gaps[0] < 1e-2
+
+    def test_evaluate_rejects_nonpositive_work(self):
+        with pytest.raises(ValueError):
+            second_order_time_overhead(1e-4, 300.0, 300.0, 0.0, 0.5)
+
+    def test_linear_coefficient_vanishes_predicate(self):
+        assert linear_coefficient_vanishes(0.5, 1.0)
+        assert not linear_coefficient_vanishes(0.5, 0.9)
+
+
+class TestTheorem2:
+    def test_closed_form(self):
+        lam, c, s = 1e-5, 300.0, 0.4
+        assert theorem2_work(lam, c, s) == pytest.approx(
+            (12 * c / lam**2) ** (1 / 3) * s
+        )
+
+    def test_scaling_exponent_is_minus_two_thirds(self):
+        # 1000x rate increase -> 100x smaller Wopt (lambda^{-2/3}).
+        w1 = theorem2_work(1e-6, 300.0, 0.5)
+        w2 = theorem2_work(1e-3, 300.0, 0.5)
+        assert w1 / w2 == pytest.approx(1000 ** (2 / 3), rel=1e-12)
+
+    def test_differs_from_young_daly_scaling(self):
+        # Young/Daly would give sqrt(2C/lambda): the ratio diverges as
+        # lambda -> 0, so the scalings are genuinely different.
+        from repro.core.youngdaly import work_failstop
+
+        r1 = theorem2_work(1e-4, 300.0, 0.5) / work_failstop(300.0, 1e-4, 0.5)
+        r2 = theorem2_work(1e-8, 300.0, 0.5) / work_failstop(300.0, 1e-8, 0.5)
+        # ratio ~ lambda^{-1/6}: a 1e4 rate drop grows it by 1e4^{1/6}.
+        assert r2 / r1 == pytest.approx(1e4 ** (1 / 6), rel=1e-6)
+        assert r2 > r1 > 1.0
+
+    def test_minimises_second_order_overhead(self):
+        lam, c, r, s = 1e-4, 300.0, 300.0, 0.5
+        w_star = theorem2_work(lam, c, s)
+        grid = np.linspace(w_star * 0.3, w_star * 3, 4001)
+        vals = second_order_time_overhead(lam, c, r, grid, s, 2 * s)
+        assert second_order_time_overhead(lam, c, r, w_star, s, 2 * s) <= vals.min() + 1e-12
+
+    def test_close_to_exact_numeric_optimum(self):
+        # The asymptotic formula matches the exact optimum as lambda -> 0.
+        from repro.failstop.solver import time_optimal_work
+
+        ratios = []
+        for lam in (1e-4, 1e-6):
+            cfg = _failstop_cfg(lam)
+            w_num = time_optimal_work(cfg, CombinedErrors(lam, 1.0), 0.4, 0.8)
+            ratios.append(w_num / theorem2_work(lam, 300.0, 0.4))
+        assert abs(ratios[1] - 1.0) < abs(ratios[0] - 1.0)
+        assert ratios[1] == pytest.approx(1.0, abs=5e-3)
+
+    def test_overhead_value(self):
+        lam, c, r, s = 1e-5, 300.0, 300.0, 0.5
+        w = theorem2_work(lam, c, s)
+        # x + z/W + y2 W^2 with the 2:1 split of the optimality condition:
+        # total W-dependent part = (3/2) * C / Wopt.
+        expected = 1 / s + lam * r / s + 1.5 * c / w
+        assert theorem2_overhead(lam, c, r, s) == pytest.approx(expected, rel=1e-12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            theorem2_work(0.0, 300.0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            theorem2_work(1e-5, 0.0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            theorem2_work(1e-5, 300.0, 0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the numeric combined-error BiCrit solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import solve_bicrit
+from repro.errors import CombinedErrors
+from repro.exceptions import InfeasibleBoundError
+from repro.failstop import exact as combined_exact
+from repro.failstop.solver import (
+    solve_bicrit_combined,
+    solve_pair_combined,
+    time_optimal_work,
+)
+
+
+class TestSolvePairCombined:
+    def test_respects_bound(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        sol = solve_pair_combined(hera_xscale, errors, 0.4, 0.8, 3.0)
+        assert sol is not None
+        assert sol.time_overhead <= 3.0 + 1e-9
+
+    def test_none_when_infeasible(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        assert solve_pair_combined(hera_xscale, errors, 0.15, 0.15, 3.0) is None
+
+    def test_interior_optimality(self, hera_xscale):
+        import numpy as np
+
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        sol = solve_pair_combined(hera_xscale, errors, 0.4, 0.4, 8.0)
+        w1, w2 = sol.interval
+        grid = np.linspace(max(w1, sol.work / 2), min(w2, sol.work * 2), 1001)
+        vals = combined_exact.energy_overhead(hera_xscale, errors, grid, 0.4, 0.4)
+        assert sol.energy_overhead <= vals.min() + 1e-9
+
+    def test_works_outside_first_order_window(self, hera_xscale):
+        # sigma2 = 2.5 sigma1 with f=1 breaks the FO analysis (paper's
+        # open case) but the numeric solver handles it fine.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        sol = solve_pair_combined(hera_xscale, errors, 0.4, 1.0, 3.0)
+        assert sol is not None
+        assert sol.work > 0
+
+
+class TestSolveBicritCombined:
+    def test_silent_only_matches_first_order_winner(self, hera_xscale):
+        # f=0 must reproduce the Sections 2-4 solution (same winner,
+        # near-identical energy).
+        errors = CombinedErrors(hera_xscale.lam, 0.0)
+        num = solve_bicrit_combined(hera_xscale, errors, 3.0)
+        fo = solve_bicrit(hera_xscale, 3.0)
+        assert (num.sigma1, num.sigma2) == fo.best.speed_pair
+        assert num.energy_overhead == pytest.approx(fo.best.energy_overhead, rel=0.01)
+
+    @pytest.mark.parametrize("f", [0.25, 0.75, 1.0])
+    def test_solves_for_any_split(self, hera_xscale, f):
+        errors = CombinedErrors(hera_xscale.lam, f)
+        sol = solve_bicrit_combined(hera_xscale, errors, 3.0)
+        assert sol.sigma1 in hera_xscale.speeds
+        assert sol.sigma2 in hera_xscale.speeds
+        assert sol.failstop_fraction == f
+
+    def test_infeasible_raises(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        with pytest.raises(InfeasibleBoundError):
+            solve_bicrit_combined(hera_xscale, errors, 1.0)
+
+    def test_energy_monotone_in_rho(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        e = [
+            solve_bicrit_combined(hera_xscale, errors, rho).energy_overhead
+            for rho in (1.4, 2.0, 3.0)
+        ]
+        assert e == sorted(e, reverse=True)
+
+
+class TestTimeOptimalWork:
+    def test_beats_grid_search(self, hera_xscale):
+        import numpy as np
+
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        w_star = time_optimal_work(hera_xscale, errors, 0.4, 0.8)
+        t_star = combined_exact.time_overhead(hera_xscale, errors, w_star, 0.4, 0.8)
+        grid = np.linspace(w_star / 3, w_star * 3, 2001)
+        vals = combined_exact.time_overhead(hera_xscale, errors, grid, 0.4, 0.8)
+        assert t_star <= vals.min() + 1e-10
+
+    def test_default_sigma2(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        assert time_optimal_work(hera_xscale, errors, 0.6) == pytest.approx(
+            time_optimal_work(hera_xscale, errors, 0.6, 0.6)
+        )
+
+    def test_young_daly_scaling_at_equal_speeds(self):
+        # sigma2 = sigma1, fail-stop only: classical sqrt scaling.
+        from repro.platforms import Configuration, Platform, XSCALE
+
+        works = []
+        for lam in (1e-6, 1e-4):
+            cfg = Configuration(
+                platform=Platform("fs", lam, 300.0, 0.0), processor=XSCALE
+            )
+            works.append(time_optimal_work(cfg, CombinedErrors(lam, 1.0), 0.5, 0.5))
+        # 100x rate -> ~10x smaller W (sqrt), certainly not 100^(2/3)=21.5x.
+        assert works[0] / works[1] == pytest.approx(10.0, rel=0.1)

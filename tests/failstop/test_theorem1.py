@@ -1,0 +1,90 @@
+"""Unit tests for the combined-error closed-form (Theorem-1-style) path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.exceptions import ApproximationDomainError, InfeasibleBoundError
+from repro.failstop.solver import solve_bicrit_combined, solve_pair_combined
+from repro.failstop.theorem1 import (
+    min_performance_bound_combined,
+    optimal_work_combined_fo,
+    solve_bicrit_combined_fo,
+)
+
+
+class TestValidityGuard:
+    def test_outside_window_raises(self, hera_xscale):
+        # f = 1, sigma2/sigma1 = 2.5 > 2: Prop-6 linear term negative.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        with pytest.raises(ApproximationDomainError, match="invalid"):
+            optimal_work_combined_fo(hera_xscale, errors, 0.4, 1.0, 3.0)
+
+    def test_inside_window_solves(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        w = optimal_work_combined_fo(hera_xscale, errors, 0.4, 0.6, 3.0)
+        assert w is not None and w > 0
+
+    def test_rho_min_guarded_too(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        with pytest.raises(ApproximationDomainError):
+            min_performance_bound_combined(hera_xscale, errors, 0.4, 1.0)
+
+
+class TestAgainstNumericSolver:
+    @pytest.mark.parametrize("f", [0.0, 0.3, 0.7])
+    def test_pair_level_agreement(self, hera_xscale, f):
+        # Inside the window at catalog rates the closed form and the
+        # exact numeric optimiser agree to a fraction of a percent.
+        errors = CombinedErrors(hera_xscale.lam, f)
+        s1, s2 = 0.4, 0.6
+        w_fo = optimal_work_combined_fo(hera_xscale, errors, s1, s2, 3.0)
+        num = solve_pair_combined(hera_xscale, errors, s1, s2, 3.0)
+        assert num is not None
+        assert w_fo == pytest.approx(num.work, rel=0.03)
+
+    @pytest.mark.parametrize("f", [0.0, 0.5])
+    def test_global_winner_agreement(self, hera_xscale, f):
+        errors = CombinedErrors(hera_xscale.lam, f)
+        fo = solve_bicrit_combined_fo(hera_xscale, errors, 3.0)
+        num = solve_bicrit_combined(hera_xscale, errors, 3.0)
+        assert (fo.sigma1, fo.sigma2) == (num.sigma1, num.sigma2)
+        assert fo.energy_overhead == pytest.approx(num.energy_overhead, rel=0.01)
+
+    def test_silent_only_matches_core_solver(self, hera_xscale):
+        from repro.core.solver import solve_bicrit
+
+        errors = CombinedErrors(hera_xscale.lam, 0.0)
+        fo = solve_bicrit_combined_fo(hera_xscale, errors, 3.0)
+        core = solve_bicrit(hera_xscale, 3.0).best
+        assert (fo.sigma1, fo.sigma2) == core.speed_pair
+        # Prop 6 at f = 0 differs from Eq. (3) only in dropped
+        # O(lambda V) constants.
+        assert fo.energy_overhead == pytest.approx(core.energy_overhead, rel=1e-4)
+        assert fo.work == pytest.approx(core.work, rel=1e-3)
+
+
+class TestSolverBehaviour:
+    def test_infeasible_bound_raises(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        with pytest.raises(InfeasibleBoundError):
+            solve_bicrit_combined_fo(hera_xscale, errors, 1.0)
+
+    def test_invalid_pairs_skipped_not_fatal(self, hera_xscale):
+        # f = 1 invalidates pairs with sigma2 >= 2 sigma1 (e.g. (0.15, 0.4),
+        # (0.4, 0.8), (0.4, 1.0), (0.15, *)); the solver skips them and
+        # still returns a winner from the valid pairs.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        sol = solve_bicrit_combined_fo(hera_xscale, errors, 3.0)
+        assert sol.sigma2 / sol.sigma1 < 2.0
+
+    def test_rho_min_threshold(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        rho_min = min_performance_bound_combined(hera_xscale, errors, 0.4, 0.6)
+        assert optimal_work_combined_fo(
+            hera_xscale, errors, 0.4, 0.6, rho_min * 1.001
+        ) is not None
+        assert optimal_work_combined_fo(
+            hera_xscale, errors, 0.4, 0.6, rho_min * 0.999
+        ) is None

@@ -1,0 +1,67 @@
+"""Unit tests for the first-order validity windows (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.failstop.validity import check_first_order, first_order_window
+
+
+class TestWindow:
+    def test_failstop_only(self):
+        lo, hi = first_order_window(CombinedErrors(1e-4, 1.0))
+        assert (lo, hi) == pytest.approx((2**-0.5, 2.0))
+
+    def test_silent_only_unbounded(self):
+        lo, hi = first_order_window(CombinedErrors(1e-4, 0.0))
+        assert lo == 0.0 and hi == float("inf")
+
+    def test_never_empty(self):
+        # The paper: "the interval defined by the above condition is
+        # never empty".
+        for f in (0.01, 0.1, 0.5, 0.9, 0.99, 1.0):
+            lo, hi = first_order_window(CombinedErrors(1e-4, f))
+            assert lo < 1.0 < hi
+
+
+class TestCheckFirstOrder:
+    def test_valid_inside_window(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        report = check_first_order(hera_xscale, errors, 0.4, 0.6)
+        assert report.ratio == pytest.approx(1.5)
+        assert report.time_coefficient_positive
+        assert report.in_simplified_window
+
+    def test_invalid_above_window(self, hera_xscale):
+        # sigma2/sigma1 = 1.0/0.4 = 2.5 > 2 with f=1: time coefficient
+        # goes negative, FO breaks down.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        report = check_first_order(hera_xscale, errors, 0.4, 1.0)
+        assert not report.time_coefficient_positive
+        assert not report.valid
+        assert not report.in_simplified_window
+
+    def test_exact_energy_check_differs_from_simplified(self, hera_xscale):
+        # The simplified lower bound assumes Pidle = 0; with XScale's
+        # Pidle = 60 mW and a very slow sigma2, the exact coefficient
+        # check is the authoritative one.  ratio 0.15/1.0 = 0.15 is far
+        # below the simplified lower bound ~0.707.
+        errors = CombinedErrors(hera_xscale.lam, 1.0)
+        report = check_first_order(hera_xscale, errors, 1.0, 0.15)
+        assert not report.in_simplified_window
+        assert not report.energy_coefficient_positive
+
+    def test_silent_only_always_valid(self, hera_xscale):
+        errors = CombinedErrors(hera_xscale.lam, 0.0)
+        for s1 in hera_xscale.speeds:
+            for s2 in hera_xscale.speeds:
+                assert check_first_order(hera_xscale, errors, s1, s2).valid
+
+    def test_default_sigma2_diagonal_always_valid(self, hera_xscale):
+        # ratio 1 lies in every window.
+        for f in (0.1, 0.5, 1.0):
+            errors = CombinedErrors(hera_xscale.lam, f)
+            report = check_first_order(hera_xscale, errors, 0.6)
+            assert report.ratio == 1.0
+            assert report.valid

@@ -1,0 +1,186 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestConfigs:
+    def test_lists_eight(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("lambda=") == 8
+        assert "hera-xscale" in out
+        assert "coastal-ssd-crusoe" in out
+
+
+class TestTable:
+    def test_default_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "2764" in out
+
+    def test_custom_rho(self, capsys):
+        assert main(["table", "--rho", "1.775"]) == 0
+        out = capsys.readouterr().out
+        assert "0.60" in out and "0.80" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv = tmp_path / "table.csv"
+        assert main(["table", "--csv", str(csv)]) == 0
+        assert csv.exists()
+        assert "sigma1" in csv.read_text().splitlines()[0]
+
+
+class TestSweep:
+    def test_basic_sweep(self, capsys):
+        assert main(["sweep", "--config", "atlas-crusoe", "--axis", "C",
+                     "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "axis = C" in out
+        assert "energy saving" in out
+
+    def test_sweep_csv(self, capsys, tmp_path):
+        csv = tmp_path / "sweep.csv"
+        assert main(["sweep", "--axis", "V", "--points", "4", "--csv", str(csv)]) == 0
+        assert csv.exists()
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "bogus"])
+
+
+class TestFigure:
+    def test_single_panel_figure(self, capsys):
+        assert main(["figure", "fig2", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "axis = C" in out
+
+    def test_figure_csv_dir(self, capsys, tmp_path):
+        assert main(["figure", "fig2", "--points", "3",
+                     "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig2_C.csv").exists()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestValidate:
+    def test_silent_agreement_passes(self, capsys):
+        rc = main(["validate", "--samples", "8000", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out
+
+    def test_combined_agreement_passes(self, capsys):
+        rc = main([
+            "validate", "--failstop-fraction", "0.5",
+            "--samples", "8000", "--seed", "4",
+        ])
+        assert rc == 0
+
+
+class TestTheorem2:
+    def test_exponent_reported(self, capsys):
+        assert main(["theorem2", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted exponent" in out
+        # The fitted exponent must be printed near -2/3.
+        import re
+
+        m = re.search(r"fitted exponent: (-\d+\.\d+)", out)
+        assert m, out
+        assert abs(float(m.group(1)) - (-2 / 3)) < 0.02
+
+
+class TestPareto:
+    def test_frontier_printed_with_knee(self, capsys):
+        assert main(["pareto", "--points", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "<- knee" in out
+
+    def test_custom_config(self, capsys):
+        assert main(["pareto", "--config", "atlas-crusoe", "--points", "20"]) == 0
+        assert "Atlas" in capsys.readouterr().out
+
+
+class TestFraction:
+    def test_sweep_printed(self, capsys):
+        assert main(["fraction", "--rate", "5e-4", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fail-stop fraction" in out
+        # f = 0, 0.5, 1 rows present.
+        assert " 0.00 " in out and " 1.00 " in out
+
+    def test_energy_falls_with_f(self, capsys):
+        import re
+
+        assert main(["fraction", "--rate", "5e-4", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines() if re.match(r"\s*\d\.\d{2}\s", l)]
+        energies = [float(l.split()[4]) for l in rows]
+        assert energies[-1] < energies[0]
+
+
+class TestMultiverif:
+    def test_reports_best_q(self, capsys):
+        assert main(["multiverif", "--rate", "1e-4", "--max-q", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best q" in out
+        assert "gain over q = 1" in out
+
+    def test_catalog_rate_gain_negligible(self, capsys):
+        # At the real (tiny) Hera rate extra verifications buy almost
+        # nothing (q = 2 edges out q = 1 by ~0.15%).
+        import re
+
+        assert main(["multiverif", "--max-q", "2"]) == 0
+        out = capsys.readouterr().out
+        m = re.search(r"gain over q = 1\s*:\s*(-?\d+\.\d+)%", out)
+        assert m, out
+        assert float(m.group(1)) < 1.0
+
+
+class TestTrace:
+    def test_timeline_and_trace_printed(self, capsys):
+        assert main(["trace", "--patterns", "2", "--width", "60",
+                     "--rate", "5e-4", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out          # legend
+        assert "EXECUTE@" in out            # per-event lines
+        assert "patterns" in out
+
+    def test_failstop_trace(self, capsys):
+        assert main(["trace", "--patterns", "3", "--rate", "5e-4",
+                     "--failstop-fraction", "1.0", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fail-stop" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL REPRODUCTION GATES PASS" in out
+        assert out.count("**match**") == 4
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["report", "--out", str(path)]) == 0
+        assert path.exists()
+        assert "# Reproduction report" in path.read_text()

@@ -1,0 +1,187 @@
+"""Integration: qualitative shape checks for the paper's figures.
+
+Each test runs a (coarsened) figure sweep and asserts the *shape* claims
+the paper's Section 4.3 makes in prose.  Full-resolution regeneration
+with CSV export lives in the benchmarks; these are the fast CI gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.savings import summarize_savings
+from repro.sweep.figures import figure_spec, run_panel
+
+
+@pytest.fixture(scope="module")
+def fig_series():
+    """Coarse versions of the Atlas/Crusoe panels, shared per module."""
+    cache = {}
+
+    def get(figure_id: str, panel: str, n: int = 15):
+        key = (figure_id, panel, n)
+        if key not in cache:
+            cache[key] = run_panel(figure_spec(figure_id), panel, n=n)
+        return cache[key]
+
+    return get
+
+
+class TestFigure2CheckpointSweep:
+    def test_pair_starts_diagonal_low(self, fig_series):
+        # "the optimal speed pair starts at (0.45, 0.45) when C is small"
+        series = fig_series("fig2", "C")
+        assert series.speed_pairs()[0] == (0.45, 0.45)
+
+    def test_pair_reaches_045_08_at_5000(self, fig_series):
+        # "... and reaches (0.45, 0.8) when C is increased to 5000"
+        series = fig_series("fig2", "C")
+        assert series.speed_pairs()[-1] == (0.45, 0.8)
+
+    def test_sigma2_adapts_before_sigma1(self, fig_series):
+        # "the execution speeds are adapted (first sigma2 and then sigma1)"
+        series = fig_series("fig2", "C")
+        s1 = series.sigma1()
+        s2 = series.sigma2()
+        # sigma1 never moves on this range while sigma2 climbs.
+        assert np.all(s1 == s1[0])
+        assert s2[-1] > s2[0]
+
+    def test_pattern_size_grows_with_c(self, fig_series):
+        series = fig_series("fig2", "C")
+        w = series.work_two()
+        assert w[-1] > w[0]
+
+    def test_savings_up_to_35_percent(self, fig_series):
+        # "using two speeds achieves up to 35% improvement"
+        series = fig_series("fig2", "C", n=40)
+        s = summarize_savings(series)
+        assert 28.0 <= s.max_savings_percent <= 40.0
+
+
+class TestFigure3VerificationSweep:
+    def test_pair_stabilises_at_06_045(self, fig_series):
+        # "the optimal speed pair stabilizes at (0.6, 0.45) when V is
+        # increased to 5000 seconds"
+        series = fig_series("fig3", "V")
+        assert series.speed_pairs()[-1] == (0.6, 0.45)
+
+    def test_savings_exist(self, fig_series):
+        series = fig_series("fig3", "V")
+        assert summarize_savings(series).max_savings_percent > 10.0
+
+
+class TestFigure4ErrorRateSweep:
+    def test_pattern_size_shrinks_with_lambda(self, fig_series):
+        # "The optimal pattern size W reduces with increasing lambda"
+        series = fig_series("fig4", "lambda")
+        w = series.work_two()
+        ok = np.isfinite(w)
+        assert w[ok][-1] < w[ok][0]
+
+    def test_speeds_increase_with_lambda(self, fig_series):
+        # "...while the execution speeds increase (first sigma2 and then
+        # sigma1 till both reach the maximum value)".  Both speeds hit
+        # 1.0 right at the feasibility frontier (lambda ~ 1.15e-3 for
+        # rho = 3; beyond it no pair meets the bound, which is why the
+        # paper narrows the lambda axis for the low-rate platforms).
+        from repro.core.solver import solve_bicrit
+        from repro.platforms import get_configuration
+
+        series = fig_series("fig4", "lambda")
+        s1 = series.sigma1()
+        ok = np.isfinite(s1)
+        assert s1[ok][0] < 1.0
+        assert s1[ok][-1] > s1[ok][0]
+        cfg = get_configuration("atlas-crusoe")
+        frontier = solve_bicrit(cfg.with_error_rate(1.15e-3), 3.0).best
+        assert frontier.speed_pair == (1.0, 1.0)
+
+    def test_infeasible_beyond_frontier(self, fig_series):
+        series = fig_series("fig4", "lambda")
+        mask = series.feasible_mask()
+        assert not mask[-1]  # lambda = 1e-2 cannot meet rho = 3
+        assert mask[0]
+
+
+class TestFigure5RhoSweep:
+    def test_speeds_increase_as_rho_tightens(self, fig_series):
+        series = fig_series("fig5", "rho")
+        s1 = series.sigma1()
+        ok = np.isfinite(s1)
+        # Tightest feasible bound needs a faster first speed than the
+        # loosest.
+        first_ok = int(np.argmax(ok))
+        assert s1[first_ok] >= s1[-1]
+        assert s1[first_ok] > series.sigma1()[ok][-1] - 1e-12 or s1[first_ok] == 1.0
+
+    def test_infeasible_below_minimum(self, fig_series):
+        series = fig_series("fig5", "rho")
+        assert not series.feasible_mask()[0]
+
+
+class TestFigure6IdlePowerSweep:
+    def test_speeds_rise_with_pidle(self, fig_series):
+        # "the execution speeds increase (sigma1 first and then sigma2)
+        # with Pidle"
+        series = fig_series("fig6", "Pidle")
+        s1 = series.sigma1()
+        assert s1[-1] > s1[0]
+
+    def test_energy_overhead_rises_with_pidle(self, fig_series):
+        series = fig_series("fig6", "Pidle")
+        e = series.energy_two()
+        assert e[-1] > e[0]
+
+
+class TestFigure7IoPowerSweep:
+    def test_speeds_unaffected_by_pio(self, fig_series):
+        # "...but are not affected by Pio"
+        series = fig_series("fig7", "Pio")
+        s1, s2 = series.sigma1(), series.sigma2()
+        assert np.all(s1 == s1[0])
+        assert np.all(s2 == s2[0])
+
+    def test_sigma2_equals_sigma1(self, fig_series):
+        # "the optimal re-execution speed sigma2 is (almost always) the
+        # same as the initial speed sigma1"
+        series = fig_series("fig7", "Pio")
+        np.testing.assert_array_equal(series.sigma1(), series.sigma2())
+
+    def test_energy_overhead_rises_with_pio(self, fig_series):
+        series = fig_series("fig7", "Pio")
+        e = series.energy_two()
+        assert e[-1] > e[0]
+
+
+class TestOtherConfigurations:
+    """Spot checks from Section 4.3.4 on Figures 8-14."""
+
+    def test_fig12_hera_crusoe_pair_constant_in_c(self):
+        # "the optimal speed pair (0.45, 0.45) remains unchanged as the
+        # checkpointing cost increases up to 5000 seconds when the Crusoe
+        # processor is coupled with platforms other than Atlas"
+        series = run_panel(figure_spec("fig12"), "C", n=12)
+        assert all(p == (0.45, 0.45) for p in series.speed_pairs())
+
+    def test_fig13_coastal_crusoe_pair_constant_in_c(self):
+        series = run_panel(figure_spec("fig13"), "C", n=12)
+        assert all(p == (0.45, 0.45) for p in series.speed_pairs())
+
+    def test_fig11_coastal_ssd_xscale_pio_affects_pair(self):
+        # "increasing the dynamic I/O power does affect the optimal speed
+        # pair (and the pattern size) on the Coastal SSD/XScale
+        # configuration"
+        series = run_panel(figure_spec("fig11"), "Pio", n=12)
+        pairs = series.speed_pairs()
+        assert len(set(pairs)) > 1
+
+    @pytest.mark.parametrize("fid", ["fig8", "fig9", "fig10", "fig14"])
+    def test_all_panels_run_and_two_speed_wins_or_ties(self, fid):
+        spec = figure_spec(fid)
+        for panel in ("C", "lambda"):
+            series = run_panel(spec, panel, n=6)
+            e2, e1 = series.energy_two(), series.energy_single()
+            ok = np.isfinite(e2) & np.isfinite(e1)
+            assert np.all(e2[ok] <= e1[ok] + 1e-9)

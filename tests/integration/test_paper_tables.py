@@ -1,0 +1,106 @@
+"""Integration: regenerate every Section-4.2 table and check it verbatim.
+
+This is the bench-level reproduction run as a test — the paper's four
+tables (Hera/XScale, rho in {8, 3, 1.775, 1.4}) must come out row for
+row, including the infeasible "-" entries and the bold best pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import get_configuration
+from repro.reporting.tables import format_speed_pair_table
+from repro.sweep.tables import speed_pair_table
+
+# (rho, {sigma1: (best_sigma2, Wopt, E/W) or None}, best_pair)
+PAPER_TABLES = [
+    (
+        8.0,
+        {
+            0.15: (0.4, 1711, 466),
+            0.4: (0.4, 2764, 416),
+            0.6: (0.4, 3639, 674),
+            0.8: (0.4, 4627, 1082),
+            1.0: (0.4, 5742, 1625),
+        },
+        (0.4, 0.4),
+    ),
+    (
+        3.0,
+        {
+            0.15: None,
+            0.4: (0.4, 2764, 416),
+            0.6: (0.4, 3639, 674),
+            0.8: (0.4, 4627, 1082),
+            1.0: (0.4, 5742, 1625),
+        },
+        (0.4, 0.4),
+    ),
+    (
+        1.775,
+        {
+            0.15: None,
+            0.4: None,
+            0.6: (0.8, 4251, 690),
+            0.8: (0.4, 4627, 1082),
+            1.0: (0.4, 5742, 1625),
+        },
+        (0.6, 0.8),
+    ),
+    (
+        1.4,
+        {
+            0.15: None,
+            0.4: None,
+            0.6: None,
+            0.8: (0.4, 4627, 1082),
+            1.0: (0.4, 5742, 1625),
+        },
+        (0.8, 0.4),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_configuration("hera-xscale")
+
+
+@pytest.mark.parametrize(
+    "rho, rows, best_pair", PAPER_TABLES, ids=["rho8", "rho3", "rho1775", "rho14"]
+)
+def test_section_42_table(cfg, rho, rows, best_pair):
+    table = speed_pair_table(cfg, rho)
+    for s1, expected in rows.items():
+        row = table.row_for(s1)
+        if expected is None:
+            assert not row.feasible
+        else:
+            s2, wopt, energy = expected
+            assert row.best_sigma2 == s2
+            assert row.work == pytest.approx(wopt, abs=1.5)
+            assert row.energy_overhead == pytest.approx(energy, abs=1.5)
+    assert table.best_row.solution.speed_pair == best_pair
+
+
+def test_tables_render_without_error(cfg):
+    for rho, _, _ in PAPER_TABLES:
+        out = format_speed_pair_table(speed_pair_table(cfg, rho))
+        assert f"rho = {rho:g}" in out
+
+
+def test_optimal_pairs_cover_most_of_the_grid(cfg):
+    """Section 4.2's claim: "all speed pairs except the ones containing
+    0.15 can be the optimal solution, depending on the value of rho"."""
+    from repro.analysis.crossover import optimal_pairs_by_rho
+
+    intervals = optimal_pairs_by_rho(cfg, 1.05, 40.0, 4000)
+    winners = {iv.pair for iv in intervals}
+    # No winner involves the lowest speed as first speed.
+    assert all(p[0] != 0.15 for p in winners)
+    # A substantial portion of the 4x4 remaining first-speed grid wins
+    # somewhere (the paper says "it turns out ... all speed pairs except
+    # the ones containing 0.15"; the exact winner set depends on grid
+    # granularity — require at least 6 distinct winners).
+    assert len(winners) >= 6

@@ -1,0 +1,86 @@
+"""Integration: Monte-Carlo vs the analytical model, end to end.
+
+This is the evidence for the DESIGN.md substitution argument: the
+simulator (our stand-in for the authors' real platforms) reproduces
+Propositions 1-5 in expectation, at solver-chosen operating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve_bicrit
+from repro.errors import CombinedErrors
+from repro.simulation import ApplicationSimulator, check_agreement
+
+
+class TestAtSolverOptimum:
+    """Validate the model exactly where the solver says to operate."""
+
+    @pytest.mark.parametrize("rho", [1.775, 3.0, 8.0])
+    def test_hera_xscale_optimum(self, hera_xscale, rho):
+        best = solve_bicrit(hera_xscale, rho).best
+        report = check_agreement(
+            hera_xscale,
+            work=best.work,
+            sigma1=best.sigma1,
+            sigma2=best.sigma2,
+            n=20_000,
+            rng=1000 + int(rho * 100),
+        )
+        assert report.agrees(), (
+            f"simulator disagrees with model at the rho={rho} optimum: "
+            f"z_time={report.time_zscore:.2f} z_energy={report.energy_zscore:.2f}"
+        )
+
+    def test_every_config_at_default_rho(self, any_config):
+        best = solve_bicrit(any_config, 3.0).best
+        report = check_agreement(
+            any_config, work=best.work, sigma1=best.sigma1, sigma2=best.sigma2,
+            n=12_000, rng=99,
+        )
+        assert report.agrees()
+
+
+class TestCombinedErrorsEndToEnd:
+    @pytest.mark.parametrize("f", [0.25, 0.5, 1.0])
+    def test_amplified_rate_agreement(self, hera_xscale, f):
+        # Amplify the rate so failures actually occur within 20k samples.
+        errors = CombinedErrors(5e-4, f)
+        report = check_agreement(
+            hera_xscale, work=3000.0, sigma1=0.4, sigma2=0.8,
+            errors=errors, n=20_000, rng=7 + int(10 * f),
+        )
+        assert report.agrees()
+
+
+class TestApplicationScale:
+    def test_application_matches_per_pattern_model(self, hera_xscale):
+        # A long application's makespan tracks (T/W) * W_base within a
+        # few percent (law of large numbers over patterns).
+        from repro.core import exact
+
+        cfg = hera_xscale.with_error_rate(1e-4)  # visible failure count
+        best = solve_bicrit(cfg, 3.0).best
+        total_work = best.work * 300
+        sim = ApplicationSimulator(cfg, rng=5)
+        res = sim.run(
+            total_work=total_work, work=best.work,
+            sigma1=best.sigma1, sigma2=best.sigma2, record_events=False,
+        )
+        predicted_time = exact.time_overhead(cfg, best.work, best.sigma1, best.sigma2) * total_work
+        predicted_energy = exact.energy_overhead(cfg, best.work, best.sigma1, best.sigma2) * total_work
+        assert res.total_time == pytest.approx(predicted_time, rel=0.03)
+        assert res.total_energy == pytest.approx(predicted_energy, rel=0.03)
+
+    def test_error_counts_scale_with_rate(self, hera_xscale):
+        cfg_low = hera_xscale.with_error_rate(1e-5)
+        cfg_high = hera_xscale.with_error_rate(1e-4)
+        counts = []
+        for cfg in (cfg_low, cfg_high):
+            res = ApplicationSimulator(cfg, rng=11).run(
+                total_work=200_000.0, work=4000.0, sigma1=0.4, record_events=False
+            )
+            counts.append(res.num_silent)
+        assert counts[1] > counts[0] * 3  # ~10x expected, allow noise

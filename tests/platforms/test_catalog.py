@@ -1,0 +1,104 @@
+"""Catalog tests: Tables 1 and 2 of the paper, asserted verbatim.
+
+These tests pin the experiment inputs: if a catalog constant drifts,
+every downstream reproduction target silently changes, so the exact
+published values are asserted here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import (
+    ATLAS,
+    COASTAL,
+    COASTAL_SSD,
+    CRUSOE,
+    HERA,
+    PLATFORMS,
+    PROCESSORS,
+    XSCALE,
+    all_configurations,
+    configuration_names,
+    get_configuration,
+)
+
+
+class TestTable1Platforms:
+    """Table 1: lambda, C, V for the four platforms."""
+
+    @pytest.mark.parametrize(
+        "platform, lam, c, v",
+        [
+            (HERA, 3.38e-6, 300.0, 15.4),
+            (ATLAS, 7.78e-6, 439.0, 9.1),
+            (COASTAL, 2.01e-6, 1051.0, 4.5),
+            (COASTAL_SSD, 2.01e-6, 2500.0, 180.0),
+        ],
+        ids=["hera", "atlas", "coastal", "coastal-ssd"],
+    )
+    def test_values(self, platform, lam, c, v):
+        assert platform.error_rate == lam
+        assert platform.checkpoint_time == c
+        assert platform.verification_time == v
+
+    def test_recovery_equals_checkpoint(self):
+        # Section 4.1: R = C on every platform.
+        for p in PLATFORMS:
+            assert p.recovery_time == p.checkpoint_time
+
+    def test_four_platforms(self):
+        assert len(PLATFORMS) == 4
+
+
+class TestTable2Processors:
+    """Table 2: speed sets and power laws."""
+
+    def test_xscale_speeds(self):
+        assert XSCALE.speeds == (0.15, 0.4, 0.6, 0.8, 1.0)
+
+    def test_crusoe_speeds(self):
+        assert CRUSOE.speeds == (0.45, 0.6, 0.8, 0.9, 1.0)
+
+    def test_xscale_power_law(self):
+        # P(sigma) = 1550 sigma^3 + 60 mW.
+        assert XSCALE.power(1.0) == pytest.approx(1610.0)
+        assert XSCALE.power(0.15) == pytest.approx(1550 * 0.15**3 + 60)
+
+    def test_crusoe_power_law(self):
+        # P(sigma) = 5756 sigma^3 + 4.4 mW.
+        assert CRUSOE.power(1.0) == pytest.approx(5760.4)
+        assert CRUSOE.power(0.45) == pytest.approx(5756 * 0.45**3 + 4.4)
+
+    def test_two_processors(self):
+        assert len(PROCESSORS) == 2
+
+    def test_five_speeds_each(self):
+        assert XSCALE.num_speeds == 5
+        assert CRUSOE.num_speeds == 5
+
+
+class TestConfigurations:
+    def test_eight_virtual_configurations(self):
+        assert len(all_configurations()) == 8
+
+    def test_names_resolve(self):
+        for name in configuration_names():
+            cfg = get_configuration(name)
+            assert cfg.platform in PLATFORMS
+            assert cfg.processor in PROCESSORS
+
+    def test_name_normalisation(self):
+        assert get_configuration("Coastal_SSD-XSCALE").platform is COASTAL_SSD
+        assert get_configuration("HERA-crusoe").processor is CRUSOE
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="hera-xscale"):
+            get_configuration("nonexistent-cpu")
+
+    def test_default_io_power_is_lowest_speed_dynamic(self):
+        # Section 4.1: Pio defaults to the dynamic power at sigma_min.
+        cfg = get_configuration("hera-xscale")
+        assert cfg.io_power == pytest.approx(1550 * 0.15**3)
+        cfg2 = get_configuration("hera-crusoe")
+        assert cfg2.io_power == pytest.approx(5756 * 0.45**3)

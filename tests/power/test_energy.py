@@ -1,0 +1,91 @@
+"""Unit tests for per-segment energy accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    PowerModel,
+    compute_energy,
+    compute_time,
+    elapsed_compute_energy,
+    io_energy,
+)
+
+
+@pytest.fixture
+def pm() -> PowerModel:
+    return PowerModel(kappa=1000.0, idle=50.0, io=20.0)
+
+
+class TestComputeTime:
+    def test_basic(self):
+        assert compute_time(100.0, 0.5) == pytest.approx(200.0)
+
+    def test_faster_is_shorter(self):
+        assert compute_time(100.0, 1.0) < compute_time(100.0, 0.5)
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            compute_time(100.0, 0.0)
+
+    def test_array(self):
+        w = np.array([10.0, 20.0])
+        np.testing.assert_allclose(compute_time(w, 0.5), [20.0, 40.0])
+
+
+class TestComputeEnergy:
+    def test_closed_form(self, pm):
+        # (w/s) * (idle + kappa s^3)
+        w, s = 100.0, 0.5
+        assert compute_energy(pm, w, s) == pytest.approx((w / s) * (50 + 1000 * 0.125))
+
+    def test_dynamic_share_grows_with_speed_squared(self):
+        # Without idle power, E = kappa * w * s^2.
+        pm0 = PowerModel(kappa=1000.0, idle=0.0, io=0.0)
+        e_half = compute_energy(pm0, 100.0, 0.5)
+        e_full = compute_energy(pm0, 100.0, 1.0)
+        assert e_full / e_half == pytest.approx(4.0)
+
+    def test_static_share_shrinks_with_speed(self):
+        # Pure static energy = idle * w / s: halving time halves it.
+        pm_static = PowerModel(kappa=1e-9, idle=100.0, io=0.0)
+        e_half = compute_energy(pm_static, 100.0, 0.5)
+        e_full = compute_energy(pm_static, 100.0, 1.0)
+        assert e_half / e_full == pytest.approx(2.0, rel=1e-6)
+
+    def test_energy_speed_tradeoff_has_interior_optimum(self, pm):
+        # With both components, energy vs speed is U-shaped.
+        speeds = np.linspace(0.1, 1.0, 200)
+        e = np.array([compute_energy(pm, 100.0, float(s)) for s in speeds])
+        k = int(np.argmin(e))
+        assert 0 < k < len(speeds) - 1
+
+
+class TestElapsedComputeEnergy:
+    def test_matches_compute_energy(self, pm):
+        # elapsed = w/s must reproduce compute_energy.
+        w, s = 64.0, 0.8
+        assert elapsed_compute_energy(pm, w / s, s) == pytest.approx(
+            compute_energy(pm, w, s)
+        )
+
+    def test_negative_elapsed_rejected(self, pm):
+        with pytest.raises(ValueError):
+            elapsed_compute_energy(pm, -1.0, 1.0)
+
+
+class TestIoEnergy:
+    def test_closed_form(self, pm):
+        assert io_energy(pm, 30.0) == pytest.approx(30.0 * 70.0)
+
+    def test_zero_seconds(self, pm):
+        assert io_energy(pm, 0.0) == 0.0
+
+    def test_negative_rejected(self, pm):
+        with pytest.raises(ValueError):
+            io_energy(pm, -0.1)
+
+    def test_array(self, pm):
+        np.testing.assert_allclose(io_energy(pm, np.array([1.0, 2.0])), [70.0, 140.0])

@@ -1,0 +1,77 @@
+"""Unit tests for the DVFS power model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.power import PowerModel
+
+
+@pytest.fixture
+def xscale_like() -> PowerModel:
+    return PowerModel(kappa=1550.0, idle=60.0, io=5.23125)
+
+
+class TestCubicLaw:
+    def test_full_speed(self, xscale_like):
+        assert xscale_like.cpu_power(1.0) == pytest.approx(1550.0)
+
+    def test_cubic_scaling(self, xscale_like):
+        assert xscale_like.cpu_power(0.5) == pytest.approx(1550.0 / 8)
+
+    def test_zero_speed_zero_dynamic(self, xscale_like):
+        assert xscale_like.cpu_power(0.0) == 0.0
+
+    def test_array_input(self, xscale_like):
+        s = np.array([0.15, 0.4, 1.0])
+        np.testing.assert_allclose(xscale_like.cpu_power(s), 1550.0 * s**3)
+
+    def test_negative_speed_rejected(self, xscale_like):
+        with pytest.raises(ValueError):
+            xscale_like.cpu_power(-0.1)
+
+
+class TestTotals:
+    def test_compute_power_includes_idle(self, xscale_like):
+        assert xscale_like.compute_power(1.0) == pytest.approx(1610.0)
+
+    def test_io_total(self, xscale_like):
+        assert xscale_like.io_total_power() == pytest.approx(65.23125)
+
+    def test_compute_power_monotone(self, xscale_like):
+        s = np.linspace(0.1, 1.0, 20)
+        p = xscale_like.compute_power(s)
+        assert np.all(np.diff(p) > 0)
+
+
+class TestValidation:
+    def test_kappa_positive(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(kappa=0.0, idle=1.0, io=1.0)
+
+    def test_idle_nonnegative(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(kappa=1.0, idle=-1.0, io=1.0)
+
+    def test_io_nonnegative(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(kappa=1.0, idle=1.0, io=-1.0)
+
+    def test_zero_idle_and_io_allowed(self):
+        pm = PowerModel(kappa=1.0, idle=0.0, io=0.0)
+        assert pm.io_total_power() == 0.0
+
+
+class TestCopies:
+    def test_with_idle(self, xscale_like):
+        pm = xscale_like.with_idle(100.0)
+        assert pm.idle == 100.0
+        assert pm.kappa == xscale_like.kappa
+        assert xscale_like.idle == 60.0  # original untouched
+
+    def test_with_io(self, xscale_like):
+        pm = xscale_like.with_io(999.0)
+        assert pm.io == 999.0
+        assert pm.idle == xscale_like.idle

@@ -1,0 +1,193 @@
+"""Property-based tests on the analytical model (hypothesis).
+
+Strategies draw random-but-physical configurations (rates, costs,
+speeds, powers) and assert structural invariants that must hold for
+*every* parameterisation, not just the paper's catalog.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import exact
+from repro.core.feasibility import min_performance_bound
+from repro.core.firstorder import (
+    energy_coefficients,
+    energy_overhead_fo,
+    time_coefficients,
+    time_overhead_fo,
+)
+from repro.core.optimum import energy_optimal_work
+from repro.platforms import Configuration, Platform, Processor
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+rates = st.floats(min_value=1e-8, max_value=1e-3)
+costs = st.floats(min_value=1.0, max_value=5000.0)
+verifs = st.floats(min_value=0.0, max_value=1000.0)
+speeds = st.floats(min_value=0.1, max_value=1.0)
+kappas = st.floats(min_value=10.0, max_value=10000.0)
+powers = st.floats(min_value=0.0, max_value=5000.0)
+works = st.floats(min_value=10.0, max_value=50000.0)
+
+
+@st.composite
+def configurations(draw) -> Configuration:
+    platform = Platform(
+        name="prop",
+        error_rate=draw(rates),
+        checkpoint_time=draw(costs),
+        verification_time=draw(verifs),
+    )
+    s_lo = draw(st.floats(min_value=0.1, max_value=0.5))
+    s_hi = draw(st.floats(min_value=0.6, max_value=1.0))
+    processor = Processor(
+        name="propcpu",
+        speeds=(s_lo, s_hi),
+        kappa=draw(kappas),
+        idle_power=draw(powers),
+    )
+    return Configuration(platform=platform, processor=processor)
+
+
+# ----------------------------------------------------------------------
+# Exact-model invariants
+# ----------------------------------------------------------------------
+class TestExactInvariants:
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=150, deadline=None)
+    def test_time_exceeds_failure_free_floor(self, cfg, w, s1, s2):
+        floor = cfg.checkpoint_time + (w + cfg.verification_time) / s1
+        assert exact.expected_time(cfg, w, s1, s2) >= floor - 1e-9
+
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=150, deadline=None)
+    def test_energy_positive(self, cfg, w, s1, s2):
+        assert exact.expected_energy(cfg, w, s1, s2) > 0
+
+    @given(cfg=configurations(), w=works, s=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_prop1_prop2_diagonal_identity(self, cfg, w, s):
+        t1 = exact.expected_time_single_speed(cfg, w, s)
+        t2 = exact.expected_time(cfg, w, s, s)
+        assert math.isclose(t1, t2, rel_tol=1e-10)
+
+    @given(cfg=configurations(), w=works, s1=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_time_decreasing_in_sigma2(self, cfg, w, s1):
+        # Faster re-execution always helps the expected time.
+        t_slow = exact.expected_time(cfg, w, s1, 0.2)
+        t_fast = exact.expected_time(cfg, w, s1, 1.0)
+        assert t_fast <= t_slow + 1e-9
+
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_time_increasing_in_rate(self, cfg, w, s1, s2):
+        t_lo = exact.expected_time(cfg, w, s1, s2)
+        t_hi = exact.expected_time(cfg.with_error_rate(cfg.lam * 10), w, s1, s2)
+        assert t_hi >= t_lo - 1e-9
+
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_recursion_identity(self, cfg, w, s1, s2):
+        # Prop 2 must satisfy its defining recursion for any params.
+        t = exact.expected_time(cfg, w, s1, s2)
+        t22 = exact.expected_time_single_speed(cfg, w, s2)
+        p1 = 1 - math.exp(-cfg.lam * w / s1)
+        rhs = (
+            (w + cfg.verification_time) / s1
+            + p1 * (cfg.recovery_time + t22)
+            + (1 - p1) * cfg.checkpoint_time
+        )
+        assert math.isclose(t, rhs, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# First-order invariants
+# ----------------------------------------------------------------------
+class TestFirstOrderInvariants:
+    @given(cfg=configurations(), s1=speeds, s2=speeds)
+    @settings(max_examples=150, deadline=None)
+    def test_coefficients_positive(self, cfg, s1, s2):
+        for c in (time_coefficients(cfg, s1, s2), energy_coefficients(cfg, s1, s2)):
+            assert c.x > 0
+            assert c.y > 0
+            assert c.z >= 0
+
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_fo_gap_closed_form(self, cfg, w, s1, s2):
+        # Multiplying Eq. (2) by W shows T_fo * W = C + (W+V)/s1
+        # + x * (R + (W+V)/s2) with x = lam W / s1, while the exact
+        # Prop 2 has (1 - e^-x) e^y in place of x (y = lam W / s2).  So
+        # the approximation gap is *exactly*
+        #   ((1 - e^-x) e^y - x) * (R + (W+V)/s2) / W.
+        # This identity pins the gap's structure: its leading term is
+        # x (y - x/2), whose sign flips at s2 = 2 s1 — the Prop-7
+        # threshold — so fo is neither an upper nor a lower bound in
+        # general (an earlier one-sided claim was refuted by hypothesis).
+        import math
+
+        x = cfg.lam * w / s1
+        y = cfg.lam * w / s2
+        predicted_gap = (
+            ((1 - math.exp(-x)) * math.exp(y) - x)
+            * (cfg.recovery_time + (w + cfg.verification_time) / s2)
+            / w
+        )
+        actual_gap = exact.time_overhead(cfg, w, s1, s2) - time_overhead_fo(
+            cfg, w, s1, s2
+        )
+        assert actual_gap == pytest.approx(predicted_gap, rel=1e-6, abs=1e-12)
+
+    @given(cfg=configurations(), w=works, s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_fo_gap_envelope_bound(self, cfg, w, s1, s2):
+        # Provable envelope: |(1-e^-x) e^y - x| <= x (e^y - 1) + x^2/2
+        # (split as (1-e^-x)(e^y - 1) in [0, x(e^y-1)] minus
+        # (x - (1-e^-x)) in [0, x^2/2]).  Both O(lambda^2) at fixed W.
+        import math
+
+        x = cfg.lam * w / s1
+        y = cfg.lam * w / s2
+        envelope = (x * (math.exp(y) - 1) + x * x / 2) * (
+            cfg.recovery_time + (w + cfg.verification_time) / s2
+        ) / w
+        gap = abs(
+            exact.time_overhead(cfg, w, s1, s2) - time_overhead_fo(cfg, w, s1, s2)
+        )
+        assert gap <= envelope * (1 + 1e-9) + 1e-12
+
+    @given(cfg=configurations(), s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_we_is_stationary_point(self, cfg, s1, s2):
+        ec = energy_coefficients(cfg, s1, s2)
+        if ec.z <= 0:
+            return  # degenerate: no fixed cost, no interior optimum
+        we = energy_optimal_work(cfg, s1, s2)
+        e_at = energy_overhead_fo(cfg, we, s1, s2)
+        assert e_at <= energy_overhead_fo(cfg, we * 1.01, s1, s2) + 1e-12
+        assert e_at <= energy_overhead_fo(cfg, we * 0.99, s1, s2) + 1e-12
+
+    @given(cfg=configurations(), s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_rho_min_is_feasibility_threshold(self, cfg, s1, s2):
+        from repro.core.feasibility import feasibility_quadratic
+
+        rho_min = min_performance_bound(cfg, s1, s2)
+        assert feasibility_quadratic(cfg, s1, s2, rho_min * (1 + 1e-6)).is_feasible
+        assert not feasibility_quadratic(cfg, s1, s2, rho_min * (1 - 1e-6)).is_feasible
+
+    @given(cfg=configurations(), s1=speeds, s2=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_fo_overhead_at_minimum_equals_minimum_value(self, cfg, s1, s2):
+        tc = time_coefficients(cfg, s1, s2)
+        if tc.z <= 0:
+            return
+        w_star = tc.unconstrained_minimiser()
+        assert math.isclose(tc.evaluate(w_star), tc.minimum_value(), rel_tol=1e-12)

@@ -1,0 +1,110 @@
+"""Property-based tests on the Monte-Carlo engine (hypothesis).
+
+Heavier than the unit tests (each example simulates thousands of
+patterns), so example counts are modest; the invariants are structural
+(exact accounting identities), not statistical, except the final
+agreement gate which uses a generous 5-sigma threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CombinedErrors
+from repro.platforms import Configuration, Platform, Processor
+from repro.simulation import PatternSimulator
+
+
+@st.composite
+def scenarios(draw):
+    platform = Platform(
+        name="prop",
+        error_rate=draw(st.floats(min_value=1e-5, max_value=5e-3)),
+        checkpoint_time=draw(st.floats(min_value=1.0, max_value=100.0)),
+        verification_time=draw(st.floats(min_value=0.0, max_value=20.0)),
+    )
+    processor = Processor(
+        name="propcpu", speeds=(0.5, 1.0),
+        kappa=draw(st.floats(min_value=10.0, max_value=1000.0)),
+        idle_power=draw(st.floats(min_value=0.0, max_value=100.0)),
+    )
+    cfg = Configuration(platform=platform, processor=processor)
+    errors = CombinedErrors(
+        total_rate=draw(st.floats(min_value=1e-5, max_value=2e-3)),
+        failstop_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+    w = draw(st.floats(min_value=50.0, max_value=2000.0))
+    s1 = draw(st.sampled_from([0.5, 1.0]))
+    s2 = draw(st.sampled_from([0.5, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    # Keep the per-attempt failure exposure moderate: beyond
+    # lambda * tau ~ 1 the retry count explodes geometrically (the
+    # model still holds, but a sampling-based test becomes useless —
+    # heavy-tailed totals break the CLT-based z-gate and the retry loop
+    # takes e^{lambda tau} rounds).  Real deployments choose W well
+    # below this regime (the optimum has lambda * W / sigma ~ sqrt(lambda)).
+    exposure = errors.total_rate * (w + platform.verification_time) / 0.5
+    from hypothesis import assume
+
+    assume(exposure <= 1.0)
+    return cfg, errors, w, s1, s2, seed
+
+
+class TestSimulatorProperties:
+    @given(sc=scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_attempt_accounting_identity(self, sc):
+        cfg, errors, w, s1, s2, seed = sc
+        batch = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=2000)
+        np.testing.assert_array_equal(
+            batch.attempts - 1, batch.failstop_errors + batch.silent_errors
+        )
+
+    @given(sc=scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_time_floor(self, sc):
+        cfg, errors, w, s1, s2, seed = sc
+        batch = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=2000)
+        # Every sample pays at least the checkpoint; clean samples pay
+        # exactly the clean-run floor.
+        assert np.all(batch.times >= cfg.checkpoint_time)
+        clean = batch.attempts == 1
+        if clean.any():
+            floor = (w + cfg.verification_time) / s1 + cfg.checkpoint_time
+            np.testing.assert_allclose(batch.times[clean], floor)
+
+    @given(sc=scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_energy_time_consistency(self, sc):
+        cfg, errors, w, s1, s2, seed = sc
+        batch = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=2000)
+        # Power is bounded: idle+io and compute powers bracket the
+        # per-second energy of every sample.
+        pm = cfg.power
+        p_min = min(pm.io_total_power(), pm.compute_power(min(s1, s2)))
+        p_max = max(pm.io_total_power(), pm.compute_power(max(s1, s2)))
+        assert np.all(batch.energies >= batch.times * p_min - 1e-6)
+        assert np.all(batch.energies <= batch.times * p_max + 1e-6)
+
+    @given(sc=scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_mean_time_agrees_with_model(self, sc):
+        from repro.failstop import exact as combined_exact
+
+        cfg, errors, w, s1, s2, seed = sc
+        batch = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=20_000)
+        s = batch.summary()
+        expected = combined_exact.expected_time(cfg, errors, w, s1, s2)
+        # 5-sigma gate: ~3e-7 false-alarm rate per example.
+        assert abs(s.time_zscore(expected)) < 5.0
+
+    @given(sc=scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_reproducible_given_seed(self, sc):
+        cfg, errors, w, s1, s2, seed = sc
+        b1 = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=500)
+        b2 = PatternSimulator(cfg, errors, rng=seed).run(w, s1, s2, n=500)
+        np.testing.assert_array_equal(b1.times, b2.times)
+        np.testing.assert_array_equal(b1.energies, b2.energies)

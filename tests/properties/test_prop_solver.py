@@ -1,0 +1,119 @@
+"""Property-based tests on the solvers (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.singlespeed import solve_single_speed
+from repro.core.solver import solve_bicrit
+from repro.exceptions import InfeasibleBoundError
+from repro.platforms import Configuration, Platform, Processor
+
+rates = st.floats(min_value=1e-7, max_value=1e-4)
+costs = st.floats(min_value=10.0, max_value=3000.0)
+verifs = st.floats(min_value=0.0, max_value=500.0)
+rhos = st.floats(min_value=1.3, max_value=12.0)
+
+
+@st.composite
+def configurations(draw) -> Configuration:
+    platform = Platform(
+        name="prop",
+        error_rate=draw(rates),
+        checkpoint_time=draw(costs),
+        verification_time=draw(verifs),
+    )
+    n_speeds = draw(st.integers(min_value=2, max_value=5))
+    speed_set = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.2, max_value=1.0).map(lambda x: round(x, 3)),
+                min_size=n_speeds,
+                max_size=n_speeds,
+                unique=True,
+            )
+        )
+    )
+    processor = Processor(
+        name="propcpu",
+        speeds=tuple(speed_set),
+        kappa=draw(st.floats(min_value=100.0, max_value=8000.0)),
+        idle_power=draw(st.floats(min_value=0.0, max_value=500.0)),
+    )
+    return Configuration(platform=platform, processor=processor)
+
+
+class TestSolverProperties:
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=80, deadline=None)
+    def test_best_respects_bound(self, cfg, rho):
+        try:
+            sol = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        assert sol.best.time_overhead <= rho + 1e-9
+
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=80, deadline=None)
+    def test_best_is_min_over_feasible(self, cfg, rho):
+        try:
+            sol = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        for cand in sol.feasible_candidates():
+            assert sol.best.energy_overhead <= cand.energy_overhead + 1e-12
+
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=80, deadline=None)
+    def test_single_speed_never_beats_two_speed(self, cfg, rho):
+        try:
+            two = solve_bicrit(cfg, rho)
+            one = solve_single_speed(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        assert two.best.energy_overhead <= one.best.energy_overhead + 1e-12
+
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_loosening_bound_never_hurts(self, cfg, rho):
+        try:
+            tight = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        loose = solve_bicrit(cfg, rho * 2)
+        assert loose.best.energy_overhead <= tight.best.energy_overhead + 1e-12
+
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_speeds_come_from_catalog(self, cfg, rho):
+        try:
+            sol = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        assert sol.best.sigma1 in cfg.speeds
+        assert sol.best.sigma2 in cfg.speeds
+
+    @given(cfg=configurations())
+    @settings(max_examples=60, deadline=None)
+    def test_infeasibility_threshold_consistent(self, cfg):
+        # Below the per-config rho_min every solve must raise; above, none.
+        from repro.core.feasibility import min_performance_bound_config
+
+        rho_min = min_performance_bound_config(cfg)
+        with pytest.raises(InfeasibleBoundError):
+            solve_bicrit(cfg, rho_min * 0.99)
+        sol = solve_bicrit(cfg, rho_min * 1.01)
+        assert sol.best is not None
+
+    @given(cfg=configurations(), rho=rhos)
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip(self, cfg, rho):
+        from repro.reporting.serialize import solution_from_dict, solution_to_dict
+
+        try:
+            sol = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return
+        assert solution_from_dict(solution_to_dict(sol.best)) == sol.best

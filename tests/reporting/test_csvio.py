@@ -1,0 +1,61 @@
+"""Unit tests for the CSV writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.csvio import (
+    read_series_csv_rows,
+    write_series_csv,
+    write_table_csv,
+)
+from repro.sweep.axes import checkpoint_axis, rho_axis
+from repro.sweep.runner import run_sweep
+from repro.sweep.tables import speed_pair_table
+
+
+class TestSeriesCsv:
+    def test_roundtrip_values(self, atlas_crusoe, tmp_path):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=5))
+        path = write_series_csv(tmp_path / "s.csv", series)
+        rows = read_series_csv_rows(path)
+        assert len(rows) == 5
+        assert float(rows[0]["value"]) == pytest.approx(series.values[0])
+        assert float(rows[0]["sigma1"]) == series.points[0].two_speed.sigma1
+        assert float(rows[0]["energy_two"]) == pytest.approx(
+            series.points[0].two_speed.energy_overhead
+        )
+
+    def test_infeasible_cells_empty(self, atlas_crusoe, tmp_path):
+        series = run_sweep(atlas_crusoe, 3.0, rho_axis(lo=1.01, hi=3.5, n=6))
+        rows = read_series_csv_rows(write_series_csv(tmp_path / "s.csv", series))
+        assert rows[0]["sigma1"] == ""
+        assert rows[-1]["sigma1"] != ""
+
+    def test_creates_parent_dirs(self, atlas_crusoe, tmp_path):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=3))
+        path = write_series_csv(tmp_path / "deep" / "nested" / "s.csv", series)
+        assert path.exists()
+
+
+class TestTableCsv:
+    def test_rows_and_best_flag(self, hera_xscale, tmp_path):
+        import csv
+
+        table = speed_pair_table(hera_xscale, 3.0)
+        path = write_table_csv(tmp_path / "t.csv", table)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(hera_xscale.speeds)
+        best = [r for r in rows if r["is_best"] == "1"]
+        assert len(best) == 1
+        assert float(best[0]["sigma1"]) == 0.4
+
+    def test_infeasible_row_empty(self, hera_xscale, tmp_path):
+        import csv
+
+        table = speed_pair_table(hera_xscale, 3.0)
+        path = write_table_csv(tmp_path / "t.csv", table)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["best_sigma2"] == ""  # sigma1 = 0.15 infeasible

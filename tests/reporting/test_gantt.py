@@ -1,0 +1,90 @@
+"""Unit tests for the Figure-1 trace renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.reporting.gantt import format_timeline, format_trace
+from repro.simulation import ApplicationSimulator
+
+
+@pytest.fixture
+def clean_run(hera_xscale):
+    cfg = hera_xscale.with_error_rate(1e-15)
+    sim = ApplicationSimulator(cfg, rng=1)
+    return sim.run(total_work=6000.0, work=2000.0, sigma1=0.4)
+
+
+@pytest.fixture
+def silent_run(hera_xscale):
+    cfg = hera_xscale.with_error_rate(5e-4)
+    sim = ApplicationSimulator(cfg, rng=4)
+    res = sim.run(total_work=8000.0, work=2000.0, sigma1=0.4, sigma2=0.8)
+    assert res.num_silent > 0  # seed chosen to produce errors
+    return res
+
+
+@pytest.fixture
+def failstop_run(hera_xscale):
+    cfg = hera_xscale.with_error_rate(5e-4)
+    errors = CombinedErrors(5e-4, 1.0)
+    sim = ApplicationSimulator(cfg, errors, rng=4)
+    res = sim.run(total_work=8000.0, work=2000.0, sigma1=0.4, sigma2=0.8)
+    assert res.num_failstop > 0
+    return res
+
+
+class TestFormatTrace:
+    def test_header_counts(self, silent_run):
+        out = format_trace(silent_run)
+        assert f"{silent_run.num_silent} silent errors" in out
+        assert f"{len(silent_run.events)} events" in out
+
+    def test_one_line_per_event(self, clean_run):
+        out = format_trace(clean_run)
+        assert len(out.splitlines()) == 1 + len(clean_run.events)
+
+    def test_truncation(self, silent_run):
+        out = format_trace(silent_run, max_events=3)
+        assert "more events" in out
+        assert len(out.splitlines()) == 1 + 3 + 1
+
+    def test_speed_labels(self, silent_run):
+        out = format_trace(silent_run)
+        assert "EXECUTE@0.4" in out
+        assert "EXECUTE@0.8" in out  # the re-execution at sigma2
+
+
+class TestFormatTimeline:
+    def test_clean_run_has_no_error_marks(self, clean_run):
+        out = format_timeline(clean_run, width=80)
+        bar = out.splitlines()[0]
+        assert "!" not in bar and "x" not in bar and "R" not in bar
+        assert "#" in bar and "C" in bar
+
+    def test_silent_run_shows_detection_and_recovery(self, silent_run):
+        bar = format_timeline(silent_run, width=120).splitlines()[0]
+        assert "x" in bar
+        assert "R" in bar
+
+    def test_failstop_run_shows_interruption(self, failstop_run):
+        bar = format_timeline(failstop_run, width=120).splitlines()[0]
+        assert "!" in bar
+
+    def test_width_respected(self, clean_run):
+        bar = format_timeline(clean_run, width=64).splitlines()[0]
+        assert len(bar) == 64
+
+    def test_legend_present(self, clean_run):
+        out = format_timeline(clean_run)
+        assert "checkpoint" in out and "fail-stop" in out
+
+    def test_empty_trace(self, hera_xscale):
+        from repro.simulation.application import ApplicationResult
+
+        empty = ApplicationResult(
+            total_time=0.0, total_energy=0.0, num_patterns=0,
+            num_failstop=0, num_silent=0, events=(),
+        )
+        assert "empty" in format_timeline(empty)

@@ -1,0 +1,67 @@
+"""Unit tests for the JSON serialisation round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import solve_bicrit
+from repro.reporting.serialize import (
+    dump_json,
+    load_json,
+    series_from_dict,
+    series_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.sweep.axes import checkpoint_axis, rho_axis
+from repro.sweep.runner import run_sweep
+
+
+class TestSolutionRoundtrip:
+    def test_exact_roundtrip(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0).best
+        restored = solution_from_dict(solution_to_dict(sol))
+        assert restored == sol
+
+    def test_schema_guard(self, hera_xscale):
+        sol = solve_bicrit(hera_xscale, 3.0).best
+        payload = solution_to_dict(sol)
+        payload["schema"] = "something/else"
+        with pytest.raises(ValueError):
+            solution_from_dict(payload)
+
+
+class TestSeriesRoundtrip:
+    def test_exact_roundtrip(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=4))
+        restored = series_from_dict(series_to_dict(series))
+        assert restored == series
+
+    def test_roundtrip_with_infeasible_points(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, rho_axis(lo=1.01, hi=3.5, n=6))
+        restored = series_from_dict(series_to_dict(series))
+        assert restored == series
+        assert restored.points[0].two_speed is None
+
+    def test_schema_guard(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=3))
+        payload = series_to_dict(series)
+        payload["schema"] = "bogus"
+        with pytest.raises(ValueError):
+            series_from_dict(payload)
+
+
+class TestFileRoundtrip:
+    def test_dump_and_load(self, atlas_crusoe, tmp_path):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=3))
+        path = dump_json(tmp_path / "series.json", series_to_dict(series))
+        restored = series_from_dict(load_json(path))
+        assert restored == series
+
+    def test_json_is_plain(self, hera_xscale, tmp_path):
+        # The payload must be valid vanilla JSON (no NaN/Inf tokens).
+        import json
+
+        sol = solve_bicrit(hera_xscale, 3.0).best
+        path = dump_json(tmp_path / "sol.json", solution_to_dict(sol))
+        json.loads(path.read_text(), parse_constant=lambda c: pytest.fail(f"non-JSON constant {c}"))

@@ -1,0 +1,50 @@
+"""Unit tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.summary import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Build once per module: the report re-runs the headline pipeline."""
+    return build_report()
+
+
+class TestBuildReport:
+    def test_all_gates_pass(self, report):
+        assert report.tables_match
+        assert 25.0 <= report.fig2_max_savings <= 40.0
+        assert report.theorem2_exponent == pytest.approx(-2 / 3, abs=0.02)
+        assert report.ok
+
+    def test_markdown_sections(self, report):
+        md = report.markdown
+        assert "# Reproduction report" in md
+        assert "## Section 4.2 speed-pair tables" in md
+        assert "## Figure 2" in md
+        assert "## Theorem 2" in md
+        assert "ALL REPRODUCTION GATES PASS" in md
+
+    def test_every_table_row_matches(self, report):
+        assert report.markdown.count("**match**") == 4
+        assert "MISMATCH" not in report.markdown
+
+    def test_montecarlo_section_optional(self, report):
+        assert "Monte-Carlo" not in report.markdown
+
+    def test_montecarlo_section_when_requested(self):
+        rep = build_report(montecarlo_samples=4000)
+        assert "## Monte-Carlo validation" in rep.markdown
+        assert "agrees" in rep.markdown
+        assert "DISAGREES" not in rep.markdown
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        result = write_report(path)
+        assert path.exists()
+        assert path.read_text() == result.markdown

@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.tables import (
+    format_savings_line,
+    format_speed_pair_table,
+    format_sweep_series,
+)
+from repro.sweep.axes import checkpoint_axis, rho_axis
+from repro.sweep.runner import run_sweep
+from repro.sweep.tables import speed_pair_table
+
+
+class TestSpeedPairTableFormat:
+    def test_contains_paper_values(self, hera_xscale):
+        out = format_speed_pair_table(speed_pair_table(hera_xscale, 3.0))
+        assert "2764" in out
+        assert "rho = 3" in out
+        assert "Hera" in out
+
+    def test_infeasible_rows_dashed(self, hera_xscale):
+        out = format_speed_pair_table(speed_pair_table(hera_xscale, 3.0))
+        first_data_row = out.splitlines()[3]
+        assert "0.15" in first_data_row
+        assert "-" in first_data_row
+
+    def test_best_row_starred(self, hera_xscale):
+        out = format_speed_pair_table(speed_pair_table(hera_xscale, 3.0))
+        starred = [l for l in out.splitlines() if l.endswith("*")]
+        assert len(starred) == 1
+        assert "0.40" in starred[0]
+
+    def test_one_line_per_speed(self, hera_xscale):
+        out = format_speed_pair_table(speed_pair_table(hera_xscale, 3.0))
+        # 3 header lines + K rows.
+        assert len(out.splitlines()) == 3 + len(hera_xscale.speeds)
+
+
+class TestSweepSeriesFormat:
+    def test_contains_header_and_rows(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=5))
+        out = format_sweep_series(series)
+        assert "axis = C" in out
+        assert len(out.splitlines()) == 2 + 5
+
+    def test_max_rows_thins_output(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=12))
+        out = format_sweep_series(series, max_rows=6)
+        assert len(out.splitlines()) == 2 + 6
+
+    def test_infeasible_rendered_as_dash(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, rho_axis(lo=1.01, hi=3.5, n=8))
+        out = format_sweep_series(series)
+        assert "-" in out.splitlines()[2]  # infeasible first row
+
+
+class TestSavingsLine:
+    def test_format(self):
+        line = format_savings_line("Atlas/Crusoe", "C", 35.21, 3500.0)
+        assert "35.2%" in line
+        assert "C = 3500" in line

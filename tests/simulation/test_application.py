@@ -1,0 +1,138 @@
+"""Unit tests for the application-level simulator and its event traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.simulation import ApplicationSimulator, EventKind
+
+
+class TestStructure:
+    def test_pattern_count(self, toy_config):
+        sim = ApplicationSimulator(toy_config, rng=1)
+        res = sim.run(total_work=950.0, work=100.0, sigma1=0.5)
+        assert res.num_patterns == 10  # ceil(950 / 100)
+
+    def test_checkpoint_per_pattern(self, toy_config):
+        sim = ApplicationSimulator(toy_config, rng=2)
+        res = sim.run(total_work=500.0, work=100.0, sigma1=0.5)
+        # Exactly one committed checkpoint per pattern.
+        assert len(res.events_of(EventKind.CHECKPOINT)) == res.num_patterns
+
+    def test_timeline_contiguous(self, toy_config):
+        sim = ApplicationSimulator(toy_config, rng=3)
+        res = sim.run(total_work=500.0, work=100.0, sigma1=0.5)
+        events = res.events
+        for prev, cur in zip(events, events[1:]):
+            assert cur.start == pytest.approx(prev.end)
+        assert events[-1].end == pytest.approx(res.total_time)
+
+    def test_error_free_run_has_no_recoveries(self, hera_xscale):
+        # Tiny rate: virtually certain clean run.
+        cfg = hera_xscale.with_error_rate(1e-15)
+        sim = ApplicationSimulator(cfg, rng=4)
+        res = sim.run(total_work=10_000.0, work=2_000.0, sigma1=0.4)
+        assert res.num_errors == 0
+        assert not res.events_of(EventKind.RECOVER)
+        # Deterministic total: 5 patterns x ((W+V)/s + C).
+        expected = 5 * ((2000 + cfg.verification_time) / 0.4 + cfg.checkpoint_time)
+        assert res.total_time == pytest.approx(expected)
+
+    def test_record_events_false_skips_trace(self, toy_config):
+        sim = ApplicationSimulator(toy_config, rng=5)
+        res = sim.run(total_work=500.0, work=100.0, sigma1=0.5, record_events=False)
+        assert res.events == ()
+        assert res.total_time > 0
+
+
+class TestFigure1Scenarios:
+    """The three execution scenarios of Figure 1 appear in the traces."""
+
+    def test_silent_error_scenario(self, toy_config):
+        # Figure 1(c): EXECUTE, VERIFY, silent detection, RECOVER, then a
+        # re-execution at sigma2.
+        cfg = toy_config.with_error_rate(5e-3)  # frequent silent errors
+        sim = ApplicationSimulator(cfg, rng=6)
+        res = sim.run(total_work=2000.0, work=200.0, sigma1=0.5, sigma2=1.0)
+        detections = res.events_of(EventKind.SILENT_DETECTED)
+        assert detections, "expected at least one silent detection"
+        d = detections[0]
+        events = res.events
+        i = events.index(d)
+        # The detection follows a full verification and precedes recovery.
+        assert events[i - 1].kind is EventKind.VERIFY
+        assert events[i + 1].kind is EventKind.RECOVER
+        # The next execution of that pattern runs at sigma2.
+        after = [
+            e
+            for e in events[i + 2 :]
+            if e.kind is EventKind.EXECUTE and e.pattern_index == d.pattern_index
+        ]
+        assert after and after[0].speed == 1.0
+        assert after[0].attempt == d.attempt + 1
+
+    def test_failstop_scenario(self, toy_config):
+        # Figure 1(b): partial execution, fail-stop marker, recovery,
+        # re-execution at sigma2.
+        errors = CombinedErrors(5e-3, 1.0)
+        sim = ApplicationSimulator(toy_config, errors, rng=7)
+        res = sim.run(total_work=2000.0, work=200.0, sigma1=0.5, sigma2=1.0)
+        markers = res.events_of(EventKind.FAILSTOP)
+        assert markers, "expected at least one fail-stop interruption"
+        m = markers[0]
+        events = res.events
+        i = events.index(m)
+        assert events[i - 1].kind is EventKind.PARTIAL_EXECUTE
+        assert events[i + 1].kind is EventKind.RECOVER
+        # The partial segment is strictly shorter than the full window.
+        full = (200.0 + toy_config.verification_time) / 0.5
+        assert events[i - 1].duration < full
+
+    def test_error_free_scenario(self, toy_config):
+        # Figure 1(a): every pattern is EXECUTE, VERIFY, CHECKPOINT.
+        cfg = toy_config.with_error_rate(1e-15)
+        sim = ApplicationSimulator(cfg, rng=8)
+        res = sim.run(total_work=600.0, work=200.0, sigma1=0.5)
+        kinds = [e.kind for e in res.events]
+        assert kinds == [
+            EventKind.EXECUTE, EventKind.VERIFY, EventKind.CHECKPOINT,
+        ] * 3
+
+
+class TestExtrapolationValidation:
+    def test_total_time_tracks_pattern_overhead(self, toy_config):
+        # T_total ~ (T(W)/W) * W_base for many patterns (Section 2.3).
+        from repro.core import exact
+
+        cfg = toy_config
+        w, s1, s2 = 200.0, 0.5, 1.0
+        total_work = 40_000.0
+        sim = ApplicationSimulator(cfg, rng=9)
+        res = sim.run(total_work=total_work, work=w, sigma1=s1, sigma2=s2,
+                      record_events=False)
+        predicted = exact.time_overhead(cfg, w, s1, s2) * total_work
+        # 200 patterns: the mean has a few-% relative noise.
+        assert res.total_time == pytest.approx(predicted, rel=0.05)
+
+    def test_energy_tracks_pattern_overhead(self, toy_config):
+        from repro.core import exact
+
+        cfg = toy_config
+        w, s1 = 200.0, 0.5
+        total_work = 40_000.0
+        sim = ApplicationSimulator(cfg, rng=10)
+        res = sim.run(total_work=total_work, work=w, sigma1=s1, record_events=False)
+        predicted = exact.energy_overhead(cfg, w, s1) * total_work
+        assert res.total_energy == pytest.approx(predicted, rel=0.05)
+
+    def test_last_partial_pattern(self, toy_config):
+        # total_work not a multiple of work: last pattern is smaller.
+        cfg = toy_config.with_error_rate(1e-15)
+        sim = ApplicationSimulator(cfg, rng=11)
+        res = sim.run(total_work=250.0, work=100.0, sigma1=0.5)
+        assert res.num_patterns == 3
+        execs = res.events_of(EventKind.EXECUTE)
+        # Last execution covers only 50 work units.
+        assert execs[-1].duration == pytest.approx(50.0 / 0.5)

@@ -1,0 +1,57 @@
+"""Unit tests for the adaptive Monte-Carlo sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.simulation.convergence import simulate_until
+
+
+class TestSimulateUntil:
+    def test_meets_target(self, toy_config):
+        est = simulate_until(toy_config, 300.0, 0.5, precision=0.01, rng=1)
+        assert est.converged
+        assert est.achieved_precision <= 0.01
+
+    def test_tighter_target_needs_more_samples(self, toy_config):
+        loose = simulate_until(toy_config, 300.0, 0.5, precision=0.02, rng=2)
+        tight = simulate_until(toy_config, 300.0, 0.5, precision=0.004, rng=2)
+        assert tight.n >= loose.n
+
+    def test_estimate_matches_model(self, toy_config):
+        from repro.core import exact
+
+        est = simulate_until(toy_config, 300.0, 0.5, precision=0.005, rng=3)
+        expected = exact.expected_time(toy_config, 300.0, 0.5)
+        # The CI target bounds the relative error of the estimate.
+        assert est.summary.mean_time == pytest.approx(expected, rel=0.01)
+
+    def test_budget_exhaustion_raises(self, toy_config):
+        with pytest.raises(ConvergenceError, match="precision"):
+            simulate_until(
+                toy_config, 300.0, 0.5,
+                precision=1e-6, initial_n=100, max_n=400, rng=4,
+            )
+
+    def test_rounds_counted(self, toy_config):
+        est = simulate_until(
+            toy_config, 300.0, 0.5, precision=0.02, initial_n=500, rng=5
+        )
+        assert est.rounds >= 1
+        # Sample total is consistent with geometric doubling from 500.
+        assert est.n >= 500
+
+    def test_invalid_inputs(self, toy_config):
+        with pytest.raises(Exception):
+            simulate_until(toy_config, 300.0, 0.5, precision=0.0)
+        with pytest.raises(ValueError):
+            simulate_until(toy_config, 300.0, 0.5, initial_n=1)
+
+    def test_combined_errors_supported(self, toy_config, combined_half):
+        est = simulate_until(
+            toy_config, 300.0, 0.5,
+            errors=combined_half, precision=0.02, rng=6,
+        )
+        assert est.converged
+        assert est.summary.total_failstop > 0 or est.summary.total_silent >= 0

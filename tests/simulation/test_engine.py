@@ -1,0 +1,142 @@
+"""Unit tests for the vectorised Monte-Carlo pattern engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import exact as silent_exact
+from repro.errors import CombinedErrors
+from repro.failstop import exact as combined_exact
+from repro.simulation import PatternSimulator
+
+
+class TestBasics:
+    def test_batch_size(self, toy_config):
+        batch = PatternSimulator(toy_config, rng=0).run(100.0, 0.5, n=257)
+        assert batch.size == 257
+
+    def test_deterministic_with_seed(self, toy_config):
+        b1 = PatternSimulator(toy_config, rng=42).run(100.0, 0.5, n=100)
+        b2 = PatternSimulator(toy_config, rng=42).run(100.0, 0.5, n=100)
+        np.testing.assert_array_equal(b1.times, b2.times)
+        np.testing.assert_array_equal(b1.energies, b2.energies)
+
+    def test_different_seeds_differ(self, toy_config):
+        b1 = PatternSimulator(toy_config, rng=1).run(100.0, 0.5, n=100)
+        b2 = PatternSimulator(toy_config, rng=2).run(100.0, 0.5, n=100)
+        assert not np.array_equal(b1.times, b2.times)
+
+    def test_spawn_gives_independent_stream(self, toy_config):
+        sim = PatternSimulator(toy_config, rng=7)
+        child = sim.spawn()
+        b1 = sim.run(100.0, 0.5, n=50)
+        b2 = child.run(100.0, 0.5, n=50)
+        assert not np.array_equal(b1.times, b2.times)
+
+    def test_invalid_inputs(self, toy_config):
+        sim = PatternSimulator(toy_config, rng=0)
+        with pytest.raises(Exception):
+            sim.run(0.0, 0.5)
+        with pytest.raises(Exception):
+            sim.run(100.0, 0.0)
+        with pytest.raises(ValueError):
+            sim.run(100.0, 0.5, n=0)
+
+
+class TestStructuralInvariants:
+    def test_minimum_time_is_clean_run(self, toy_config):
+        # No sample can finish faster than (W+V)/s1 + C.
+        cfg = toy_config
+        w, s1 = 200.0, 0.5
+        batch = PatternSimulator(cfg, rng=3).run(w, s1, n=5000)
+        floor = (w + cfg.verification_time) / s1 + cfg.checkpoint_time
+        assert np.all(batch.times >= floor - 1e-9)
+
+    def test_clean_runs_hit_floor_exactly(self, toy_config):
+        cfg = toy_config
+        w, s1 = 200.0, 0.5
+        batch = PatternSimulator(cfg, rng=3).run(w, s1, n=5000)
+        floor = (w + cfg.verification_time) / s1 + cfg.checkpoint_time
+        clean = batch.attempts == 1
+        assert clean.any()
+        np.testing.assert_allclose(batch.times[clean], floor)
+
+    def test_attempts_counts_failures(self, toy_config):
+        batch = PatternSimulator(toy_config, rng=5).run(500.0, 0.5, n=2000)
+        # Silent-only engine: every extra attempt stems from a silent error.
+        np.testing.assert_array_equal(
+            batch.attempts - 1, batch.silent_errors
+        )
+        assert np.all(batch.failstop_errors == 0)
+
+    def test_combined_attempts_identity(self, toy_config):
+        errors = CombinedErrors(2e-3, 0.5)
+        batch = PatternSimulator(toy_config, errors, rng=6).run(500.0, 0.5, n=2000)
+        np.testing.assert_array_equal(
+            batch.attempts - 1, batch.silent_errors + batch.failstop_errors
+        )
+
+    def test_energies_positive(self, toy_config):
+        batch = PatternSimulator(toy_config, rng=8).run(100.0, 0.5, n=500)
+        assert np.all(batch.energies > 0)
+
+    def test_failstop_time_can_undershoot_full_window(self, toy_config):
+        # With fail-stop errors, an interrupted attempt costs < tau, so
+        # some failed samples may finish faster than a full re-run would.
+        errors = CombinedErrors(5e-3, 1.0)
+        cfg = toy_config
+        w, s1 = 500.0, 0.5
+        batch = PatternSimulator(cfg, errors, rng=9).run(w, s1, n=4000)
+        failed = batch.attempts == 2
+        tau = (w + cfg.verification_time) / s1
+        full_two_runs = 2 * tau + cfg.recovery_time + cfg.checkpoint_time
+        assert failed.any()
+        assert np.any(batch.times[failed] < full_two_runs - 1e-9)
+
+
+class TestAgreementWithModel:
+    """Sample means must match the exact propositions (z < 4)."""
+
+    @pytest.mark.parametrize("s2", [0.5, 1.0])
+    def test_silent_only_means(self, toy_config, s2):
+        cfg = toy_config
+        w, s1, n = 500.0, 0.5, 40_000
+        batch = PatternSimulator(cfg, rng=11).run(w, s1, s2, n=n)
+        s = batch.summary()
+        t_exp = silent_exact.expected_time(cfg, w, s1, s2)
+        e_exp = silent_exact.expected_energy(cfg, w, s1, s2)
+        assert abs(s.time_zscore(t_exp)) < 4
+        assert abs(s.energy_zscore(e_exp)) < 4
+
+    @pytest.mark.parametrize("f", [0.3, 1.0])
+    def test_combined_means(self, toy_config, f):
+        errors = CombinedErrors(2e-3, f)
+        w, s1, s2, n = 500.0, 0.5, 1.0, 40_000
+        batch = PatternSimulator(toy_config, errors, rng=13).run(w, s1, s2, n=n)
+        s = batch.summary()
+        t_exp = combined_exact.expected_time(toy_config, errors, w, s1, s2)
+        e_exp = combined_exact.expected_energy(toy_config, errors, w, s1, s2)
+        assert abs(s.time_zscore(t_exp)) < 4
+        assert abs(s.energy_zscore(e_exp)) < 4
+
+    def test_reexecution_count_matches_model(self, toy_config):
+        cfg = toy_config
+        w, s1, s2, n = 500.0, 0.5, 1.0, 40_000
+        batch = PatternSimulator(cfg, rng=17).run(w, s1, s2, n=n)
+        expected = silent_exact.expected_reexecutions(cfg, w, s1, s2)
+        observed = batch.summary().mean_reexecutions
+        # Mean of a geometric-ish count: compare with generous slack.
+        assert observed == pytest.approx(expected, rel=0.1)
+
+    def test_silent_strike_rate_matches_probability(self, toy_config):
+        # Among first attempts, the silent-error frequency must match
+        # 1 - exp(-lambda W / sigma1).
+        import math
+
+        cfg = toy_config
+        w, s1, n = 500.0, 0.5, 40_000
+        batch = PatternSimulator(cfg, rng=19).run(w, s1, n=n)
+        p_first_fail = np.mean(batch.attempts > 1)
+        p_model = 1 - math.exp(-cfg.lam * w / s1)
+        assert p_first_fail == pytest.approx(p_model, abs=4 * np.sqrt(p_model / n))

@@ -1,0 +1,105 @@
+"""Unit tests for batch summaries and agreement reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CombinedErrors
+from repro.simulation import PatternSimulator, check_agreement
+from repro.simulation.outcomes import BatchSummary, PatternBatch
+
+
+def _toy_batch(n: int = 100) -> PatternBatch:
+    rng = np.random.default_rng(0)
+    times = 100.0 + rng.normal(0, 5, n)
+    return PatternBatch(
+        times=times,
+        energies=2 * times,
+        attempts=np.ones(n, dtype=np.int64),
+        failstop_errors=np.zeros(n, dtype=np.int64),
+        silent_errors=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestPatternBatch:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PatternBatch(
+                times=np.ones(3),
+                energies=np.ones(4),
+                attempts=np.ones(3, dtype=np.int64),
+                failstop_errors=np.zeros(3, dtype=np.int64),
+                silent_errors=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_summary_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            _toy_batch(1).summary()
+
+
+class TestBatchSummary:
+    def test_means(self):
+        b = _toy_batch(1000)
+        s = b.summary()
+        assert s.mean_time == pytest.approx(float(np.mean(b.times)))
+        assert s.mean_energy == pytest.approx(2 * s.mean_time)
+
+    def test_sem_scaling(self):
+        s_small = _toy_batch(100).summary()
+        s_big = _toy_batch(10_000).summary()
+        # SEM shrinks like 1/sqrt(n).
+        assert s_big.sem_time < s_small.sem_time
+
+    def test_zscore_zero_at_truth(self):
+        s = _toy_batch(1000).summary()
+        assert s.time_zscore(s.mean_time) == 0.0
+
+    def test_ci95_contains_mean(self):
+        s = _toy_batch(1000).summary()
+        lo, hi = s.time_ci95()
+        assert lo < s.mean_time < hi
+        assert hi - lo == pytest.approx(2 * 1.959963984540054 * s.sem_time)
+
+    def test_from_batch_counts(self, toy_config):
+        batch = PatternSimulator(toy_config, rng=1).run(500.0, 0.5, n=2000)
+        s = batch.summary()
+        assert s.total_silent == int(np.sum(batch.silent_errors))
+        assert s.mean_attempts == pytest.approx(float(np.mean(batch.attempts)))
+        assert s.mean_reexecutions == pytest.approx(s.mean_attempts - 1)
+
+
+class TestCheckAgreement:
+    def test_silent_only_agrees(self, toy_config):
+        report = check_agreement(toy_config, work=500.0, sigma1=0.5, sigma2=1.0,
+                                 n=30_000, rng=123)
+        assert report.agrees()
+        assert report.max_abs_zscore < 4
+
+    def test_combined_agrees(self, toy_config):
+        report = check_agreement(
+            toy_config, work=500.0, sigma1=0.5, sigma2=1.0,
+            errors=CombinedErrors(2e-3, 0.6), n=30_000, rng=321,
+        )
+        assert report.agrees()
+
+    def test_wrong_expectation_fails(self, toy_config):
+        report = check_agreement(toy_config, work=500.0, sigma1=0.5, n=30_000, rng=5)
+        # Corrupt the expectation: the gate must catch a 5% model error.
+        from dataclasses import replace
+
+        bad = replace(report, expected_time=report.expected_time * 1.05)
+        assert not bad.agrees()
+
+    def test_all_paper_configs_agree(self, any_config):
+        # The headline validation: Monte-Carlo matches Props 2/3 on all
+        # eight paper configurations at their table-scale patterns.
+        report = check_agreement(
+            any_config, work=3000.0, sigma1=0.4 if 0.4 in any_config.speeds else 0.45,
+            sigma2=0.8, n=15_000, rng=777,
+        )
+        assert report.agrees()
+
+    def test_default_sigma2(self, toy_config):
+        report = check_agreement(toy_config, work=300.0, sigma1=0.5, n=5_000, rng=9)
+        assert report.sigma2 == 0.5

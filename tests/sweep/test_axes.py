@@ -1,0 +1,93 @@
+"""Unit tests for the sweep axes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep.axes import (
+    AXIS_NAMES,
+    axis_by_name,
+    checkpoint_axis,
+    error_rate_axis,
+    idle_power_axis,
+    io_power_axis,
+    rho_axis,
+    verification_axis,
+)
+
+
+class TestAxisApplication:
+    def test_checkpoint_axis_sets_c_and_r(self, atlas_crusoe):
+        axis = checkpoint_axis(n=5)
+        cfg, rho = axis.apply(atlas_crusoe, 3.0, 1234.0)
+        assert cfg.checkpoint_time == 1234.0
+        assert cfg.recovery_time == 1234.0  # R tracks C (Section 4.1)
+        assert rho == 3.0
+
+    def test_verification_axis(self, atlas_crusoe):
+        axis = verification_axis(n=5)
+        cfg, _ = axis.apply(atlas_crusoe, 3.0, 77.0)
+        assert cfg.verification_time == 77.0
+        assert cfg.checkpoint_time == atlas_crusoe.checkpoint_time
+
+    def test_error_rate_axis(self, atlas_crusoe):
+        axis = error_rate_axis(n=5)
+        cfg, _ = axis.apply(atlas_crusoe, 3.0, 1e-4)
+        assert cfg.lam == 1e-4
+
+    def test_rho_axis_changes_bound_only(self, atlas_crusoe):
+        axis = rho_axis(n=5)
+        cfg, rho = axis.apply(atlas_crusoe, 3.0, 1.5)
+        assert rho == 1.5
+        assert cfg is atlas_crusoe
+
+    def test_idle_power_axis(self, atlas_crusoe):
+        axis = idle_power_axis(n=5)
+        cfg, _ = axis.apply(atlas_crusoe, 3.0, 2500.0)
+        assert cfg.power.idle == 2500.0
+        # Pio keeps its default (depends on kappa, not Pidle).
+        assert cfg.io_power == pytest.approx(atlas_crusoe.io_power)
+
+    def test_io_power_axis(self, atlas_crusoe):
+        axis = io_power_axis(n=5)
+        cfg, _ = axis.apply(atlas_crusoe, 3.0, 2500.0)
+        assert cfg.io_power == 2500.0
+        assert cfg.power.idle == atlas_crusoe.power.idle
+
+
+class TestAxisValues:
+    def test_linear_axes_span_range(self):
+        axis = checkpoint_axis(lo=100.0, hi=1000.0, n=10)
+        assert axis.values[0] == 100.0
+        assert axis.values[-1] == 1000.0
+        assert len(axis) == 10
+
+    def test_log_axis_is_geometric(self):
+        axis = error_rate_axis(lo=1e-6, hi=1e-2, n=5)
+        ratios = [axis.values[i + 1] / axis.values[i] for i in range(4)]
+        assert all(r == pytest.approx(10.0) for r in ratios)
+
+    def test_paper_default_ranges(self):
+        assert checkpoint_axis().values[-1] == 5000.0
+        assert verification_axis().values[0] == 0.0
+        assert rho_axis().values[-1] == 3.5
+        assert error_rate_axis().values[-1] == pytest.approx(1e-2)
+
+
+class TestAxisByName:
+    def test_all_names_resolve(self):
+        for name in AXIS_NAMES:
+            axis = axis_by_name(name, n=3)
+            assert axis.name == name
+            assert len(axis) == 3
+
+    def test_six_axes(self):
+        assert set(AXIS_NAMES) == {"C", "V", "lambda", "rho", "Pidle", "Pio"}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="lambda"):
+            axis_by_name("temperature")
+
+    def test_kwargs_forwarded(self):
+        axis = axis_by_name("lambda", hi=1e-3, n=4)
+        assert axis.values[-1] == pytest.approx(1e-3)

@@ -1,0 +1,67 @@
+"""Unit tests for the figure specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep.figures import FIGURES, figure_spec, run_figure, run_panel
+
+
+class TestSpecs:
+    def test_thirteen_figures(self):
+        # Figures 2-14 (Figure 1 is a schematic with no data).
+        assert len(FIGURES) == 13
+
+    def test_atlas_crusoe_panels(self):
+        # Figures 2-7 are single-panel Atlas/Crusoe sweeps.
+        for fid, panel in zip(
+            ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7"],
+            ["C", "V", "lambda", "rho", "Pidle", "Pio"],
+        ):
+            spec = figure_spec(fid)
+            assert spec.config_name == "atlas-crusoe"
+            assert spec.panels == (panel,)
+
+    def test_multi_panel_figures(self):
+        for fid in ["fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"]:
+            spec = figure_spec(fid)
+            assert spec.panels == ("C", "V", "lambda", "rho", "Pidle", "Pio")
+
+    def test_every_config_covered(self):
+        # Figures 2-14 cover all eight configurations.
+        configs = {figure_spec(fid).config_name for fid in FIGURES}
+        assert len(configs) == 8
+
+    def test_coastal_lambda_range_narrower(self):
+        assert figure_spec("fig10").lambda_max == 1e-3
+        assert figure_spec("fig8").lambda_max == 1e-2
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            figure_spec("fig99")
+
+    def test_axis_respects_lambda_max(self):
+        axis = figure_spec("fig10").axis("lambda", n=5)
+        assert axis.values[-1] == pytest.approx(1e-3)
+
+    def test_unknown_panel(self):
+        with pytest.raises(KeyError):
+            figure_spec("fig2").axis("V")
+
+
+class TestRun:
+    def test_run_panel(self):
+        spec = figure_spec("fig2")
+        series = run_panel(spec, "C", n=4)
+        assert len(series) == 4
+        assert series.axis_name == "C"
+
+    def test_run_figure_returns_all_panels(self):
+        panels = run_figure("fig8", n=3)
+        assert set(panels) == {"C", "V", "lambda", "rho", "Pidle", "Pio"}
+        for series in panels.values():
+            assert len(series) == 3
+
+    def test_custom_rho(self):
+        panels = run_figure("fig2", rho=8.0, n=3)
+        assert panels["C"].rho == 8.0

@@ -1,0 +1,62 @@
+"""Unit tests for the fail-stop-fraction sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sweep.fraction import sweep_failstop_fraction
+
+
+class TestFractionSweep:
+    def test_default_grid(self, hera_xscale):
+        sw = sweep_failstop_fraction(hera_xscale, 3.0)
+        assert len(sw) == 11
+        assert sw.fractions[0] == 0.0
+        assert sw.fractions[-1] == 1.0
+        assert sw.total_rate == hera_xscale.lam
+
+    def test_endpoints_match_dedicated_solvers(self, hera_xscale):
+        from repro.core.solver import solve_bicrit
+
+        sw = sweep_failstop_fraction(
+            hera_xscale, 3.0, fractions=np.array([0.0, 1.0])
+        )
+        # f = 0 must agree with the silent-only first-order winner.
+        fo = solve_bicrit(hera_xscale, 3.0).best
+        assert (sw.sigma1()[0], sw.sigma2()[0]) == fo.speed_pair
+        assert sw.energy_overhead()[0] == pytest.approx(
+            fo.energy_overhead, rel=0.01
+        )
+
+    def test_energy_decreases_with_failstop_share(self, hera_xscale):
+        # For V << W, fail-stop errors cost less than silent ones
+        # (early detection), so the optimal energy falls as f grows.
+        sw = sweep_failstop_fraction(
+            hera_xscale, 3.0, total_rate=5e-4,
+            fractions=np.linspace(0.0, 1.0, 6),
+        )
+        e = sw.energy_overhead()
+        assert np.all(np.isfinite(e))
+        assert e[-1] < e[0]
+
+    def test_all_respect_bound(self, hera_xscale):
+        sw = sweep_failstop_fraction(
+            hera_xscale, 3.0, total_rate=5e-4,
+            fractions=np.linspace(0.0, 1.0, 6),
+        )
+        t = sw.time_overhead()
+        assert np.all(t[np.isfinite(t)] <= 3.0 + 1e-9)
+
+    def test_custom_rate(self, hera_xscale):
+        sw = sweep_failstop_fraction(
+            hera_xscale, 3.0, total_rate=1e-4, fractions=np.array([0.5])
+        )
+        assert sw.total_rate == 1e-4
+        assert np.isfinite(sw.work()[0])
+
+    def test_infeasible_bound_yields_none_entries(self, hera_xscale):
+        sw = sweep_failstop_fraction(
+            hera_xscale, 1.0, fractions=np.array([0.0, 0.5])
+        )
+        assert np.all(np.isnan(sw.energy_overhead()))

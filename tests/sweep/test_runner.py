@@ -1,0 +1,60 @@
+"""Unit tests for the sweep runner and series containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sweep.axes import checkpoint_axis, rho_axis
+from repro.sweep.runner import run_sweep
+
+
+class TestRunSweep:
+    def test_series_aligned_with_axis(self, atlas_crusoe):
+        axis = checkpoint_axis(n=7)
+        series = run_sweep(atlas_crusoe, 3.0, axis)
+        assert len(series) == 7
+        np.testing.assert_allclose(series.values, axis.values)
+
+    def test_metadata(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=3))
+        assert series.config_name == atlas_crusoe.name
+        assert series.axis_name == "C"
+        assert series.rho == 3.0
+
+    def test_two_speed_never_worse(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=9))
+        e2, e1 = series.energy_two(), series.energy_single()
+        ok = np.isfinite(e2) & np.isfinite(e1)
+        assert ok.any()
+        assert np.all(e2[ok] <= e1[ok] + 1e-9)
+
+    def test_rho_sweep_has_infeasible_head(self, atlas_crusoe):
+        # rho just above 1 is below the minimum feasible bound.
+        series = run_sweep(atlas_crusoe, 3.0, rho_axis(lo=1.01, hi=3.5, n=20))
+        mask = series.feasible_mask()
+        assert not mask[0]          # tightest bound infeasible
+        assert mask[-1]             # loosest bound feasible
+        # Feasibility is monotone in rho.
+        first_ok = int(np.argmax(mask))
+        assert mask[first_ok:].all()
+
+    def test_nan_encoding_of_infeasible(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, rho_axis(lo=1.01, hi=3.5, n=10))
+        e2 = series.energy_two()
+        mask = series.feasible_mask()
+        assert np.all(np.isnan(e2[~mask]))
+        assert np.all(np.isfinite(e2[mask]))
+
+    def test_speed_pairs_listing(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=5))
+        pairs = series.speed_pairs()
+        assert len(pairs) == 5
+        for p, s1, s2 in zip(pairs, series.sigma1(), series.sigma2()):
+            assert p == (s1, s2)
+
+    def test_single_speed_is_diagonal(self, atlas_crusoe):
+        series = run_sweep(atlas_crusoe, 3.0, checkpoint_axis(n=5))
+        for p in series.points:
+            if p.single_speed is not None:
+                assert p.single_speed.sigma1 == p.single_speed.sigma2

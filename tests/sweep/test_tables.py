@@ -1,0 +1,48 @@
+"""Unit tests for the Section-4.2 table generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep.tables import speed_pair_table
+
+
+class TestSpeedPairTable:
+    def test_one_row_per_speed(self, hera_xscale):
+        t = speed_pair_table(hera_xscale, 3.0)
+        assert tuple(r.sigma1 for r in t.rows) == hera_xscale.speeds
+
+    def test_paper_rho3_rows(self, hera_xscale):
+        t = speed_pair_table(hera_xscale, 3.0)
+        assert not t.row_for(0.15).feasible
+        row = t.row_for(0.4)
+        assert row.best_sigma2 == 0.4
+        assert row.work == pytest.approx(2764, abs=1.5)
+        assert row.energy_overhead == pytest.approx(416, abs=1.5)
+        assert row.is_best
+        assert t.best_row.sigma1 == 0.4
+
+    def test_paper_rho1775_best_is_two_speed(self, hera_xscale):
+        t = speed_pair_table(hera_xscale, 1.775)
+        assert t.best_row.sigma1 == 0.6
+        assert t.best_row.best_sigma2 == 0.8
+
+    def test_exactly_one_best_row_when_feasible(self, any_config):
+        t = speed_pair_table(any_config, 3.0)
+        assert sum(r.is_best for r in t.rows) == 1
+
+    def test_fully_infeasible_bound(self, hera_xscale):
+        t = speed_pair_table(hera_xscale, 1.0)
+        assert all(not r.feasible for r in t.rows)
+        assert t.best_row is None
+
+    def test_row_for_unknown_speed(self, hera_xscale):
+        t = speed_pair_table(hera_xscale, 3.0)
+        with pytest.raises(KeyError):
+            t.row_for(0.5)
+
+    def test_infeasible_row_accessors_none(self, hera_xscale):
+        row = speed_pair_table(hera_xscale, 3.0).row_for(0.15)
+        assert row.best_sigma2 is None
+        assert row.work is None
+        assert row.energy_overhead is None

@@ -1,0 +1,126 @@
+"""Equivalence tests: vectorised solver vs the scalar reference path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sweep.axes import (
+    checkpoint_axis,
+    error_rate_axis,
+    idle_power_axis,
+    io_power_axis,
+    rho_axis,
+    verification_axis,
+)
+from repro.sweep.runner import run_sweep
+from repro.sweep.vectorized import run_sweep_fast, solve_bicrit_grid
+
+AXES = [
+    checkpoint_axis(n=9),
+    verification_axis(n=9),
+    error_rate_axis(n=9),
+    rho_axis(lo=1.01, hi=3.5, n=9),
+    idle_power_axis(n=9),
+    io_power_axis(n=9),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("axis", AXES, ids=lambda a: a.name)
+    def test_matches_scalar_path_on_every_axis(self, any_config, axis):
+        fast = run_sweep_fast(any_config, 3.0, axis)
+        slow = run_sweep(any_config, 3.0, axis)
+        np.testing.assert_allclose(fast.sigma1, slow.sigma1(), equal_nan=True)
+        np.testing.assert_allclose(fast.sigma2, slow.sigma2(), equal_nan=True)
+        np.testing.assert_allclose(
+            fast.work, slow.work_two(), rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_allclose(
+            fast.energy, slow.energy_two(), rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_allclose(
+            fast.sigma_single, slow.sigma_single(), equal_nan=True
+        )
+        np.testing.assert_allclose(
+            fast.energy_single, slow.energy_single(), rtol=1e-9, equal_nan=True
+        )
+
+    def test_savings_match(self, atlas_crusoe):
+        from repro.analysis.savings import series_savings
+
+        axis = checkpoint_axis(n=15)
+        fast = run_sweep_fast(atlas_crusoe, 3.0, axis)
+        slow = run_sweep(atlas_crusoe, 3.0, axis)
+        np.testing.assert_allclose(
+            fast.savings_percent(), series_savings(slow), rtol=1e-9, equal_nan=True
+        )
+
+
+class TestGridSolver:
+    def test_scalar_inputs_broadcast(self, hera_xscale):
+        cfg = hera_xscale
+        out = solve_bicrit_grid(
+            lam=cfg.lam,
+            checkpoint=cfg.checkpoint_time,
+            verification=cfg.verification_time,
+            recovery=cfg.recovery_time,
+            kappa=cfg.processor.kappa,
+            idle_power=cfg.processor.idle_power,
+            io_power=cfg.io_power,
+            rho=3.0,
+            speeds=cfg.speeds,
+        )
+        assert out.sigma1.shape == (1,)
+        assert out.sigma1[0] == 0.4
+        assert out.work[0] == pytest.approx(2764, abs=1.5)
+
+    def test_mixed_array_scalar_inputs(self, hera_xscale):
+        cfg = hera_xscale
+        lams = np.array([1e-6, 1e-5, 1e-4])
+        out = solve_bicrit_grid(
+            lam=lams,
+            checkpoint=cfg.checkpoint_time,
+            verification=cfg.verification_time,
+            recovery=cfg.recovery_time,
+            kappa=cfg.processor.kappa,
+            idle_power=cfg.processor.idle_power,
+            io_power=cfg.io_power,
+            rho=3.0,
+            speeds=cfg.speeds,
+        )
+        assert out.sigma1.shape == (3,)
+        # Wopt shrinks with the rate.
+        assert out.work[0] > out.work[1] > out.work[2]
+
+    def test_all_infeasible_is_nan(self, hera_xscale):
+        cfg = hera_xscale
+        out = solve_bicrit_grid(
+            lam=cfg.lam,
+            checkpoint=cfg.checkpoint_time,
+            verification=cfg.verification_time,
+            recovery=cfg.recovery_time,
+            kappa=cfg.processor.kappa,
+            idle_power=cfg.processor.idle_power,
+            io_power=cfg.io_power,
+            rho=0.5,  # below 1/sigma_max: nothing feasible
+            speeds=cfg.speeds,
+        )
+        assert np.isnan(out.energy[0])
+        assert np.isnan(out.sigma1[0])
+        assert not out.feasible_mask()[0]
+
+    def test_single_speed_is_diagonal_restriction(self, hera_xscale):
+        cfg = hera_xscale
+        out = solve_bicrit_grid(
+            lam=cfg.lam,
+            checkpoint=cfg.checkpoint_time,
+            verification=cfg.verification_time,
+            recovery=cfg.recovery_time,
+            kappa=cfg.processor.kappa,
+            idle_power=cfg.processor.idle_power,
+            io_power=cfg.io_power,
+            rho=3.0,
+            speeds=cfg.speeds,
+        )
+        assert out.energy_single[0] >= out.energy[0] - 1e-12

@@ -1,0 +1,65 @@
+"""Direct unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ApproximationDomainError,
+    ConvergenceError,
+    InfeasibleBoundError,
+    InvalidParameterError,
+    ReproError,
+    SpeedNotAvailableError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidParameterError("x"),
+            InfeasibleBoundError(1.0),
+            SpeedNotAvailableError(0.5, (0.4, 1.0)),
+            ApproximationDomainError("x"),
+            ConvergenceError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_invalid_parameter_is_value_error(self):
+        # Callers using stdlib idioms still catch it.
+        assert isinstance(InvalidParameterError("x"), ValueError)
+
+    def test_speed_not_available_is_value_error(self):
+        assert isinstance(SpeedNotAvailableError(0.5, (1.0,)), ValueError)
+
+
+class TestInfeasibleBoundError:
+    def test_message_without_minimum(self):
+        e = InfeasibleBoundError(1.5)
+        assert "rho=1.5" in str(e)
+        assert e.rho == 1.5
+        assert e.rho_min is None
+
+    def test_message_with_minimum(self):
+        e = InfeasibleBoundError(1.5, rho_min=2.7)
+        assert "rho_min=2.7" in str(e)
+        assert e.rho_min == 2.7
+
+    def test_catchable_from_solver(self, hera_xscale=None):
+        from repro.core.solver import solve_bicrit
+        from repro.platforms import get_configuration
+
+        with pytest.raises(ReproError):
+            solve_bicrit(get_configuration("hera-xscale"), 1.0)
+
+
+class TestSpeedNotAvailableError:
+    def test_lists_available(self):
+        e = SpeedNotAvailableError(0.5, (0.4, 1.0))
+        assert "0.5" in str(e)
+        assert "0.4" in str(e)
+        assert e.speed == 0.5
+        assert e.available == (0.4, 1.0)

@@ -1,0 +1,92 @@
+"""Direct unit tests for the validation helpers and unit conventions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.quantities import (
+    as_float_array,
+    is_scalar,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+    require_speed,
+    require_speed_set,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_and_coerces(self):
+        out = require_positive(3, "x")
+        assert out == 3.0
+        assert isinstance(out, float)
+
+    @pytest.mark.parametrize("bad", [0, -1.5, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(InvalidParameterError, match="x must be"):
+            require_positive(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(InvalidParameterError, match="my_param"):
+            require_positive(-1, "my_param")
+
+
+class TestRequireNonnegative:
+    def test_zero_allowed(self):
+        assert require_nonnegative(0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-1e-9, float("nan"), float("-inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_nonnegative(bad, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert require_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(InvalidParameterError):
+            require_probability(bad, "p")
+
+
+class TestRequireSpeedSet:
+    def test_sorts(self):
+        assert require_speed_set([1.0, 0.2, 0.6]) == (0.2, 0.6, 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            require_speed_set([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            require_speed_set([0.5, 0.5])
+
+    def test_rejects_bad_member(self):
+        with pytest.raises(InvalidParameterError):
+            require_speed_set([0.5, 0.0])
+
+    def test_speeds_above_one_allowed(self):
+        # Only the paper's catalog normalises to 1; the model does not.
+        assert require_speed(2.0) == 2.0
+        assert require_speed_set([0.5, 2.0]) == (0.5, 2.0)
+
+
+class TestArrayHelpers:
+    def test_scalar_detection(self):
+        assert is_scalar(3.0)
+        assert is_scalar(np.float64(3.0))
+        assert not is_scalar([1.0, 2.0])
+        assert not is_scalar(np.array([1.0]))
+
+    def test_as_float_array_dtype(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_as_float_array_no_copy_for_float64(self):
+        src = np.array([1.0, 2.0])
+        assert as_float_array(src) is src
