@@ -1,0 +1,69 @@
+"""Bench: the vectorised ``grid`` backend vs the per-scenario loop.
+
+The api_redesign's headline perf claim: a full catalog x rho ``Study``
+solved through the ``grid`` backend (one broadcast NumPy pass per DVFS
+speed set) must beat the same study solved scenario-by-scenario through
+the scalar ``firstorder`` backend.  Caching is disabled on both sides
+so the comparison measures solving, not memoisation.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+
+import numpy as np
+
+from repro.api import Study
+from repro.platforms import configuration_names
+
+#: Full catalog x a figure-resolution rho axis: 8 x 23 = 184 scenarios.
+RHOS = tuple(float(r) for r in np.linspace(1.3, 3.5, 23))
+
+
+def _study() -> Study:
+    return Study.from_grid(configs=configuration_names(), rhos=RHOS)
+
+
+def test_grid_backend_vs_scenario_loop(benchmark, results_dir):
+    """Measure both paths, pin their equivalence, record the speedup."""
+    study = _study()
+
+    t0 = time.perf_counter()
+    loop_results = study.solve(backend="firstorder", cache=False)
+    t_loop = time.perf_counter() - t0
+
+    grid_results = benchmark.pedantic(
+        lambda: study.solve(backend="grid", cache=False), rounds=3, iterations=1
+    )
+    t_grid = min(benchmark.stats.stats.data)
+    speedup = t_loop / t_grid
+
+    # Same bests out of both paths (byte-identical PatternSolutions).
+    for lo, gr in zip(loop_results, grid_results):
+        assert lo.feasible == gr.feasible
+        if lo.feasible:
+            assert gr.best == lo.best
+
+    with (results_dir / "study_batch_speedup.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["scenarios", "t_loop_s", "t_grid_s", "speedup"])
+        w.writerow([len(study), f"{t_loop:.4f}", f"{t_grid:.4f}", f"{speedup:.1f}"])
+
+    # "Measurably faster": conservative floor, typically >10x.
+    assert speedup > 3.0, f"grid backend only {speedup:.1f}x faster than the loop"
+
+
+def test_study_cache_replay(benchmark, results_dir):
+    """Second solve of the same study must be pure cache replay."""
+    from repro.api import SolveCache
+
+    study = _study()
+    cache = SolveCache()
+    study.solve(backend="grid", cache=cache)  # prime
+
+    results = benchmark.pedantic(
+        lambda: study.solve(backend="grid", cache=cache), rounds=3, iterations=1
+    )
+    assert results.cache_hits() == len(study)
+    assert results.total_wall_time() == 0.0

@@ -49,6 +49,23 @@ def main() -> None:
         f"at rho = 1.775 the optimum becomes ({tight.sigma1}, {tight.sigma2}) "
         f"with Wopt = {tight.work:.0f} - a genuinely different re-execution speed."
     )
+    print()
+
+    # The same solves through the unified API: declarative scenarios,
+    # batched studies, and provenance (see docs/api.md).
+    result = repro.Scenario(config="hera-xscale", rho=rho).solve()
+    print(
+        f"Scenario API: best pair {result.best.speed_pair} "
+        f"via the {result.provenance.backend!r} backend "
+        f"(cache hit: {result.provenance.cache_hit})"
+    )
+    study = repro.Study.from_grid(rhos=(1.775, 3.0))  # full catalog x 2 bounds
+    results = study.solve(backend="grid")  # one vectorised broadcast pass
+    feasible = int(results.feasible_mask().sum())
+    print(
+        f"Study API: solved {len(results)} scenarios in one grid batch "
+        f"({feasible} feasible, {results.total_wall_time()*1e3:.1f} ms total)"
+    )
 
 
 if __name__ == "__main__":

@@ -11,11 +11,34 @@ speed.
 
 Quickstart
 ----------
+Declare *what* to solve as a :class:`Scenario`; the pluggable backend
+registry decides *how* (``firstorder``, ``exact``, ``combined``, or
+the vectorised ``grid``), with memoised caching and provenance:
+
 >>> import repro
+>>> result = repro.Scenario(config="hera-xscale", rho=3.0).solve()
+>>> result.best.speed_pair, round(result.best.work)
+((0.4, 0.4), 2764)
+>>> result.provenance.backend
+'firstorder'
+
+Batches of scenarios (grids over configurations, bounds, modes) are a
+:class:`Study`, and the ``grid`` backend solves whole studies in a few
+broadcast NumPy ops:
+
+>>> study = repro.Study.from_grid(configs=("hera-xscale", "atlas-crusoe"))
+>>> [r.best.speed_pair for r in study.solve(backend="grid")]
+[(0.4, 0.4), (0.45, 0.45)]
+
+The legacy entry points remain as thin wrappers over the same registry:
+
 >>> cfg = repro.get_configuration("hera-xscale")
 >>> sol = repro.solve_bicrit(cfg, rho=3.0)
 >>> sol.best.speed_pair, round(sol.best.work)
 ((0.4, 0.4), 2764)
+
+See ``docs/api.md`` for the full Scenario/Study workflow and the
+legacy-wrapper mapping table.
 """
 
 from .core import (
@@ -44,6 +67,8 @@ from .exceptions import (
     InvalidParameterError,
     ReproError,
     SpeedNotAvailableError,
+    UnknownBackendError,
+    UnsupportedScenarioError,
 )
 from .platforms import (
     ATLAS,
@@ -90,10 +115,34 @@ from .sweep import (
     sweep_failstop_fraction,
 )
 
-__version__ = "1.0.0"
+# The unified solve API (imported last: its backends wrap the solver
+# implementations above).
+from .api import (
+    Result,
+    ResultSet,
+    Scenario,
+    SolveCache,
+    SolverBackend,
+    Study,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified solve API
+    "Scenario",
+    "Study",
+    "Result",
+    "ResultSet",
+    "SolverBackend",
+    "SolveCache",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     # errors / exceptions
     "ReproError",
     "InvalidParameterError",
@@ -101,6 +150,8 @@ __all__ = [
     "SpeedNotAvailableError",
     "ApproximationDomainError",
     "ConvergenceError",
+    "UnknownBackendError",
+    "UnsupportedScenarioError",
     # substrates
     "ExponentialErrors",
     "CombinedErrors",

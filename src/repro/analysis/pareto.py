@@ -15,8 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.solution import PatternSolution
-from ..core.solver import solve_bicrit
-from ..exceptions import InfeasibleBoundError
 from ..platforms.configuration import Configuration
 
 __all__ = ["ParetoPoint", "ParetoFrontier", "pareto_frontier"]
@@ -98,6 +96,8 @@ def pareto_frontier(
     rho_lo: float | None = None,
     rho_hi: float = 10.0,
     n: int = 60,
+    *,
+    backend: str | None = None,
 ) -> ParetoFrontier:
     """Trace the Pareto frontier by sweeping the bound.
 
@@ -105,6 +105,10 @@ def pareto_frontier(
     feasible bound.  Consecutive duplicate optima (same achieved time
     and energy — the unconstrained plateau at loose bounds) are
     collapsed, so the frontier contains only distinct trade-offs.
+
+    The rho sweep is solved as one :class:`repro.api.Study` batch;
+    ``backend`` forwards a registry name (``"grid"`` vectorises the
+    whole frontier into a single broadcast pass).
 
     Examples
     --------
@@ -121,12 +125,21 @@ def pareto_frontier(
     if not rho_lo < rho_hi:
         raise ValueError(f"need rho_lo < rho_hi, got [{rho_lo}, {rho_hi}]")
 
+    from ..api.scenario import Scenario
+    from ..api.study import Study
+
+    rhos = np.linspace(rho_lo, rho_hi, n)
+    study = Study(
+        scenarios=tuple(Scenario(config=cfg, rho=float(r)) for r in rhos),
+        name=f"pareto:{cfg.name}",
+    )
+    results = study.solve(backend=backend)
+
     points: list[ParetoPoint] = []
-    for rho in np.linspace(rho_lo, rho_hi, n):
-        try:
-            sol = solve_bicrit(cfg, float(rho)).best
-        except InfeasibleBoundError:
+    for rho, result in zip(rhos, results):
+        if not result.feasible:
             continue
+        sol = result.best
         if points:
             prev = points[-1].solution
             if (

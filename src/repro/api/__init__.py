@@ -1,0 +1,56 @@
+"""Unified solve API: declarative scenarios, pluggable backends, batches.
+
+This package is the single front door to every solver in the library:
+
+* :class:`~repro.api.scenario.Scenario` — a declarative problem spec
+  (configuration + bound + error-model mode + optional restrictions);
+* :mod:`~repro.api.backends` — the ``SolverBackend`` registry
+  (``firstorder``, ``exact``, ``combined``, vectorised ``grid``);
+* :class:`~repro.api.study.Study` — a batch of scenarios over a grid
+  or a sweep axis, solved with caching, vectorised batching and
+  optional multi-process fan-out;
+* :class:`~repro.api.result.Result` / ``ResultSet`` — uniform outputs
+  with provenance, a ``simulate()`` validation hook and conversions
+  into the reporting layers;
+* :mod:`~repro.api.cache` — per-scenario memoisation.
+
+The legacy entry points (``solve_bicrit``, ``solve_bicrit_exact``,
+``solve_bicrit_combined``, ``solve_single_speed``, ``run_sweep*``)
+remain available as thin wrappers over this package.
+"""
+
+from .backends import (
+    CombinedBackend,
+    ExactBackend,
+    FirstOrderBackend,
+    GridBackend,
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .cache import DEFAULT_CACHE, SolveCache, clear_default_cache
+from .result import GridPoint, Provenance, Result, ResultSet
+from .scenario import MODES, Scenario
+from .study import Study
+
+__all__ = [
+    "MODES",
+    "Scenario",
+    "Study",
+    "Result",
+    "ResultSet",
+    "Provenance",
+    "GridPoint",
+    "SolverBackend",
+    "FirstOrderBackend",
+    "ExactBackend",
+    "CombinedBackend",
+    "GridBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "SolveCache",
+    "DEFAULT_CACHE",
+    "clear_default_cache",
+]

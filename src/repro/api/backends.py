@@ -1,0 +1,387 @@
+"""Pluggable solver backends behind a process-wide registry.
+
+A backend turns a :class:`~repro.api.scenario.Scenario` into a
+:class:`~repro.api.result.Result`.  Four ship by default:
+
+``firstorder``
+    The paper's Theorem-1 closed form + O(K^2) enumeration
+    (:mod:`repro.core.solver` / :mod:`repro.core.singlespeed`).
+``exact``
+    Numeric optimisation of the exact Propositions 2/3
+    (:mod:`repro.core.numeric`).
+``combined``
+    Numeric solve with both error sources (:mod:`repro.failstop.solver`).
+``grid``
+    The vectorised Theorem-1 kernel (:mod:`repro.sweep.vectorized`),
+    which solves whole scenario *batches* in a handful of broadcast
+    NumPy ops — the fast path for ``Study`` grids.
+
+Registering a new backend (``register_backend``) is the single
+extension point for new solve strategies; every consumer (legacy
+wrappers, sweeps, CLI, studies) routes through the registry.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..core.numeric import ExactSolution, solve_pair_exact
+from ..core.singlespeed import _solve_single_speed_direct
+from ..core.solver import _solve_bicrit_direct, evaluate_pair
+from ..exceptions import (
+    InfeasibleBoundError,
+    UnknownBackendError,
+    UnsupportedScenarioError,
+)
+from ..failstop.solver import CombinedSolution, solve_pair_combined
+from ..sweep.vectorized import solve_bicrit_grid
+from .result import GridPoint, Provenance, Result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenario import Scenario
+
+__all__ = [
+    "SolverBackend",
+    "FirstOrderBackend",
+    "ExactBackend",
+    "CombinedBackend",
+    "GridBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class SolverBackend(abc.ABC):
+    """Interface every solver backend implements.
+
+    Subclasses set ``name`` (the registry key) and ``modes`` (the
+    scenario modes they accept) and implement :meth:`_solve`.
+    Batch-capable backends additionally override :meth:`solve_batch`.
+    """
+
+    #: Registry key.
+    name: str = "abstract"
+    #: Scenario modes this backend accepts.
+    modes: frozenset[str] = frozenset()
+
+    # ------------------------------------------------------------------
+    def supports(self, scenario: "Scenario") -> bool:
+        """True when this backend can solve ``scenario``."""
+        return self.unsupported_reason(scenario) is None
+
+    def unsupported_reason(self, scenario: "Scenario") -> str | None:
+        """Why ``scenario`` cannot be solved here (``None`` = it can)."""
+        if scenario.mode not in self.modes:
+            return (
+                f"mode {scenario.mode!r} not in supported modes "
+                f"{sorted(self.modes)}"
+            )
+        return None
+
+    def check_supports(self, scenario: "Scenario") -> None:
+        """Raise :class:`UnsupportedScenarioError` when unsupported."""
+        reason = self.unsupported_reason(scenario)
+        if reason is not None:
+            raise UnsupportedScenarioError(self.name, reason)
+
+    # ------------------------------------------------------------------
+    def solve(self, scenario: "Scenario") -> Result:
+        """Solve one scenario (raises on infeasible bounds)."""
+        self.check_supports(scenario)
+        return self._solve(scenario)
+
+    @abc.abstractmethod
+    def _solve(self, scenario: "Scenario") -> Result:
+        """Backend-specific solve; may raise InfeasibleBoundError."""
+
+    def solve_batch(self, scenarios: Sequence["Scenario"]) -> list[Result]:
+        """Solve many scenarios, mapping infeasible bounds to
+        infeasible results instead of raising (batch semantics)."""
+        out: list[Result] = []
+        for sc in scenarios:
+            t0 = time.perf_counter()
+            try:
+                res = self.solve(sc)
+            except InfeasibleBoundError as exc:
+                res = self.infeasible_result(sc, exc)
+            wall = time.perf_counter() - t0
+            out.append(
+                replace(res, provenance=replace(res.provenance, wall_time=wall))
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def infeasible_result(
+        self, scenario: "Scenario", exc: InfeasibleBoundError | None = None
+    ) -> Result:
+        """A best-less result recording an infeasible bound."""
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=None,
+            rho_min=exc.rho_min if exc is not None else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Default backends
+# ----------------------------------------------------------------------
+class FirstOrderBackend(SolverBackend):
+    """Theorem-1 closed form + O(K^2) enumeration (the paper's solver)."""
+
+    name = "firstorder"
+    modes = frozenset({"silent", "single-speed"})
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        cfg = scenario.resolved_config()
+        if scenario.mode == "single-speed":
+            sol = _solve_single_speed_direct(cfg, scenario.rho, speeds=scenario.speeds)
+        else:
+            sol = _solve_bicrit_direct(
+                cfg,
+                scenario.rho,
+                speeds=scenario.speeds,
+                sigma2_choices=scenario.sigma2_choices,
+            )
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=sol.best,
+            candidates=sol.candidates,
+            raw=sol,
+        )
+
+
+class ExactBackend(SolverBackend):
+    """Numeric optimisation of the exact Propositions 2/3."""
+
+    name = "exact"
+    modes = frozenset({"silent", "single-speed"})
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        cfg = scenario.resolved_config()
+        s1_set = scenario.speeds if scenario.speeds is not None else cfg.speeds
+        if scenario.mode == "single-speed":
+            pairs = [(s, s) for s in s1_set]
+        else:
+            s2_set = (
+                scenario.sigma2_choices
+                if scenario.sigma2_choices is not None
+                else cfg.speeds
+            )
+            pairs = [(s1, s2) for s1 in s1_set for s2 in s2_set]
+        best: ExactSolution | None = None
+        for s1, s2 in pairs:
+            sol = solve_pair_exact(cfg, s1, s2, scenario.rho)
+            if sol is not None and (
+                best is None or sol.energy_overhead < best.energy_overhead
+            ):
+                best = sol
+        if best is None:
+            raise InfeasibleBoundError(scenario.rho)
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=best,
+        )
+
+
+class CombinedBackend(SolverBackend):
+    """Numeric solve with fail-stop + silent errors (Section 5)."""
+
+    name = "combined"
+    modes = frozenset({"combined", "failstop"})
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        cfg = scenario.resolved_config()
+        errors = scenario.errors()
+        s1_set = scenario.speeds if scenario.speeds is not None else cfg.speeds
+        s2_set = (
+            scenario.sigma2_choices
+            if scenario.sigma2_choices is not None
+            else cfg.speeds
+        )
+        best: CombinedSolution | None = None
+        for s1 in s1_set:
+            for s2 in s2_set:
+                sol = solve_pair_combined(cfg, errors, s1, s2, scenario.rho)
+                if sol is not None and (
+                    best is None or sol.energy_overhead < best.energy_overhead
+                ):
+                    best = sol
+        if best is None:
+            raise InfeasibleBoundError(scenario.rho)
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=best,
+        )
+
+
+class GridBackend(SolverBackend):
+    """Vectorised Theorem-1 kernel: whole batches in one broadcast pass.
+
+    ``solve_batch`` groups scenarios by DVFS speed set, stacks their
+    model parameters into arrays and calls
+    :func:`repro.sweep.vectorized.solve_bicrit_grid` once per group.
+    The winning pair of each scenario is then re-evaluated through the
+    scalar path (:func:`repro.core.solver.evaluate_pair`) so ``best``
+    is byte-identical to the ``firstorder`` backend's.
+    """
+
+    name = "grid"
+    modes = frozenset({"silent", "single-speed"})
+
+    def unsupported_reason(self, scenario: "Scenario") -> str | None:
+        reason = super().unsupported_reason(scenario)
+        if reason is not None:
+            return reason
+        if scenario.speeds is not None or scenario.sigma2_choices is not None:
+            return "custom speed restrictions require the scalar backends"
+        return None
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        result = self.solve_batch([scenario])[0]
+        if not result.feasible:
+            raise InfeasibleBoundError(scenario.rho, result.rho_min)
+        return result
+
+    def solve_batch(self, scenarios: Sequence["Scenario"]) -> list[Result]:
+        for sc in scenarios:
+            self.check_supports(sc)
+        t0 = time.perf_counter()
+        results: list[Result | None] = [None] * len(scenarios)
+        configs = [sc.resolved_config() for sc in scenarios]
+
+        groups: dict[tuple[float, ...], list[int]] = {}
+        for i, cfg in enumerate(configs):
+            groups.setdefault(cfg.speeds, []).append(i)
+
+        for speeds, idxs in groups.items():
+            grid = solve_bicrit_grid(
+                lam=np.array([configs[i].lam for i in idxs]),
+                checkpoint=np.array([configs[i].checkpoint_time for i in idxs]),
+                verification=np.array([configs[i].verification_time for i in idxs]),
+                recovery=np.array([configs[i].recovery_time for i in idxs]),
+                kappa=np.array([configs[i].processor.kappa for i in idxs]),
+                idle_power=np.array([configs[i].processor.idle_power for i in idxs]),
+                io_power=np.array([configs[i].io_power for i in idxs]),
+                rho=np.array([scenarios[i].rho for i in idxs]),
+                speeds=speeds,
+            )
+            for pos, i in enumerate(idxs):
+                results[i] = self._materialise(scenarios[i], configs[i], grid, pos)
+
+        wall = time.perf_counter() - t0
+        share = wall / max(len(scenarios), 1)
+        return [
+            replace(
+                r,
+                provenance=replace(
+                    r.provenance, wall_time=share, batch_size=len(scenarios)
+                ),
+            )
+            for r in results
+        ]
+
+    def _materialise(self, scenario, cfg, grid, pos: int) -> Result:
+        """One scenario's result from its row of the grid output."""
+        point = GridPoint(
+            sigma1=float(grid.sigma1[pos]),
+            sigma2=float(grid.sigma2[pos]),
+            work=float(grid.work[pos]),
+            energy_overhead=float(grid.energy[pos]),
+            time_overhead=float(grid.time[pos]),
+            sigma_single=float(grid.sigma_single[pos]),
+            work_single=float(grid.work_single[pos]),
+            energy_single=float(grid.energy_single[pos]),
+        )
+        if scenario.mode == "single-speed":
+            s1 = s2 = point.sigma_single
+        else:
+            s1, s2 = point.sigma1, point.sigma2
+        if not np.isfinite(s1):
+            return replace(self.infeasible_result(scenario), raw=point)
+        # Re-evaluate through the scalar formulas: byte-identical fields
+        # vs the firstorder backend, and the exact-overhead diagnostics.
+        best = evaluate_pair(cfg, s1, s2, scenario.rho).solution
+        if best is None:
+            # Last-ulp disagreement at a feasibility boundary: the
+            # kernel called the winning pair feasible, the scalar path
+            # disagrees.  Defer entirely to the scalar enumeration so
+            # grid results never diverge from the firstorder backend.
+            try:
+                if scenario.mode == "single-speed":
+                    best = _solve_single_speed_direct(cfg, scenario.rho).best
+                else:
+                    best = _solve_bicrit_direct(cfg, scenario.rho).best
+            except InfeasibleBoundError as exc:
+                return replace(self.infeasible_result(scenario, exc), raw=point)
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=point,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend, *, replace: bool = False) -> SolverBackend:
+    """Add a backend to the registry under ``backend.name``.
+
+    Returns the backend (usable as a post-instantiation decorator
+    helper).  Re-registering an existing name raises unless
+    ``replace=True``; replacing invalidates the default cache's
+    entries for that name so stale results from the old
+    implementation never replay (private ``SolveCache`` instances are
+    the caller's responsibility).
+    """
+    if backend.name in _REGISTRY:
+        if not replace:
+            raise ValueError(
+                f"backend {backend.name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        from .cache import DEFAULT_CACHE
+
+        DEFAULT_CACHE.invalidate_backend(backend.name)
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Resolve a backend by registry name.
+
+    Raises
+    ------
+    UnknownBackendError
+        Listing the registered names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, available_backends()) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(FirstOrderBackend())
+register_backend(ExactBackend())
+register_backend(CombinedBackend())
+register_backend(GridBackend())

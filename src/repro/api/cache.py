@@ -1,0 +1,114 @@
+"""Per-scenario memoisation for the unified solve API.
+
+Every scenario is a small frozen dataclass, hence hashable; a solve is
+fully determined by ``(scenario, backend name)``.  The cache keeps the
+:class:`~repro.api.result.Result` of each miss and replays it on
+subsequent identical solves with ``cache_hit`` provenance, which makes
+repeated sweeps (Pareto frontiers, figure regeneration, interactive
+sessions) effectively free after the first pass.
+
+A process-wide :data:`DEFAULT_CACHE` backs ``Scenario.solve`` /
+``Study.solve`` unless the caller supplies a private
+:class:`SolveCache` (or disables caching with ``cache=False``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .result import Result
+
+__all__ = ["SolveCache", "DEFAULT_CACHE", "clear_default_cache"]
+
+
+class SolveCache:
+    """A bounded FIFO memo of solve results keyed by (scenario, backend).
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of retained results; the oldest entry is evicted
+        first.  ``None`` means unbounded.
+
+    Examples
+    --------
+    >>> cache = SolveCache(maxsize=2)
+    >>> cache.stats()
+    (0, 0)
+    """
+
+    def __init__(self, maxsize: int | None = 8192):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[Hashable, "Result"] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int | None:
+        """The eviction bound (``None`` = unbounded)."""
+        return self._maxsize
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups so far."""
+        return self._misses
+
+    def stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` counters as a tuple."""
+        return (self._hits, self._misses)
+
+    # ------------------------------------------------------------------
+    def get(self, scenario: Hashable, backend: str) -> "Result | None":
+        """Look up a prior result; counts a hit or a miss."""
+        result = self._entries.get((scenario, backend))
+        if result is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return result
+
+    def put(self, scenario: Hashable, backend: str, result: "Result") -> None:
+        """Store a result, evicting the oldest entry when full."""
+        key = (scenario, backend)
+        if key not in self._entries and self._maxsize is not None:
+            while len(self._entries) >= self._maxsize:
+                self._entries.popitem(last=False)
+        self._entries[key] = result
+
+    def invalidate_backend(self, backend: str) -> int:
+        """Drop every entry produced under ``backend``; returns the
+        count.  Used when a backend is re-registered under the same
+        name so the replacement is actually consulted."""
+        keys = [key for key in self._entries if key[1] == backend]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: Process-wide cache used by ``Scenario.solve`` / ``Study.solve`` when
+#: the caller does not pass a private cache.
+DEFAULT_CACHE = SolveCache()
+
+
+def clear_default_cache() -> None:
+    """Reset :data:`DEFAULT_CACHE` (mainly for tests and benchmarks)."""
+    DEFAULT_CACHE.clear()

@@ -1,0 +1,275 @@
+"""Declarative problem specs: *what* to solve, decoupled from *how*.
+
+A :class:`Scenario` is a frozen description of one BiCrit instance —
+configuration, performance bound, error-model mode, optional speed
+restrictions — with no solver logic of its own.  ``Scenario.solve``
+routes it through the pluggable backend registry
+(:mod:`repro.api.backends`) and memoises the result
+(:mod:`repro.api.cache`), so a new kind of study composes out of
+scenario fields instead of adding another top-level solve function.
+
+Modes
+-----
+``silent``
+    The paper's primary model (Sections 2-4): silent errors only,
+    two-speed patterns.
+``single-speed``
+    The one-speed baseline (``sigma1 = sigma2`` diagonal).
+``combined``
+    Section 5: a fail-stop/silent mix parameterised by
+    ``failstop_fraction`` in [0, 1].
+``failstop``
+    Sugar for the pure fail-stop limit (``failstop_fraction = 1``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..errors.combined import CombinedErrors
+from ..exceptions import InfeasibleBoundError, InvalidParameterError
+from ..platforms.catalog import get_configuration
+from ..platforms.configuration import Configuration
+from ..quantities import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import SolveCache
+    from .result import Result
+
+__all__ = ["MODES", "Scenario"]
+
+#: The supported scenario modes.
+MODES: tuple[str, ...] = ("silent", "single-speed", "combined", "failstop")
+
+#: Modes that need a combined-error model.
+_COMBINED_MODES = frozenset({"combined", "failstop"})
+
+
+def _resolve_cache(cache, default):
+    """Map the ``cache`` argument convention to a cache object or None.
+
+    ``True`` -> the process-wide default, ``False``/``None`` -> no
+    caching, a :class:`SolveCache` -> itself.  (An *empty* SolveCache is
+    falsy via ``__len__``, so truthiness tests must not be used here.)
+    """
+    if cache is True:
+        return default
+    if cache is False or cache is None:
+        return None
+    return cache
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative BiCrit problem instance.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.platforms.configuration.Configuration` or a
+        catalog name such as ``"hera-xscale"``.
+    rho:
+        The performance bound (admissible expected time per work unit).
+    mode:
+        One of :data:`MODES`; selects the error model / baseline.
+    failstop_fraction:
+        ``f`` in [0, 1] for ``combined`` mode (required there;
+        forced to 1 in ``failstop`` mode, 0 otherwise).
+    error_rate:
+        Optional override of the configuration's error rate ``lambda``.
+    speeds:
+        Optional restriction of the first-speed choices.
+    sigma2_choices:
+        Optional restriction of the re-execution-speed choices.
+    backend:
+        Preferred backend registry name; ``None`` picks the mode's
+        default (``combined`` for combined/failstop modes, else
+        ``firstorder``).
+    label:
+        Free-form tag carried into results (handy in study grids).
+
+    Examples
+    --------
+    >>> Scenario(config="hera-xscale", rho=3.0).solve().best.speed_pair
+    (0.4, 0.4)
+    """
+
+    config: Configuration | str
+    rho: float
+    mode: str = "silent"
+    failstop_fraction: float | None = None
+    error_rate: float | None = None
+    speeds: tuple[float, ...] | None = None
+    sigma2_choices: tuple[float, ...] | None = None
+    backend: str | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.rho, "rho")
+        if self.mode not in MODES:
+            raise InvalidParameterError(
+                f"unknown scenario mode {self.mode!r}; valid modes: {', '.join(MODES)}"
+            )
+        if self.speeds is not None:
+            object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
+        if self.sigma2_choices is not None:
+            object.__setattr__(
+                self, "sigma2_choices", tuple(float(s) for s in self.sigma2_choices)
+            )
+        if self.error_rate is not None:
+            require_positive(self.error_rate, "error_rate")
+        f = self.failstop_fraction
+        if f is not None and not 0.0 <= f <= 1.0:
+            raise InvalidParameterError(
+                f"failstop_fraction must be in [0, 1], got {f!r}"
+            )
+        if self.mode == "combined" and f is None:
+            raise InvalidParameterError(
+                "combined mode requires an explicit failstop_fraction"
+            )
+        if self.mode == "failstop" and f not in (None, 1.0):
+            raise InvalidParameterError(
+                f"failstop mode implies failstop_fraction=1, got {f!r}; "
+                f"use mode='combined' for partial fractions"
+            )
+        if self.mode not in _COMBINED_MODES and f not in (None, 0.0):
+            raise InvalidParameterError(
+                f"failstop_fraction is only meaningful in combined/failstop "
+                f"modes, not {self.mode!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> Configuration:
+        """The concrete configuration: catalog names resolved, the
+        ``error_rate`` override applied."""
+        cfg = self.config
+        if isinstance(cfg, str):
+            cfg = get_configuration(cfg)
+        if self.error_rate is not None:
+            cfg = cfg.with_error_rate(self.error_rate)
+        return cfg
+
+    @property
+    def effective_failstop_fraction(self) -> float:
+        """The fail-stop fraction the mode implies."""
+        if self.mode == "failstop":
+            return 1.0
+        if self.mode == "combined":
+            return float(self.failstop_fraction)  # validated non-None
+        return 0.0
+
+    def errors(self) -> CombinedErrors | None:
+        """The combined error model, or ``None`` for silent-only modes."""
+        if self.mode not in _COMBINED_MODES:
+            return None
+        rate = self.error_rate
+        if rate is None:
+            rate = self.resolved_config().lam
+        return CombinedErrors(
+            total_rate=rate, failstop_fraction=self.effective_failstop_fraction
+        )
+
+    @property
+    def default_backend(self) -> str:
+        """Registry name used when neither the scenario nor the caller
+        names a backend."""
+        return "combined" if self.mode in _COMBINED_MODES else "firstorder"
+
+    def resolve_backend_name(self, override: str | None = None) -> str:
+        """The backend this scenario will be solved with."""
+        return override or self.backend or self.default_backend
+
+    def describe(self) -> str:
+        """Short human-readable tag for logs and CSV rows."""
+        cfg = self.config if isinstance(self.config, str) else self.config.name
+        bits = [f"{cfg}", f"rho={self.rho:g}", self.mode]
+        if self.mode in _COMBINED_MODES:
+            bits.append(f"f={self.effective_failstop_fraction:g}")
+        if self.error_rate is not None:
+            bits.append(f"lambda={self.error_rate:g}")
+        if self.label:
+            bits.append(self.label)
+        return " ".join(bits)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: str | None = None,
+        *,
+        cache: "bool | SolveCache" = True,
+    ) -> "Result":
+        """Solve this scenario through the backend registry.
+
+        Parameters
+        ----------
+        backend:
+            Registry name override; defaults to ``self.backend`` or the
+            mode's default backend.
+        cache:
+            ``True`` (default) memoises in the process-wide cache,
+            ``False`` disables memoisation, and a
+            :class:`~repro.api.cache.SolveCache` instance uses that
+            private cache.
+
+        Raises
+        ------
+        InfeasibleBoundError
+            When no candidate satisfies ``rho`` (matching the legacy
+            ``solve_*`` contracts).  Infeasible outcomes are not
+            cached.
+        UnknownBackendError, UnsupportedScenarioError
+            On bad routing.
+        """
+        from .backends import get_backend
+        from .cache import DEFAULT_CACHE
+
+        name = self.resolve_backend_name(backend)
+        cache_obj = _resolve_cache(cache, DEFAULT_CACHE)
+        if cache_obj is not None:
+            hit = cache_obj.get(self, name)
+            if hit is not None:
+                result = replace(
+                    hit,
+                    provenance=replace(hit.provenance, cache_hit=True, wall_time=0.0),
+                )
+                return result.require()
+
+        solver = get_backend(name)
+        t0 = time.perf_counter()
+        result = solver.solve(self)
+        wall = time.perf_counter() - t0
+        result = replace(result, provenance=replace(result.provenance, wall_time=wall))
+        if cache_obj is not None and result.feasible:
+            cache_obj.put(self, name, result)
+        return result.require()
+
+    # -- grid helpers ----------------------------------------------------
+    def with_rho(self, rho: float) -> "Scenario":
+        """A copy of this scenario at a different bound."""
+        return replace(self, rho=rho)
+
+    def with_mode(self, mode: str) -> "Scenario":
+        """A copy of this scenario in a different mode.
+
+        The fail-stop fraction is dropped when the target mode fixes or
+        has no use for it (``failstop`` implies 1, silent modes take
+        none); switching *to* ``combined`` keeps the current effective
+        fraction — from a silent mode there is none to keep, so a
+        fraction-less scenario cannot switch to ``combined`` (the
+        validation error says to supply one explicitly).
+        """
+        if mode == "combined":
+            f = (
+                self.effective_failstop_fraction
+                if self.mode in _COMBINED_MODES
+                else self.failstop_fraction
+            )
+        else:
+            f = None
+        return replace(self, mode=mode, failstop_fraction=f)

@@ -1,0 +1,240 @@
+"""Batched evaluation: grids of scenarios solved through one engine.
+
+A :class:`Study` is an ordered tuple of scenarios — typically the
+cartesian grid configurations x rho values x modes, or the scenarios
+implied by a sweep axis — solved together.  ``Study.solve``:
+
+* consults the memo cache first (per scenario, per backend);
+* routes the misses to their backends, letting batch-capable backends
+  (the vectorised ``grid``) solve an entire group in one broadcast
+  pass;
+* optionally fans the misses out over worker processes for large
+  grids of the expensive numeric backends.
+
+The result is a :class:`~repro.api.result.ResultSet` aligned with the
+scenario order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..exceptions import InfeasibleBoundError
+from ..platforms.catalog import configuration_names
+from .backends import get_backend
+from .cache import DEFAULT_CACHE, SolveCache
+from .result import Result, ResultSet
+from .scenario import Scenario, _resolve_cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platforms.configuration import Configuration
+    from ..sweep.axes import SweepAxis
+
+__all__ = ["Study"]
+
+
+def _solve_tolerant(scenario: Scenario, backend_name: str) -> Result:
+    """Solve one scenario, mapping infeasible bounds to a best-less
+    result.  Module-level so process pools can pickle it."""
+    backend = get_backend(backend_name)
+    batch = backend.solve_batch([scenario])
+    return batch[0]
+
+
+@dataclass(frozen=True)
+class Study:
+    """An ordered batch of scenarios evaluated as one unit.
+
+    Examples
+    --------
+    >>> study = Study.from_grid(configs=("hera-xscale",), rhos=(2.5, 3.0))
+    >>> [r.best.speed_pair for r in study.solve(backend="grid")]
+    [(0.6, 0.4), (0.4, 0.4)]
+    """
+
+    scenarios: tuple[Scenario, ...]
+    name: str = "study"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grid(
+        cls,
+        configs: "Iterable[Configuration | str] | None" = None,
+        rhos: Sequence[float] = (3.0,),
+        *,
+        modes: Sequence[str] = ("silent",),
+        failstop_fractions: Sequence[float | None] = (None,),
+        error_rates: Sequence[float | None] = (None,),
+        backend: str | None = None,
+        name: str = "grid-study",
+    ) -> "Study":
+        """The cartesian grid configs x rhos x modes x fractions x rates.
+
+        ``configs`` defaults to the full eight-configuration catalog.
+        Grid order is row-major in the parameter order above, so the
+        result set zips positionally against the same product.
+
+        ``failstop_fractions`` is an axis only for the ``combined``
+        mode; the other modes take no fraction (``failstop`` implies
+        1), so they contribute one scenario per (config, rho, rate)
+        rather than duplicating across the fraction axis.
+        """
+        if configs is None:
+            configs = configuration_names()
+        elif isinstance(configs, str):
+            # A lone catalog name is a config, not an iterable of them.
+            configs = (configs,)
+        scenarios = tuple(
+            Scenario(
+                config=cfg,
+                rho=float(rho),
+                mode=mode,
+                failstop_fraction=fraction,
+                error_rate=rate,
+                backend=backend,
+            )
+            for cfg in configs
+            for rho in rhos
+            for mode in modes
+            for fraction in (failstop_fractions if mode == "combined" else (None,))
+            for rate in error_rates
+        )
+        return cls(scenarios=scenarios, name=name)
+
+    @classmethod
+    def over_axis(
+        cls,
+        cfg: "Configuration",
+        rho: float,
+        axis: "SweepAxis",
+        *,
+        modes: Sequence[str] = ("silent",),
+        name: str | None = None,
+    ) -> "Study":
+        """One scenario per (axis value, mode), axis-major order.
+
+        Applies the axis rule to materialise the concrete
+        ``(configuration, rho)`` of every point — the study equivalent
+        of :func:`repro.sweep.runner.run_sweep`'s iteration.
+        """
+        scenarios: list[Scenario] = []
+        for value in axis.values:
+            cfg_v, rho_v = axis.apply(cfg, rho, value)
+            for mode in modes:
+                scenarios.append(
+                    Scenario(
+                        config=cfg_v,
+                        rho=rho_v,
+                        mode=mode,
+                        label=f"{axis.name}={value:g}",
+                    )
+                )
+        return cls(
+            scenarios=tuple(scenarios),
+            name=name or f"sweep:{cfg.name}:{axis.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        backend: str | None = None,
+        *,
+        cache: bool | SolveCache = True,
+        processes: int | None = None,
+        strict: bool = False,
+    ) -> ResultSet:
+        """Solve every scenario; returns results in scenario order.
+
+        Parameters
+        ----------
+        backend:
+            Registry name forced for *all* scenarios (raises
+            :class:`UnsupportedScenarioError` if one cannot take it);
+            ``None`` routes each scenario to its own backend.
+        cache:
+            As in :meth:`Scenario.solve`.  Cache hits skip solving
+            entirely and are marked in provenance.
+        processes:
+            When > 1, fan the cache misses out over that many worker
+            processes (one scenario per task).  Worth it for large
+            grids of the numeric backends; the vectorised ``grid``
+            backend is usually faster in-process.  Workers rebuild the
+            backend registry by importing :mod:`repro.api.backends`,
+            so custom backends registered at runtime are only visible
+            to workers under the ``fork`` start method (the Linux
+            default) — under ``spawn``/``forkserver`` they must be
+            registered at import time of your module.
+        strict:
+            When True, raise :class:`InfeasibleBoundError` if any
+            scenario is infeasible instead of returning a best-less
+            result for it.
+        """
+        scenarios = self.scenarios
+        names = [sc.resolve_backend_name(backend) for sc in scenarios]
+        if backend is not None:
+            solver = get_backend(backend)
+            for sc in scenarios:
+                solver.check_supports(sc)
+
+        cache_obj = _resolve_cache(cache, DEFAULT_CACHE)
+        results: list[Result | None] = [None] * len(scenarios)
+        pending: list[int] = []
+        for i, (sc, bn) in enumerate(zip(scenarios, names)):
+            hit = cache_obj.get(sc, bn) if cache_obj is not None else None
+            if hit is not None:
+                results[i] = replace(
+                    hit,
+                    provenance=replace(hit.provenance, cache_hit=True, wall_time=0.0),
+                )
+            else:
+                pending.append(i)
+
+        if processes is not None and processes > 1 and pending:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                solved = pool.map(
+                    _solve_tolerant,
+                    [scenarios[i] for i in pending],
+                    [names[i] for i in pending],
+                )
+                for i, res in zip(pending, solved):
+                    results[i] = res
+        else:
+            by_backend: dict[str, list[int]] = {}
+            for i in pending:
+                by_backend.setdefault(names[i], []).append(i)
+            for bn, idxs in by_backend.items():
+                batch = get_backend(bn).solve_batch([scenarios[i] for i in idxs])
+                for i, res in zip(idxs, batch):
+                    results[i] = res
+
+        if cache_obj is not None:
+            for i in pending:
+                res = results[i]
+                if res is not None and res.feasible:
+                    cache_obj.put(scenarios[i], names[i], res)
+
+        if strict:
+            for res in results:
+                if res is not None and not res.feasible:
+                    raise InfeasibleBoundError(res.scenario.rho, res.rho_min)
+        return ResultSet(results=tuple(results), name=self.name)  # type: ignore[arg-type]

@@ -1,9 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
+The solving commands are wired through the unified :mod:`repro.api`
+(``Scenario``/``Study`` + the backend registry); ``--backend`` flags
+select a registered solver backend where more than one applies.
+
 Commands
 --------
 ``configs``
     List the eight catalog configurations.
+``backends``
+    List the registered solver backends.
 ``table``
     Regenerate a Section-4.2 speed-pair table
     (``repro table --config hera-xscale --rho 3``).
@@ -39,6 +45,8 @@ from typing import Sequence
 import numpy as np
 
 from . import __version__
+from .api.backends import available_backends, get_backend
+from .api.scenario import Scenario
 from .analysis.savings import summarize_savings
 from .analysis.scaling import fit_power_law
 from .errors.combined import CombinedErrors
@@ -74,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("configs", help="list catalog configurations")
 
+    sub.add_parser("backends", help="list registered solver backends")
+
     p_table = sub.add_parser("table", help="Section-4.2 speed-pair table")
     p_table.add_argument("--config", default="hera-xscale", help="configuration name")
     p_table.add_argument("--rho", type=float, default=3.0, help="performance bound")
@@ -85,12 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--rho", type=float, default=3.0)
     p_sweep.add_argument("--points", type=int, default=None, help="axis resolution")
     p_sweep.add_argument("--csv", default=None, help="also write CSV to this path")
+    p_sweep.add_argument(
+        "--backend", choices=("firstorder", "grid"), default="firstorder",
+        help="solver backend (grid = vectorised batch path)",
+    )
 
     p_fig = sub.add_parser("figure", help="run all panels of one paper figure")
     p_fig.add_argument("figure_id", choices=sorted(FIGURES, key=lambda f: int(f[3:])))
     p_fig.add_argument("--rho", type=float, default=3.0)
     p_fig.add_argument("--points", type=int, default=None)
     p_fig.add_argument("--csv-dir", default=None, help="write one CSV per panel here")
+    p_fig.add_argument(
+        "--backend", choices=("firstorder", "grid"), default="firstorder",
+        help="solver backend (grid = vectorised batch path)",
+    )
 
     p_val = sub.add_parser("validate", help="Monte-Carlo vs model agreement")
     p_val.add_argument("--config", default="hera-xscale")
@@ -116,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_frac.add_argument("--rho", type=float, default=3.0)
     p_frac.add_argument("--rate", type=float, default=None, help="total error rate")
     p_frac.add_argument("--points", type=int, default=11)
+    p_frac.add_argument(
+        "--processes", type=int, default=None,
+        help="fan the numeric solves out over this many worker processes",
+    )
 
     p_mv = sub.add_parser("multiverif", help="optimise verifications per checkpoint")
     p_mv.add_argument("--config", default="hera-xscale")
@@ -152,9 +174,26 @@ def _cmd_configs(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_: argparse.Namespace) -> int:
+    for name in available_backends():
+        backend = get_backend(name)
+        modes = ", ".join(sorted(backend.modes))
+        kind = "batched" if "solve_batch" in type(backend).__dict__ else "per-scenario"
+        print(f"{name:12s} modes: {modes:28s} [{kind}]")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
+    from .exceptions import InfeasibleBoundError
+    from .sweep.tables import infeasible_table
+
     cfg = get_configuration(args.config)
-    table = speed_pair_table(cfg, args.rho)
+    try:
+        solution = Scenario(config=cfg, rho=args.rho).solve().raw
+    except InfeasibleBoundError:
+        table = infeasible_table(cfg, args.rho)
+    else:
+        table = speed_pair_table(cfg, args.rho, solution=solution)
     print(format_speed_pair_table(table))
     if args.csv:
         path = write_table_csv(args.csv, table)
@@ -166,7 +205,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cfg = get_configuration(args.config)
     kwargs = {"n": args.points} if args.points else {}
     axis = axis_by_name(args.axis, **kwargs)
-    series = run_sweep(cfg, args.rho, axis)
+    series = run_sweep(cfg, args.rho, axis, backend=args.backend)
     print(format_sweep_series(series, max_rows=40))
     try:
         s = summarize_savings(series)
@@ -181,7 +220,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    panels = run_figure(args.figure_id, rho=args.rho, n=args.points)
+    panels = run_figure(args.figure_id, rho=args.rho, n=args.points, backend=args.backend)
     for panel, series in panels.items():
         print(format_sweep_series(series, max_rows=16))
         try:
@@ -274,6 +313,7 @@ def _cmd_fraction(args: argparse.Namespace) -> int:
         args.rho,
         total_rate=args.rate,
         fractions=np.linspace(0.0, 1.0, args.points),
+        processes=args.processes,
     )
     print(
         f"{cfg.name}: combined-error optimum vs fail-stop fraction "
@@ -349,6 +389,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "configs": _cmd_configs,
+    "backends": _cmd_backends,
     "table": _cmd_table,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,

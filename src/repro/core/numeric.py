@@ -152,6 +152,12 @@ def solve_pair_exact(
 def solve_bicrit_exact(cfg: Configuration, rho: float) -> ExactSolution:
     """Exact-numeric BiCrit over all speed pairs of ``cfg``.
 
+    .. note:: Legacy wrapper.  Delegates to the ``exact`` backend of
+       the :mod:`repro.api` registry via
+       ``Scenario(..., backend="exact").solve()`` (which enumerates
+       :func:`solve_pair_exact` over the speed grid); prefer the
+       :class:`repro.Scenario` API in new code.
+
     Raises
     ------
     ConvergenceError
@@ -159,14 +165,6 @@ def solve_bicrit_exact(cfg: Configuration, rho: float) -> ExactSolution:
     repro.exceptions.InfeasibleBoundError
         When no pair is feasible under the exact time overhead.
     """
-    from ..exceptions import InfeasibleBoundError
+    from ..api.scenario import Scenario
 
-    best: ExactSolution | None = None
-    for s1 in cfg.speeds:
-        for s2 in cfg.speeds:
-            sol = solve_pair_exact(cfg, s1, s2, rho)
-            if sol is not None and (best is None or sol.energy_overhead < best.energy_overhead):
-                best = sol
-    if best is None:
-        raise InfeasibleBoundError(rho)
-    return best
+    return Scenario(config=cfg, rho=rho).solve(backend="exact").raw

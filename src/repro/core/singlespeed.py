@@ -27,6 +27,37 @@ def evaluate_single_speed(
     return evaluate_pair(cfg, sigma, sigma, rho)
 
 
+def _solve_single_speed_direct(
+    cfg: Configuration,
+    rho: float,
+    *,
+    speeds: tuple[float, ...] | None = None,
+) -> BiCritSolution:
+    """The diagonal enumeration itself (no registry indirection).
+
+    Implementation behind the ``single-speed`` mode of the
+    :mod:`repro.api` backends; call :func:`solve_single_speed` (or
+    ``repro.Scenario(..., mode="single-speed").solve()``) instead
+    unless you are writing a backend.
+    """
+    require_positive(rho, "rho")
+    s_set = cfg.speeds if speeds is None else tuple(speeds)
+
+    candidates: list[CandidateOutcome] = []
+    best: PatternSolution | None = None
+    for s in s_set:
+        outcome = evaluate_single_speed(cfg, s, rho)
+        candidates.append(outcome)
+        sol = outcome.solution
+        if sol is not None and (best is None or sol.energy_overhead < best.energy_overhead):
+            best = sol
+
+    if best is None:
+        rho_min = min(c.rho_min for c in candidates)
+        raise InfeasibleBoundError(rho, rho_min)
+    return BiCritSolution(rho=rho, best=best, candidates=tuple(candidates))
+
+
 def solve_single_speed(
     cfg: Configuration,
     rho: float,
@@ -37,6 +68,11 @@ def solve_single_speed(
 
     Same contract as :func:`repro.core.solver.solve_bicrit`, but the
     candidate set is the diagonal ``{(sigma, sigma) : sigma in S}``.
+
+    .. note:: Legacy wrapper.  Delegates to the ``firstorder`` backend
+       of the :mod:`repro.api` registry via
+       ``Scenario(..., mode="single-speed").solve()``; prefer the
+       :class:`repro.Scenario` API in new code.
 
     Raises
     ------
@@ -55,19 +91,8 @@ def solve_single_speed(
     >>> sol.best.sigma1 == sol.best.sigma2
     True
     """
-    require_positive(rho, "rho")
-    s_set = cfg.speeds if speeds is None else tuple(speeds)
+    from ..api.scenario import Scenario
 
-    candidates: list[CandidateOutcome] = []
-    best: PatternSolution | None = None
-    for s in s_set:
-        outcome = evaluate_single_speed(cfg, s, rho)
-        candidates.append(outcome)
-        sol = outcome.solution
-        if sol is not None and (best is None or sol.energy_overhead < best.energy_overhead):
-            best = sol
-
-    if best is None:
-        rho_min = min(c.rho_min for c in candidates)
-        raise InfeasibleBoundError(rho, rho_min)
-    return BiCritSolution(rho=rho, best=best, candidates=tuple(candidates))
+    return Scenario(
+        config=cfg, rho=rho, mode="single-speed", speeds=speeds
+    ).solve(backend="firstorder").raw

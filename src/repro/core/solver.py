@@ -27,6 +27,40 @@ from .solution import BiCritSolution, CandidateOutcome, PatternSolution
 __all__ = ["evaluate_pair", "solve_bicrit"]
 
 
+def _solve_bicrit_direct(
+    cfg: Configuration,
+    rho: float,
+    *,
+    speeds: tuple[float, ...] | None = None,
+    sigma2_choices: tuple[float, ...] | None = None,
+) -> BiCritSolution:
+    """The O(K^2) enumeration itself (no registry indirection).
+
+    This is the implementation behind the ``firstorder`` backend of
+    :mod:`repro.api.backends`; call :func:`solve_bicrit` (or
+    ``repro.Scenario(...).solve()``) instead unless you are writing a
+    backend.
+    """
+    require_positive(rho, "rho")
+    s1_set = cfg.speeds if speeds is None else tuple(speeds)
+    s2_set = cfg.speeds if sigma2_choices is None else tuple(sigma2_choices)
+
+    candidates: list[CandidateOutcome] = []
+    best: PatternSolution | None = None
+    for s1 in s1_set:
+        for s2 in s2_set:
+            outcome = evaluate_pair(cfg, s1, s2, rho)
+            candidates.append(outcome)
+            sol = outcome.solution
+            if sol is not None and (best is None or sol.energy_overhead < best.energy_overhead):
+                best = sol
+
+    if best is None:
+        rho_min = min(c.rho_min for c in candidates)
+        raise InfeasibleBoundError(rho, rho_min)
+    return BiCritSolution(rho=rho, best=best, candidates=tuple(candidates))
+
+
 def evaluate_pair(
     cfg: Configuration, sigma1: float, sigma2: float, rho: float
 ) -> CandidateOutcome:
@@ -64,6 +98,12 @@ def solve_bicrit(
 ) -> BiCritSolution:
     """Solve BiCrit for ``cfg`` under the performance bound ``rho``.
 
+    .. note:: Legacy wrapper.  Delegates to the ``firstorder`` backend
+       of the :mod:`repro.api` registry via
+       ``Scenario(config=cfg, rho=rho).solve()``, which adds caching
+       and provenance; prefer the :class:`repro.Scenario` API in new
+       code.
+
     Parameters
     ----------
     cfg:
@@ -100,21 +140,11 @@ def solve_bicrit(
     >>> round(sol.best.work)
     2764
     """
-    require_positive(rho, "rho")
-    s1_set = cfg.speeds if speeds is None else tuple(speeds)
-    s2_set = cfg.speeds if sigma2_choices is None else tuple(sigma2_choices)
+    from ..api.scenario import Scenario
 
-    candidates: list[CandidateOutcome] = []
-    best: PatternSolution | None = None
-    for s1 in s1_set:
-        for s2 in s2_set:
-            outcome = evaluate_pair(cfg, s1, s2, rho)
-            candidates.append(outcome)
-            sol = outcome.solution
-            if sol is not None and (best is None or sol.energy_overhead < best.energy_overhead):
-                best = sol
-
-    if best is None:
-        rho_min = min(c.rho_min for c in candidates)
-        raise InfeasibleBoundError(rho, rho_min)
-    return BiCritSolution(rho=rho, best=best, candidates=tuple(candidates))
+    return Scenario(
+        config=cfg,
+        rho=rho,
+        speeds=speeds,
+        sigma2_choices=sigma2_choices,
+    ).solve(backend="firstorder").raw

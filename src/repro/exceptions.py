@@ -14,6 +14,8 @@ __all__ = [
     "SpeedNotAvailableError",
     "ApproximationDomainError",
     "ConvergenceError",
+    "UnknownBackendError",
+    "UnsupportedScenarioError",
 ]
 
 
@@ -79,3 +81,45 @@ class ApproximationDomainError(ReproError):
 
 class ConvergenceError(ReproError):
     """A numeric routine (root bracketing, minimisation) failed to converge."""
+
+
+class UnknownBackendError(ReproError, KeyError):
+    """A solver backend name does not resolve in the registry.
+
+    Inherits :class:`KeyError` so registry lookups keep mapping
+    semantics; the message lists the registered names.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown solver backend {name!r}; registered backends: "
+            f"{', '.join(available) or '(none)'}"
+        )
+
+    # KeyError.__str__ reprs the message (wrapping it in quotes); keep
+    # the plain Exception rendering for user-facing errors.
+    __str__ = Exception.__str__
+
+    def __reduce__(self):
+        # Multi-arg __init__ needs explicit pickle support so the error
+        # survives the Study.solve(processes=...) process boundary.
+        return (type(self), (self.name, self.available))
+
+
+class UnsupportedScenarioError(ReproError):
+    """A scenario was routed to a backend that cannot solve it.
+
+    E.g. the vectorised ``grid`` backend only handles the first-order
+    silent-error model, so a ``combined``-mode scenario must go to the
+    ``combined`` backend instead.
+    """
+
+    def __init__(self, backend: str, reason: str):
+        self.backend = backend
+        self.reason = reason
+        super().__init__(f"backend {backend!r} cannot solve this scenario: {reason}")
+
+    def __reduce__(self):
+        return (type(self), (self.backend, self.reason))

@@ -22,7 +22,7 @@ import numpy as np
 from scipy.optimize import brentq, minimize_scalar
 
 from ..errors.combined import CombinedErrors
-from ..exceptions import ConvergenceError, InfeasibleBoundError
+from ..exceptions import ConvergenceError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
 from ..core.numeric import minimize_unimodal
@@ -141,6 +141,11 @@ def solve_bicrit_combined(
 ) -> CombinedSolution:
     """Numeric BiCrit over all speed pairs with both error sources.
 
+    .. note:: Legacy wrapper.  Delegates to the ``combined`` backend
+       of the :mod:`repro.api` registry via
+       ``Scenario(..., mode="combined").solve()``; prefer the
+       :class:`repro.Scenario` API in new code.
+
     Raises
     ------
     InfeasibleBoundError
@@ -155,14 +160,12 @@ def solve_bicrit_combined(
     >>> sol.sigma1 in cfg.speeds and sol.sigma2 in cfg.speeds
     True
     """
-    best: CombinedSolution | None = None
-    for s1 in cfg.speeds:
-        for s2 in cfg.speeds:
-            sol = solve_pair_combined(cfg, errors, s1, s2, rho)
-            if sol is not None and (
-                best is None or sol.energy_overhead < best.energy_overhead
-            ):
-                best = sol
-    if best is None:
-        raise InfeasibleBoundError(rho)
-    return best
+    from ..api.scenario import Scenario
+
+    return Scenario(
+        config=cfg,
+        rho=rho,
+        mode="combined",
+        failstop_fraction=errors.failstop_fraction,
+        error_rate=errors.total_rate,
+    ).solve(backend="combined").raw

@@ -1,12 +1,18 @@
 """Output rendering: ASCII tables, traces, CSV/JSON, reproduction reports."""
 
 from .artifacts import write_fraction_csv, write_frontier_csv, write_regions_csv
-from .csvio import read_series_csv_rows, write_series_csv, write_table_csv
+from .csvio import (
+    read_series_csv_rows,
+    write_results_csv,
+    write_series_csv,
+    write_table_csv,
+)
 from .gantt import format_timeline, format_trace
 from .summary import ReportResult, build_report, write_report
 from .serialize import (
     dump_json,
     load_json,
+    result_to_dict,
     series_from_dict,
     series_to_dict,
     solution_from_dict,
@@ -20,7 +26,9 @@ __all__ = [
     "format_savings_line",
     "write_series_csv",
     "write_table_csv",
+    "write_results_csv",
     "read_series_csv_rows",
+    "result_to_dict",
     "solution_to_dict",
     "solution_from_dict",
     "series_to_dict",

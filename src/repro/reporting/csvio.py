@@ -85,3 +85,65 @@ def read_series_csv_rows(path: str | Path) -> list[dict[str, str]]:
     """Read back a series CSV as a list of dict rows (round-trip tests)."""
     with Path(path).open(newline="") as fh:
         return list(csv.DictReader(fh))
+
+
+_RESULT_FIELDS = (
+    "config",
+    "rho",
+    "mode",
+    "failstop_fraction",
+    "error_rate",
+    "label",
+    "backend",
+    "cache_hit",
+    "wall_time",
+    "sigma1",
+    "sigma2",
+    "work",
+    "energy_overhead",
+    "time_overhead",
+)
+
+
+def write_results_csv(path: str | Path, results) -> Path:
+    """Write a :class:`repro.api.ResultSet` (or iterable of results),
+    one row per result, scenario order.
+
+    Infeasible entries keep their scenario/provenance columns and leave
+    the solution columns empty, mirroring :func:`write_series_csv`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_RESULT_FIELDS)
+        for r in results:
+            sc = r.scenario
+            cfg = sc.config if isinstance(sc.config, str) else sc.config.name
+            row = [
+                cfg,
+                f"{sc.rho:.10g}",
+                sc.mode,
+                # Effective fraction: failstop mode solves with f=1 even
+                # when the field is None, and the report must say so.
+                f"{sc.effective_failstop_fraction:.6g}"
+                if sc.mode in ("combined", "failstop")
+                else "",
+                "" if sc.error_rate is None else f"{sc.error_rate:.10g}",
+                sc.label or "",
+                r.provenance.backend,
+                "1" if r.provenance.cache_hit else "0",
+                f"{r.provenance.wall_time:.6g}",
+            ]
+            if r.feasible:
+                row += [
+                    f"{r.best.sigma1:.6g}",
+                    f"{r.best.sigma2:.6g}",
+                    f"{r.best.work:.10g}",
+                    f"{r.best.energy_overhead:.10g}",
+                    f"{r.best.time_overhead:.10g}",
+                ]
+            else:
+                row += ["", "", "", "", ""]
+            writer.writerow(row)
+    return path

@@ -20,12 +20,14 @@ __all__ = [
     "solution_from_dict",
     "series_to_dict",
     "series_from_dict",
+    "result_to_dict",
     "dump_json",
     "load_json",
 ]
 
 _SOLUTION_SCHEMA = "repro/pattern-solution/v1"
 _SERIES_SCHEMA = "repro/sweep-series/v1"
+_RESULT_SCHEMA = "repro/api-result/v1"
 
 
 def solution_to_dict(sol: PatternSolution) -> dict[str, Any]:
@@ -102,6 +104,51 @@ def series_from_dict(data: dict[str, Any]) -> SweepSeries:
         rho=data["rho"],
         points=points,
     )
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Serialise one :class:`repro.api.Result` (one-way export).
+
+    The scenario is flattened to primitives (the configuration becomes
+    its display name), the provenance is embedded, and the winning
+    candidate keeps the fields every backend shares.  ``PatternSolution``
+    bests additionally round-trip through :func:`solution_to_dict`.
+    """
+    scenario = result.scenario
+    cfg = scenario.config
+    best = result.best
+    payload: dict[str, Any] = {
+        "schema": _RESULT_SCHEMA,
+        "scenario": {
+            "config": cfg if isinstance(cfg, str) else cfg.name,
+            "rho": scenario.rho,
+            "mode": scenario.mode,
+            "failstop_fraction": scenario.failstop_fraction,
+            "error_rate": scenario.error_rate,
+            "label": scenario.label,
+        },
+        "provenance": {
+            "backend": result.provenance.backend,
+            "wall_time": result.provenance.wall_time,
+            "cache_hit": result.provenance.cache_hit,
+            "batch_size": result.provenance.batch_size,
+        },
+        "feasible": result.feasible,
+        "rho_min": result.rho_min,
+        "best": None,
+    }
+    if best is not None:
+        if isinstance(best, PatternSolution):
+            payload["best"] = solution_to_dict(best)
+        else:
+            payload["best"] = {
+                "sigma1": best.sigma1,
+                "sigma2": best.sigma2,
+                "work": best.work,
+                "energy_overhead": best.energy_overhead,
+                "time_overhead": best.time_overhead,
+            }
+    return payload
 
 
 def dump_json(path: str | Path, payload: dict[str, Any]) -> Path:

@@ -93,20 +93,38 @@ def figure_spec(figure_id: str) -> FigureSpec:
 
 
 def run_panel(
-    spec: FigureSpec, panel: str, *, rho: float = DEFAULT_RHO, n: int | None = None
+    spec: FigureSpec,
+    panel: str,
+    *,
+    rho: float = DEFAULT_RHO,
+    n: int | None = None,
+    backend: str | None = None,
 ) -> SweepSeries:
-    """Run one panel of a figure and return its series."""
+    """Run one panel of a figure and return its series.
+
+    ``backend`` forwards a :mod:`repro.api` registry name to the sweep
+    (e.g. ``"grid"`` for the vectorised batch path).
+    """
     cfg = spec.configuration()
-    return run_sweep(cfg, rho, spec.axis(panel, n=n))
+    return run_sweep(cfg, rho, spec.axis(panel, n=n), backend=backend)
 
 
 def run_figure(
-    figure_id: str, *, rho: float = DEFAULT_RHO, n: int | None = None
+    figure_id: str,
+    *,
+    rho: float = DEFAULT_RHO,
+    n: int | None = None,
+    backend: str | None = None,
 ) -> dict[str, SweepSeries]:
     """Run every panel of a figure; returns ``panel -> SweepSeries``.
 
     ``n`` lowers the per-panel resolution (useful for quick looks and
     benchmarks; the defaults match the paper's visual resolution).
+    ``backend`` forwards a :mod:`repro.api` registry name to the
+    per-panel sweeps.
     """
     spec = figure_spec(figure_id)
-    return {panel: run_panel(spec, panel, rho=rho, n=n) for panel in spec.panels}
+    return {
+        panel: run_panel(spec, panel, rho=rho, n=n, backend=backend)
+        for panel in spec.panels
+    }

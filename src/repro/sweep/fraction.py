@@ -14,9 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors.combined import CombinedErrors
-from ..exceptions import InfeasibleBoundError
-from ..failstop.solver import CombinedSolution, solve_bicrit_combined
+from ..failstop.solver import CombinedSolution
 from ..platforms.configuration import Configuration
 
 __all__ = ["FractionSweep", "sweep_failstop_fraction"]
@@ -67,6 +65,7 @@ def sweep_failstop_fraction(
     *,
     total_rate: float | None = None,
     fractions: np.ndarray | None = None,
+    processes: int | None = None,
 ) -> FractionSweep:
     """Solve the combined-error BiCrit across fail-stop fractions.
 
@@ -75,6 +74,12 @@ def sweep_failstop_fraction(
     sane bounds — feasibility barely depends on ``f``) yield ``None``
     entries.
 
+    .. note:: Legacy-shaped wrapper.  Builds one ``combined``-mode
+       :class:`repro.api.Scenario` per fraction and solves them as a
+       :class:`repro.api.Study` batch — which memoises repeated sweeps
+       and, with ``processes > 1``, fans the expensive numeric solves
+       out over worker processes.
+
     Examples
     --------
     >>> from repro.platforms import get_configuration
@@ -82,24 +87,34 @@ def sweep_failstop_fraction(
     >>> len(sw)
     11
     """
+    from ..api.scenario import Scenario
+    from ..api.study import Study
+
     if total_rate is None:
         total_rate = cfg.lam
     if fractions is None:
         fractions = np.linspace(0.0, 1.0, 11)
     fractions = np.asarray(fractions, dtype=float)
 
-    sols: list[CombinedSolution | None] = []
-    for f in fractions:
-        try:
-            sols.append(
-                solve_bicrit_combined(cfg, CombinedErrors(total_rate, float(f)), rho)
+    study = Study(
+        scenarios=tuple(
+            Scenario(
+                config=cfg,
+                rho=rho,
+                mode="combined",
+                failstop_fraction=float(f),
+                error_rate=total_rate,
+                label=f"f={f:g}",
             )
-        except InfeasibleBoundError:
-            sols.append(None)
+            for f in fractions
+        ),
+        name=f"failstop-fraction:{cfg.name}",
+    )
+    results = study.solve(processes=processes)
     return FractionSweep(
         config_name=cfg.name,
         rho=rho,
         total_rate=total_rate,
         fractions=fractions,
-        solutions=tuple(sols),
+        solutions=tuple(r.raw if r.feasible else None for r in results),
     )

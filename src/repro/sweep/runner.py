@@ -21,10 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.singlespeed import solve_single_speed
 from ..core.solution import PatternSolution
-from ..core.solver import solve_bicrit
-from ..exceptions import InfeasibleBoundError
 from ..platforms.configuration import Configuration
 from .axes import SweepAxis
 
@@ -120,8 +117,21 @@ class SweepSeries:
         ]
 
 
-def run_sweep(cfg: Configuration, rho: float, axis: SweepAxis) -> SweepSeries:
+def run_sweep(
+    cfg: Configuration,
+    rho: float,
+    axis: SweepAxis,
+    *,
+    backend: str | None = None,
+) -> SweepSeries:
     """Solve both problems at every value of ``axis``.
+
+    .. note:: Legacy wrapper.  Delegates to
+       ``repro.api.Study.over_axis(...).solve()``, solving the
+       two-speed and single-speed scenarios of every axis value
+       through the backend registry.  ``backend`` forwards a registry
+       name (e.g. ``"grid"`` for the vectorised batch path); ``None``
+       uses the scalar ``firstorder`` backend.
 
     Examples
     --------
@@ -131,18 +141,19 @@ def run_sweep(cfg: Configuration, rho: float, axis: SweepAxis) -> SweepSeries:
     >>> len(s)
     5
     """
+    from ..api.study import Study
+
+    study = Study.over_axis(cfg, rho, axis, modes=("silent", "single-speed"))
+    results = study.solve(backend=backend)
     points: list[SweepPoint] = []
-    for value in axis.values:
-        cfg_v, rho_v = axis.apply(cfg, rho, value)
-        try:
-            two = solve_bicrit(cfg_v, rho_v).best
-        except InfeasibleBoundError:
-            two = None
-        try:
-            one = solve_single_speed(cfg_v, rho_v).best
-        except InfeasibleBoundError:
-            one = None
-        points.append(SweepPoint(value=value, two_speed=two, single_speed=one))
+    for i, value in enumerate(axis.values):
+        points.append(
+            SweepPoint(
+                value=value,
+                two_speed=results[2 * i].best,
+                single_speed=results[2 * i + 1].best,
+            )
+        )
     return SweepSeries(
         config_name=cfg.name,
         axis_name=axis.name,

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.solution import PatternSolution
+from ..core.solution import BiCritSolution, PatternSolution
 from ..core.solver import solve_bicrit
 from ..exceptions import InfeasibleBoundError
 from ..platforms.configuration import Configuration
 
-__all__ = ["TableRow", "SpeedPairTable", "speed_pair_table"]
+__all__ = ["TableRow", "SpeedPairTable", "speed_pair_table", "infeasible_table"]
 
 
 @dataclass(frozen=True)
@@ -82,12 +82,30 @@ class SpeedPairTable:
         raise KeyError(f"no row for sigma1={sigma1!r}")
 
 
-def speed_pair_table(cfg: Configuration, rho: float) -> SpeedPairTable:
+def infeasible_table(cfg: Configuration, rho: float) -> SpeedPairTable:
+    """The all-dash table of an infeasible bound (every row "-")."""
+    rows = tuple(
+        TableRow(sigma1=s1, solution=None, is_best=False) for s1 in cfg.speeds
+    )
+    return SpeedPairTable(config_name=cfg.name, rho=rho, rows=rows)
+
+
+def speed_pair_table(
+    cfg: Configuration,
+    rho: float,
+    *,
+    solution: BiCritSolution | None = None,
+) -> SpeedPairTable:
     """Regenerate one Section-4.2 table for ``cfg`` under ``rho``.
 
     The table exists even when the whole problem is infeasible (all rows
     are then "-" rows), matching how the paper's tables degrade as
     ``rho`` tightens.
+
+    ``solution`` lets callers that already solved the scenario through
+    :mod:`repro.api` (e.g. the CLI) pass the ``BiCritSolution`` in
+    instead of re-solving; by default the solve is delegated to the
+    registry via :func:`repro.core.solver.solve_bicrit`.
 
     Examples
     --------
@@ -98,13 +116,11 @@ def speed_pair_table(cfg: Configuration, rho: float) -> SpeedPairTable:
     >>> t.best_row.sigma1
     0.4
     """
-    try:
-        solution = solve_bicrit(cfg, rho)
-    except InfeasibleBoundError:
-        rows = tuple(
-            TableRow(sigma1=s1, solution=None, is_best=False) for s1 in cfg.speeds
-        )
-        return SpeedPairTable(config_name=cfg.name, rho=rho, rows=rows)
+    if solution is None:
+        try:
+            solution = solve_bicrit(cfg, rho)
+        except InfeasibleBoundError:
+            return infeasible_table(cfg, rho)
 
     best = solution.best
     rows = []

@@ -161,48 +161,32 @@ def solve_bicrit_grid(
 def run_sweep_fast(cfg: Configuration, rho: float, axis: SweepAxis) -> GridSolution:
     """Vectorised equivalent of :func:`repro.sweep.runner.run_sweep`.
 
-    Builds the parameter arrays implied by the axis (only the swept
-    parameter varies; the rest broadcast) and solves the whole sweep in
-    one :func:`solve_bicrit_grid` call.  The equivalence tests assert it
-    matches the scalar path exactly.
+    .. note:: Legacy wrapper.  Delegates to the ``grid`` backend of
+       the :mod:`repro.api` registry, which batches every axis value's
+       scenario through one :func:`solve_bicrit_grid` broadcast pass.
+       Because the scenarios are materialised with the axis's own
+       ``apply`` rule, any axis works here — no per-axis vectorised
+       mapping to maintain.  The equivalence tests pin the output
+       against the scalar path.
     """
-    vals = np.asarray(axis.values, dtype=np.float64)
-    params = {
-        "lam": cfg.lam,
-        "checkpoint": cfg.checkpoint_time,
-        "verification": cfg.verification_time,
-        "recovery": cfg.recovery_time,
-        "kappa": cfg.processor.kappa,
-        "idle_power": cfg.processor.idle_power,
-        "io_power": cfg.io_power,
-        "rho": rho,
-    }
-    name = axis.name
-    if name == "C":
-        params["checkpoint"] = vals
-        params["recovery"] = vals  # R tracks C (Section 4.1)
-    elif name == "V":
-        params["verification"] = vals
-    elif name == "lambda":
-        params["lam"] = vals
-    elif name == "rho":
-        params["rho"] = vals
-    elif name == "Pidle":
-        params["idle_power"] = vals
-    elif name == "Pio":
-        params["io_power"] = vals
-    else:  # pragma: no cover - new axes must be registered here
-        raise KeyError(f"axis {name!r} has no vectorised mapping")
+    from ..api.backends import get_backend
+    from ..api.scenario import Scenario
 
-    out = solve_bicrit_grid(speeds=cfg.speeds, **params)
+    vals = np.asarray(axis.values, dtype=np.float64)
+    scenarios = []
+    for value in axis.values:
+        cfg_v, rho_v = axis.apply(cfg, rho, value)
+        scenarios.append(Scenario(config=cfg_v, rho=rho_v))
+    results = get_backend("grid").solve_batch(scenarios)
+    points = [r.raw for r in results]  # GridPoint per value (NaN = infeasible)
     return GridSolution(
         values=vals,
-        sigma1=out.sigma1,
-        sigma2=out.sigma2,
-        work=out.work,
-        energy=out.energy,
-        time=out.time,
-        sigma_single=out.sigma_single,
-        work_single=out.work_single,
-        energy_single=out.energy_single,
+        sigma1=np.array([p.sigma1 for p in points]),
+        sigma2=np.array([p.sigma2 for p in points]),
+        work=np.array([p.work for p in points]),
+        energy=np.array([p.energy_overhead for p in points]),
+        time=np.array([p.time_overhead for p in points]),
+        sigma_single=np.array([p.sigma_single for p in points]),
+        work_single=np.array([p.work_single for p in points]),
+        energy_single=np.array([p.energy_single for p in points]),
     )

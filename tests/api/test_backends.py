@@ -1,0 +1,164 @@
+"""Backend registry semantics and per-backend routing rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario
+from repro.api.backends import (
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.api.result import GridPoint, Provenance, Result
+from repro.exceptions import UnknownBackendError, UnsupportedScenarioError
+
+
+class TestRegistry:
+    def test_default_backends_registered(self):
+        assert set(available_backends()) >= {"firstorder", "exact", "combined", "grid"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownBackendError) as exc:
+            get_backend("simulated-annealing")
+        assert "firstorder" in str(exc.value)
+
+    def test_register_and_replace(self):
+        class Toy(SolverBackend):
+            name = "toy-test-backend"
+            modes = frozenset({"silent"})
+
+            def _solve(self, scenario):
+                return Result(
+                    scenario=scenario,
+                    provenance=Provenance(backend=self.name),
+                    best=None,
+                )
+
+        try:
+            backend = register_backend(Toy())
+            assert get_backend("toy-test-backend") is backend
+            with pytest.raises(ValueError):
+                register_backend(Toy())
+            replacement = register_backend(Toy(), replace=True)
+            assert get_backend("toy-test-backend") is replacement
+        finally:
+            from repro.api import backends as mod
+
+            mod._REGISTRY.pop("toy-test-backend", None)
+
+    def test_custom_backend_solvable_through_scenario(self):
+        class Constant(SolverBackend):
+            name = "constant-test-backend"
+            modes = frozenset({"silent"})
+
+            def _solve(self, scenario):
+                best = get_backend("firstorder").solve(scenario).best
+                return Result(
+                    scenario=scenario,
+                    provenance=Provenance(backend=self.name),
+                    best=best,
+                )
+
+        try:
+            register_backend(Constant())
+            result = Scenario(config="hera-xscale", rho=3.0).solve(
+                backend="constant-test-backend", cache=False
+            )
+            assert result.provenance.backend == "constant-test-backend"
+            assert result.best.speed_pair == (0.4, 0.4)
+        finally:
+            from repro.api import backends as mod
+
+            mod._REGISTRY.pop("constant-test-backend", None)
+
+
+class TestExceptionTransport:
+    """Routing errors must survive pickling (the process-pool boundary)."""
+
+    def test_unsupported_scenario_error_pickles(self):
+        import pickle
+
+        err = UnsupportedScenarioError("grid", "some reason")
+        back = pickle.loads(pickle.dumps(err))
+        assert back.backend == "grid" and back.reason == "some reason"
+        assert str(back) == str(err)
+
+    def test_unknown_backend_error_pickles_and_renders_plainly(self):
+        import pickle
+
+        err = UnknownBackendError("typo", ("firstorder", "grid"))
+        back = pickle.loads(pickle.dumps(err))
+        assert back.name == "typo" and back.available == ("firstorder", "grid")
+        # No KeyError-style quote-wrapping in the rendered message.
+        assert str(err).startswith("unknown solver backend")
+
+
+class TestRouting:
+    def test_mode_mismatch_raises(self):
+        sc = Scenario(
+            config="hera-xscale", rho=3.0, mode="combined", failstop_fraction=0.5
+        )
+        with pytest.raises(UnsupportedScenarioError):
+            get_backend("grid").solve(sc)
+        with pytest.raises(UnsupportedScenarioError):
+            get_backend("firstorder").solve(sc)
+
+    def test_grid_rejects_speed_restrictions(self):
+        sc = Scenario(config="hera-xscale", rho=3.0, speeds=(0.4, 0.8))
+        assert not get_backend("grid").supports(sc)
+        with pytest.raises(UnsupportedScenarioError):
+            get_backend("grid").solve(sc)
+
+    def test_scenario_backend_field_is_honoured(self):
+        result = Scenario(config="hera-xscale", rho=3.0, backend="grid").solve(
+            cache=False
+        )
+        assert result.provenance.backend == "grid"
+
+    def test_solve_argument_overrides_scenario_field(self):
+        result = Scenario(config="hera-xscale", rho=3.0, backend="grid").solve(
+            backend="firstorder", cache=False
+        )
+        assert result.provenance.backend == "firstorder"
+
+
+class TestGridBackend:
+    def test_single_solve_matches_firstorder(self, any_config):
+        fo = Scenario(config=any_config, rho=3.0).solve(cache=False)
+        gr = Scenario(config=any_config, rho=3.0).solve(backend="grid", cache=False)
+        assert gr.best == fo.best  # byte-identical (re-evaluated scalar path)
+        assert isinstance(gr.raw, GridPoint)
+        assert gr.raw.feasible
+
+    def test_single_speed_mode_reads_diagonal(self, any_config):
+        fo = Scenario(config=any_config, rho=3.0, mode="single-speed").solve(
+            cache=False
+        )
+        gr = Scenario(config=any_config, rho=3.0, mode="single-speed").solve(
+            backend="grid", cache=False
+        )
+        assert gr.best == fo.best
+        assert gr.best.sigma1 == gr.best.sigma2
+
+    def test_batch_mixes_speed_sets(self):
+        scenarios = [
+            Scenario(config="hera-xscale", rho=3.0),
+            Scenario(config="hera-crusoe", rho=3.0),
+            Scenario(config="atlas-xscale", rho=3.0),
+        ]
+        results = get_backend("grid").solve_batch(scenarios)
+        assert [r.provenance.batch_size for r in results] == [3, 3, 3]
+        for sc, res in zip(scenarios, results):
+            expected = Scenario(config=sc.config, rho=sc.rho).solve(cache=False)
+            assert res.best == expected.best
+
+    def test_batch_marks_infeasible_without_raising(self):
+        scenarios = [
+            Scenario(config="hera-xscale", rho=1.0001),  # below rho_min
+            Scenario(config="hera-xscale", rho=3.0),
+        ]
+        results = get_backend("grid").solve_batch(scenarios)
+        assert not results[0].feasible
+        assert results[1].feasible

@@ -1,0 +1,133 @@
+"""Memoisation: hit/miss provenance, private caches, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Scenario, SolveCache, Study
+from repro.api.cache import DEFAULT_CACHE
+
+
+@pytest.fixture
+def cache() -> SolveCache:
+    return SolveCache()
+
+
+class TestProvenance:
+    def test_hit_marks_provenance_and_reuses_solution(self, hera_xscale, cache):
+        sc = Scenario(config=hera_xscale, rho=2.3456)
+        first = sc.solve(cache=cache)
+        second = sc.solve(cache=cache)
+        assert not first.provenance.cache_hit
+        assert first.provenance.wall_time > 0.0
+        assert second.provenance.cache_hit
+        assert second.provenance.wall_time == 0.0
+        assert second.best is first.best  # replayed, not re-solved
+        assert cache.stats() == (1, 1)
+
+    def test_key_includes_backend(self, hera_xscale, cache):
+        sc = Scenario(config=hera_xscale, rho=2.3456)
+        sc.solve(backend="firstorder", cache=cache)
+        grid = sc.solve(backend="grid", cache=cache)
+        assert not grid.provenance.cache_hit  # different backend, fresh solve
+        assert len(cache) == 2
+
+    def test_key_includes_scenario_fields(self, hera_xscale, cache):
+        Scenario(config=hera_xscale, rho=2.3456).solve(cache=cache)
+        other = Scenario(config=hera_xscale, rho=2.5678).solve(cache=cache)
+        assert not other.provenance.cache_hit
+
+    def test_cache_false_bypasses(self, hera_xscale, cache):
+        sc = Scenario(config=hera_xscale, rho=2.3456)
+        sc.solve(cache=cache)
+        fresh = sc.solve(cache=False)
+        assert not fresh.provenance.cache_hit
+        assert cache.stats() == (0, 1)
+
+
+class TestStudyCaching:
+    def test_second_study_solve_is_all_hits(self, cache):
+        study = Study.from_grid(configs=("hera-xscale",), rhos=(2.5, 3.0))
+        first = study.solve(cache=cache)
+        second = study.solve(cache=cache)
+        assert first.cache_hits() == 0
+        assert second.cache_hits() == len(study)
+        assert second.total_wall_time() == 0.0
+
+    def test_scenario_and_study_share_a_cache(self, hera_xscale, cache):
+        Scenario(config=hera_xscale, rho=2.75).solve(cache=cache)
+        study = Study(scenarios=(Scenario(config=hera_xscale, rho=2.75),))
+        results = study.solve(cache=cache)
+        assert results.cache_hits() == 1
+
+
+class TestSolveCacheMechanics:
+    def test_eviction_is_fifo(self, hera_xscale):
+        small = SolveCache(maxsize=2)
+        rhos = (2.1, 2.2, 2.3)
+        for rho in rhos:
+            Scenario(config=hera_xscale, rho=rho).solve(cache=small)
+        assert len(small) == 2
+        # Oldest (2.1) evicted: solving it again is a miss.
+        res = Scenario(config=hera_xscale, rho=2.1).solve(cache=small)
+        assert not res.provenance.cache_hit
+
+    def test_clear_resets_counters(self, hera_xscale):
+        cache = SolveCache()
+        Scenario(config=hera_xscale, rho=2.9).solve(cache=cache)
+        Scenario(config=hera_xscale, rho=2.9).solve(cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == (0, 0)
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(maxsize=0)
+
+    def test_invalidate_backend_drops_only_that_backend(self, hera_xscale):
+        cache = SolveCache()
+        sc = Scenario(config=hera_xscale, rho=2.4)
+        sc.solve(backend="firstorder", cache=cache)
+        sc.solve(backend="grid", cache=cache)
+        assert cache.invalidate_backend("firstorder") == 1
+        assert len(cache) == 1
+        assert not sc.solve(backend="firstorder", cache=cache).provenance.cache_hit
+        assert sc.solve(backend="grid", cache=cache).provenance.cache_hit
+
+    def test_replacing_a_backend_invalidates_default_cache(self, hera_xscale):
+        from repro.api import backends as mod
+        from repro.api.backends import SolverBackend, get_backend, register_backend
+        from repro.api.result import Provenance, Result
+
+        class Fake(SolverBackend):
+            name = "replaceable-test-backend"
+            modes = frozenset({"silent"})
+
+            def _solve(self, scenario):
+                inner = get_backend("firstorder").solve(scenario)
+                return Result(
+                    scenario=scenario,
+                    provenance=Provenance(backend=self.name),
+                    best=inner.best,
+                )
+
+        try:
+            register_backend(Fake())
+            sc = Scenario(config=hera_xscale, rho=2.4)
+            sc.solve(backend="replaceable-test-backend")  # populates DEFAULT_CACHE
+            register_backend(Fake(), replace=True)
+            fresh = sc.solve(backend="replaceable-test-backend")
+            assert not fresh.provenance.cache_hit  # stale entry was dropped
+        finally:
+            mod._REGISTRY.pop("replaceable-test-backend", None)
+            DEFAULT_CACHE.clear()
+
+    def test_default_cache_backs_plain_solves(self, hera_xscale):
+        sc = Scenario(config=hera_xscale, rho=2.86421)
+        try:
+            first = sc.solve()
+            second = sc.solve()
+            assert not first.provenance.cache_hit
+            assert second.provenance.cache_hit
+        finally:
+            DEFAULT_CACHE.clear()

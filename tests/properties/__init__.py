@@ -1,0 +1,1 @@
+"""Package marker so sibling test modules may reuse basenames."""
