@@ -15,7 +15,6 @@ from __future__ import annotations
 import csv
 
 import numpy as np
-import pytest
 
 from repro.analysis.pareto import pareto_frontier
 from repro.core.numeric import solve_bicrit_exact

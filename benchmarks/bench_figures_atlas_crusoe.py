@@ -21,7 +21,6 @@ Shape claims (Section 4.3, Atlas/Crusoe, rho = 3):
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.savings import summarize_savings
 from repro.reporting.csvio import write_series_csv

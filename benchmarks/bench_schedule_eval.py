@@ -1,0 +1,121 @@
+"""Bench: the general schedule evaluator vs the Theorem-1 closed forms.
+
+The schedule subsystem keeps the paper's closed forms as the two-speed
+fast path and falls back to the attempt-series evaluator (explicit head
++ exact geometric tail) for general schedules.  This bench quantifies
+what the generality costs:
+
+* ``eval``: expected time+energy of a work grid, closed form
+  (Propositions 2/3) vs the evaluator on the same ``TwoSpeed`` policy
+  vs the evaluator on a 4-attempt ``Geometric`` ramp;
+* ``solve``: a scheduled scenario solved through the closed-form fast
+  path (``TwoSpeed``) vs the numeric constrained solve (``Geometric``).
+
+Results land in ``results/schedule_eval_bench.csv`` (the BENCH
+trajectory alongside ``study_batch_speedup.csv``).
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+
+import numpy as np
+
+from repro.api import Scenario
+from repro.core import exact as silent_exact
+from repro.platforms import get_configuration
+from repro.schedules import Geometric, TwoSpeed, evaluate_schedule
+
+WORKS = np.logspace(1, 5, 512)
+PAIR = (0.4, 0.6)
+REPEATS = 200
+
+
+def _time_calls(fn, repeats: int = REPEATS) -> float:
+    """Best-of-3 mean seconds per call of ``fn`` over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / repeats)
+    return best
+
+
+def test_evaluator_vs_closed_form(results_dir):
+    """Pin numeric equivalence and record the generality overhead."""
+    cfg = get_configuration("hera-xscale")
+    two = TwoSpeed(*PAIR)
+    geom = Geometric(0.4, 1.5, sigma_max=1.0)
+
+    def closed_form():
+        return (
+            silent_exact.expected_time(cfg, WORKS, *PAIR),
+            silent_exact.expected_energy(cfg, WORKS, *PAIR),
+        )
+
+    def eval_two():
+        ex = evaluate_schedule(cfg, two, WORKS)
+        return ex.time, ex.energy
+
+    def eval_geom():
+        ex = evaluate_schedule(cfg, geom, WORKS)
+        return ex.time, ex.energy
+
+    # Equivalence first: the evaluator *is* the closed form for TwoSpeed.
+    t_cf, e_cf = closed_form()
+    t_ev, e_ev = eval_two()
+    np.testing.assert_allclose(t_ev, t_cf, rtol=1e-12)
+    np.testing.assert_allclose(e_ev, e_cf, rtol=1e-12)
+
+    t_closed = _time_calls(closed_form)
+    t_two = _time_calls(eval_two)
+    t_geom = _time_calls(eval_geom)
+
+    # Solve-level comparison: fast path vs numeric constrained solve.
+    def solve_two():
+        return Scenario(config=cfg, rho=3.0, schedule=two).solve(cache=False)
+
+    def solve_geom():
+        return Scenario(config=cfg, rho=3.0, schedule=geom).solve(cache=False)
+
+    t_solve_two = _time_calls(solve_two, repeats=20)
+    t_solve_geom = _time_calls(solve_geom, repeats=20)
+
+    with (results_dir / "schedule_eval_bench.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["path", "seconds_per_call", "slowdown_vs_closed_form"])
+        w.writerow(["closed_form_eval", f"{t_closed:.3e}", "1.0"])
+        w.writerow(["evaluator_two_speed", f"{t_two:.3e}", f"{t_two / t_closed:.2f}"])
+        w.writerow(["evaluator_geometric", f"{t_geom:.3e}", f"{t_geom / t_closed:.2f}"])
+        w.writerow(["solve_two_speed_fastpath", f"{t_solve_two:.3e}", ""])
+        w.writerow(["solve_geometric_numeric", f"{t_solve_geom:.3e}", ""])
+
+    # The generality tax must stay bounded: a handful of broadcast ops
+    # per head attempt, not an accidental Python-level blowup.
+    assert t_two / t_closed < 50, f"TwoSpeed evaluator {t_two / t_closed:.0f}x slower"
+    assert t_geom / t_closed < 100, f"Geometric evaluator {t_geom / t_closed:.0f}x slower"
+
+
+def test_truncated_evaluation_tracks_exact(results_dir):
+    """Truncation at N attempts converges geometrically to the exact value."""
+    cfg = get_configuration("hera-xscale")
+    geom = Geometric(0.4, 1.5, sigma_max=1.0)
+    w = 2764.0
+    exact_val = evaluate_schedule(cfg, geom, w)
+    rows = []
+    fp_noise = 1e-12 * exact_val.time  # subtraction rounding floor
+    for n in (4, 6, 8, 12):
+        trunc = evaluate_schedule(cfg, geom, w, max_attempts=n)
+        err = abs(exact_val.time - trunc.time)
+        rows.append((n, err, float(trunc.tail_bound_time)))
+        assert err <= trunc.tail_bound_time + fp_noise
+    with (results_dir / "schedule_truncation.csv").open("w", newline="") as fh:
+        csv_w = csv.writer(fh)
+        csv_w.writerow(["max_attempts", "abs_time_error", "tail_bound"])
+        for n, err, bound in rows:
+            csv_w.writerow([n, f"{err:.3e}", f"{bound:.3e}"])
+    # Geometric decay: each step of 2 attempts shrinks the bound sharply.
+    bounds = [r[2] for r in rows]
+    assert bounds[-1] < bounds[0] * 1e-6

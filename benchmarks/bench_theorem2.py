@@ -51,7 +51,9 @@ def test_theorem2_scaling(benchmark, results_dir):
     assert fit.exponent == pytest.approx(-2 / 3, abs=0.01)
     assert fit.r_squared > 0.9999
     # Asymptotic constant: the exact optimum converges to the formula.
-    ratios = works / np.array([theorem2_work(float(l), CHECKPOINT, SIGMA) for l in LAMBDAS])
+    ratios = works / np.array(
+        [theorem2_work(float(lam), CHECKPOINT, SIGMA) for lam in LAMBDAS]
+    )
     assert abs(ratios[0] - 1.0) < 5e-3          # smallest lambda: sub-0.5%
     assert abs(ratios[0] - 1.0) < abs(ratios[-1] - 1.0)  # converging
 

@@ -13,8 +13,6 @@ Run:
 
 from __future__ import annotations
 
-import numpy as np
-
 import repro
 from repro.analysis import series_savings, summarize_savings, find_pair_changes
 from repro.sweep import checkpoint_axis, run_sweep
@@ -43,7 +41,7 @@ def main() -> None:
     print()
     summary = summarize_savings(series)
     print(f"maximum saving: {summary.max_savings_percent:.1f}% at C = {summary.argmax_value:g} s")
-    print(f"(paper's Section 4.3.1 claim: 'up to 35% improvement')")
+    print("(paper's Section 4.3.1 claim: 'up to 35% improvement')")
 
     print("\noptimal-pair crossovers along the sweep:")
     for ch in find_pair_changes(series):

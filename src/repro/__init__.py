@@ -12,8 +12,9 @@ speed.
 Quickstart
 ----------
 Declare *what* to solve as a :class:`Scenario`; the pluggable backend
-registry decides *how* (``firstorder``, ``exact``, ``combined``, or
-the vectorised ``grid``), with memoised caching and provenance:
+registry decides *how* (``firstorder``, ``exact``, ``combined``, the
+vectorised ``grid``, or the per-attempt ``schedule`` backend), with
+memoised caching and provenance:
 
 >>> import repro
 >>> result = repro.Scenario(config="hera-xscale", rho=3.0).solve()
@@ -36,6 +37,14 @@ The legacy entry points remain as thin wrappers over the same registry:
 >>> sol = repro.solve_bicrit(cfg, rho=3.0)
 >>> sol.best.speed_pair, round(sol.best.work)
 ((0.4, 0.4), 2764)
+
+Re-executions need not share one speed: a per-attempt
+:class:`SpeedSchedule` (``TwoSpeed``, ``Constant``, ``Escalating``,
+``Geometric``) generalises the paper's model — see ``docs/schedules.md``:
+
+>>> sched = repro.Geometric(0.4, 1.5, sigma_max=1.0)
+>>> sched.speeds_for_attempts(4)
+(0.4, 0.6000000000000001, 0.9000000000000001, 1.0)
 
 See ``docs/api.md`` for the full Scenario/Study workflow and the
 legacy-wrapper mapping table.
@@ -60,6 +69,18 @@ from .core import (
     time_overhead_fo,
 )
 from .errors import CombinedErrors, ExponentialErrors
+from .schedules import (
+    Constant,
+    Escalating,
+    Geometric,
+    ScheduleSolution,
+    SpeedSchedule,
+    TwoSpeed,
+    evaluate_schedule,
+    parse_schedule,
+    schedule_kinds,
+    solve_schedule,
+)
 from .exceptions import (
     ApproximationDomainError,
     ConvergenceError,
@@ -129,7 +150,7 @@ from .api import (
     register_backend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -168,6 +189,17 @@ __all__ = [
     "all_configurations",
     "configuration_names",
     "get_configuration",
+    # speed schedules
+    "SpeedSchedule",
+    "TwoSpeed",
+    "Constant",
+    "Escalating",
+    "Geometric",
+    "parse_schedule",
+    "schedule_kinds",
+    "evaluate_schedule",
+    "solve_schedule",
+    "ScheduleSolution",
     # core
     "Pattern",
     "PatternSolution",

@@ -5,7 +5,8 @@ This package is the single front door to every solver in the library:
 * :class:`~repro.api.scenario.Scenario` — a declarative problem spec
   (configuration + bound + error-model mode + optional restrictions);
 * :mod:`~repro.api.backends` — the ``SolverBackend`` registry
-  (``firstorder``, ``exact``, ``combined``, vectorised ``grid``);
+  (``firstorder``, ``exact``, ``combined``, vectorised ``grid``,
+  per-attempt ``schedule``);
 * :class:`~repro.api.study.Study` — a batch of scenarios over a grid
   or a sweep axis, solved with caching, vectorised batching and
   optional multi-process fan-out;
@@ -24,6 +25,7 @@ from .backends import (
     ExactBackend,
     FirstOrderBackend,
     GridBackend,
+    ScheduleBackend,
     SolverBackend,
     available_backends,
     get_backend,
@@ -47,6 +49,7 @@ __all__ = [
     "ExactBackend",
     "CombinedBackend",
     "GridBackend",
+    "ScheduleBackend",
     "register_backend",
     "get_backend",
     "available_backends",

@@ -1,7 +1,7 @@
 """Pluggable solver backends behind a process-wide registry.
 
 A backend turns a :class:`~repro.api.scenario.Scenario` into a
-:class:`~repro.api.result.Result`.  Four ship by default:
+:class:`~repro.api.result.Result`.  Five ship by default:
 
 ``firstorder``
     The paper's Theorem-1 closed form + O(K^2) enumeration
@@ -15,6 +15,11 @@ A backend turns a :class:`~repro.api.scenario.Scenario` into a
     The vectorised Theorem-1 kernel (:mod:`repro.sweep.vectorized`),
     which solves whole scenario *batches* in a handful of broadcast
     NumPy ops — the fast path for ``Study`` grids.
+``schedule``
+    Per-attempt speed schedules (:mod:`repro.schedules`): two-speed
+    schedules keep the legacy closed-form/pair paths (byte-identical
+    results), general schedules go through the exact attempt-series
+    evaluator + numeric constrained solve.
 
 Registering a new backend (``register_backend``) is the single
 extension point for new solve strategies; every consumer (legacy
@@ -39,6 +44,7 @@ from ..exceptions import (
     UnsupportedScenarioError,
 )
 from ..failstop.solver import CombinedSolution, solve_pair_combined
+from ..schedules.solver import solve_schedule
 from ..sweep.vectorized import solve_bicrit_grid
 from .result import GridPoint, Provenance, Result
 
@@ -51,6 +57,7 @@ __all__ = [
     "ExactBackend",
     "CombinedBackend",
     "GridBackend",
+    "ScheduleBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -69,6 +76,9 @@ class SolverBackend(abc.ABC):
     name: str = "abstract"
     #: Scenario modes this backend accepts.
     modes: frozenset[str] = frozenset()
+    #: Whether scenarios carrying a per-attempt speed schedule are
+    #: accepted (only the ``schedule`` backend understands them).
+    handles_schedules: bool = False
 
     # ------------------------------------------------------------------
     def supports(self, scenario: "Scenario") -> bool:
@@ -82,6 +92,8 @@ class SolverBackend(abc.ABC):
                 f"mode {scenario.mode!r} not in supported modes "
                 f"{sorted(self.modes)}"
             )
+        if scenario.schedule is not None and not self.handles_schedules:
+            return "per-attempt speed schedules require the 'schedule' backend"
         return None
 
     def check_supports(self, scenario: "Scenario") -> None:
@@ -333,6 +345,75 @@ class GridBackend(SolverBackend):
         )
 
 
+class ScheduleBackend(SolverBackend):
+    """Per-attempt speed schedules (:mod:`repro.schedules`).
+
+    A scheduled scenario pins every attempt speed, so the solve is a
+    one-dimensional constrained optimisation over the pattern size.
+    Two-speed schedules (``TwoSpeed``, ``Constant``, and any policy
+    whose canonical form reduces to them) keep the legacy paths — the
+    Theorem-1 closed form for silent errors, the Section-5 pair solver
+    for combined errors — so their results are byte-identical to the
+    ``firstorder``/``combined`` backends evaluated at the same pair.
+    General schedules go through the exact attempt-series evaluator
+    (:mod:`repro.schedules.evaluator`) and the numeric constrained
+    solver (:func:`repro.schedules.solver.solve_schedule`).
+    """
+
+    name = "schedule"
+    modes = frozenset({"silent", "combined", "failstop"})
+    handles_schedules = True
+
+    def unsupported_reason(self, scenario: "Scenario") -> str | None:
+        reason = super().unsupported_reason(scenario)
+        if reason is not None:
+            return reason
+        if scenario.schedule is None:
+            return "scenario has no schedule; set Scenario(schedule=...)"
+        return None
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        cfg = scenario.resolved_config()
+        schedule = scenario.schedule
+        pair = schedule.as_two_speed()
+        errors = scenario.errors()
+
+        if pair is not None:
+            # Closed-form fast paths: byte-identical to the legacy
+            # two-speed solvers for the same (sigma1, sigma2).
+            if scenario.mode == "silent":
+                outcome = evaluate_pair(cfg, pair[0], pair[1], scenario.rho)
+                if outcome.solution is None:
+                    raise InfeasibleBoundError(scenario.rho, outcome.rho_min)
+                return Result(
+                    scenario=scenario,
+                    provenance=Provenance(backend=self.name),
+                    best=outcome.solution,
+                    candidates=(outcome,),
+                    raw=outcome,
+                )
+            sol = solve_pair_combined(cfg, errors, pair[0], pair[1], scenario.rho)
+            if sol is None:
+                raise InfeasibleBoundError(scenario.rho)
+            return Result(
+                scenario=scenario,
+                provenance=Provenance(backend=self.name),
+                best=sol,
+                raw=sol,
+            )
+
+        # errors=None means silent-only at cfg.lam; the schedule solver
+        # and evaluator apply that default themselves.  An infeasible
+        # bound propagates with the schedule's own rho_min attached.
+        sol = solve_schedule(cfg, schedule, scenario.rho, errors=errors)
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=sol,
+            raw=sol,
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -385,3 +466,4 @@ register_backend(FirstOrderBackend())
 register_backend(ExactBackend())
 register_backend(CombinedBackend())
 register_backend(GridBackend())
+register_backend(ScheduleBackend())

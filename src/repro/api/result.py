@@ -169,6 +169,15 @@ class Result:
 
         self.require()
         cfg = self.scenario.resolved_config()
+        if self.scenario.schedule is not None:
+            return check_agreement(
+                cfg,
+                work=self.best.work,
+                schedule=self.scenario.schedule,
+                errors=self.scenario.errors(),
+                n=n,
+                rng=rng,
+            )
         return check_agreement(
             cfg,
             work=self.best.work,

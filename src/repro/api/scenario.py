@@ -33,6 +33,7 @@ from ..exceptions import InfeasibleBoundError, InvalidParameterError
 from ..platforms.catalog import get_configuration
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
+from ..schedules.base import SpeedSchedule, as_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import SolveCache
@@ -83,6 +84,14 @@ class Scenario:
         Optional restriction of the first-speed choices.
     sigma2_choices:
         Optional restriction of the re-execution-speed choices.
+    schedule:
+        Optional per-attempt re-execution speed policy — a
+        :class:`~repro.schedules.base.SpeedSchedule` or a spec string
+        such as ``"two:0.4,0.6"`` / ``"geom:0.4,1.5,1"``.  A scheduled
+        scenario pins every attempt speed, so it is exclusive with the
+        ``speeds``/``sigma2_choices`` enumeration restrictions and
+        routes to the ``schedule`` backend by default (two-speed
+        schedules keep the closed-form fast paths there).
     backend:
         Preferred backend registry name; ``None`` picks the mode's
         default (``combined`` for combined/failstop modes, else
@@ -103,6 +112,7 @@ class Scenario:
     error_rate: float | None = None
     speeds: tuple[float, ...] | None = None
     sigma2_choices: tuple[float, ...] | None = None
+    schedule: SpeedSchedule | str | None = None
     backend: str | None = None
     label: str | None = None
 
@@ -112,6 +122,18 @@ class Scenario:
             raise InvalidParameterError(
                 f"unknown scenario mode {self.mode!r}; valid modes: {', '.join(MODES)}"
             )
+        if self.schedule is not None:
+            object.__setattr__(self, "schedule", as_schedule(self.schedule))
+            if self.mode == "single-speed":
+                raise InvalidParameterError(
+                    "single-speed mode enumerates the diagonal; use a "
+                    "Constant schedule with mode='silent' instead"
+                )
+            if self.speeds is not None or self.sigma2_choices is not None:
+                raise InvalidParameterError(
+                    "a schedule pins every attempt speed; speeds/"
+                    "sigma2_choices restrictions do not apply"
+                )
         if self.speeds is not None:
             object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
         if self.sigma2_choices is not None:
@@ -177,6 +199,8 @@ class Scenario:
     def default_backend(self) -> str:
         """Registry name used when neither the scenario nor the caller
         names a backend."""
+        if self.schedule is not None:
+            return "schedule"
         return "combined" if self.mode in _COMBINED_MODES else "firstorder"
 
     def resolve_backend_name(self, override: str | None = None) -> str:
@@ -191,6 +215,8 @@ class Scenario:
             bits.append(f"f={self.effective_failstop_fraction:g}")
         if self.error_rate is not None:
             bits.append(f"lambda={self.error_rate:g}")
+        if self.schedule is not None:
+            bits.append(self.schedule.spec())
         if self.label:
             bits.append(self.label)
         return " ".join(bits)
@@ -234,8 +260,13 @@ class Scenario:
         if cache_obj is not None:
             hit = cache_obj.get(self, name)
             if hit is not None:
+                # Replay under *this* scenario: cache keys are canonical
+                # (e.g. TwoSpeed(s, s) == Constant(s)), so the stored
+                # result may carry an equivalent-but-differently-spelled
+                # spec, and exports must show what the caller wrote.
                 result = replace(
                     hit,
+                    scenario=self,
                     provenance=replace(hit.provenance, cache_hit=True, wall_time=0.0),
                 )
                 return result.require()
@@ -273,3 +304,8 @@ class Scenario:
         else:
             f = None
         return replace(self, mode=mode, failstop_fraction=f)
+
+    def with_schedule(self, schedule: "SpeedSchedule | str | None") -> "Scenario":
+        """A copy of this scenario under a different speed schedule
+        (``None`` reverts to speed-pair enumeration)."""
+        return replace(self, schedule=schedule)

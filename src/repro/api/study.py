@@ -29,6 +29,7 @@ from .scenario import Scenario, _resolve_cache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..platforms.configuration import Configuration
+    from ..schedules.base import SpeedSchedule
     from ..sweep.axes import SweepAxis
 
 __all__ = ["Study"]
@@ -81,10 +82,12 @@ class Study:
         modes: Sequence[str] = ("silent",),
         failstop_fractions: Sequence[float | None] = (None,),
         error_rates: Sequence[float | None] = (None,),
+        schedules: "Sequence[SpeedSchedule | str | None]" = (None,),
         backend: str | None = None,
         name: str = "grid-study",
     ) -> "Study":
-        """The cartesian grid configs x rhos x modes x fractions x rates.
+        """The cartesian grid configs x rhos x modes x fractions x rates
+        x schedules.
 
         ``configs`` defaults to the full eight-configuration catalog.
         Grid order is row-major in the parameter order above, so the
@@ -94,6 +97,13 @@ class Study:
         mode; the other modes take no fraction (``failstop`` implies
         1), so they contribute one scenario per (config, rho, rate)
         rather than duplicating across the fraction axis.
+
+        ``schedules`` entries may be :class:`SpeedSchedule` objects,
+        spec strings (``"geom:0.4,1.5,1"``), or ``None`` for the
+        speed-pair enumeration of the legacy solvers.  Like the
+        fraction axis, the schedule axis only applies to modes that
+        take one — ``single-speed`` enumerates the diagonal and
+        contributes a single unscheduled scenario per grid point.
         """
         if configs is None:
             configs = configuration_names()
@@ -107,6 +117,7 @@ class Study:
                 mode=mode,
                 failstop_fraction=fraction,
                 error_rate=rate,
+                schedule=schedule,
                 backend=backend,
             )
             for cfg in configs
@@ -114,6 +125,7 @@ class Study:
             for mode in modes
             for fraction in (failstop_fractions if mode == "combined" else (None,))
             for rate in error_rates
+            for schedule in (schedules if mode != "single-speed" else (None,))
         )
         return cls(scenarios=scenarios, name=name)
 
@@ -125,13 +137,16 @@ class Study:
         axis: "SweepAxis",
         *,
         modes: Sequence[str] = ("silent",),
+        schedule: "SpeedSchedule | str | None" = None,
         name: str | None = None,
     ) -> "Study":
         """One scenario per (axis value, mode), axis-major order.
 
         Applies the axis rule to materialise the concrete
         ``(configuration, rho)`` of every point — the study equivalent
-        of :func:`repro.sweep.runner.run_sweep`'s iteration.
+        of :func:`repro.sweep.runner.run_sweep`'s iteration.  An
+        optional ``schedule`` pins the per-attempt speeds of every
+        point (sweeping the model parameters *under* one policy).
         """
         scenarios: list[Scenario] = []
         for value in axis.values:
@@ -142,6 +157,7 @@ class Study:
                         config=cfg_v,
                         rho=rho_v,
                         mode=mode,
+                        schedule=schedule,
                         label=f"{axis.name}={value:g}",
                     )
                 )
@@ -200,8 +216,11 @@ class Study:
         for i, (sc, bn) in enumerate(zip(scenarios, names)):
             hit = cache_obj.get(sc, bn) if cache_obj is not None else None
             if hit is not None:
+                # Replay under this study's scenario (cache keys are
+                # canonical; see Scenario.solve).
                 results[i] = replace(
                     hit,
+                    scenario=sc,
                     provenance=replace(hit.provenance, cache_hit=True, wall_time=0.0),
                 )
             else:

@@ -10,6 +10,12 @@ Commands
     List the eight catalog configurations.
 ``backends``
     List the registered solver backends.
+``schedules``
+    List the re-execution speed-schedule policies and their spec
+    grammar.
+``solve``
+    Solve one scenario, optionally under a per-attempt speed schedule
+    (``repro solve --config hera-xscale --rho 3 --schedule geom:0.4,1.5,1``).
 ``table``
     Regenerate a Section-4.2 speed-pair table
     (``repro table --config hera-xscale --rho 3``).
@@ -62,6 +68,7 @@ from .reporting.tables import (
     format_speed_pair_table,
     format_sweep_series,
 )
+from .schedules import parse_schedule, schedule_kinds
 from .simulation.estimators import check_agreement
 from .sweep.axes import AXIS_NAMES, axis_by_name
 from .sweep.figures import FIGURES, run_figure
@@ -83,6 +90,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("configs", help="list catalog configurations")
 
     sub.add_parser("backends", help="list registered solver backends")
+
+    sub.add_parser("schedules", help="list speed-schedule policies and spec grammar")
+
+    p_solve = sub.add_parser(
+        "solve", help="solve one scenario (optionally with a speed schedule)"
+    )
+    p_solve.add_argument("--config", default="hera-xscale", help="configuration name")
+    p_solve.add_argument("--rho", type=float, default=3.0, help="performance bound")
+    p_solve.add_argument(
+        "--mode", choices=("silent", "combined", "failstop"), default="silent"
+    )
+    p_solve.add_argument("--failstop-fraction", type=float, default=None)
+    p_solve.add_argument("--rate", type=float, default=None, help="override error rate")
+    p_solve.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help="per-attempt speed schedule spec, e.g. two:0.4,0.6 or geom:0.4,1.5,1 "
+             "(see 'repro schedules'); omit to enumerate speed pairs",
+    )
+    p_solve.add_argument("--backend", default=None, help="solver backend override")
+    p_solve.add_argument("--csv", default=None, help="also write a one-row results CSV")
+    p_solve.add_argument(
+        "--simulate", type=int, default=0, metavar="N",
+        help="Monte-Carlo cross-check the solution with N samples",
+    )
+    p_solve.add_argument("--seed", type=int, default=12345, help="simulation seed")
 
     p_table = sub.add_parser("table", help="Section-4.2 speed-pair table")
     p_table.add_argument("--config", default="hera-xscale", help="configuration name")
@@ -115,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--work", type=float, default=2764.0)
     p_val.add_argument("--sigma1", type=float, default=0.4)
     p_val.add_argument("--sigma2", type=float, default=None)
+    p_val.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help="per-attempt speed schedule spec (overrides --sigma1/--sigma2)",
+    )
     p_val.add_argument("--failstop-fraction", type=float, default=0.0)
     p_val.add_argument("--samples", type=int, default=20000)
     p_val.add_argument("--seed", type=int, default=12345)
@@ -183,6 +219,83 @@ def _cmd_backends(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedules(_: argparse.Namespace) -> int:
+    print("re-execution speed-schedule policies (spec grammar: kind:args)")
+    print()
+    examples = {
+        "two": "two:0.4,0.6",
+        "const": "const:0.5",
+        "esc": "esc:0.4,0.6,0.8  or  esc:0.4,0.6@0.8",
+        "geom": "geom:0.4,1.5,1  or  geom:0.8,0.5,1,0.2",
+    }
+    for kind, cls in schedule_kinds().items():
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{kind:8s} {cls.__name__:12s} {summary}")
+        print(f"{'':8s} e.g. {examples.get(kind, '')}")
+    print()
+    print("use with: repro solve --schedule SPEC, repro validate --schedule SPEC,")
+    print("or Scenario(schedule=...) from Python (see docs/schedules.md)")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .exceptions import (
+        InfeasibleBoundError,
+        InvalidParameterError,
+        UnknownBackendError,
+        UnsupportedScenarioError,
+    )
+
+    try:
+        schedule = parse_schedule(args.schedule) if args.schedule else None
+        scenario = Scenario(
+            config=args.config,
+            rho=args.rho,
+            mode=args.mode,
+            failstop_fraction=args.failstop_fraction,
+            error_rate=args.rate,
+            schedule=schedule,
+            backend=args.backend,
+        )
+    except InvalidParameterError as exc:
+        print(f"invalid scenario: {exc}")
+        return 1
+    try:
+        result = scenario.solve()
+    except InfeasibleBoundError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    except (UnknownBackendError, UnsupportedScenarioError) as exc:
+        print(f"bad backend routing: {exc}")
+        return 1
+    best = result.best
+    print(f"scenario        : {scenario.describe()}")
+    print(f"backend         : {result.provenance.backend}")
+    if schedule is not None:
+        print(f"schedule        : {schedule.spec()}  "
+              f"(attempts 1..4: {schedule.speeds_for_attempts(4)})")
+    print(f"speed pair      : ({best.sigma1:g}, {best.sigma2:g})")
+    print(f"pattern size    : W = {best.work:.0f} work units")
+    print(f"energy overhead : E/W = {best.energy_overhead:.2f} mJ/work")
+    print(f"time overhead   : T/W = {best.time_overhead:.4f} s/work  (bound {args.rho:g})")
+    if args.csv:
+        from .api.result import ResultSet
+
+        path = ResultSet(results=(result,), name="solve").to_csv(args.csv)
+        print(f"wrote {path}")
+    if args.simulate > 0:
+        report = result.simulate(n=args.simulate, rng=args.seed)
+        s = report.summary
+        print(f"simulated time  : {s.mean_time/best.work:.4f} s/work  "
+              f"(z={report.time_zscore:+.2f})")
+        print(f"simulated energy: {s.mean_energy/best.work:.2f} mJ/work  "
+              f"(z={report.energy_zscore:+.2f})")
+        ok = report.agrees()
+        print(f"agreement (|z| <= 4): {'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from .exceptions import InfeasibleBoundError
     from .sweep.tables import infeasible_table
@@ -238,22 +351,42 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from .exceptions import InvalidParameterError
+
     cfg = get_configuration(args.config)
     errors = None
     if args.failstop_fraction > 0:
         errors = CombinedErrors(cfg.lam, args.failstop_fraction)
-    report = check_agreement(
-        cfg,
-        work=args.work,
-        sigma1=args.sigma1,
-        sigma2=args.sigma2,
-        errors=errors,
-        n=args.samples,
-        rng=args.seed,
-    )
+    if args.schedule:
+        try:
+            schedule = parse_schedule(args.schedule)
+        except InvalidParameterError as exc:
+            print(f"invalid schedule: {exc}")
+            return 1
+        report = check_agreement(
+            cfg,
+            work=args.work,
+            schedule=schedule,
+            errors=errors,
+            n=args.samples,
+            rng=args.seed,
+        )
+    else:
+        report = check_agreement(
+            cfg,
+            work=args.work,
+            sigma1=args.sigma1,
+            sigma2=args.sigma2,
+            errors=errors,
+            n=args.samples,
+            rng=args.seed,
+        )
     s = report.summary
     print(f"config          : {cfg.name}")
-    print(f"pattern         : W={report.work:g}  s1={report.sigma1}  s2={report.sigma2}")
+    if report.schedule is not None:
+        print(f"pattern         : W={report.work:g}  schedule={report.schedule.spec()}")
+    else:
+        print(f"pattern         : W={report.work:g}  s1={report.sigma1}  s2={report.sigma2}")
     print(f"samples         : {s.n}")
     print(f"expected time   : {report.expected_time:.3f} s")
     print(f"simulated time  : {s.mean_time:.3f} +- {s.sem_time:.3f} s  (z={report.time_zscore:+.2f})")
@@ -390,6 +523,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "configs": _cmd_configs,
     "backends": _cmd_backends,
+    "schedules": _cmd_schedules,
+    "solve": _cmd_solve,
     "table": _cmd_table,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,

@@ -41,6 +41,8 @@ __all__ = [
     "expected_reexecutions",
     "time_overhead",
     "energy_overhead",
+    "expected_time_schedule",
+    "expected_energy_schedule",
 ]
 
 
@@ -161,3 +163,32 @@ def energy_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | Non
     w = as_float_array(work)
     r = expected_energy(cfg, work, sigma1, sigma2) / w
     return float(r) if is_scalar(work) else r
+
+
+# ----------------------------------------------------------------------
+# Schedule-aware numeric path (per-attempt speeds)
+# ----------------------------------------------------------------------
+def expected_time_schedule(cfg: Configuration, schedule, work):
+    """Exact expected pattern time under a per-attempt speed schedule.
+
+    Generalises Propositions 1/2: with ``TwoSpeed(s1, s2)`` this equals
+    :func:`expected_time` and with ``Constant(s)`` it equals
+    :func:`expected_time_single_speed`; arbitrary schedules are summed
+    attempt-by-attempt with an exact geometric tail (see
+    :mod:`repro.schedules.evaluator`).
+    """
+    from ..schedules.evaluator import expected_time_schedule as _impl
+
+    return _impl(cfg, schedule, work)
+
+
+def expected_energy_schedule(cfg: Configuration, schedule, work):
+    """Exact expected pattern energy (mJ) under a per-attempt schedule.
+
+    The Proposition-3 analogue for arbitrary schedules (silent errors
+    at the configuration's rate; for a fail-stop/silent mix see
+    :func:`repro.failstop.exact.expected_time_schedule`).
+    """
+    from ..schedules.evaluator import expected_energy_schedule as _impl
+
+    return _impl(cfg, schedule, work)

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import InvalidParameterError
-from ..quantities import require_positive, require_probability
-from .exponential import ExponentialErrors
+from ..quantities import as_float_array, is_scalar, require_positive, require_probability
+from .exponential import ExponentialErrors, capped_exposure
 
 __all__ = ["CombinedErrors"]
 
@@ -116,6 +118,51 @@ class CombinedErrors:
         return CombinedErrors(
             total_rate=total_rate, failstop_fraction=self.failstop_fraction
         )
+
+    # ------------------------------------------------------------------
+    # Per-attempt expectations (the speed-schedule building blocks)
+    # ------------------------------------------------------------------
+    def attempt_failure_probability(
+        self, work, speed: float, verification_time: float = 0.0
+    ):
+        """Probability that one attempt at ``speed`` fails.
+
+        An attempt fails when a fail-stop error strikes within its
+        ``(W+V)/sigma`` window *or* a silent error strikes within its
+        ``W/sigma`` computation window: ``p = 1 - q`` with survival
+        ``q = exp(-(lambda_f (W+V)/sigma + lambda_s W/sigma))``.
+        Broadcasts over ``work``; this is the per-attempt primitive the
+        schedule evaluator (:mod:`repro.schedules.evaluator`) chains
+        over arbitrary per-attempt speed sequences.
+        """
+        w = as_float_array(work)
+        if np.any(w <= 0):
+            raise ValueError("work must be > 0")
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
+        tau = (w + verification_time) / speed
+        omega = w / speed
+        p = -np.expm1(-(self.failstop_rate * tau + self.silent_rate * omega))
+        return float(p) if is_scalar(work) else p
+
+    def attempt_exposure(self, work, speed: float, verification_time: float = 0.0):
+        """Expected busy seconds of one attempt at ``speed``.
+
+        ``E[min(T_f, tau)] = (1 - e^{-lambda_f tau}) / lambda_f`` with
+        ``tau = (W+V)/sigma`` — the fail-stop-capped exposure; without
+        fail-stop errors the full ``tau`` is always paid (silent errors
+        are only detected by the end-of-attempt verification).
+        Multiplied by the compute power this is the attempt's expected
+        energy; broadcasts over ``work``.
+        """
+        w = as_float_array(work)
+        if np.any(w <= 0):
+            raise ValueError("work must be > 0")
+        if speed <= 0:
+            raise ValueError("speed must be > 0")
+        tau = (w + verification_time) / speed
+        m = capped_exposure(self.failstop_rate, tau)
+        return float(m) if is_scalar(work) else m
 
     # ------------------------------------------------------------------
     def speed_ratio_validity_window(self) -> tuple[float, float]:

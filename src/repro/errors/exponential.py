@@ -26,7 +26,35 @@ import numpy as np
 
 from ..quantities import as_float_array, is_scalar, require_positive
 
-__all__ = ["ExponentialErrors"]
+__all__ = ["ExponentialErrors", "capped_exposure"]
+
+
+def capped_exposure(rate: float, window):
+    """Expected busy time before the first arrival or the window's end.
+
+    ``E[min(X, tau)] = (1 - e^{-rate * tau}) / rate`` for
+    ``X ~ Exp(rate)`` and exposure ``tau = window`` — the fail-stop
+    analogue of :meth:`ExponentialErrors.expected_time_lost`'s setup.
+    ``rate = 0`` means no arrivals: the full window is always paid.
+
+    For ``rate * tau`` below ~1e-8 the direct ``expm1`` form loses
+    precision (denormal products divide away their mantissa bits), so
+    the Taylor value ``tau (1 - x/2 + x^2/6)`` is used instead — the
+    same guard :meth:`ExponentialErrors.expected_time_lost` applies.
+    Broadcasts over ``window``.
+    """
+    tau = as_float_array(window)
+    if rate < 0.0:
+        raise ValueError("rate must be >= 0")
+    if rate == 0.0:
+        out = tau
+    else:
+        x = rate * tau
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            direct = -np.expm1(-x) / rate
+        series = tau * (1.0 - x / 2.0 + x * x / 6.0)
+        out = np.where(x < 1e-8, series, direct)
+    return float(out) if is_scalar(window) else out
 
 
 @dataclass(frozen=True)

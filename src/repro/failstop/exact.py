@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..errors.exponential import capped_exposure
 from ..platforms.configuration import Configuration
 from ..quantities import as_float_array, is_scalar
 
@@ -46,6 +47,8 @@ __all__ = [
     "time_overhead",
     "energy_overhead",
     "expected_time_paper_eq7",
+    "expected_time_schedule",
+    "expected_energy_schedule",
 ]
 
 
@@ -65,12 +68,9 @@ def _parts(cfg: Configuration, errors: CombinedErrors, work, sigma1: float, sigm
     omega2 = w / sigma2
     one_minus_q1 = -np.expm1(-(lf * tau1 + ls * omega1))
     inv_q2 = np.exp(lf * tau2 + ls * omega2)
-    if lf > 0:
-        m1 = -np.expm1(-lf * tau1) / lf
-        m2 = -np.expm1(-lf * tau2) / lf
-    else:
-        m1 = tau1
-        m2 = tau2
+    # Robust E[min(Tf, tau)]: series fallback once lf*tau goes denormal.
+    m1 = capped_exposure(lf, tau1)
+    m2 = capped_exposure(lf, tau2)
     return w, one_minus_q1, inv_q2, m1, m2
 
 
@@ -181,3 +181,27 @@ def expected_time_paper_eq7(
         + p1 * np.exp(ls * w / sigma2) * np.expm1(lf * tau2) / lf
     )
     return float(t) if is_scalar(work) else t
+
+
+# ----------------------------------------------------------------------
+# Schedule-aware numeric path (per-attempt speeds)
+# ----------------------------------------------------------------------
+def expected_time_schedule(cfg: Configuration, errors: CombinedErrors, schedule, work):
+    """Exact expected time under a per-attempt schedule with both sources.
+
+    The closed form above is the ``TwoSpeed`` instance of the general
+    attempt recursion; arbitrary schedules are evaluated through
+    :mod:`repro.schedules.evaluator` with the same per-attempt
+    primitives (:meth:`CombinedErrors.attempt_failure_probability` /
+    :meth:`CombinedErrors.attempt_exposure`).
+    """
+    from ..schedules.evaluator import expected_time_schedule as _impl
+
+    return _impl(cfg, schedule, work, errors=errors)
+
+
+def expected_energy_schedule(cfg: Configuration, errors: CombinedErrors, schedule, work):
+    """Exact expected energy (mJ) under a per-attempt schedule with both sources."""
+    from ..schedules.evaluator import expected_energy_schedule as _impl
+
+    return _impl(cfg, schedule, work, errors=errors)

@@ -93,6 +93,7 @@ _RESULT_FIELDS = (
     "mode",
     "failstop_fraction",
     "error_rate",
+    "schedule",
     "label",
     "backend",
     "cache_hit",
@@ -130,6 +131,7 @@ def write_results_csv(path: str | Path, results) -> Path:
                 if sc.mode in ("combined", "failstop")
                 else "",
                 "" if sc.error_rate is None else f"{sc.error_rate:.10g}",
+                "" if sc.schedule is None else sc.schedule.spec(),
                 sc.label or "",
                 r.provenance.backend,
                 "1" if r.provenance.cache_hit else "0",

@@ -117,6 +117,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     scenario = result.scenario
     cfg = scenario.config
     best = result.best
+    schedule = scenario.schedule
     payload: dict[str, Any] = {
         "schema": _RESULT_SCHEMA,
         "scenario": {
@@ -125,6 +126,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
             "mode": scenario.mode,
             "failstop_fraction": scenario.failstop_fraction,
             "error_rate": scenario.error_rate,
+            "schedule": None if schedule is None else schedule.to_dict(),
             "label": scenario.label,
         },
         "provenance": {

@@ -1,0 +1,55 @@
+"""Speed schedules: per-attempt re-execution speed policies.
+
+The first-class generalisation of the paper's ``(sigma1, sigma2)``
+model: a :class:`SpeedSchedule` maps the attempt index to the DVFS
+speed of that attempt, with concrete policies (:class:`TwoSpeed`,
+:class:`Constant`, :class:`Escalating`, :class:`Geometric`), an exact
+expectation evaluator for arbitrary schedules
+(:mod:`repro.schedules.evaluator`), and a numeric constrained solver
+(:mod:`repro.schedules.solver`).  The ``schedule`` backend of
+:mod:`repro.api` plugs all of this into ``Scenario(schedule=...)``.
+"""
+
+from .base import (
+    Constant,
+    Escalating,
+    Geometric,
+    SpeedSchedule,
+    TwoSpeed,
+    as_schedule,
+    parse_schedule,
+    schedule_from_dict,
+    schedule_kinds,
+)
+from .evaluator import (
+    ScheduleExpectation,
+    energy_overhead_schedule,
+    evaluate_schedule,
+    expected_energy_schedule,
+    expected_reexecutions_schedule,
+    expected_time_schedule,
+    time_overhead_schedule,
+)
+from .solver import ScheduleSolution, schedule_min_bound, solve_schedule
+
+__all__ = [
+    "SpeedSchedule",
+    "TwoSpeed",
+    "Constant",
+    "Escalating",
+    "Geometric",
+    "parse_schedule",
+    "schedule_from_dict",
+    "schedule_kinds",
+    "as_schedule",
+    "ScheduleExpectation",
+    "evaluate_schedule",
+    "expected_time_schedule",
+    "expected_energy_schedule",
+    "expected_reexecutions_schedule",
+    "time_overhead_schedule",
+    "energy_overhead_schedule",
+    "ScheduleSolution",
+    "solve_schedule",
+    "schedule_min_bound",
+]

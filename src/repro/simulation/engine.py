@@ -15,8 +15,12 @@ the paper's expectations describe (Sections 2.2 and 5.1):
   corruption (the paper's recursion branches on the fail-stop event
   first);
 * every failed attempt pays a recovery ``R``; the final successful
-  attempt pays the checkpoint ``C``.  First attempt runs at ``sigma1``,
-  all re-executions at ``sigma2``.
+  attempt pays the checkpoint ``C``.  Attempt speeds follow the run's
+  :class:`~repro.schedules.base.SpeedSchedule` — the legacy
+  ``(sigma1, sigma2)`` arguments are sugar for ``TwoSpeed(sigma1,
+  sigma2)`` (first attempt at ``sigma1``, all re-executions at
+  ``sigma2``), and any eventually-constant per-attempt policy replays
+  the same way.
 
 Energy accounting mirrors :mod:`repro.power.energy`: compute segments
 (including the truncated one) draw ``Pidle + kappa sigma^3``; recovery
@@ -26,7 +30,10 @@ The implementation is fully vectorised over samples: each loop
 iteration advances *all* still-failing samples by one attempt, so the
 cost is O(n x E[attempts]) NumPy operations with no Python-level
 per-sample work — following the hpc-parallel guides (vectorise the
-inner loop; operate in place on index subsets).
+inner loop; operate in place on index subsets).  Per-attempt schedules
+keep this property for free: every sample in re-execution round ``k``
+is at attempt ``k``, so the attempt index selects one scalar speed per
+round.
 """
 
 from __future__ import annotations
@@ -34,9 +41,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors.combined import CombinedErrors
-from ..exceptions import ConvergenceError
+from ..exceptions import ConvergenceError, InvalidParameterError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
+from ..schedules.base import SpeedSchedule, TwoSpeed
 from .outcomes import PatternBatch
 
 __all__ = ["PatternSimulator"]
@@ -92,21 +100,36 @@ class PatternSimulator:
     def run(
         self,
         work: float,
-        sigma1: float,
+        sigma1: float | None = None,
         sigma2: float | None = None,
         n: int = 10_000,
+        *,
+        schedule: SpeedSchedule | None = None,
     ) -> PatternBatch:
         """Simulate ``n`` independent pattern executions.
 
-        Returns a :class:`~repro.simulation.outcomes.PatternBatch` whose
-        sample means converge (by construction) to the exact
-        expectations of Propositions 1-5.
+        Speeds come either from the legacy ``(sigma1, sigma2)`` pair
+        (first attempt at ``sigma1``, re-executions at ``sigma2``,
+        defaulting to ``sigma1``) or from an arbitrary per-attempt
+        ``schedule`` — passing both is an error.  Returns a
+        :class:`~repro.simulation.outcomes.PatternBatch` whose sample
+        means converge (by construction) to the exact expectations of
+        Propositions 1-5 and their schedule generalisations.
         """
         require_positive(work, "work")
-        require_positive(sigma1, "sigma1")
-        if sigma2 is None:
-            sigma2 = sigma1
-        require_positive(sigma2, "sigma2")
+        if schedule is not None:
+            if sigma1 is not None or sigma2 is not None:
+                raise InvalidParameterError(
+                    "pass either schedule= or sigma1/sigma2, not both"
+                )
+        else:
+            if sigma1 is None:
+                raise InvalidParameterError("sigma1 is required without a schedule")
+            require_positive(sigma1, "sigma1")
+            if sigma2 is None:
+                sigma2 = sigma1
+            require_positive(sigma2, "sigma2")
+            schedule = TwoSpeed(sigma1, sigma2)
         if n < 1:
             raise ValueError("n must be >= 1")
 
@@ -126,7 +149,6 @@ class PatternSimulator:
         silent_errors = np.zeros(n, dtype=np.int64)
 
         active = np.arange(n)
-        speed = sigma1
         rounds = 0
         while active.size:
             rounds += 1
@@ -135,6 +157,9 @@ class PatternSimulator:
                     f"patterns failed to complete within {_MAX_ROUNDS} attempts; "
                     "check that lambda * W / sigma is not enormous"
                 )
+            # Attempt index selects the speed: all active samples are in
+            # the same round, so the schedule lookup stays scalar.
+            speed = schedule.speed_for_attempt(rounds)
             m = active.size
             tau = (work + V) / speed
             omega = work / speed
@@ -174,7 +199,6 @@ class PatternSimulator:
             energies[done_idx] += C * p_io
 
             active = failed_idx
-            speed = sigma2  # every re-execution runs at sigma2
 
         return PatternBatch(
             times=times,

@@ -19,8 +19,11 @@ import numpy as np
 
 from ..core import exact as silent_exact
 from ..errors.combined import CombinedErrors
+from ..exceptions import InvalidParameterError
 from ..failstop import exact as combined_exact
 from ..platforms.configuration import Configuration
+from ..schedules.base import SpeedSchedule
+from ..schedules.evaluator import evaluate_schedule
 from .engine import PatternSimulator
 from .outcomes import BatchSummary
 
@@ -29,7 +32,12 @@ __all__ = ["AgreementReport", "check_agreement"]
 
 @dataclass(frozen=True)
 class AgreementReport:
-    """Monte-Carlo vs analytical comparison for one pattern setting."""
+    """Monte-Carlo vs analytical comparison for one pattern setting.
+
+    ``sigma1``/``sigma2`` are the first two attempt speeds; for runs
+    driven by a general policy the full per-attempt map is carried in
+    ``schedule`` (``None`` for legacy two-speed runs).
+    """
 
     work: float
     sigma1: float
@@ -38,6 +46,7 @@ class AgreementReport:
     expected_time: float
     expected_energy: float
     summary: BatchSummary
+    schedule: SpeedSchedule | None = None
 
     @property
     def time_zscore(self) -> float:
@@ -68,9 +77,10 @@ class AgreementReport:
 def check_agreement(
     cfg: Configuration,
     work: float,
-    sigma1: float,
+    sigma1: float | None = None,
     sigma2: float | None = None,
     *,
+    schedule: SpeedSchedule | None = None,
     errors: CombinedErrors | None = None,
     n: int = 20_000,
     rng: np.random.Generator | int | None = None,
@@ -78,8 +88,31 @@ def check_agreement(
     """Simulate a batch and compare against the exact expectations.
 
     Uses Propositions 2/3 when ``errors`` is ``None`` or silent-only,
-    and the combined closed forms otherwise.
+    the combined closed forms otherwise, and the general schedule
+    evaluator when a per-attempt ``schedule`` is given (exclusive with
+    ``sigma1``/``sigma2``).
     """
+    if schedule is not None:
+        if sigma1 is not None or sigma2 is not None:
+            raise InvalidParameterError(
+                "pass either schedule= or sigma1/sigma2, not both"
+            )
+        sim = PatternSimulator(cfg, errors=errors, rng=rng)
+        batch = sim.run(work=work, schedule=schedule, n=n)
+        eff_errors = sim.errors
+        expectation = evaluate_schedule(cfg, schedule, work, errors=eff_errors)
+        return AgreementReport(
+            work=work,
+            sigma1=schedule.speed_for_attempt(1),
+            sigma2=schedule.speed_for_attempt(2),
+            n=n,
+            expected_time=float(expectation.time),
+            expected_energy=float(expectation.energy),
+            summary=batch.summary(),
+            schedule=schedule,
+        )
+    if sigma1 is None:
+        raise InvalidParameterError("sigma1 is required without a schedule")
     if sigma2 is None:
         sigma2 = sigma1
     sim = PatternSimulator(cfg, errors=errors, rng=rng)

@@ -36,8 +36,8 @@ class TestFitPowerLaw:
 
         lams = np.logspace(-7, -3, 9)
         works = [
-            energy_optimal_work(hera_xscale.with_error_rate(float(l)), 0.4, 0.4)
-            for l in lams
+            energy_optimal_work(hera_xscale.with_error_rate(float(lam)), 0.4, 0.4)
+            for lam in lams
         ]
         fit = fit_power_law(lams, works)
         assert fit.exponent == pytest.approx(-0.5, abs=1e-9)

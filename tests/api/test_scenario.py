@@ -13,7 +13,6 @@ from repro.core.solution import BiCritSolution
 from repro.errors import CombinedErrors
 from repro.exceptions import InfeasibleBoundError, InvalidParameterError
 from repro.failstop.solver import solve_bicrit_combined, solve_pair_combined
-from repro.platforms import get_configuration
 
 RHO = 3.0
 

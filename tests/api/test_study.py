@@ -7,7 +7,7 @@ import pytest
 
 from repro.api import Scenario, Study
 from repro.exceptions import InfeasibleBoundError, UnsupportedScenarioError
-from repro.platforms import configuration_names, get_configuration
+from repro.platforms import configuration_names
 from repro.sweep.axes import checkpoint_axis, rho_axis
 from repro.sweep.runner import run_sweep
 

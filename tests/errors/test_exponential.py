@@ -143,3 +143,42 @@ class TestSampling:
     def test_scaled_invalid(self):
         with pytest.raises(InvalidParameterError):
             ExponentialErrors(1e-4).scaled(0.0)
+
+
+class TestCappedExposure:
+    """The shared E[min(Tf, tau)] helper behind the combined model and
+    the per-attempt schedule evaluator."""
+
+    def test_zero_rate_pays_full_window(self):
+        from repro.errors.exponential import capped_exposure
+
+        assert capped_exposure(0.0, 123.4) == 123.4
+
+    def test_matches_direct_form_for_normal_rates(self):
+        import numpy as np
+
+        from repro.errors.exponential import capped_exposure
+
+        rate, tau = 1e-3, 500.0
+        expected = -np.expm1(-rate * tau) / rate
+        assert capped_exposure(rate, tau) == expected
+
+    def test_denormal_rate_regression(self):
+        """Denormal rate * tau used to divide away its mantissa bits
+        (hypothesis falsified the Eq.-8 recursion identity at
+        f ~ 2e-311); the series fallback must return the full window
+        to machine precision."""
+        from repro.errors.exponential import capped_exposure
+
+        tau = 355.2263424645352
+        rate = 2.225073858507e-311 * 0.00039592660926547694  # denormal lf
+        m = capped_exposure(rate, tau)
+        assert m == tau  # correction term underflows: exactly the window
+
+    def test_negative_rate_rejected(self):
+        import pytest
+
+        from repro.errors.exponential import capped_exposure
+
+        with pytest.raises(ValueError):
+            capped_exposure(-1.0, 1.0)

@@ -132,8 +132,8 @@ class TestFraction:
 
         assert main(["fraction", "--rate", "5e-4", "--points", "3"]) == 0
         out = capsys.readouterr().out
-        rows = [l for l in out.splitlines() if re.match(r"\s*\d\.\d{2}\s", l)]
-        energies = [float(l.split()[4]) for l in rows]
+        rows = [ln for ln in out.splitlines() if re.match(r"\s*\d\.\d{2}\s", ln)]
+        energies = [float(ln.split()[4]) for ln in rows]
         assert energies[-1] < energies[0]
 
 

@@ -7,7 +7,6 @@ Propositions 1-5 in expectation, at solver-chosen operating points.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.solver import solve_bicrit

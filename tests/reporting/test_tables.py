@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.reporting.tables import (
     format_savings_line,
     format_speed_pair_table,
@@ -29,7 +27,7 @@ class TestSpeedPairTableFormat:
 
     def test_best_row_starred(self, hera_xscale):
         out = format_speed_pair_table(speed_pair_table(hera_xscale, 3.0))
-        starred = [l for l in out.splitlines() if l.endswith("*")]
+        starred = [ln for ln in out.splitlines() if ln.endswith("*")]
         assert len(starred) == 1
         assert "0.40" in starred[0]
 

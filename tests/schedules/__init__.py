@@ -1,0 +1,1 @@
+"""Tests for the per-attempt speed-schedule subsystem."""

@@ -1,0 +1,179 @@
+"""Policy semantics, canonical identity, validity, and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, SpeedNotAvailableError
+from repro.schedules import (
+    Constant,
+    Escalating,
+    Geometric,
+    TwoSpeed,
+    as_schedule,
+    parse_schedule,
+    schedule_from_dict,
+    schedule_kinds,
+)
+
+SPEED_GRID = (0.15, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+class TestAttemptMaps:
+    def test_two_speed(self):
+        s = TwoSpeed(0.4, 0.6)
+        assert s.speeds_for_attempts(4) == (0.4, 0.6, 0.6, 0.6)
+
+    def test_constant(self):
+        assert Constant(0.5).speeds_for_attempts(3) == (0.5, 0.5, 0.5)
+
+    def test_escalating_with_default_terminal(self):
+        s = Escalating((0.4, 0.6, 0.8))
+        assert s.speeds_for_attempts(5) == (0.4, 0.6, 0.8, 0.8, 0.8)
+
+    def test_escalating_with_explicit_terminal(self):
+        s = Escalating((0.4, 0.6), terminal=1.0)
+        assert s.speeds_for_attempts(4) == (0.4, 0.6, 1.0, 1.0)
+
+    def test_geometric_ramp_clamps_to_sigma_max(self):
+        s = Geometric(0.4, 1.5, sigma_max=1.0)
+        speeds = s.speeds_for_attempts(5)
+        assert speeds[0] == 0.4
+        assert speeds[3] == speeds[4] == 1.0
+        assert all(a <= b for a, b in zip(speeds, speeds[1:]))
+
+    def test_geometric_backoff_clamps_to_sigma_min(self):
+        s = Geometric(0.8, 0.5, sigma_max=1.0, sigma_min=0.2)
+        assert s.speeds_for_attempts(4) == (0.8, 0.4, 0.2, 0.2)
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(InvalidParameterError):
+            TwoSpeed(0.4, 0.6).speed_for_attempt(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.4, float("nan"), float("inf")])
+    def test_positive_speeds_required(self, bad):
+        with pytest.raises(InvalidParameterError):
+            TwoSpeed(bad, 0.6)
+        with pytest.raises(InvalidParameterError):
+            Constant(bad)
+
+    def test_escalating_needs_speeds(self):
+        with pytest.raises(InvalidParameterError):
+            Escalating(())
+
+    def test_geometric_backoff_needs_floor(self):
+        with pytest.raises(InvalidParameterError):
+            Geometric(0.8, 0.5, sigma_max=1.0)
+
+    def test_geometric_sigma1_must_sit_in_clamp_window(self):
+        with pytest.raises(InvalidParameterError):
+            Geometric(1.2, 1.5, sigma_max=1.0)
+
+
+class TestCanonicalIdentity:
+    @pytest.mark.parametrize("s", SPEED_GRID)
+    def test_two_speed_diagonal_equals_constant(self, s):
+        assert TwoSpeed(s, s) == Constant(s)
+        assert hash(TwoSpeed(s, s)) == hash(Constant(s))
+
+    @pytest.mark.parametrize("s1", SPEED_GRID)
+    @pytest.mark.parametrize("s2", SPEED_GRID)
+    def test_singleton_escalating_equals_two_speed(self, s1, s2):
+        assert Escalating((s1,), terminal=s2) == TwoSpeed(s1, s2)
+
+    def test_trailing_head_entries_fold_into_tail(self):
+        assert Escalating((0.4, 0.6, 0.6)) == TwoSpeed(0.4, 0.6)
+
+    def test_distinct_schedules_differ(self):
+        assert TwoSpeed(0.4, 0.6) != TwoSpeed(0.4, 0.8)
+        assert TwoSpeed(0.4, 0.6) != Constant(0.4)
+        assert Geometric(0.4, 1.5, sigma_max=1.0) != Escalating((0.4, 0.6, 0.8))
+
+    def test_as_two_speed_reduction(self):
+        assert Constant(0.5).as_two_speed() == (0.5, 0.5)
+        assert TwoSpeed(0.4, 0.6).as_two_speed() == (0.4, 0.6)
+        assert Escalating((0.4, 0.6, 0.8)).as_two_speed() is None
+        assert Geometric(0.4, 1.5, sigma_max=1.0).as_two_speed() is None
+
+    def test_non_schedule_comparison(self):
+        assert TwoSpeed(0.4, 0.6) != "two:0.4,0.6"
+
+
+class TestPlatformValidity:
+    def test_valid_schedule_passes(self):
+        sched = Escalating((0.4, 0.6, 0.8))
+        assert sched.is_valid_for(SPEED_GRID)
+        sched.validate_against(SPEED_GRID)  # no raise
+
+    def test_off_catalog_speed_raises(self):
+        sched = Geometric(0.4, 1.5, sigma_max=1.0)  # hits 0.9: off-grid
+        assert not sched.is_valid_for(SPEED_GRID)
+        with pytest.raises(SpeedNotAvailableError):
+            sched.validate_against(SPEED_GRID)
+
+    def test_quantized_snaps_to_grid(self):
+        sched = Geometric(0.4, 1.5, sigma_max=1.0)
+        snapped = sched.quantized(SPEED_GRID)
+        assert snapped.is_valid_for(SPEED_GRID)
+        # every quantized attempt speed is the nearest grid point
+        for k in range(1, 8):
+            raw = sched.speed_for_attempt(k)
+            snap = snapped.speed_for_attempt(k)
+            assert abs(snap - raw) == min(abs(g - raw) for g in SPEED_GRID)
+
+
+class TestSerialisation:
+    SCHEDULES = [
+        TwoSpeed(0.4, 0.6),
+        Constant(0.5),
+        Escalating((0.4, 0.6, 0.8)),
+        Escalating((0.4, 0.6), terminal=1.0),
+        Geometric(0.4, 1.5, sigma_max=1.0),
+        Geometric(0.8, 0.5, sigma_max=1.0, sigma_min=0.2),
+    ]
+
+    @pytest.mark.parametrize("sched", SCHEDULES, ids=lambda s: s.spec())
+    def test_spec_round_trip(self, sched):
+        assert parse_schedule(sched.spec()) == sched
+
+    def test_spec_round_trips_full_float_precision(self):
+        """Speeds that %g would truncate (a Geometric ramp's 0.4*1.5 =
+        0.6000000000000001) must still round-trip through the spec."""
+        ramp = Geometric(0.4, 1.5, sigma_max=1.0)
+        explicit = Escalating(ramp.speeds_for_attempts(4))
+        assert parse_schedule(explicit.spec()) == explicit
+        assert parse_schedule(ramp.quantized((0.15, 0.4, 0.6, 0.8, 1.0)).spec())
+
+    @pytest.mark.parametrize("sched", SCHEDULES, ids=lambda s: s.spec())
+    def test_dict_round_trip(self, sched):
+        payload = sched.to_dict()
+        assert payload["schema"] == "repro/speed-schedule/v1"
+        assert schedule_from_dict(payload) == sched
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_schedule("warp:9")
+        with pytest.raises(InvalidParameterError):
+            parse_schedule("two:0.4")
+        with pytest.raises(InvalidParameterError):
+            parse_schedule("0.4,0.6")
+        with pytest.raises(InvalidParameterError):
+            parse_schedule("esc:0.4@x")  # non-numeric terminal
+
+    def test_bad_dict_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_from_dict({"schema": "nope"})
+
+    def test_kind_registry_lists_all_policies(self):
+        kinds = schedule_kinds()
+        assert set(kinds) == {"two", "const", "esc", "geom"}
+
+    def test_as_schedule_coercion(self):
+        assert as_schedule(None) is None
+        assert as_schedule("two:0.4,0.6") == TwoSpeed(0.4, 0.6)
+        sched = Constant(0.5)
+        assert as_schedule(sched) is sched
+        with pytest.raises(InvalidParameterError):
+            as_schedule(0.4)

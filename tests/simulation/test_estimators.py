@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import CombinedErrors
 from repro.simulation import PatternSimulator, check_agreement
-from repro.simulation.outcomes import BatchSummary, PatternBatch
+from repro.simulation.outcomes import PatternBatch
 
 
 def _toy_batch(n: int = 100) -> PatternBatch:

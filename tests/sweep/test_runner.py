@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.sweep.axes import checkpoint_axis, rho_axis
 from repro.sweep.runner import run_sweep
