@@ -1,0 +1,111 @@
+"""Bench: the ``schedule-grid`` batch kernel vs the per-scenario loop.
+
+PR 1 measured the two-speed ``grid`` backend at ~17x over the scalar
+loop; this bench is the general-schedule analogue.  A 1000-scenario
+grid (10 general schedules x 10 bounds x 10 error rates, all routed to
+the numeric constrained solve — no two-speed fast-path rows) is solved
+twice:
+
+* ``scalar_loop`` — the ``schedule`` backend's per-scenario
+  ``solve_batch`` (minimise/bracket/minimise per scenario, SciPy
+  scalar calls);
+* ``schedule_grid`` — one :func:`repro.schedules.vectorized.solve_schedule_grid`
+  pass (shared coarse scan + lockstep bisection/golden section).
+
+Both result sets must agree (feasibility identical, energy overheads to
+1e-12 relative — the acceptance pin of PR 3); the speedup lands in
+``results/schedule_grid_bench.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+
+import numpy as np
+
+from repro.api.backends import get_backend
+from repro.api.scenario import Scenario
+from repro.schedules import Escalating, Geometric
+
+ENERGY_RTOL = 1e-12
+
+SCHEDULES = (
+    Escalating((0.4, 0.6, 0.8)),
+    Escalating((0.6, 0.4, 0.8), terminal=1.0),
+    Escalating((0.4, 0.8, 0.6, 1.0)),
+    Geometric(0.4, 1.5, sigma_max=1.0),
+    Geometric(0.45, 1.4, sigma_max=0.9),
+    Geometric(0.4, 1.8, sigma_max=1.2),
+    Geometric(0.5, 1.3, sigma_max=1.0),
+    Geometric(0.8, 0.5, sigma_max=1.0, sigma_min=0.2),
+    Geometric(1.0, 0.6, sigma_max=1.2, sigma_min=0.3),
+    Geometric(0.6, 1.6, sigma_max=1.0),
+)
+RHOS = np.linspace(2.8, 5.5, 10)
+RATES = np.logspace(-6, -4, 10)
+
+
+def _scenarios() -> list[Scenario]:
+    assert all(s.as_two_speed() is None for s in SCHEDULES)
+    return [
+        Scenario(
+            config="hera-xscale",
+            rho=float(rho),
+            error_rate=float(rate),
+            schedule=sched,
+        )
+        for sched in SCHEDULES
+        for rho in RHOS
+        for rate in RATES
+    ]
+
+
+def test_schedule_grid_speedup(results_dir):
+    """1k-scenario grid: vectorised pass >= 10x the scalar loop, <= 1e-12
+    relative disagreement on the energy objective."""
+    scenarios = _scenarios()
+    assert len(scenarios) == 1000
+
+    t0 = time.perf_counter()
+    scalar = get_backend("schedule").solve_batch(scenarios)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = get_backend("schedule-grid").solve_batch(scenarios)
+    t_grid = time.perf_counter() - t0
+
+    n_feasible = 0
+    max_rel = 0.0
+    for s, b in zip(scalar, batched):
+        assert b.feasible == s.feasible
+        if not s.feasible:
+            continue
+        n_feasible += 1
+        rel = abs(b.best.energy_overhead - s.best.energy_overhead) / abs(
+            s.best.energy_overhead
+        )
+        max_rel = max(max_rel, rel)
+    assert n_feasible > 500, "grid degenerated: most scenarios infeasible"
+    assert max_rel <= ENERGY_RTOL, f"energy disagreement {max_rel:.2e}"
+
+    speedup = t_scalar / t_grid
+    per_scalar = t_scalar / len(scenarios)
+    per_grid = t_grid / len(scenarios)
+
+    with (results_dir / "schedule_grid_bench.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(
+            ["path", "scenarios", "seconds_total", "seconds_per_scenario",
+             "speedup_vs_scalar_loop", "max_rel_energy_error"]
+        )
+        w.writerow(
+            ["scalar_loop", len(scenarios), f"{t_scalar:.3f}",
+             f"{per_scalar:.3e}", "1.0", ""]
+        )
+        w.writerow(
+            ["schedule_grid", len(scenarios), f"{t_grid:.3f}",
+             f"{per_grid:.3e}", f"{speedup:.1f}", f"{max_rel:.2e}"]
+        )
+
+    assert speedup >= 10.0, f"schedule-grid only {speedup:.1f}x over the loop"

@@ -73,19 +73,23 @@ from .schedules import (
     Constant,
     Escalating,
     Geometric,
+    ScheduleGridSolution,
     ScheduleSolution,
     SpeedSchedule,
     TwoSpeed,
     evaluate_schedule,
+    evaluate_schedule_batch,
     parse_schedule,
     schedule_kinds,
     solve_schedule,
+    solve_schedule_batch,
 )
 from .exceptions import (
     ApproximationDomainError,
     ConvergenceError,
     InfeasibleBoundError,
     InvalidParameterError,
+    InvalidTruncationError,
     ReproError,
     SpeedNotAvailableError,
     UnknownBackendError,
@@ -130,6 +134,7 @@ from .simulation import (
 )
 from .sweep import (
     run_figure,
+    run_schedule_sweep_fast,
     run_sweep,
     run_sweep_fast,
     speed_pair_table,
@@ -150,7 +155,7 @@ from .api import (
     register_backend,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -167,6 +172,7 @@ __all__ = [
     # errors / exceptions
     "ReproError",
     "InvalidParameterError",
+    "InvalidTruncationError",
     "InfeasibleBoundError",
     "SpeedNotAvailableError",
     "ApproximationDomainError",
@@ -200,6 +206,9 @@ __all__ = [
     "evaluate_schedule",
     "solve_schedule",
     "ScheduleSolution",
+    "evaluate_schedule_batch",
+    "solve_schedule_batch",
+    "ScheduleGridSolution",
     # core
     "Pattern",
     "PatternSolution",
@@ -229,6 +238,7 @@ __all__ = [
     # sweeps / experiments
     "run_sweep",
     "run_sweep_fast",
+    "run_schedule_sweep_fast",
     "run_figure",
     "speed_pair_table",
     "sweep_failstop_fraction",

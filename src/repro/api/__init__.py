@@ -6,7 +6,7 @@ This package is the single front door to every solver in the library:
   (configuration + bound + error-model mode + optional restrictions);
 * :mod:`~repro.api.backends` — the ``SolverBackend`` registry
   (``firstorder``, ``exact``, ``combined``, vectorised ``grid``,
-  per-attempt ``schedule``);
+  per-attempt ``schedule``, vectorised ``schedule-grid``);
 * :class:`~repro.api.study.Study` — a batch of scenarios over a grid
   or a sweep axis, solved with caching, vectorised batching and
   optional multi-process fan-out;
@@ -26,6 +26,7 @@ from .backends import (
     FirstOrderBackend,
     GridBackend,
     ScheduleBackend,
+    ScheduleGridBackend,
     SolverBackend,
     available_backends,
     get_backend,
@@ -50,6 +51,7 @@ __all__ = [
     "CombinedBackend",
     "GridBackend",
     "ScheduleBackend",
+    "ScheduleGridBackend",
     "register_backend",
     "get_backend",
     "available_backends",

@@ -1,7 +1,7 @@
 """Pluggable solver backends behind a process-wide registry.
 
 A backend turns a :class:`~repro.api.scenario.Scenario` into a
-:class:`~repro.api.result.Result`.  Five ship by default:
+:class:`~repro.api.result.Result`.  Six ship by default:
 
 ``firstorder``
     The paper's Theorem-1 closed form + O(K^2) enumeration
@@ -20,6 +20,13 @@ A backend turns a :class:`~repro.api.scenario.Scenario` into a
     schedules keep the legacy closed-form/pair paths (byte-identical
     results), general schedules go through the exact attempt-series
     evaluator + numeric constrained solve.
+``schedule-grid``
+    The vectorised schedule kernel (:mod:`repro.schedules.vectorized`):
+    ``solve_batch`` stacks every general-schedule scenario into one
+    :class:`~repro.schedules.vectorized.ScheduleGrid` and solves the
+    whole batch in lockstep broadcast passes — the general-schedule
+    analogue of ``grid``, and the default for scheduled scenarios whose
+    policy is not expressible as a two-speed pair.
 
 Registering a new backend (``register_backend``) is the single
 extension point for new solve strategies; every consumer (legacy
@@ -44,7 +51,8 @@ from ..exceptions import (
     UnsupportedScenarioError,
 )
 from ..failstop.solver import CombinedSolution, solve_pair_combined
-from ..schedules.solver import solve_schedule
+from ..schedules.solver import ScheduleSolution, solve_schedule
+from ..schedules.vectorized import ScheduleGrid, solve_schedule_grid
 from ..sweep.vectorized import solve_bicrit_grid
 from .result import GridPoint, Provenance, Result
 
@@ -58,6 +66,7 @@ __all__ = [
     "CombinedBackend",
     "GridBackend",
     "ScheduleBackend",
+    "ScheduleGridBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -77,8 +86,17 @@ class SolverBackend(abc.ABC):
     #: Scenario modes this backend accepts.
     modes: frozenset[str] = frozenset()
     #: Whether scenarios carrying a per-attempt speed schedule are
-    #: accepted (only the ``schedule`` backend understands them).
+    #: accepted (only the ``schedule``/``schedule-grid`` backends
+    #: understand them).
     handles_schedules: bool = False
+
+    @property
+    def batched(self) -> bool:
+        """True when this backend overrides :meth:`solve_batch` with a
+        real vectorised batch path (vs the default per-scenario loop).
+        ``Study.solve(processes=...)`` shards whole batches to such
+        backends instead of fanning out scenario by scenario."""
+        return type(self).solve_batch is not SolverBackend.solve_batch
 
     # ------------------------------------------------------------------
     def supports(self, scenario: "Scenario") -> bool:
@@ -414,6 +432,120 @@ class ScheduleBackend(SolverBackend):
         )
 
 
+class ScheduleGridBackend(SolverBackend):
+    """Vectorised general-schedule kernel: whole batches in lockstep.
+
+    ``solve_batch`` splits a batch in two:
+
+    * scenarios whose schedule reduces to a two-speed pair take the
+      scalar ``schedule`` backend's closed-form fast paths, so their
+      results stay byte-identical to the legacy solvers;
+    * every *general* schedule is stacked into one
+      :class:`~repro.schedules.vectorized.ScheduleGrid` and solved by
+      :func:`~repro.schedules.vectorized.solve_schedule_grid` — the
+      per-attempt primitives, geometric tails, and the constrained
+      pattern-size search all run as broadcast passes over the whole
+      sub-batch (a masked argmin instead of per-scenario SciPy loops).
+
+    Results carry the same :class:`~repro.schedules.solver.ScheduleSolution`
+    payload as the scalar backend and agree with it to the optimiser
+    placement tolerance (``<= 1e-12`` relative on the energy objective;
+    the equivalence tests pin this on randomized grids).
+    """
+
+    name = "schedule-grid"
+    modes = frozenset({"silent", "combined", "failstop"})
+    handles_schedules = True
+
+    def unsupported_reason(self, scenario: "Scenario") -> str | None:
+        reason = super().unsupported_reason(scenario)
+        if reason is not None:
+            return reason
+        if scenario.schedule is None:
+            return "scenario has no schedule; set Scenario(schedule=...)"
+        return None
+
+    def _solve(self, scenario: "Scenario") -> Result:
+        result = self.solve_batch([scenario])[0]
+        if not result.feasible:
+            raise InfeasibleBoundError(scenario.rho, result.rho_min)
+        return result
+
+    def solve_batch(self, scenarios: Sequence["Scenario"]) -> list[Result]:
+        for sc in scenarios:
+            self.check_supports(sc)
+        t0 = time.perf_counter()
+        results: list[Result | None] = [None] * len(scenarios)
+
+        fast: list[int] = []
+        general: list[int] = []
+        for i, sc in enumerate(scenarios):
+            (fast if sc.schedule.as_two_speed() is not None else general).append(i)
+
+        # Two-speed rows: the scalar backend's closed-form fast paths
+        # (byte-identical results, re-stamped with this backend's name).
+        if fast:
+            scalar = get_backend("schedule")
+            for i in fast:
+                try:
+                    res = scalar._solve(scenarios[i])
+                    res = replace(
+                        res, provenance=replace(res.provenance, backend=self.name)
+                    )
+                except InfeasibleBoundError as exc:
+                    res = self.infeasible_result(scenarios[i], exc)
+                results[i] = res
+
+        if general:
+            grid = ScheduleGrid.from_points(
+                [
+                    (sc.resolved_config(), sc.schedule, sc.errors())
+                    for sc in (scenarios[i] for i in general)
+                ]
+            )
+            sol = solve_schedule_grid(
+                grid, np.array([scenarios[i].rho for i in general])
+            )
+            for pos, i in enumerate(general):
+                results[i] = self._materialise(scenarios[i], sol, pos)
+
+        wall = time.perf_counter() - t0
+        share = wall / max(len(scenarios), 1)
+        return [
+            replace(
+                r,
+                provenance=replace(
+                    r.provenance, wall_time=share, batch_size=len(scenarios)
+                ),
+            )
+            for r in results
+        ]
+
+    def _materialise(self, scenario, sol, pos: int) -> Result:
+        """One scenario's result from its row of the grid solution."""
+        if not sol.feasible[pos]:
+            return Result(
+                scenario=scenario,
+                provenance=Provenance(backend=self.name),
+                best=None,
+                rho_min=float(sol.rho_min[pos]),
+            )
+        best = ScheduleSolution(
+            schedule=scenario.schedule,
+            work=float(sol.work[pos]),
+            energy_overhead=float(sol.energy_overhead[pos]),
+            time_overhead=float(sol.time_overhead[pos]),
+            interval=(float(sol.w_lo[pos]), float(sol.w_hi[pos])),
+            failstop_fraction=scenario.effective_failstop_fraction,
+        )
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=best,
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -467,3 +599,4 @@ register_backend(ExactBackend())
 register_backend(CombinedBackend())
 register_backend(GridBackend())
 register_backend(ScheduleBackend())
+register_backend(ScheduleGridBackend())

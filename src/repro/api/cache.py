@@ -1,11 +1,16 @@
 """Per-scenario memoisation for the unified solve API.
 
 Every scenario is a small frozen dataclass, hence hashable; a solve is
-fully determined by ``(scenario, backend name)``.  The cache keeps the
-:class:`~repro.api.result.Result` of each miss and replays it on
-subsequent identical solves with ``cache_hit`` provenance, which makes
-repeated sweeps (Pareto frontiers, figure regeneration, interactive
-sessions) effectively free after the first pass.
+fully determined by ``(scenario identity, backend name)``.  Scenarios
+expose that identity via ``cache_key()`` — the solve-relevant fields
+only, so presentation-only differences (the free-form ``label``, the
+``backend`` *preference*, a catalog name vs its resolved
+configuration) share one entry; any other hashable key object is used
+as-is.  The cache keeps the :class:`~repro.api.result.Result` of each
+miss and replays it on subsequent identical solves with ``cache_hit``
+provenance, which makes repeated sweeps (Pareto frontiers, figure
+regeneration, interactive sessions) effectively free after the first
+pass.
 
 A process-wide :data:`DEFAULT_CACHE` backs ``Scenario.solve`` /
 ``Study.solve`` unless the caller supplies a private
@@ -21,6 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .result import Result
 
 __all__ = ["SolveCache", "DEFAULT_CACHE", "clear_default_cache"]
+
+
+def _key(scenario: Hashable, backend: str) -> tuple[Hashable, str]:
+    """The cache key of one solve.
+
+    Objects implementing the ``cache_key()`` protocol (``Scenario``)
+    are keyed by that canonical tuple; anything else hashable is keyed
+    directly, so tests and custom callers can use sentinel keys.
+    """
+    keyfn = getattr(scenario, "cache_key", None)
+    if callable(keyfn):
+        return (keyfn(), backend)
+    return (scenario, backend)
 
 
 class SolveCache:
@@ -73,7 +91,7 @@ class SolveCache:
     # ------------------------------------------------------------------
     def get(self, scenario: Hashable, backend: str) -> "Result | None":
         """Look up a prior result; counts a hit or a miss."""
-        result = self._entries.get((scenario, backend))
+        result = self._entries.get(_key(scenario, backend))
         if result is None:
             self._misses += 1
         else:
@@ -82,7 +100,7 @@ class SolveCache:
 
     def put(self, scenario: Hashable, backend: str, result: "Result") -> None:
         """Store a result, evicting the oldest entry when full."""
-        key = (scenario, backend)
+        key = _key(scenario, backend)
         if key not in self._entries and self._maxsize is not None:
             while len(self._entries) >= self._maxsize:
                 self._entries.popitem(last=False)

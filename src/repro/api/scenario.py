@@ -89,9 +89,11 @@ class Scenario:
         :class:`~repro.schedules.base.SpeedSchedule` or a spec string
         such as ``"two:0.4,0.6"`` / ``"geom:0.4,1.5,1"``.  A scheduled
         scenario pins every attempt speed, so it is exclusive with the
-        ``speeds``/``sigma2_choices`` enumeration restrictions and
-        routes to the ``schedule`` backend by default (two-speed
-        schedules keep the closed-form fast paths there).
+        ``speeds``/``sigma2_choices`` enumeration restrictions.  By
+        default two-speed schedules route to the ``schedule`` backend
+        (closed-form fast paths, byte-identical to the legacy solvers)
+        and general schedules to the vectorised ``schedule-grid``
+        backend, which batches whole studies in broadcast passes.
     backend:
         Preferred backend registry name; ``None`` picks the mode's
         default (``combined`` for combined/failstop modes, else
@@ -200,12 +202,43 @@ class Scenario:
         """Registry name used when neither the scenario nor the caller
         names a backend."""
         if self.schedule is not None:
-            return "schedule"
+            # Two-speed schedules keep the scalar backend's closed-form
+            # fast paths; general schedules go to the vectorised batch
+            # kernel so Study grids solve in broadcast passes.
+            if self.schedule.as_two_speed() is not None:
+                return "schedule"
+            return "schedule-grid"
         return "combined" if self.mode in _COMBINED_MODES else "firstorder"
 
     def resolve_backend_name(self, override: str | None = None) -> str:
         """The backend this scenario will be solved with."""
         return override or self.backend or self.default_backend
+
+    def cache_key(self) -> tuple:
+        """The solve-relevant identity of this scenario.
+
+        The memo cache keys on this tuple (plus the backend name), not
+        on the scenario itself: the free-form ``label`` and the
+        ``backend`` *preference* cannot change a solution, so scenarios
+        differing only in those share one cache entry — a study that
+        labels its grid points still replays an earlier unlabelled
+        solve.  Catalog names are resolved first, so
+        ``Scenario(config="hera-xscale", ...)`` and the same scenario
+        built from ``get_configuration("hera-xscale")`` also share an
+        entry, and the ``error_rate`` override is folded into the
+        resolved configuration.  Schedules hash canonically, keeping
+        the ``TwoSpeed(s, s) == Constant(s)`` sharing of PR 2.
+        """
+        return (
+            "scenario",
+            self.resolved_config(),
+            self.rho,
+            self.mode,
+            self.effective_failstop_fraction,
+            self.speeds,
+            self.sigma2_choices,
+            self.schedule,
+        )
 
     def describe(self) -> str:
         """Short human-readable tag for logs and CSV rows."""

@@ -35,12 +35,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Study"]
 
 
-def _solve_tolerant(scenario: Scenario, backend_name: str) -> Result:
-    """Solve one scenario, mapping infeasible bounds to a best-less
-    result.  Module-level so process pools can pickle it."""
-    backend = get_backend(backend_name)
-    batch = backend.solve_batch([scenario])
-    return batch[0]
+def _solve_shard(scenarios: list[Scenario], backend_name: str) -> list[Result]:
+    """Solve one shard through its backend's batch path, mapping
+    infeasible bounds to best-less results.  Module-level so process
+    pools can pickle it."""
+    return get_backend(backend_name).solve_batch(scenarios)
+
+
+def _shard(indices: list[int], shards: int) -> list[list[int]]:
+    """Split ``indices`` into at most ``shards`` contiguous chunks."""
+    shards = max(1, min(shards, len(indices)))
+    size = (len(indices) + shards - 1) // shards
+    return [indices[j : j + size] for j in range(0, len(indices), size)]
 
 
 @dataclass(frozen=True)
@@ -190,9 +196,13 @@ class Study:
             entirely and are marked in provenance.
         processes:
             When > 1, fan the cache misses out over that many worker
-            processes (one scenario per task).  Worth it for large
-            grids of the numeric backends; the vectorised ``grid``
-            backend is usually faster in-process.  Workers rebuild the
+            processes.  Misses routed to a batch-capable backend
+            (``grid``, ``schedule-grid``) are sharded into contiguous
+            sub-batches — each worker solves a whole shard in one
+            vectorised pass — while per-scenario backends fan out one
+            scenario per task.  Worth it for large grids of the
+            numeric backends; the vectorised backends are often faster
+            in-process for small grids.  Workers rebuild the
             backend registry by importing :mod:`repro.api.backends`,
             so custom backends registered at runtime are only visible
             to workers under the ``fork`` start method (the Linux
@@ -229,14 +239,25 @@ class Study:
         if processes is not None and processes > 1 and pending:
             from concurrent.futures import ProcessPoolExecutor
 
+            pending_by_backend: dict[str, list[int]] = {}
+            for i in pending:
+                pending_by_backend.setdefault(names[i], []).append(i)
+            shards: list[tuple[str, list[int]]] = []
+            for bn, idxs in pending_by_backend.items():
+                if get_backend(bn).batched:
+                    # Keep the vectorised pass: shard the batch across
+                    # the workers instead of fanning out per scenario.
+                    shards.extend((bn, chunk) for chunk in _shard(idxs, processes))
+                else:
+                    shards.extend((bn, [i]) for i in idxs)
             with ProcessPoolExecutor(max_workers=processes) as pool:
-                solved = pool.map(
-                    _solve_tolerant,
-                    [scenarios[i] for i in pending],
-                    [names[i] for i in pending],
-                )
-                for i, res in zip(pending, solved):
-                    results[i] = res
+                futures = [
+                    pool.submit(_solve_shard, [scenarios[i] for i in idxs], bn)
+                    for bn, idxs in shards
+                ]
+                for (bn, idxs), future in zip(shards, futures):
+                    for i, res in zip(idxs, future.result()):
+                        results[i] = res
         else:
             by_backend: dict[str, list[int]] = {}
             for i in pending:

@@ -15,7 +15,9 @@ Commands
     grammar.
 ``solve``
     Solve one scenario, optionally under a per-attempt speed schedule
-    (``repro solve --config hera-xscale --rho 3 --schedule geom:0.4,1.5,1``).
+    (``repro solve --config hera-xscale --rho 3 --schedule geom:0.4,1.5,1``);
+    repeating ``--schedule`` sweeps a whole schedule axis in one
+    batched ``schedule-grid`` solve (``--csv`` exports every row).
 ``table``
     Regenerate a Section-4.2 speed-pair table
     (``repro table --config hera-xscale --rho 3``).
@@ -104,9 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--failstop-fraction", type=float, default=None)
     p_solve.add_argument("--rate", type=float, default=None, help="override error rate")
     p_solve.add_argument(
-        "--schedule", default=None, metavar="SPEC",
+        "--schedule", action="append", default=None, metavar="SPEC",
         help="per-attempt speed schedule spec, e.g. two:0.4,0.6 or geom:0.4,1.5,1 "
-             "(see 'repro schedules'); omit to enumerate speed pairs",
+             "(see 'repro schedules'); omit to enumerate speed pairs; repeat the "
+             "flag to sweep a schedule axis in one batched solve "
+             "(general schedules go through the vectorised schedule-grid backend)",
     )
     p_solve.add_argument("--backend", default=None, help="solver backend override")
     p_solve.add_argument("--csv", default=None, help="also write a one-row results CSV")
@@ -214,8 +218,8 @@ def _cmd_backends(_: argparse.Namespace) -> int:
     for name in available_backends():
         backend = get_backend(name)
         modes = ", ".join(sorted(backend.modes))
-        kind = "batched" if "solve_batch" in type(backend).__dict__ else "per-scenario"
-        print(f"{name:12s} modes: {modes:28s} [{kind}]")
+        kind = "batched" if backend.batched else "per-scenario"
+        print(f"{name:13s} modes: {modes:28s} [{kind}]")
     return 0
 
 
@@ -238,6 +242,61 @@ def _cmd_schedules(_: argparse.Namespace) -> int:
     return 0
 
 
+def _solve_schedule_axis(args: argparse.Namespace, specs: list[str]) -> int:
+    """Several ``--schedule`` flags: one batched solve over the axis."""
+    from .api.study import Study
+    from .exceptions import (
+        InvalidParameterError,
+        UnknownBackendError,
+        UnsupportedScenarioError,
+    )
+
+    try:
+        scenarios = tuple(
+            Scenario(
+                config=args.config,
+                rho=args.rho,
+                mode=args.mode,
+                failstop_fraction=args.failstop_fraction,
+                error_rate=args.rate,
+                schedule=parse_schedule(spec),
+                backend=args.backend,
+            )
+            for spec in specs
+        )
+    except InvalidParameterError as exc:
+        print(f"invalid scenario: {exc}")
+        return 1
+    try:
+        results = Study(scenarios=scenarios, name="schedule-axis").solve()
+    except (UnknownBackendError, UnsupportedScenarioError) as exc:
+        print(f"bad backend routing: {exc}")
+        return 1
+    print(f"schedule axis   : {len(results)} policies  "
+          f"(config {args.config}, rho {args.rho:g}, mode {args.mode})")
+    print(f"{'schedule':24s} {'backend':14s} {'W':>9s} {'E/W':>9s} {'T/W':>8s}")
+    for res in results:
+        spec = res.scenario.schedule.spec()
+        if res.feasible:
+            print(f"{spec:24s} {res.provenance.backend:14s} "
+                  f"{res.best.work:>9.0f} {res.best.energy_overhead:>9.2f} "
+                  f"{res.best.time_overhead:>8.4f}")
+        else:
+            bound = f"rho_min={res.rho_min:.3f}" if res.rho_min else "infeasible"
+            print(f"{spec:24s} {res.provenance.backend:14s} {bound:>28s}")
+    feasible = [r for r in results if r.feasible]
+    if feasible:
+        best = min(feasible, key=lambda r: r.best.energy_overhead)
+        print(f"best            : {best.scenario.schedule.spec()}  "
+              f"E/W = {best.best.energy_overhead:.2f} mJ/work")
+    if args.simulate > 0:
+        print("(--simulate applies to single-schedule solves; skipped)")
+    if args.csv:
+        path = results.to_csv(args.csv)
+        print(f"wrote {path}")
+    return 0 if feasible else 1
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .exceptions import (
         InfeasibleBoundError,
@@ -246,8 +305,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         UnsupportedScenarioError,
     )
 
+    specs = args.schedule or []
+    if len(specs) > 1:
+        return _solve_schedule_axis(args, specs)
     try:
-        schedule = parse_schedule(args.schedule) if args.schedule else None
+        schedule = parse_schedule(specs[0]) if specs else None
         scenario = Scenario(
             config=args.config,
             rho=args.rho,

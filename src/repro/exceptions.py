@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "InvalidParameterError",
+    "InvalidTruncationError",
     "InfeasibleBoundError",
     "SpeedNotAvailableError",
     "ApproximationDomainError",
@@ -30,6 +31,29 @@ class InvalidParameterError(ReproError, ValueError):
     empty DVFS speed set, a speed outside ``(0, +inf)``) so that invalid
     configurations never reach the solvers.
     """
+
+
+class InvalidTruncationError(InvalidParameterError):
+    """A truncated schedule evaluation cannot cover the schedule head.
+
+    ``evaluate_schedule(..., max_attempts=N)`` requires ``N >= 1`` and
+    ``N >= len(head)``: the exact geometric remainder reported by the
+    ``tail_bound_*`` fields only holds once the attempt series has
+    reached the schedule's constant tail, so the attempt budget must at
+    least reach it.  Inherits :class:`InvalidParameterError` (and hence
+    ``ValueError``) so legacy ``except ValueError`` call sites keep
+    working.
+    """
+
+    def __init__(self, max_attempts: int, head_len: int):
+        self.max_attempts = max_attempts
+        self.head_len = head_len
+        super().__init__(
+            f"max_attempts={max_attempts!r} is not a valid truncation bound: "
+            f"it must be >= 1 and cover the schedule head "
+            f"({head_len} attempt(s)); the geometric tail bound only holds "
+            f"on the constant tail"
+        )
 
 
 class InfeasibleBoundError(ReproError):

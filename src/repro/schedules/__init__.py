@@ -5,9 +5,12 @@ model: a :class:`SpeedSchedule` maps the attempt index to the DVFS
 speed of that attempt, with concrete policies (:class:`TwoSpeed`,
 :class:`Constant`, :class:`Escalating`, :class:`Geometric`), an exact
 expectation evaluator for arbitrary schedules
-(:mod:`repro.schedules.evaluator`), and a numeric constrained solver
-(:mod:`repro.schedules.solver`).  The ``schedule`` backend of
-:mod:`repro.api` plugs all of this into ``Scenario(schedule=...)``.
+(:mod:`repro.schedules.evaluator`), a numeric constrained solver
+(:mod:`repro.schedules.solver`), and a vectorised batch kernel that
+evaluates/solves whole schedule grids in broadcast NumPy ops
+(:mod:`repro.schedules.vectorized`).  The ``schedule`` and
+``schedule-grid`` backends of :mod:`repro.api` plug all of this into
+``Scenario(schedule=...)`` and ``Study`` batches.
 """
 
 from .base import (
@@ -31,6 +34,13 @@ from .evaluator import (
     time_overhead_schedule,
 )
 from .solver import ScheduleSolution, schedule_min_bound, solve_schedule
+from .vectorized import (
+    ScheduleGrid,
+    ScheduleGridSolution,
+    evaluate_schedule_batch,
+    solve_schedule_batch,
+    solve_schedule_grid,
+)
 
 __all__ = [
     "SpeedSchedule",
@@ -52,4 +62,9 @@ __all__ = [
     "ScheduleSolution",
     "solve_schedule",
     "schedule_min_bound",
+    "ScheduleGrid",
+    "ScheduleGridSolution",
+    "evaluate_schedule_batch",
+    "solve_schedule_batch",
+    "solve_schedule_grid",
 ]

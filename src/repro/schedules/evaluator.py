@@ -58,6 +58,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..exceptions import InvalidParameterError, InvalidTruncationError
 from ..platforms.configuration import Configuration
 from ..quantities import as_float_array, is_scalar
 from .base import SpeedSchedule
@@ -143,17 +144,13 @@ def evaluate_schedule(
     """
     w = as_float_array(work)
     if np.any(w <= 0):
-        raise ValueError("work must be > 0")
+        raise InvalidParameterError("work must be > 0")
     want_time = "time" in components
     want_energy = "energy" in components
     err = _resolve_errors(cfg, errors)
     head, tail = schedule.normalized()
-    if max_attempts is not None and max_attempts < len(head):
-        raise ValueError(
-            f"max_attempts={max_attempts} must cover the schedule head "
-            f"({len(head)} attempt(s)); the tail bound only holds on the "
-            f"constant tail"
-        )
+    if max_attempts is not None and (max_attempts < 1 or max_attempts < len(head)):
+        raise InvalidTruncationError(max_attempts, len(head))
 
     V = cfg.verification_time
     R = cfg.recovery_time
@@ -264,10 +261,18 @@ def expected_reexecutions_schedule(
     work,
     *,
     errors: CombinedErrors | None = None,
+    max_attempts: int | None = None,
 ):
-    """Expected number of re-executions per pattern under ``schedule``."""
+    """Expected number of re-executions per pattern under ``schedule``.
+
+    ``max_attempts`` truncates the attempt series exactly as in
+    :func:`evaluate_schedule`; an attempt budget that cannot cover the
+    schedule head (or is below 1, which would yield a meaningless
+    negative re-execution count) raises
+    :class:`~repro.exceptions.InvalidTruncationError`.
+    """
     return evaluate_schedule(
-        cfg, schedule, work, errors=errors, components=()
+        cfg, schedule, work, errors=errors, max_attempts=max_attempts, components=()
     ).reexecutions
 
 

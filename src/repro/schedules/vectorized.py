@@ -1,0 +1,528 @@
+"""Vectorised batched schedule evaluation: whole grids in broadcast NumPy.
+
+PR 1 gave the two-speed model a vectorised ``grid`` backend (~17x over
+the per-scenario loop); general schedules were still evaluated one
+scenario at a time in scalar Python.  This module closes that gap: a
+:class:`ScheduleGrid` stacks the model parameters of many
+``(configuration, schedule, error-model)`` points into arrays so that
+
+* the per-attempt failure/exposure primitives broadcast over a
+  ``(point, work)`` grid — one pass evaluates *every* point at *every*
+  pattern size at once;
+* the closed-form geometric tails are computed column-wise (one
+  ``expm1``/``where`` chain for the whole grid, exactly as in
+  :mod:`repro.schedules.evaluator`);
+* the constrained solver's pattern-size search becomes a *masked
+  argmin* over the shared coarse work grid followed by lockstep
+  bisection (feasibility crossings) and lockstep golden-section
+  (energy minimisation) — every iteration is one broadcast evaluation
+  of all points, never a Python-level per-point loop.
+
+Schedules have different head lengths, so heads are padded to the
+batch's maximum and masked per row: a padded slot contributes exactly
+``t + 0.0`` / ``reach * 1.0``, which keeps every row's arithmetic
+identical to its stand-alone scalar evaluation — results do not depend
+on which other schedules share the batch, and the batched evaluator
+agrees with :func:`repro.schedules.evaluator.evaluate_schedule` to the
+last few ulps (the equivalence tests pin ``rtol = 1e-12``).
+
+The solver mirrors :func:`repro.schedules.solver.solve_schedule` stage
+by stage (same coarse grid, same feasibility rule, same candidate
+order) but replaces the scalar SciPy Brent calls with fixed-iteration
+lockstep searches; the constrained optimum it returns matches the
+scalar path to the optimiser placement tolerance (``<= 1e-12`` relative
+on the energy objective, ``~1e-8`` on the optimal pattern size).  The
+``schedule-grid`` backend of :mod:`repro.api.backends` wraps all of
+this behind ``Study`` batches; ``benchmarks/bench_schedule_grid.py``
+measures the speedup over the per-scenario loop
+(``results/schedule_grid_bench.csv``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors.combined import CombinedErrors
+from ..exceptions import InvalidParameterError, InvalidTruncationError
+from ..platforms.configuration import Configuration
+from .base import SpeedSchedule, as_schedule
+from .evaluator import ScheduleExpectation
+
+__all__ = [
+    "ScheduleGrid",
+    "ScheduleGridSolution",
+    "evaluate_schedule_batch",
+    "solve_schedule_batch",
+    "solve_schedule_grid",
+]
+
+#: Pattern-size search window and coarse-scan resolution — identical to
+#: :func:`repro.core.numeric.minimize_unimodal` so the batched solver
+#: localises the same basin as the scalar path.
+_W_LO = 1e-3
+_W_HI = 1e12
+_COARSE = 200
+
+#: Lockstep iteration budgets.  Bisection halves the bracket each step
+#: (96 steps shrink any bracket inside the search window to well below
+#: one ulp); golden section contracts by ~0.618 (72 steps ~ 8e-16 of
+#: the bracket, tighter than the scalar solver's SciPy tolerances).
+_BISECT_ITERS = 96
+_GOLDEN_ITERS = 72
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def _capped_exposure_cols(lam_f: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Column-wise :func:`repro.errors.exponential.capped_exposure`.
+
+    Same direct/series split at ``x < 1e-8`` as the scalar helper so the
+    batched primitives track it bit-for-bit; ``lam_f == 0`` rows land in
+    the series branch, whose value is exactly ``tau``.
+    """
+    x = lam_f * tau
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        direct = -np.expm1(-x) / lam_f
+    series = tau * (1.0 - x / 2.0 + x * x / 6.0)
+    return np.where(x < 1e-8, series, direct)
+
+
+@dataclass(frozen=True)
+class ScheduleGrid:
+    """Many ``(configuration, schedule, error-model)`` points as arrays.
+
+    All parameter arrays have shape ``(n, 1)`` so they broadcast against
+    a trailing work axis; ``head`` is ``(n, H)`` with each row's head
+    speeds padded to the batch maximum ``H`` (padded slots are masked
+    out by ``head_len`` during evaluation, so padding never changes a
+    row's value).  Build instances with :meth:`from_points`.
+    """
+
+    head: np.ndarray
+    head_len: np.ndarray
+    tail: np.ndarray
+    lam_f: np.ndarray
+    lam_s: np.ndarray
+    C: np.ndarray
+    V: np.ndarray
+    R: np.ndarray
+    kappa: np.ndarray
+    idle: np.ndarray
+    p_io: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of grid points (rows)."""
+        return self.tail.shape[0]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[tuple[Configuration, SpeedSchedule, CombinedErrors | None]],
+    ) -> "ScheduleGrid":
+        """Stack ``(cfg, schedule, errors)`` triples into one grid.
+
+        ``errors=None`` means silent-only at the configuration's own
+        rate, matching the scalar evaluator's default.
+        """
+        if not points:
+            raise InvalidParameterError("a schedule grid needs at least one point")
+        n = len(points)
+        normalized = [sched.normalized() for _, sched, _ in points]
+        H = max((len(h) for h, _ in normalized), default=0)
+
+        def col(values) -> np.ndarray:
+            return np.asarray(values, dtype=np.float64).reshape(n, 1)
+
+        tail = col([t for _, t in normalized])
+        head = np.broadcast_to(tail, (n, max(H, 1))).copy()[:, :H]
+        for i, (h, _) in enumerate(normalized):
+            head[i, : len(h)] = h
+        lam_f, lam_s = [], []
+        for cfg, _, errors in points:
+            if errors is None:
+                lam_f.append(0.0)
+                lam_s.append(cfg.lam)
+            else:
+                lam_f.append(errors.failstop_rate)
+                lam_s.append(errors.silent_rate)
+        return cls(
+            head=head,
+            head_len=col([len(h) for h, _ in normalized]),
+            tail=tail,
+            lam_f=col(lam_f),
+            lam_s=col(lam_s),
+            C=col([cfg.checkpoint_time for cfg, _, _ in points]),
+            V=col([cfg.verification_time for cfg, _, _ in points]),
+            R=col([cfg.recovery_time for cfg, _, _ in points]),
+            kappa=col([cfg.processor.kappa for cfg, _, _ in points]),
+            idle=col([cfg.processor.idle_power for cfg, _, _ in points]),
+            p_io=col([cfg.io_power + cfg.processor.idle_power for cfg, _, _ in points]),
+        )
+
+    # ------------------------------------------------------------------
+    def _primitives(self, w: np.ndarray, s: np.ndarray):
+        """Per-attempt ``(failure probability, capped exposure)`` at
+        speed ``s``, broadcast over the work grid ``w``."""
+        tau = (w + self.V) / s
+        omega = w / s
+        p = -np.expm1(-(self.lam_f * tau + self.lam_s * omega))
+        m = _capped_exposure_cols(self.lam_f, tau)
+        return p, m
+
+    def _compute_power(self, s: np.ndarray) -> np.ndarray:
+        return self.kappa * s**3 + self.idle
+
+    def evaluate(
+        self,
+        work,
+        *,
+        components: tuple[str, ...] = ("time", "energy"),
+        max_attempts: int | None = None,
+    ) -> ScheduleExpectation:
+        """Batched :func:`repro.schedules.evaluator.evaluate_schedule`.
+
+        ``work`` broadcasts against the ``(n, 1)`` parameter columns: a
+        scalar evaluates every point at one pattern size (result shape
+        ``(n,)``), a 1-D array of ``m`` sizes is a shared work axis
+        (result shape ``(n, m)``), and an ``(n, 1)`` array evaluates one
+        size per point.  ``max_attempts`` truncates the attempt series
+        per row exactly as in the scalar evaluator (the bound must
+        cover every row's head).
+        """
+        w = np.asarray(work, dtype=np.float64)
+        if np.any(w <= 0):
+            raise InvalidParameterError("work must be > 0")
+        squeeze = w.ndim == 0
+        if w.ndim < 2:
+            w = np.atleast_2d(w)
+        want_time = "time" in components
+        want_energy = "energy" in components
+        max_head = int(self.head_len.max(initial=0))
+        if max_attempts is not None and (max_attempts < 1 or max_attempts < max_head):
+            raise InvalidTruncationError(max_attempts, max_head)
+
+        shape = np.broadcast_shapes(w.shape, (self.n, 1))
+        zeros = np.zeros(shape)
+        t = self.C + zeros if want_time else None
+        e = self.C * self.p_io + zeros if want_energy else None
+        attempts = np.zeros(shape)
+        reach = np.ones(shape)
+
+        for j in range(self.head.shape[1]):
+            active = j < self.head_len  # (n, 1) mask: row j still in its head
+            s = self.head[:, j : j + 1]
+            p, m = self._primitives(w, s)
+            if want_time:
+                t = t + np.where(active, reach * (m + p * self.R), 0.0)
+            if want_energy:
+                e = e + np.where(
+                    active,
+                    reach * (m * self._compute_power(s) + p * self.R * self.p_io),
+                    0.0,
+                )
+            attempts = attempts + np.where(active, reach, 0.0)
+            reach = reach * np.where(active, p, 1.0)
+
+        # Column-wise closed-form geometric tail (cf. the scalar
+        # evaluator: identical formulas, whole grid per op).
+        p_t, m_t = self._primitives(w, self.tail)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_gap = np.where(p_t < 1.0, 1.0 / (1.0 - p_t), np.inf)
+        tail_time_unit = m_t + p_t * self.R if want_time else None
+        tail_energy_unit = (
+            m_t * self._compute_power(self.tail) + p_t * self.R * self.p_io
+            if want_energy
+            else None
+        )
+
+        if max_attempts is None:
+            geom = reach * inv_gap
+            attempts = attempts + geom
+            bound_t = np.zeros(shape) if want_time else None
+            bound_e = np.zeros(shape) if want_energy else None
+            truncated = False
+        else:
+            n_tail = max_attempts - self.head_len
+            with np.errstate(over="ignore", invalid="ignore"):
+                decay = p_t**n_tail
+                geom = np.where(p_t < 1.0, reach * (1.0 - decay) * inv_gap, np.inf)
+                remainder = np.where(p_t < 1.0, reach * decay * inv_gap, np.inf)
+            attempts = attempts + geom
+            bound_t = remainder * tail_time_unit if want_time else None
+            bound_e = remainder * tail_energy_unit if want_energy else None
+            truncated = True
+        if want_time:
+            t = t + geom * tail_time_unit
+        if want_energy:
+            e = e + geom * tail_energy_unit
+
+        def out(a):
+            return None if a is None else (a[:, 0] if squeeze else a)
+
+        return ScheduleExpectation(
+            time=out(t),
+            energy=out(e),
+            attempts=out(attempts),
+            truncated=truncated,
+            tail_bound_time=out(bound_t),
+            tail_bound_energy=out(bound_e),
+        )
+
+    # ------------------------------------------------------------------
+    # Row-wise overheads (the solver's lockstep probes)
+    # ------------------------------------------------------------------
+    def _overhead(self, w: np.ndarray, component: str) -> np.ndarray:
+        """Per-row overhead at per-row work points (``w`` and the result
+        share shape ``(n,)``); non-finite values map to ``+inf`` as in
+        the scalar minimiser."""
+        with np.errstate(over="ignore", invalid="ignore"):
+            ex = self.evaluate(w.reshape(-1, 1), components=(component,))
+            vals = (ex.time if component == "time" else ex.energy)[:, 0] / w
+        return np.where(np.isfinite(vals), vals, np.inf)
+
+    def time_overhead(self, w: np.ndarray) -> np.ndarray:
+        """Expected time per work unit, one point per row."""
+        return self._overhead(np.asarray(w, dtype=np.float64), "time")
+
+    def energy_overhead(self, w: np.ndarray) -> np.ndarray:
+        """Expected energy per work unit (mJ), one point per row."""
+        return self._overhead(np.asarray(w, dtype=np.float64), "energy")
+
+
+@dataclass(frozen=True)
+class ScheduleGridSolution:
+    """Constrained optima for every grid point (NaN = infeasible).
+
+    All arrays have the grid's length.  ``rho_min`` is each point's
+    smallest feasible bound (finite even for infeasible points — it is
+    the diagnostic the scalar path attaches to
+    :class:`~repro.exceptions.InfeasibleBoundError`).
+    """
+
+    work: np.ndarray
+    energy_overhead: np.ndarray
+    time_overhead: np.ndarray
+    w_lo: np.ndarray
+    w_hi: np.ndarray
+    rho_min: np.ndarray
+    feasible: np.ndarray
+
+    def __len__(self) -> int:
+        return self.work.shape[0]
+
+
+def _lockstep_bisect(fn, a, b, fa) -> np.ndarray:
+    """Elementwise bisection of ``fn``'s sign change on ``[a, b]``.
+
+    All rows iterate together; each iteration is one batched ``fn``
+    call.  Rows whose bracket is degenerate (``a == b``) simply stay
+    put, so callers can pre-collapse rows that need no root find.
+    """
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (a + b)
+        fm = fn(mid)
+        same = np.sign(fm) == np.sign(fa)
+        a = np.where(same, mid, a)
+        fa = np.where(same, fm, fa)
+        b = np.where(same, b, mid)
+    return 0.5 * (a + b)
+
+
+def _lockstep_golden(fn, a, b):
+    """Elementwise golden-section minimisation on ``[a, b]``.
+
+    Returns ``(argmin, min)``.  The classic recurrence: the surviving
+    interior probe of each row is carried into the next iteration, so
+    after the two seed evaluations every iteration costs exactly one
+    batched ``fn`` call (the per-row *new* probes gathered into one
+    array).  The contraction budget leaves the bracket far tighter than
+    the scalar solver's ``xatol``, so both paths land on the same
+    interior optimum to optimiser precision.
+    """
+    d = _INVPHI * (b - a)
+    c1, c2 = b - d, a + d  # lower/upper interior probes
+    f1, f2 = fn(c1), fn(c2)
+    for _ in range(_GOLDEN_ITERS - 1):
+        keep_left = f1 < f2
+        a = np.where(keep_left, a, c1)
+        b = np.where(keep_left, c2, b)
+        d = _INVPHI * (b - a)
+        new_lo = b - d  # fresh lower probe (left rows)
+        new_hi = a + d  # fresh upper probe (right rows)
+        f_new = fn(np.where(keep_left, new_lo, new_hi))
+        c1, c2 = (
+            np.where(keep_left, new_lo, c2),
+            np.where(keep_left, c1, new_hi),
+        )
+        f1, f2 = np.where(keep_left, f_new, f2), np.where(keep_left, f1, f_new)
+    a = np.where(f1 < f2, a, c1)
+    b = np.where(f1 < f2, c2, b)
+    x = 0.5 * (a + b)
+    return x, fn(x)
+
+
+def solve_schedule_grid(grid: ScheduleGrid, rho) -> ScheduleGridSolution:
+    """Constrained optimum of every grid point under its bound ``rho``.
+
+    The batched analogue of :func:`repro.schedules.solver.solve_schedule`
+    (same three stages, all in lockstep):
+
+    1. **masked coarse scan** — the time overhead of every point on the
+       shared log-spaced work grid in one broadcast pass; per-row
+       argmin + golden polish gives ``rho_min``; rows with
+       ``rho_min > rho`` are masked infeasible;
+    2. **crossing brackets** — lockstep bisection for the two
+       ``T(W)/W = rho`` crossings (the right bracket grows by lockstep
+       doubling, as in the scalar path);
+    3. **masked energy argmin** — lockstep golden section of
+       ``E(W)/W`` on each row's feasible interval, then the same
+       interior/endpoint candidate rule as the scalar solver.
+
+    ``rho`` may be a scalar or an array of per-point bounds.
+    """
+    n = grid.n
+    rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n,)).astype(np.float64)
+    if np.any(rho <= 0):
+        raise InvalidParameterError("rho must be > 0")
+
+    # Stage 1: coarse scan (shared grid, one broadcast evaluation).
+    w_grid = np.logspace(math.log10(_W_LO), math.log10(_W_HI), _COARSE)
+    with np.errstate(over="ignore", invalid="ignore"):
+        t_grid = grid.evaluate(w_grid, components=("time",)).time / w_grid
+    t_grid = np.where(np.isfinite(t_grid), t_grid, np.inf)
+    k = np.argmin(t_grid, axis=1)
+    rows = np.arange(n)
+    left = w_grid[np.maximum(k - 1, 0)]
+    right = w_grid[np.minimum(k + 1, _COARSE - 1)]
+    w_star, t_polish = _lockstep_golden(grid.time_overhead, left, right)
+    # Keep the better of grid/polish, as minimize_unimodal does.
+    t_coarse = t_grid[rows, k]
+    use_polish = t_polish <= t_coarse
+    w_star = np.where(use_polish, w_star, w_grid[k])
+    rho_min = np.where(use_polish, t_polish, t_coarse)
+    feasible = rho_min <= rho
+
+    def shifted(w: np.ndarray) -> np.ndarray:
+        return grid.time_overhead(w) - rho  # inf-safe: inf - rho = inf
+
+    # Stage 2a: left crossing on [W_LO, w_star] (T/W decreasing there).
+    lo = np.full(n, _W_LO)
+    s_lo = shifted(lo)
+    need_left = feasible & (s_lo > 0)
+    a = np.where(need_left, lo, w_star)
+    w1 = _lockstep_bisect(shifted, a, w_star, np.where(need_left, s_lo, -1.0))
+    w1 = np.where(need_left, w1, _W_LO)
+    w1 = np.where(feasible, w1, np.nan)
+
+    # Stage 2b: right crossing — lockstep doubling then bisection.
+    hi = np.where(feasible, w_star, _W_LO)
+    s_hi = shifted(hi)
+    for _ in range(64):
+        growing = feasible & (s_hi <= 0)
+        if not growing.any():
+            break
+        hi = np.where(growing, hi * 2.0, hi)
+        s_hi = np.where(growing, shifted(hi), s_hi)
+    a2 = np.where(feasible, w_star, hi)
+    w2 = _lockstep_bisect(shifted, a2, hi, np.where(feasible, -1.0, 1.0))
+    w2 = np.where(feasible, w2, np.nan)
+
+    # Stage 3: energy minimisation on the feasible interval.  Collapse
+    # infeasible rows to a harmless degenerate bracket, then mask.
+    b_lo = np.where(feasible, w1, 1.0)
+    b_hi = np.where(feasible, w2, 1.0)
+    x_e, f_e = _lockstep_golden(grid.energy_overhead, b_lo, b_hi)
+    e1 = grid.energy_overhead(b_lo)
+    e2 = grid.energy_overhead(b_hi)
+    # Same candidate order as the scalar solver: interior, W1, W2 (the
+    # argmin tie-breaks toward the interior optimum).
+    cand_w = np.stack([x_e, b_lo, b_hi])
+    cand_e = np.stack([f_e, e1, e2])
+    j = np.argmin(cand_e, axis=0)
+    work = cand_w[j, rows]
+    energy = cand_e[j, rows]
+    t_at = grid.time_overhead(np.where(feasible, work, 1.0))
+
+    nan = np.where(feasible, 0.0, np.nan)
+    return ScheduleGridSolution(
+        work=work + nan,
+        energy_overhead=energy + nan,
+        time_overhead=t_at + nan,
+        w_lo=w1,
+        w_hi=w2,
+        rho_min=rho_min,
+        feasible=feasible,
+    )
+
+
+# ----------------------------------------------------------------------
+# Convenience front doors (one configuration, many schedules)
+# ----------------------------------------------------------------------
+def _as_points(cfg, schedules, errors):
+    from ..platforms.catalog import get_configuration
+
+    def resolve(c):
+        return get_configuration(c) if isinstance(c, str) else c
+
+    scheds = [as_schedule(s) for s in schedules]
+    if any(s is None for s in scheds):
+        raise InvalidParameterError("every grid point needs a schedule")
+    cfgs = (
+        [resolve(c) for c in cfg]
+        if isinstance(cfg, (list, tuple))
+        else [resolve(cfg)] * len(scheds)
+    )
+    errs = (
+        list(errors)
+        if isinstance(errors, (list, tuple))
+        else [errors] * len(scheds)
+    )
+    if not len(cfgs) == len(scheds) == len(errs):
+        raise InvalidParameterError(
+            f"mismatched grid axes: {len(cfgs)} config(s), {len(scheds)} "
+            f"schedule(s), {len(errs)} error model(s)"
+        )
+    return list(zip(cfgs, scheds, errs))
+
+
+def evaluate_schedule_batch(
+    cfg,
+    schedules: Sequence[SpeedSchedule | str],
+    work,
+    *,
+    errors: CombinedErrors | Sequence[CombinedErrors | None] | None = None,
+    components: tuple[str, ...] = ("time", "energy"),
+    max_attempts: int | None = None,
+) -> ScheduleExpectation:
+    """Expectations of many schedules over a shared work axis at once.
+
+    ``cfg`` and ``errors`` may be single values (applied to every
+    schedule — the sigma-axis case: one platform, many policies) or
+    per-schedule sequences.  ``work`` broadcasts as in
+    :meth:`ScheduleGrid.evaluate`: a 1-D array of ``m`` pattern sizes
+    yields ``(len(schedules), m)`` result arrays.
+    """
+    grid = ScheduleGrid.from_points(_as_points(cfg, schedules, errors))
+    return grid.evaluate(work, components=components, max_attempts=max_attempts)
+
+
+def solve_schedule_batch(
+    cfg,
+    schedules: Sequence[SpeedSchedule | str],
+    rho,
+    *,
+    errors: CombinedErrors | Sequence[CombinedErrors | None] | None = None,
+) -> ScheduleGridSolution:
+    """Constrained optima of many schedules in one vectorised pass.
+
+    The front door for schedule-axis sweeps: equivalent to calling
+    :func:`repro.schedules.solver.solve_schedule` per schedule, batched.
+    ``rho`` may be shared or per-schedule.
+    """
+    grid = ScheduleGrid.from_points(_as_points(cfg, schedules, errors))
+    return solve_schedule_grid(grid, rho)

@@ -22,7 +22,13 @@ from .figures import (
 from .fraction import FractionSweep, sweep_failstop_fraction
 from .runner import SweepPoint, SweepSeries, run_sweep
 from .tables import SpeedPairTable, TableRow, speed_pair_table
-from .vectorized import GridSolution, run_sweep_fast, solve_bicrit_grid
+from .vectorized import (
+    GridSolution,
+    ScheduleSweepSolution,
+    run_schedule_sweep_fast,
+    run_sweep_fast,
+    solve_bicrit_grid,
+)
 
 __all__ = [
     "SweepAxis",
@@ -51,4 +57,6 @@ __all__ = [
     "GridSolution",
     "solve_bicrit_grid",
     "run_sweep_fast",
+    "ScheduleSweepSolution",
+    "run_schedule_sweep_fast",
 ]

@@ -1,9 +1,12 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite (+ hypothesis CI profiles)."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.errors import CombinedErrors
 from repro.platforms import (
@@ -13,6 +16,23 @@ from repro.platforms import (
     all_configurations,
     get_configuration,
 )
+
+# Hypothesis profiles: CI runs derandomized (fixed example sequence, no
+# wall-clock deadline) so the property suites are deterministic across
+# matrix entries; locally the default profile keeps random exploration
+# but still drops the deadline (the solver properties legitimately take
+# tens of ms per example on cold caches).  Select with
+# HYPOTHESIS_PROFILE=ci (set by .github/workflows/ci.yml).  Tests that
+# pin their own @settings(max_examples=...) override the profile value.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.solver import solve_bicrit
 from repro.errors import CombinedErrors
+from repro.schedules import parse_schedule
 from repro.simulation import ApplicationSimulator, check_agreement
 
 
@@ -50,6 +51,61 @@ class TestCombinedErrorsEndToEnd:
         report = check_agreement(
             hera_xscale, work=3000.0, sigma1=0.4, sigma2=0.8,
             errors=errors, n=20_000, rng=7 + int(10 * f),
+        )
+        assert report.agrees()
+
+
+class TestGeneralSchedulesEndToEnd:
+    """PR-3 satellite: the Monte-Carlo engine cross-checks the exact
+    attempt-series evaluator for *general* schedules (Escalating and
+    Geometric ramps), not just the two-speed model."""
+
+    @pytest.mark.parametrize(
+        "spec", ["esc:0.4,0.6,0.8", "geom:0.4,1.5,1", "geom:0.8,0.5,1,0.2"]
+    )
+    def test_silent_agreement_amplified_rate(self, hera_xscale, spec):
+        # Amplify the rate so re-executions (and hence the schedule's
+        # later attempt speeds) actually occur within the sample budget.
+        cfg = hera_xscale.with_error_rate(5e-4)
+        report = check_agreement(
+            cfg,
+            work=3000.0,
+            schedule=parse_schedule(spec),
+            n=20_000,
+            rng=310 + len(spec),
+        )
+        assert report.agrees(), (
+            f"simulator disagrees with the schedule evaluator for {spec}: "
+            f"z_time={report.time_zscore:.2f} z_energy={report.energy_zscore:.2f}"
+        )
+
+    @pytest.mark.parametrize(
+        "spec,f", [("esc:0.4,0.6,0.8", 0.5), ("geom:0.4,1.5,1", 0.25)]
+    )
+    def test_combined_errors_agreement(self, hera_xscale, spec, f):
+        errors = CombinedErrors(5e-4, f)
+        report = check_agreement(
+            hera_xscale,
+            work=3000.0,
+            schedule=parse_schedule(spec),
+            errors=errors,
+            n=20_000,
+            rng=77 + int(100 * f),
+        )
+        assert report.agrees()
+
+    def test_solved_operating_point_agreement(self, hera_xscale):
+        """Validate at the schedule-grid backend's own optimum, closing
+        the loop solver -> evaluator -> simulator."""
+        from repro.api import Scenario
+
+        # The amplified rate lifts the schedule's minimal feasible bound
+        # above 3.7, so validate under a looser bound.
+        cfg = hera_xscale.with_error_rate(2e-4)
+        sched = parse_schedule("geom:0.4,1.5,1")
+        best = Scenario(config=cfg, rho=4.5, schedule=sched).solve(cache=False).best
+        report = check_agreement(
+            cfg, work=best.work, schedule=sched, n=20_000, rng=424242
         )
         assert report.agrees()
 

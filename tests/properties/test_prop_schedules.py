@@ -1,0 +1,144 @@
+"""Property-based tests on speed schedules (hypothesis).
+
+Randomly generated ``TwoSpeed``/``Constant``/``Escalating``/``Geometric``
+policies must satisfy the structural contracts of
+:mod:`repro.schedules.base`:
+
+* canonical identity — equal ``(head, tail)`` canon implies equal
+  hash *and* equal solve-cache key, across policy classes;
+* serialization — ``parse_schedule(s.spec()) == s`` and
+  ``schedule_from_dict(s.to_dict()) == s`` for every representable
+  policy (the spec formatter falls back to ``repr`` precisely so this
+  round-trip never loses a float);
+* DVFS quantization — snapping to a discrete speed set is idempotent
+  and always lands inside the set.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import Scenario
+from repro.schedules import (
+    Constant,
+    Escalating,
+    Geometric,
+    TwoSpeed,
+    parse_schedule,
+    schedule_from_dict,
+)
+
+# Speeds away from zero (the model requires sigma > 0) but otherwise
+# arbitrary floats — the spec round-trip must survive ugly mantissas.
+speeds = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+
+
+@st.composite
+def two_speeds(draw) -> TwoSpeed:
+    return TwoSpeed(draw(speeds), draw(speeds))
+
+
+@st.composite
+def constants(draw) -> Constant:
+    return Constant(draw(speeds))
+
+
+@st.composite
+def escalatings(draw) -> Escalating:
+    head = tuple(draw(st.lists(speeds, min_size=1, max_size=6)))
+    terminal = draw(st.one_of(st.none(), speeds))
+    return Escalating(head, terminal=terminal)
+
+
+@st.composite
+def geometrics(draw) -> Geometric:
+    sigma1 = draw(st.floats(min_value=0.1, max_value=1.0))
+    if draw(st.booleans()):
+        # Escalating ramp: clamp at sigma_max above sigma1.  Ratios are
+        # kept away from 1 so the ramp reaches its clamp quickly.
+        ratio = draw(st.floats(min_value=1.1, max_value=3.0))
+        sigma_max = sigma1 * draw(st.floats(min_value=1.0, max_value=5.0))
+        return Geometric(sigma1, ratio, sigma_max=sigma_max)
+    ratio = draw(st.floats(min_value=0.25, max_value=0.9))
+    sigma_min = sigma1 * draw(st.floats(min_value=0.05, max_value=1.0))
+    sigma_max = sigma1 * draw(st.floats(min_value=1.0, max_value=2.0))
+    return Geometric(sigma1, ratio, sigma_max=sigma_max, sigma_min=sigma_min)
+
+
+schedules = st.one_of(two_speeds(), constants(), escalatings(), geometrics())
+
+speed_sets = st.lists(
+    st.floats(min_value=0.1, max_value=2.0).map(lambda x: round(x, 3)),
+    min_size=2,
+    max_size=6,
+    unique=True,
+).map(lambda xs: tuple(sorted(xs)))
+
+
+class TestCanonicalIdentity:
+    @given(sched=schedules)
+    def test_equal_canon_means_equal_hash_and_cache_key(self, sched):
+        """Rebuilding any policy as an explicit Escalating with the same
+        (head, tail) canon yields the *same* schedule: equality, hash,
+        and the Scenario solve-cache key all agree."""
+        head, tail = sched.normalized()
+        rebuilt = Escalating((*head, tail), terminal=tail)
+        assert rebuilt == sched
+        assert hash(rebuilt) == hash(sched)
+        a = Scenario(config="hera-xscale", rho=3.0, schedule=sched)
+        b = Scenario(config="hera-xscale", rho=3.0, schedule=rebuilt)
+        assert a.cache_key() == b.cache_key()
+
+    @given(s=speeds)
+    def test_degenerate_policies_collapse(self, s):
+        assert TwoSpeed(s, s) == Constant(s) == Escalating((s,))
+        assert len({TwoSpeed(s, s), Constant(s), Escalating((s,))}) == 1
+
+    @given(sched=schedules)
+    def test_eventually_constant(self, sched):
+        head, tail = sched.normalized()
+        for k in range(1, 4):
+            assert sched.speed_for_attempt(len(head) + k) == tail
+        assert sched.speeds_for_attempts(len(head)) == head
+
+
+class TestSerializationRoundTrips:
+    @given(sched=schedules)
+    def test_spec_string_round_trip(self, sched):
+        parsed = parse_schedule(sched.spec())
+        assert type(parsed) is type(sched)
+        assert parsed == sched
+        assert parsed.spec() == sched.spec()
+
+    @given(sched=schedules)
+    def test_dict_round_trip(self, sched):
+        restored = schedule_from_dict(sched.to_dict())
+        assert type(restored) is type(sched)
+        assert restored == sched
+        assert restored.to_dict() == sched.to_dict()
+
+
+class TestQuantization:
+    @given(sched=schedules, speed_set=speed_sets)
+    def test_quantization_is_idempotent(self, sched, speed_set):
+        q = sched.quantized(speed_set)
+        assert q.is_valid_for(speed_set)
+        assert q.quantized(speed_set) == q
+        # A quantized schedule survives its own serialization too.
+        assert parse_schedule(q.spec()) == q
+
+    @given(sched=schedules, speed_set=speed_sets)
+    def test_quantization_snaps_to_nearest(self, sched, speed_set):
+        q = sched.quantized(speed_set)
+        n = len(sched.normalized()[0]) + 2
+        for original, snapped in zip(
+            sched.speeds_for_attempts(n), q.speeds_for_attempts(n)
+        ):
+            best = min(abs(original - s) for s in speed_set)
+            assert abs(original - snapped) == best
+
+    @given(sched=schedules)
+    def test_valid_schedules_quantize_to_themselves(self, sched):
+        own = sched.distinct_speeds()
+        assert sched.quantized(own) == sched

@@ -35,8 +35,47 @@ class TestSolveCommand:
         assert "PASS" in out
         rows = read_series_csv_rows(csv_path)
         assert rows[0]["schedule"] == "geom:0.4,1.5,1"
-        assert rows[0]["backend"] == "schedule"
+        # General schedules route to the vectorised batch kernel.
+        assert rows[0]["backend"] == "schedule-grid"
         assert float(rows[0]["work"]) > 0
+
+    def test_schedule_axis_batched_solve(self, capsys, tmp_path):
+        csv_path = tmp_path / "axis.csv"
+        assert main([
+            "solve", "--config", "hera-xscale", "--rho", "3",
+            "--schedule", "two:0.4,0.6",
+            "--schedule", "esc:0.4,0.6,0.8",
+            "--schedule", "geom:0.4,1.5,1",
+            "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 policies" in out
+        assert "best" in out
+        rows = read_series_csv_rows(csv_path)
+        assert [r["schedule"] for r in rows] == [
+            "two:0.4,0.6", "esc:0.4,0.6,0.8", "geom:0.4,1.5,1",
+        ]
+        # Two-speed rows keep the scalar fast path; general rows batch.
+        assert rows[0]["backend"] == "schedule"
+        assert rows[1]["backend"] == rows[2]["backend"] == "schedule-grid"
+
+    def test_schedule_axis_bad_spec_reports_error(self, capsys):
+        assert main([
+            "solve", "--schedule", "two:0.4,0.6", "--schedule", "warp:9",
+        ]) == 1
+        assert "invalid scenario" in capsys.readouterr().out
+
+    def test_schedule_axis_bad_backend_reports_error(self, capsys):
+        assert main([
+            "solve", "--schedule", "two:0.4,0.6", "--schedule", "esc:0.4,0.6,0.8",
+            "--backend", "grid",
+        ]) == 1
+        assert "bad backend routing" in capsys.readouterr().out
+        assert main([
+            "solve", "--schedule", "two:0.4,0.6", "--schedule", "esc:0.4,0.6,0.8",
+            "--backend", "nope",
+        ]) == 1
+        assert "bad backend routing" in capsys.readouterr().out
 
     def test_escalating_schedule_solve(self, capsys):
         assert main([

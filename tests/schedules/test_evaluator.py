@@ -225,3 +225,61 @@ class TestPerAttemptPrimitives:
         err = CombinedErrors(1e-3, 0.0)
         w, s, V = 500.0, 0.5, 5.0
         assert err.attempt_exposure(w, s, V) == pytest.approx((w + V) / s)
+
+
+class TestTypedTruncationErrors:
+    """Regression (PR 3): invalid truncation bounds raise the typed
+    InvalidTruncationError from repro.exceptions, not a bare ValueError."""
+
+    def test_budget_below_head_raises_typed_error(self, hera_xscale):
+        from repro.exceptions import InvalidTruncationError, ReproError
+
+        sched = Escalating((0.4, 0.6, 0.8, 1.0))
+        with pytest.raises(InvalidTruncationError) as exc:
+            evaluate_schedule(hera_xscale, sched, 100.0, max_attempts=2)
+        assert exc.value.max_attempts == 2
+        # The canonical head is (0.4, 0.6, 0.8): the trailing entry
+        # equal to the tail speed is normalised away.
+        assert exc.value.head_len == 3
+        # Catchable both as a library error and as the legacy ValueError.
+        assert isinstance(exc.value, ReproError)
+        assert isinstance(exc.value, ValueError)
+
+    def test_budget_below_one_raises_typed_error(self, hera_xscale):
+        from repro.exceptions import InvalidTruncationError
+
+        # max_attempts=0 would truncate away the first attempt entirely
+        # and make ScheduleExpectation.reexecutions (= attempts - 1)
+        # negative; it must be rejected up front.
+        with pytest.raises(InvalidTruncationError):
+            evaluate_schedule(hera_xscale, Constant(0.4), 100.0, max_attempts=0)
+
+    def test_reexecutions_wrapper_propagates_typed_error(self, hera_xscale):
+        from repro.exceptions import InvalidTruncationError
+
+        sched = Escalating((0.4, 0.6, 0.8))
+        with pytest.raises(InvalidTruncationError):
+            expected_reexecutions_schedule(
+                hera_xscale, sched, 100.0, max_attempts=1
+            )
+        # A valid budget keeps the truncated count non-negative.
+        r = expected_reexecutions_schedule(hera_xscale, sched, 100.0, max_attempts=3)
+        assert r >= 0.0
+
+    def test_batched_evaluator_raises_same_typed_error(self, hera_xscale):
+        from repro.exceptions import InvalidTruncationError
+        from repro.schedules import evaluate_schedule_batch
+
+        with pytest.raises(InvalidTruncationError):
+            evaluate_schedule_batch(
+                hera_xscale,
+                [Escalating((0.4, 0.6, 0.8)), Constant(0.5)],
+                100.0,
+                max_attempts=1,  # below the batch's longest head (2)
+            )
+
+    def test_work_validation_is_a_library_error(self, hera_xscale):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            evaluate_schedule(hera_xscale, Constant(0.4), -1.0)

@@ -1,0 +1,346 @@
+"""Batched schedule grids vs the scalar paths (golden equivalence).
+
+The acceptance pins of PR 3: the ``schedule-grid`` backend and the
+underlying :mod:`repro.schedules.vectorized` kernel must agree with the
+per-scenario ``schedule`` backend — to ``1e-12`` relative error on the
+energy objective for general schedules (the optimiser placement
+tolerance bounds ``work``/``time`` near ``1e-8``), and byte-identically
+for two-speed schedules, which keep the legacy closed-form fast paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, SolveCache, Study, available_backends
+from repro.api.backends import get_backend
+from repro.errors import CombinedErrors
+from repro.exceptions import InfeasibleBoundError, UnsupportedScenarioError
+from repro.platforms import configuration_names
+from repro.schedules import (
+    Constant,
+    Escalating,
+    Geometric,
+    ScheduleSolution,
+    TwoSpeed,
+    evaluate_schedule,
+    evaluate_schedule_batch,
+    schedule_min_bound,
+    solve_schedule_batch,
+)
+from repro.sweep.vectorized import run_schedule_sweep_fast
+
+RHO = 3.0
+
+#: Relative tolerances of the batched-vs-scalar pins.  Energy is the
+#: solved objective (both optimisers polish far below 1e-12); work and
+#: time inherit the scalar solver's SciPy placement tolerance (~1e-9
+#: relative on W), so they are pinned an order of magnitude above it.
+ENERGY_RTOL = 1e-12
+PLACEMENT_RTOL = 1e-6
+
+#: General (non-two-speed) policies, all feasible at RHO on hera-xscale
+#: (the first attempt runs at >= 0.4, so 1/sigma1 stays below the bound).
+GENERAL_SCHEDULES = (
+    Escalating((0.4, 0.6, 0.8)),
+    Escalating((0.6, 0.4, 0.8), terminal=1.0),
+    Geometric(0.4, 1.5, sigma_max=1.0),
+    Geometric(0.45, 1.4, sigma_max=0.9),
+    Geometric(0.8, 0.5, sigma_max=1.0, sigma_min=0.2),
+)
+
+
+def _random_general_schedule(rng: np.random.Generator):
+    """A schedule whose canonical head has >= 2 attempts (never a
+    two-speed pair), so it exercises the batched kernel."""
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        n = int(rng.integers(3, 6))
+        speeds = tuple(np.round(rng.uniform(0.15, 1.1, size=n), 3))
+        sched = Escalating(speeds)
+    elif kind == 1:
+        s1 = float(np.round(rng.uniform(0.2, 0.5), 3))
+        ratio = float(np.round(rng.uniform(1.2, 2.2), 3))
+        sched = Geometric(s1, ratio, sigma_max=float(np.round(rng.uniform(0.8, 1.2), 3)))
+    else:
+        s1 = float(np.round(rng.uniform(0.6, 1.0), 3))
+        ratio = float(np.round(rng.uniform(0.4, 0.8), 3))
+        sched = Geometric(s1, ratio, sigma_max=1.2, sigma_min=0.15)
+    if sched.as_two_speed() is not None:  # degenerate draw: retry
+        return _random_general_schedule(rng)
+    return sched
+
+
+def _random_scenarios(rng: np.random.Generator, n: int) -> list[Scenario]:
+    configs = configuration_names()
+    out = []
+    for _ in range(n):
+        mode = ("silent", "combined")[int(rng.integers(0, 2))]
+        out.append(
+            Scenario(
+                config=configs[int(rng.integers(0, len(configs)))],
+                rho=float(np.round(rng.uniform(1.9, 6.0), 3)),
+                mode=mode,
+                failstop_fraction=(
+                    float(np.round(rng.uniform(0.0, 1.0), 2))
+                    if mode == "combined"
+                    else None
+                ),
+                schedule=_random_general_schedule(rng),
+            )
+        )
+    return out
+
+
+def _assert_rows_agree(scalar, batched):
+    """One scalar/batched result pair must agree within the pins."""
+    assert batched.feasible == scalar.feasible
+    if not scalar.feasible:
+        assert batched.rho_min == pytest.approx(scalar.rho_min, rel=1e-6)
+        return
+    assert batched.best.energy_overhead == pytest.approx(
+        scalar.best.energy_overhead, rel=ENERGY_RTOL
+    )
+    assert batched.best.work == pytest.approx(scalar.best.work, rel=PLACEMENT_RTOL)
+    assert batched.best.time_overhead == pytest.approx(
+        scalar.best.time_overhead, rel=PLACEMENT_RTOL
+    )
+
+
+class TestBatchedEvaluator:
+    """evaluate_schedule_batch == a loop of evaluate_schedule."""
+
+    def test_matches_scalar_on_shared_work_axis(self, hera_xscale):
+        works = np.logspace(1, 5, 128)
+        batch = evaluate_schedule_batch(hera_xscale, GENERAL_SCHEDULES, works)
+        for i, sched in enumerate(GENERAL_SCHEDULES):
+            ref = evaluate_schedule(hera_xscale, sched, works)
+            np.testing.assert_allclose(batch.time[i], ref.time, rtol=1e-12)
+            np.testing.assert_allclose(batch.energy[i], ref.energy, rtol=1e-12)
+            np.testing.assert_allclose(batch.attempts[i], ref.attempts, rtol=1e-12)
+
+    def test_row_values_do_not_depend_on_batch_composition(self, hera_xscale):
+        """Head padding is masked out: a row evaluates identically alone
+        and inside a batch of longer-headed schedules."""
+        works = np.logspace(1, 4, 32)
+        alone = evaluate_schedule_batch(hera_xscale, GENERAL_SCHEDULES[:1], works)
+        together = evaluate_schedule_batch(hera_xscale, GENERAL_SCHEDULES, works)
+        np.testing.assert_array_equal(alone.time[0], together.time[0])
+        np.testing.assert_array_equal(alone.energy[0], together.energy[0])
+
+    def test_combined_errors_per_row(self, toy_config):
+        works = np.logspace(1, 3, 16)
+        errs = [None, CombinedErrors(toy_config.lam, 0.5), CombinedErrors(toy_config.lam, 1.0)]
+        scheds = GENERAL_SCHEDULES[:3]
+        batch = evaluate_schedule_batch(toy_config, scheds, works, errors=errs)
+        for i, (sched, err) in enumerate(zip(scheds, errs)):
+            ref = evaluate_schedule(toy_config, sched, works, errors=err)
+            np.testing.assert_allclose(batch.time[i], ref.time, rtol=1e-12)
+            np.testing.assert_allclose(batch.energy[i], ref.energy, rtol=1e-12)
+
+    def test_truncated_mode_matches_scalar(self, hera_xscale):
+        works = np.logspace(1, 4, 16)
+        batch = evaluate_schedule_batch(
+            hera_xscale, GENERAL_SCHEDULES, works, max_attempts=9
+        )
+        assert batch.truncated
+        for i, sched in enumerate(GENERAL_SCHEDULES):
+            ref = evaluate_schedule(hera_xscale, sched, works, max_attempts=9)
+            np.testing.assert_allclose(batch.time[i], ref.time, rtol=1e-12)
+            np.testing.assert_allclose(
+                batch.tail_bound_time[i], ref.tail_bound_time, rtol=1e-10
+            )
+
+    def test_scalar_work_gives_one_value_per_row(self, hera_xscale):
+        batch = evaluate_schedule_batch(hera_xscale, GENERAL_SCHEDULES, 2764.0)
+        assert batch.time.shape == (len(GENERAL_SCHEDULES),)
+
+
+class TestGoldenSolveEquivalence:
+    """The acceptance pin: schedule-grid == schedule, randomized grid."""
+
+    def test_randomized_grid_agrees_with_scalar_backend(self):
+        rng = np.random.default_rng(20260726)
+        scenarios = _random_scenarios(rng, 48)
+        scalar = get_backend("schedule").solve_batch(scenarios)
+        batched = get_backend("schedule-grid").solve_batch(scenarios)
+        assert sum(r.feasible for r in scalar) > len(scenarios) // 2  # non-trivial
+        for s, b in zip(scalar, batched):
+            _assert_rows_agree(s, b)
+
+    def test_named_schedules_across_catalog(self, any_config):
+        scenarios = [
+            Scenario(config=any_config, rho=RHO, schedule=s)
+            for s in GENERAL_SCHEDULES
+        ]
+        scalar = get_backend("schedule").solve_batch(scenarios)
+        batched = get_backend("schedule-grid").solve_batch(scenarios)
+        for s, b in zip(scalar, batched):
+            _assert_rows_agree(s, b)
+
+    def test_two_speed_rows_byte_identical_via_fast_path(self, hera_xscale):
+        scenarios = [
+            Scenario(config="hera-xscale", rho=RHO, schedule=s)
+            for s in (TwoSpeed(0.4, 0.6), Constant(0.5), TwoSpeed(0.6, 0.4))
+        ]
+        scalar = get_backend("schedule").solve_batch(scenarios)
+        batched = get_backend("schedule-grid").solve_batch(scenarios)
+        for s, b in zip(scalar, batched):
+            assert b.best == s.best  # byte-identical PatternSolutions
+            assert b.provenance.backend == "schedule-grid"
+
+    def test_mixed_batch_keeps_scenario_order(self):
+        scenarios = [
+            Scenario(config="hera-xscale", rho=RHO, schedule=TwoSpeed(0.4, 0.6)),
+            Scenario(config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[0]),
+            Scenario(config="atlas-crusoe", rho=RHO, schedule=TwoSpeed(0.45, 0.45)),
+            Scenario(config="atlas-crusoe", rho=RHO, schedule=GENERAL_SCHEDULES[2]),
+        ]
+        results = get_backend("schedule-grid").solve_batch(scenarios)
+        for sc, res in zip(scenarios, results):
+            assert res.scenario is sc
+            assert res.provenance.batch_size == len(scenarios)
+
+    def test_single_solve_matches_batch_row(self):
+        sched = GENERAL_SCHEDULES[2]
+        single = Scenario(
+            config="hera-xscale", rho=RHO, schedule=sched
+        ).solve(backend="schedule-grid", cache=False)
+        row = get_backend("schedule-grid").solve_batch(
+            [Scenario(config="hera-xscale", rho=RHO, schedule=sched)]
+        )[0]
+        assert single.best == row.best
+
+    def test_solve_schedule_batch_front_door(self, hera_xscale):
+        sol = solve_schedule_batch(hera_xscale, GENERAL_SCHEDULES, RHO)
+        assert len(sol) == len(GENERAL_SCHEDULES)
+        assert sol.feasible.all()
+        assert np.all(sol.time_overhead <= RHO + 1e-9)
+        # per-schedule bounds broadcast too
+        rhos = np.full(len(GENERAL_SCHEDULES), RHO)
+        sol2 = solve_schedule_batch(hera_xscale, GENERAL_SCHEDULES, rhos)
+        np.testing.assert_array_equal(sol.energy_overhead, sol2.energy_overhead)
+
+    def test_infeasible_rows_report_rho_min(self, hera_xscale):
+        sched = Escalating((0.4, 0.6, 0.8))
+        sol = solve_schedule_batch(hera_xscale, [sched], 0.1)
+        assert not sol.feasible[0]
+        assert np.isnan(sol.work[0])
+        assert sol.rho_min[0] == pytest.approx(
+            schedule_min_bound(hera_xscale, sched), rel=1e-9
+        )
+
+
+class TestRoutingAndStudy:
+    def test_backend_registered(self):
+        assert "schedule-grid" in available_backends()
+        assert get_backend("schedule-grid").batched
+
+    def test_general_schedules_default_to_grid_backend(self):
+        general = Scenario(
+            config="hera-xscale", rho=RHO, schedule=Geometric(0.4, 1.5, sigma_max=1.0)
+        )
+        two = Scenario(config="hera-xscale", rho=RHO, schedule=TwoSpeed(0.4, 0.6))
+        assert general.default_backend == "schedule-grid"
+        assert two.default_backend == "schedule"
+
+    def test_study_routes_general_schedule_batches(self):
+        study = Study.from_grid(
+            configs=("hera-xscale",),
+            rhos=(3.0, 3.5),
+            schedules=(None, "two:0.4,0.6", "geom:0.4,1.5,1"),
+        )
+        results = study.solve(cache=False)
+        used = {r.scenario.schedule.spec() if r.scenario.schedule else None:
+                r.provenance.backend for r in results}
+        assert used[None] == "firstorder"
+        assert used["two:0.4,0.6"] == "schedule"
+        assert used["geom:0.4,1.5,1"] == "schedule-grid"
+        assert all(r.feasible for r in results)
+
+    def test_unscheduled_scenario_rejected(self, hera_xscale):
+        with pytest.raises(UnsupportedScenarioError):
+            Scenario(config=hera_xscale, rho=RHO).solve(
+                backend="schedule-grid", cache=False
+            )
+
+    def test_single_infeasible_solve_raises_with_rho_min(self, hera_xscale):
+        sched = Escalating((0.4, 0.6, 0.8))
+        with pytest.raises(InfeasibleBoundError) as exc:
+            Scenario(config=hera_xscale, rho=0.1, schedule=sched).solve(cache=False)
+        assert exc.value.rho_min == pytest.approx(
+            schedule_min_bound(hera_xscale, sched), rel=1e-6
+        )
+
+    def test_run_schedule_sweep_fast(self, hera_xscale):
+        specs = ("two:0.4,0.6", "esc:0.4,0.6,0.8", "geom:0.4,1.5,1")
+        sweep = run_schedule_sweep_fast(hera_xscale, RHO, specs)
+        assert sweep.specs == specs
+        assert sweep.feasible_mask().all()
+        best = sweep.best_index()
+        assert sweep.energy[best] == np.nanmin(sweep.energy)
+
+    def test_result_payload_is_schedule_solution(self):
+        res = Scenario(
+            config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[0]
+        ).solve(cache=False)
+        assert res.provenance.backend == "schedule-grid"
+        assert isinstance(res.best, ScheduleSolution)
+        assert res.best.schedule == GENERAL_SCHEDULES[0]
+
+
+class TestCacheIntegration:
+    def test_grid_backend_results_are_cached(self):
+        cache = SolveCache()
+        sc = Scenario(config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[1])
+        first = sc.solve(cache=cache)
+        second = sc.solve(cache=cache)
+        assert not first.provenance.cache_hit
+        assert second.provenance.cache_hit
+        assert second.best is first.best
+
+    def test_label_does_not_enter_the_cache_key(self):
+        cache = SolveCache()
+        plain = Scenario(config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[1])
+        labelled = Scenario(
+            config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[1],
+            label="grid-point-7",
+        )
+        plain.solve(cache=cache)
+        replay = labelled.solve(cache=cache)
+        assert replay.provenance.cache_hit
+        # ...but the replay carries the caller's label for exports.
+        assert replay.scenario.label == "grid-point-7"
+
+    def test_catalog_name_and_resolved_config_share_an_entry(self, hera_xscale):
+        cache = SolveCache()
+        Scenario(config="hera-xscale", rho=RHO).solve(cache=cache)
+        replay = Scenario(config=hera_xscale, rho=RHO).solve(cache=cache)
+        assert replay.provenance.cache_hit
+
+    def test_backend_name_still_enters_the_key(self):
+        cache = SolveCache()
+        sc = Scenario(config="hera-xscale", rho=RHO, schedule=GENERAL_SCHEDULES[1])
+        sc.solve(backend="schedule", cache=cache)
+        fresh = sc.solve(backend="schedule-grid", cache=cache)
+        assert not fresh.provenance.cache_hit
+        assert len(cache) == 2
+
+
+class TestProcessSharding:
+    def test_sharded_fanout_matches_serial(self):
+        study = Study.from_grid(
+            configs=("hera-xscale", "atlas-crusoe"),
+            rhos=(3.0, 3.5),
+            schedules=("esc:0.4,0.6,0.8", "geom:0.4,1.5,1"),
+        )
+        serial = study.solve(cache=False)
+        fanned = study.solve(cache=False, processes=2)
+        for s, f in zip(serial, fanned):
+            assert f.provenance.backend == s.provenance.backend
+            assert f.feasible == s.feasible
+            assert f.best.energy_overhead == pytest.approx(
+                s.best.energy_overhead, rel=ENERGY_RTOL
+            )
+            assert f.best.work == pytest.approx(s.best.work, rel=PLACEMENT_RTOL)
