@@ -46,6 +46,14 @@ Re-executions need not share one speed: a per-attempt
 >>> sched.speeds_for_attempts(4)
 (0.4, 0.6000000000000001, 0.9000000000000001, 1.0)
 
+Nor must errors arrive memorylessly: pluggable renewal
+:class:`ErrorModel` families (``exp``/``weibull``/``gamma``/``trace``)
+replace the exponential assumption end to end — see ``docs/errors.md``:
+
+>>> model = repro.parse_error_model("weibull:shape=0.7,mtbf=5e3,failstop=0.2")
+>>> model.failstop_arrivals.mtbf
+25000.0
+
 See ``docs/api.md`` for the full Scenario/Study workflow and the
 legacy-wrapper mapping table.
 """
@@ -68,7 +76,18 @@ from .core import (
     time_overhead,
     time_overhead_fo,
 )
-from .errors import CombinedErrors, ExponentialErrors
+from .errors import (
+    ArrivalProcess,
+    CombinedErrors,
+    ErrorModel,
+    ExponentialArrivals,
+    ExponentialErrors,
+    GammaArrivals,
+    TraceArrivals,
+    WeibullArrivals,
+    error_model_kinds,
+    parse_error_model,
+)
 from .schedules import (
     Constant,
     Escalating,
@@ -93,6 +112,7 @@ from .exceptions import (
     ReproError,
     SpeedNotAvailableError,
     UnknownBackendError,
+    UnsupportedErrorModelError,
     UnsupportedScenarioError,
 )
 from .platforms import (
@@ -155,7 +175,7 @@ from .api import (
     register_backend,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -179,9 +199,19 @@ __all__ = [
     "ConvergenceError",
     "UnknownBackendError",
     "UnsupportedScenarioError",
+    "UnsupportedErrorModelError",
     # substrates
     "ExponentialErrors",
     "CombinedErrors",
+    # error models (renewal arrival processes)
+    "ArrivalProcess",
+    "ExponentialArrivals",
+    "WeibullArrivals",
+    "GammaArrivals",
+    "TraceArrivals",
+    "ErrorModel",
+    "parse_error_model",
+    "error_model_kinds",
     "PowerModel",
     "Platform",
     "Processor",

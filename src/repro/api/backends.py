@@ -45,12 +45,14 @@ import numpy as np
 from ..core.numeric import ExactSolution, solve_pair_exact
 from ..core.singlespeed import _solve_single_speed_direct
 from ..core.solver import _solve_bicrit_direct, evaluate_pair
+from ..errors.models import ErrorModel
 from ..exceptions import (
     InfeasibleBoundError,
     UnknownBackendError,
     UnsupportedScenarioError,
 )
 from ..failstop.solver import CombinedSolution, solve_pair_combined
+from ..schedules.base import TwoSpeed
 from ..schedules.solver import ScheduleSolution, solve_schedule
 from ..schedules.vectorized import ScheduleGrid, solve_schedule_grid
 from ..sweep.vectorized import solve_bicrit_grid
@@ -89,6 +91,12 @@ class SolverBackend(abc.ABC):
     #: accepted (only the ``schedule``/``schedule-grid`` backends
     #: understand them).
     handles_schedules: bool = False
+    #: Whether scenarios carrying an explicit ``errors`` model are
+    #: accepted.  The legacy backends bake exponential arrivals into
+    #: their closed forms, so only the schedule backends — whose
+    #: evaluator dispatches through the model's renewal primitives —
+    #: opt in.
+    handles_error_models: bool = False
 
     @property
     def batched(self) -> bool:
@@ -112,6 +120,12 @@ class SolverBackend(abc.ABC):
             )
         if scenario.schedule is not None and not self.handles_schedules:
             return "per-attempt speed schedules require the 'schedule' backend"
+        if scenario.errors is not None and not self.handles_error_models:
+            return (
+                "explicit error models require the 'schedule'/'schedule-grid' "
+                "backends (their evaluator dispatches through the model's "
+                "renewal primitives)"
+            )
         return None
 
     def check_supports(self, scenario: "Scenario") -> None:
@@ -223,6 +237,35 @@ class ExactBackend(SolverBackend):
         )
 
 
+def _scenario_pair_axis(scenario: "Scenario") -> list[tuple[float, float]]:
+    """The (sigma1, sigma2) enumeration of a scenario, in the legacy
+    solvers' s1-major order (ties resolve the same way everywhere)."""
+    cfg = scenario.resolved_config()
+    s1_set = scenario.speeds if scenario.speeds is not None else cfg.speeds
+    s2_set = (
+        scenario.sigma2_choices
+        if scenario.sigma2_choices is not None
+        else cfg.speeds
+    )
+    return [(s1, s2) for s1 in s1_set for s2 in s2_set]
+
+
+def _best_pair_combined(cfg, errors, pairs, rho) -> CombinedSolution | None:
+    """Strict-improvement scan of :func:`solve_pair_combined` over the
+    pair axis — the single pair-enumeration loop shared by the
+    ``combined`` backend and the ``schedule-grid`` backend's
+    schedule-less exponential-model path, so the byte-identity pin
+    between them cannot drift."""
+    best: CombinedSolution | None = None
+    for s1, s2 in pairs:
+        sol = solve_pair_combined(cfg, errors, s1, s2, rho)
+        if sol is not None and (
+            best is None or sol.energy_overhead < best.energy_overhead
+        ):
+            best = sol
+    return best
+
+
 class CombinedBackend(SolverBackend):
     """Numeric solve with fail-stop + silent errors (Section 5)."""
 
@@ -231,21 +274,10 @@ class CombinedBackend(SolverBackend):
 
     def _solve(self, scenario: "Scenario") -> Result:
         cfg = scenario.resolved_config()
-        errors = scenario.errors()
-        s1_set = scenario.speeds if scenario.speeds is not None else cfg.speeds
-        s2_set = (
-            scenario.sigma2_choices
-            if scenario.sigma2_choices is not None
-            else cfg.speeds
+        errors = scenario.resolved_errors()
+        best = _best_pair_combined(
+            cfg, errors, _scenario_pair_axis(scenario), scenario.rho
         )
-        best: CombinedSolution | None = None
-        for s1 in s1_set:
-            for s2 in s2_set:
-                sol = solve_pair_combined(cfg, errors, s1, s2, scenario.rho)
-                if sol is not None and (
-                    best is None or sol.energy_overhead < best.energy_overhead
-                ):
-                    best = sol
         if best is None:
             raise InfeasibleBoundError(scenario.rho)
         return Result(
@@ -381,6 +413,7 @@ class ScheduleBackend(SolverBackend):
     name = "schedule"
     modes = frozenset({"silent", "combined", "failstop"})
     handles_schedules = True
+    handles_error_models = True
 
     def unsupported_reason(self, scenario: "Scenario") -> str | None:
         reason = super().unsupported_reason(scenario)
@@ -394,12 +427,17 @@ class ScheduleBackend(SolverBackend):
         cfg = scenario.resolved_config()
         schedule = scenario.schedule
         pair = schedule.as_two_speed()
-        errors = scenario.errors()
+        errors = scenario.resolved_errors()
 
-        if pair is not None:
-            # Closed-form fast paths: byte-identical to the legacy
-            # two-speed solvers for the same (sigma1, sigma2).
-            if scenario.mode == "silent":
+        # Closed-form fast paths for two-speed schedules: byte-identical
+        # to the legacy solvers for the same (sigma1, sigma2).  They
+        # require memoryless arrivals — resolved_errors() already
+        # collapsed memoryless models to CombinedErrors, so anything
+        # still an ErrorModel here is a general renewal family and must
+        # take the numeric attempt-series route (the closed forms would
+        # raise UnsupportedErrorModelError).
+        if pair is not None and not isinstance(errors, ErrorModel):
+            if errors is None:
                 outcome = evaluate_pair(cfg, pair[0], pair[1], scenario.rho)
                 if outcome.solution is None:
                     raise InfeasibleBoundError(scenario.rho, outcome.rho_min)
@@ -421,8 +459,9 @@ class ScheduleBackend(SolverBackend):
             )
 
         # errors=None means silent-only at cfg.lam; the schedule solver
-        # and evaluator apply that default themselves.  An infeasible
-        # bound propagates with the schedule's own rho_min attached.
+        # and evaluator apply that default themselves (and dispatch
+        # renewal models through their per-attempt primitives).  An
+        # infeasible bound propagates with the schedule's own rho_min.
         sol = solve_schedule(cfg, schedule, scenario.rho, errors=errors)
         return Result(
             scenario=scenario,
@@ -435,17 +474,26 @@ class ScheduleBackend(SolverBackend):
 class ScheduleGridBackend(SolverBackend):
     """Vectorised general-schedule kernel: whole batches in lockstep.
 
-    ``solve_batch`` splits a batch in two:
+    ``solve_batch`` splits a batch three ways:
 
-    * scenarios whose schedule reduces to a two-speed pair take the
-      scalar ``schedule`` backend's closed-form fast paths, so their
-      results stay byte-identical to the legacy solvers;
-    * every *general* schedule is stacked into one
+    * scenarios whose schedule reduces to a two-speed pair *and* whose
+      error model is memoryless take the scalar ``schedule`` backend's
+      closed-form fast paths, so their results stay byte-identical to
+      the legacy solvers;
+    * every other *scheduled* scenario — general schedules and renewal
+      error models alike, mixed freely — is stacked into one
       :class:`~repro.schedules.vectorized.ScheduleGrid` and solved by
       :func:`~repro.schedules.vectorized.solve_schedule_grid` — the
       per-attempt primitives, geometric tails, and the constrained
       pattern-size search all run as broadcast passes over the whole
-      sub-batch (a masked argmin instead of per-scenario SciPy loops).
+      sub-batch (a masked argmin instead of per-scenario SciPy loops);
+    * *schedule-less* scenarios carrying an explicit error model are
+      solved by enumerating their DVFS speed pairs as ``TwoSpeed``
+      schedules: exponential models replay the ``combined`` backend's
+      scalar pair loop (byte-identical to solving the equivalent
+      ``mode="combined"`` scenario), renewal models ride the same
+      batched grid as the scheduled rows, so a whole pair enumeration
+      costs one lockstep pass.
 
     Results carry the same :class:`~repro.schedules.solver.ScheduleSolution`
     payload as the scalar backend and agree with it to the optimiser
@@ -456,13 +504,17 @@ class ScheduleGridBackend(SolverBackend):
     name = "schedule-grid"
     modes = frozenset({"silent", "combined", "failstop"})
     handles_schedules = True
+    handles_error_models = True
 
     def unsupported_reason(self, scenario: "Scenario") -> str | None:
         reason = super().unsupported_reason(scenario)
         if reason is not None:
             return reason
-        if scenario.schedule is None:
-            return "scenario has no schedule; set Scenario(schedule=...)"
+        if scenario.schedule is None and scenario.errors is None:
+            return (
+                "scenario has no schedule; set Scenario(schedule=...) "
+                "(or an explicit errors= model for pair enumeration)"
+            )
         return None
 
     def _solve(self, scenario: "Scenario") -> Result:
@@ -470,6 +522,27 @@ class ScheduleGridBackend(SolverBackend):
         if not result.feasible:
             raise InfeasibleBoundError(scenario.rho, result.rho_min)
         return result
+
+    def _solve_pairs_scalar(self, scenario: "Scenario") -> Result:
+        """Schedule-less scenario with a *memoryless* model: replay the
+        ``combined`` backend's pair enumeration — literally the same
+        :func:`_best_pair_combined` loop, so the result is
+        byte-identical to solving the equivalent ``mode="combined"``
+        scenario."""
+        best = _best_pair_combined(
+            scenario.resolved_config(),
+            scenario.resolved_errors(),
+            _scenario_pair_axis(scenario),
+            scenario.rho,
+        )
+        if best is None:
+            raise InfeasibleBoundError(scenario.rho)
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=best,
+        )
 
     def solve_batch(self, scenarios: Sequence["Scenario"]) -> list[Result]:
         for sc in scenarios:
@@ -479,35 +552,79 @@ class ScheduleGridBackend(SolverBackend):
 
         fast: list[int] = []
         general: list[int] = []
+        enum: list[int] = []
         for i, sc in enumerate(scenarios):
-            (fast if sc.schedule.as_two_speed() is not None else general).append(i)
+            if sc.schedule is None:
+                # Explicit error model, no schedule: pair enumeration.
+                # Memoryless models take the scalar combined loop (fast
+                # list); renewal models join the batched grid.
+                if isinstance(sc.resolved_errors(), ErrorModel):
+                    enum.append(i)
+                else:
+                    fast.append(i)
+            elif sc.schedule.as_two_speed() is not None and not isinstance(
+                sc.resolved_errors(), ErrorModel
+            ):
+                fast.append(i)
+            else:
+                general.append(i)
 
-        # Two-speed rows: the scalar backend's closed-form fast paths
-        # (byte-identical results, re-stamped with this backend's name).
+        # Scalar rows: closed-form/pair fast paths (byte-identical
+        # results, re-stamped with this backend's name).
         if fast:
             scalar = get_backend("schedule")
             for i in fast:
                 try:
-                    res = scalar._solve(scenarios[i])
-                    res = replace(
-                        res, provenance=replace(res.provenance, backend=self.name)
-                    )
+                    if scenarios[i].schedule is None:
+                        res = self._solve_pairs_scalar(scenarios[i])
+                    else:
+                        res = scalar._solve(scenarios[i])
+                        res = replace(
+                            res,
+                            provenance=replace(res.provenance, backend=self.name),
+                        )
                 except InfeasibleBoundError as exc:
                     res = self.infeasible_result(scenarios[i], exc)
                 results[i] = res
 
-        if general:
-            grid = ScheduleGrid.from_points(
-                [
-                    (sc.resolved_config(), sc.schedule, sc.errors())
-                    for sc in (scenarios[i] for i in general)
-                ]
-            )
-            sol = solve_schedule_grid(
-                grid, np.array([scenarios[i].rho for i in general])
-            )
-            for pos, i in enumerate(general):
-                results[i] = self._materialise(scenarios[i], sol, pos)
+        if general or enum:
+            # One grid for everything numeric: scheduled rows first,
+            # then each enumerated scenario's pair block.
+            points: list[tuple] = [
+                (
+                    scenarios[i].resolved_config(),
+                    scenarios[i].schedule,
+                    scenarios[i].resolved_errors(),
+                )
+                for i in general
+            ]
+            rhos: list[float] = [scenarios[i].rho for i in general]
+            blocks: list[tuple[int, int, list[tuple[float, float]]]] = []
+            for i in enum:
+                sc = scenarios[i]
+                cfg = sc.resolved_config()
+                errors = sc.resolved_errors()
+                pairs = _scenario_pair_axis(sc)
+                if not pairs:
+                    # Degenerate speed restriction (speeds=()): no
+                    # candidate can satisfy any bound — infeasible, same
+                    # as the memoryless enumeration returning no pair.
+                    results[i] = self.infeasible_result(sc)
+                    continue
+                blocks.append((i, len(points), pairs))
+                points.extend(
+                    (cfg, TwoSpeed(s1, s2), errors) for s1, s2 in pairs
+                )
+                rhos.extend([sc.rho] * len(pairs))
+            if points:
+                grid = ScheduleGrid.from_points(points)
+                sol = solve_schedule_grid(grid, np.asarray(rhos))
+                for pos, i in enumerate(general):
+                    results[i] = self._materialise(scenarios[i], sol, pos)
+                for i, start, pairs in blocks:
+                    results[i] = self._materialise_enum(
+                        scenarios[i], sol, start, pairs
+                    )
 
         wall = time.perf_counter() - t0
         share = wall / max(len(scenarios), 1)
@@ -532,6 +649,49 @@ class ScheduleGridBackend(SolverBackend):
             )
         best = ScheduleSolution(
             schedule=scenario.schedule,
+            work=float(sol.work[pos]),
+            energy_overhead=float(sol.energy_overhead[pos]),
+            time_overhead=float(sol.time_overhead[pos]),
+            interval=(float(sol.w_lo[pos]), float(sol.w_hi[pos])),
+            failstop_fraction=scenario.effective_failstop_fraction,
+        )
+        return Result(
+            scenario=scenario,
+            provenance=Provenance(backend=self.name),
+            best=best,
+            raw=best,
+        )
+
+    def _materialise_enum(
+        self,
+        scenario,
+        sol,
+        start: int,
+        pairs: list[tuple[float, float]],
+    ) -> Result:
+        """One schedule-less scenario's result from its block of pair rows.
+
+        The winner is the feasible pair with the smallest energy
+        overhead; ``argmin`` takes the first of equals, matching the
+        legacy solvers' strict-improvement scan in the same s1-major
+        order.  When no pair is feasible the block's smallest
+        ``rho_min`` is the scenario's infeasibility diagnostic.
+        """
+        rows = slice(start, start + len(pairs))
+        feas = sol.feasible[rows]
+        if not feas.any():
+            return Result(
+                scenario=scenario,
+                provenance=Provenance(backend=self.name),
+                best=None,
+                rho_min=float(np.min(sol.rho_min[rows])),
+            )
+        energy = np.where(feas, sol.energy_overhead[rows], np.inf)
+        k = int(np.argmin(energy))
+        pos = start + k
+        s1, s2 = pairs[k]
+        best = ScheduleSolution(
+            schedule=TwoSpeed(s1, s2),
             work=float(sol.work[pos]),
             energy_overhead=float(sol.energy_overhead[pos]),
             time_overhead=float(sol.time_overhead[pos]),

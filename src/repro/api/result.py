@@ -174,7 +174,7 @@ class Result:
                 cfg,
                 work=self.best.work,
                 schedule=self.scenario.schedule,
-                errors=self.scenario.errors(),
+                errors=self.scenario.resolved_errors(),
                 n=n,
                 rng=rng,
             )
@@ -183,7 +183,7 @@ class Result:
             work=self.best.work,
             sigma1=self.best.sigma1,
             sigma2=self.best.sigma2,
-            errors=self.scenario.errors(),
+            errors=self.scenario.resolved_errors(),
             n=n,
             rng=rng,
         )

@@ -29,6 +29,12 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import (
+    ArrivalProcess,
+    ErrorModel,
+    as_error_model,
+    collapse_memoryless,
+)
 from ..exceptions import InfeasibleBoundError, InvalidParameterError
 from ..platforms.catalog import get_configuration
 from ..platforms.configuration import Configuration
@@ -94,6 +100,21 @@ class Scenario:
         (closed-form fast paths, byte-identical to the legacy solvers)
         and general schedules to the vectorised ``schedule-grid``
         backend, which batches whole studies in broadcast passes.
+    errors:
+        Optional explicit error model — a renewal
+        :class:`~repro.errors.models.ErrorModel`, a bare
+        :class:`~repro.errors.models.ArrivalProcess` (silent-only), a
+        legacy :class:`~repro.errors.combined.CombinedErrors`, or a
+        spec string such as ``"weibull:shape=0.7,mtbf=5e3,failstop=0.2"``
+        (see ``repro errors``).  The model carries its own rate and
+        fail-stop split, so it is exclusive with ``failstop_fraction``
+        / ``error_rate`` and requires the default mode.  Memoryless
+        (``exp:``) models keep the closed-form fast paths
+        byte-identically; other renewal families route through the
+        schedule backends — with a ``schedule`` the per-attempt policy
+        is solved directly, without one the DVFS speed pairs are
+        enumerated as two-speed schedules in one batched
+        ``schedule-grid`` pass.
     backend:
         Preferred backend registry name; ``None`` picks the mode's
         default (``combined`` for combined/failstop modes, else
@@ -115,6 +136,7 @@ class Scenario:
     speeds: tuple[float, ...] | None = None
     sigma2_choices: tuple[float, ...] | None = None
     schedule: SpeedSchedule | str | None = None
+    errors: "ErrorModel | ArrivalProcess | CombinedErrors | str | None" = None
     backend: str | None = None
     label: str | None = None
 
@@ -135,6 +157,24 @@ class Scenario:
                 raise InvalidParameterError(
                     "a schedule pins every attempt speed; speeds/"
                     "sigma2_choices restrictions do not apply"
+                )
+        if self.errors is not None:
+            object.__setattr__(self, "errors", as_error_model(self.errors))
+            if self.mode != "silent":
+                raise InvalidParameterError(
+                    f"an explicit error model carries its own rate and "
+                    f"fail-stop split; leave mode at its default instead of "
+                    f"{self.mode!r}"
+                )
+            if self.failstop_fraction is not None:
+                raise InvalidParameterError(
+                    "failstop_fraction conflicts with an explicit error "
+                    "model; put failstop=f in the model spec instead"
+                )
+            if self.error_rate is not None:
+                raise InvalidParameterError(
+                    "error_rate conflicts with an explicit error model; "
+                    "the model carries its own rate (mtbf=/rate=/scale=)"
                 )
         if self.speeds is not None:
             object.__setattr__(self, "speeds", tuple(float(s) for s in self.speeds))
@@ -179,15 +219,28 @@ class Scenario:
 
     @property
     def effective_failstop_fraction(self) -> float:
-        """The fail-stop fraction the mode implies."""
+        """The fail-stop fraction the mode (or explicit model) implies."""
+        if self.errors is not None:
+            return self.errors.failstop_fraction
         if self.mode == "failstop":
             return 1.0
         if self.mode == "combined":
             return float(self.failstop_fraction)  # validated non-None
         return 0.0
 
-    def errors(self) -> CombinedErrors | None:
-        """The combined error model, or ``None`` for silent-only modes."""
+    def resolved_errors(self) -> CombinedErrors | ErrorModel | None:
+        """The error model the solve runs under.
+
+        An explicit ``errors`` model wins: memoryless models collapse to
+        their byte-identical :class:`CombinedErrors` (so the legacy
+        closed-form paths apply bit for bit), other renewal families
+        come back as the :class:`ErrorModel` itself.  Without one, the
+        mode decides: ``None`` for the silent-only modes (solvers then
+        use the configuration's own rate), a :class:`CombinedErrors`
+        for the combined/failstop modes.
+        """
+        if self.errors is not None:
+            return collapse_memoryless(self.errors)
         if self.mode not in _COMBINED_MODES:
             return None
         rate = self.error_rate
@@ -201,6 +254,20 @@ class Scenario:
     def default_backend(self) -> str:
         """Registry name used when neither the scenario nor the caller
         names a backend."""
+        if self.errors is not None:
+            # Explicit error models live in the schedule subsystem: the
+            # scalar backend keeps the closed-form fast path for
+            # memoryless two-speed scenarios; everything else — general
+            # schedules, renewal families, and schedule-less scenarios
+            # (solved by enumerating speed pairs as two-speed
+            # schedules) — batches through the vectorised kernel.
+            if (
+                self.schedule is not None
+                and self.schedule.as_two_speed() is not None
+                and self.errors.is_memoryless
+            ):
+                return "schedule"
+            return "schedule-grid"
         if self.schedule is not None:
             # Two-speed schedules keep the scalar backend's closed-form
             # fast paths; general schedules go to the vectorised batch
@@ -227,7 +294,10 @@ class Scenario:
         built from ``get_configuration("hera-xscale")`` also share an
         entry, and the ``error_rate`` override is folded into the
         resolved configuration.  Schedules hash canonically, keeping
-        the ``TwoSpeed(s, s) == Constant(s)`` sharing of PR 2.
+        the ``TwoSpeed(s, s) == Constant(s)`` sharing of PR 2, and
+        error models hash by their canonical (family, parameters,
+        split) identity, so the same model written as different spec
+        strings (``mtbf=`` vs ``scale=``) shares one entry.
         """
         return (
             "scenario",
@@ -238,6 +308,7 @@ class Scenario:
             self.speeds,
             self.sigma2_choices,
             self.schedule,
+            self.errors,
         )
 
     def describe(self) -> str:
@@ -248,6 +319,8 @@ class Scenario:
             bits.append(f"f={self.effective_failstop_fraction:g}")
         if self.error_rate is not None:
             bits.append(f"lambda={self.error_rate:g}")
+        if self.errors is not None:
+            bits.append(self.errors.spec())
         if self.schedule is not None:
             bits.append(self.schedule.spec())
         if self.label:
@@ -342,3 +415,10 @@ class Scenario:
         """A copy of this scenario under a different speed schedule
         (``None`` reverts to speed-pair enumeration)."""
         return replace(self, schedule=schedule)
+
+    def with_errors(
+        self, errors: "ErrorModel | ArrivalProcess | CombinedErrors | str | None"
+    ) -> "Scenario":
+        """A copy of this scenario under a different explicit error
+        model (``None`` reverts to the mode's error semantics)."""
+        return replace(self, errors=errors)

@@ -89,15 +89,17 @@ class Study:
         failstop_fractions: Sequence[float | None] = (None,),
         error_rates: Sequence[float | None] = (None,),
         schedules: "Sequence[SpeedSchedule | str | None]" = (None,),
+        error_models: Sequence = (None,),
         backend: str | None = None,
         name: str = "grid-study",
     ) -> "Study":
-        """The cartesian grid configs x rhos x modes x fractions x rates
-        x schedules.
+        """The cartesian grid configs x rhos x modes x fractions x
+        models x rates x schedules.
 
         ``configs`` defaults to the full eight-configuration catalog.
-        Grid order is row-major in the parameter order above, so the
-        result set zips positionally against the same product.
+        Grid order is row-major in the parameter order above (the model
+        axis nests *outside* the rate axis, which it suppresses), so
+        the result set zips positionally against the same product.
 
         ``failstop_fractions`` is an axis only for the ``combined``
         mode; the other modes take no fraction (``failstop`` implies
@@ -110,6 +112,15 @@ class Study:
         fraction axis, the schedule axis only applies to modes that
         take one — ``single-speed`` enumerates the diagonal and
         contributes a single unscheduled scenario per grid point.
+
+        ``error_models`` entries may be
+        :class:`~repro.errors.models.ErrorModel` objects, spec strings
+        (``"weibull:shape=0.7,mtbf=5e3,failstop=0.2"``), or ``None``
+        for the mode's own error semantics.  An explicit model carries
+        its own rate and split, so the axis applies only to ``silent``
+        (default-mode) grid points and suppresses the ``error_rates``
+        axis for its scenarios; mixed exponential/renewal model grids
+        batch through the ``schedule-grid`` backend.
         """
         if configs is None:
             configs = configuration_names()
@@ -124,13 +135,15 @@ class Study:
                 failstop_fraction=fraction,
                 error_rate=rate,
                 schedule=schedule,
+                errors=model,
                 backend=backend,
             )
             for cfg in configs
             for rho in rhos
             for mode in modes
             for fraction in (failstop_fractions if mode == "combined" else (None,))
-            for rate in error_rates
+            for model in (error_models if mode == "silent" else (None,))
+            for rate in (error_rates if model is None else (None,))
             for schedule in (schedules if mode != "single-speed" else (None,))
         )
         return cls(scenarios=scenarios, name=name)
@@ -144,6 +157,7 @@ class Study:
         *,
         modes: Sequence[str] = ("silent",),
         schedule: "SpeedSchedule | str | None" = None,
+        errors=None,
         name: str | None = None,
     ) -> "Study":
         """One scenario per (axis value, mode), axis-major order.
@@ -152,7 +166,9 @@ class Study:
         ``(configuration, rho)`` of every point — the study equivalent
         of :func:`repro.sweep.runner.run_sweep`'s iteration.  An
         optional ``schedule`` pins the per-attempt speeds of every
-        point (sweeping the model parameters *under* one policy).
+        point (sweeping the model parameters *under* one policy); an
+        optional ``errors`` model (object or spec string) likewise pins
+        the error model of every point.
         """
         scenarios: list[Scenario] = []
         for value in axis.values:
@@ -164,6 +180,7 @@ class Study:
                         rho=rho_v,
                         mode=mode,
                         schedule=schedule,
+                        errors=errors,
                         label=f"{axis.name}={value:g}",
                     )
                 )

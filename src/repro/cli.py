@@ -13,11 +13,18 @@ Commands
 ``schedules``
     List the re-execution speed-schedule policies and their spec
     grammar.
+``errors``
+    List the pluggable error-model families (renewal arrival
+    processes) and their spec grammar.
 ``solve``
     Solve one scenario, optionally under a per-attempt speed schedule
     (``repro solve --config hera-xscale --rho 3 --schedule geom:0.4,1.5,1``);
     repeating ``--schedule`` sweeps a whole schedule axis in one
     batched ``schedule-grid`` solve (``--csv`` exports every row).
+    ``--errors weibull:shape=0.7,mtbf=5e3,failstop=0.2`` solves under
+    a non-exponential renewal error model (speed pairs are enumerated
+    through the batched ``schedule-grid`` backend when no schedule is
+    given).
 ``table``
     Regenerate a Section-4.2 speed-pair table
     (``repro table --config hera-xscale --rho 3``).
@@ -95,6 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("schedules", help="list speed-schedule policies and spec grammar")
 
+    sub.add_parser("errors", help="list error-model families and spec grammar")
+
     p_solve = sub.add_parser(
         "solve", help="solve one scenario (optionally with a speed schedule)"
     )
@@ -111,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(see 'repro schedules'); omit to enumerate speed pairs; repeat the "
              "flag to sweep a schedule axis in one batched solve "
              "(general schedules go through the vectorised schedule-grid backend)",
+    )
+    p_solve.add_argument(
+        "--errors", default=None, metavar="SPEC",
+        help="explicit error model spec, e.g. weibull:shape=0.7,mtbf=5e3,failstop=0.2 "
+             "(see 'repro errors'); carries its own rate/split, so it conflicts "
+             "with --mode/--failstop-fraction/--rate",
     )
     p_solve.add_argument("--backend", default=None, help="solver backend override")
     p_solve.add_argument("--csv", default=None, help="also write a one-row results CSV")
@@ -156,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-attempt speed schedule spec (overrides --sigma1/--sigma2)",
     )
     p_val.add_argument("--failstop-fraction", type=float, default=0.0)
+    p_val.add_argument(
+        "--errors", default=None, metavar="SPEC",
+        help="explicit error model spec (e.g. gamma:shape=2,mtbf=5e3); "
+             "overrides --failstop-fraction",
+    )
     p_val.add_argument("--samples", type=int, default=20000)
     p_val.add_argument("--seed", type=int, default=12345)
 
@@ -242,6 +262,32 @@ def _cmd_schedules(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_errors(_: argparse.Namespace) -> int:
+    from .errors import error_model_kinds
+
+    print("pluggable error-model families (spec grammar: kind:key=value,...)")
+    print()
+    examples = {
+        "exp": "exp:mtbf=1e4  or  exp:rate=1e-4,failstop=0.2",
+        "weibull": "weibull:shape=0.7,mtbf=5e3,failstop=0.2",
+        "gamma": "gamma:shape=2,mtbf=5e3",
+        "trace": "trace:file=failures.log  or  trace:times=900;4e3;1.2e4",
+    }
+    for kind, cls in error_model_kinds().items():
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{kind:8s} {cls.__name__:20s} {summary}")
+        print(f"{'':8s} e.g. {examples.get(kind, '')}")
+    print()
+    print("failstop=f splits the total process into fail-stop/silent sources;")
+    print("each attempt draws a fresh inter-arrival (renewal semantics).")
+    print("exp models keep the closed-form fast paths; other families route")
+    print("through the schedule backends (see docs/errors.md).")
+    print()
+    print("use with: repro solve --errors SPEC, repro validate --errors SPEC,")
+    print("or Scenario(errors=...) from Python")
+    return 0
+
+
 def _solve_schedule_axis(args: argparse.Namespace, specs: list[str]) -> int:
     """Several ``--schedule`` flags: one batched solve over the axis."""
     from .api.study import Study
@@ -260,6 +306,7 @@ def _solve_schedule_axis(args: argparse.Namespace, specs: list[str]) -> int:
                 failstop_fraction=args.failstop_fraction,
                 error_rate=args.rate,
                 schedule=parse_schedule(spec),
+                errors=args.errors,
                 backend=args.backend,
             )
             for spec in specs
@@ -317,6 +364,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             failstop_fraction=args.failstop_fraction,
             error_rate=args.rate,
             schedule=schedule,
+            errors=args.errors,
             backend=args.backend,
         )
     except InvalidParameterError as exc:
@@ -419,6 +467,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     errors = None
     if args.failstop_fraction > 0:
         errors = CombinedErrors(cfg.lam, args.failstop_fraction)
+    if args.errors:
+        from .errors import parse_error_model
+
+        try:
+            errors = parse_error_model(args.errors)
+        except InvalidParameterError as exc:
+            print(f"invalid error model: {exc}")
+            return 1
     if args.schedule:
         try:
             schedule = parse_schedule(args.schedule)
@@ -445,6 +501,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
     s = report.summary
     print(f"config          : {cfg.name}")
+    if args.errors:
+        print(f"error model     : {errors.spec()}")
     if report.schedule is not None:
         print(f"pattern         : W={report.work:g}  schedule={report.schedule.spec()}")
     else:
@@ -586,6 +644,7 @@ _COMMANDS = {
     "configs": _cmd_configs,
     "backends": _cmd_backends,
     "schedules": _cmd_schedules,
+    "errors": _cmd_errors,
     "solve": _cmd_solve,
     "table": _cmd_table,
     "sweep": _cmd_sweep,

@@ -1,6 +1,36 @@
-"""Error-process substrate: exponential arrivals and the fail-stop/silent split."""
+"""Error-process substrate: exponential arrivals, the fail-stop/silent
+split, and the pluggable renewal arrival-process models."""
 
 from .combined import CombinedErrors
 from .exponential import ExponentialErrors
+from .models import (
+    ArrivalProcess,
+    ErrorModel,
+    ExponentialArrivals,
+    GammaArrivals,
+    TraceArrivals,
+    WeibullArrivals,
+    as_error_model,
+    collapse_memoryless,
+    error_model_from_dict,
+    error_model_kinds,
+    parse_error_model,
+    require_memoryless,
+)
 
-__all__ = ["ExponentialErrors", "CombinedErrors"]
+__all__ = [
+    "ExponentialErrors",
+    "CombinedErrors",
+    "ArrivalProcess",
+    "ExponentialArrivals",
+    "WeibullArrivals",
+    "GammaArrivals",
+    "TraceArrivals",
+    "ErrorModel",
+    "parse_error_model",
+    "error_model_from_dict",
+    "error_model_kinds",
+    "as_error_model",
+    "collapse_memoryless",
+    "require_memoryless",
+]

@@ -119,6 +119,14 @@ class CombinedErrors:
             total_rate=total_rate, failstop_fraction=self.failstop_fraction
         )
 
+    def to_model(self):
+        """Lift into the renewal-model layer
+        (:class:`repro.errors.models.ErrorModel` over exponential
+        arrivals; the inverse of ``ErrorModel.to_combined``)."""
+        from .models import ErrorModel
+
+        return ErrorModel.from_combined(self)
+
     # ------------------------------------------------------------------
     # Per-attempt expectations (the speed-schedule building blocks)
     # ------------------------------------------------------------------

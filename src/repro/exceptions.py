@@ -17,6 +17,7 @@ __all__ = [
     "ConvergenceError",
     "UnknownBackendError",
     "UnsupportedScenarioError",
+    "UnsupportedErrorModelError",
 ]
 
 
@@ -130,6 +131,44 @@ class UnknownBackendError(ReproError, KeyError):
         # Multi-arg __init__ needs explicit pickle support so the error
         # survives the Study.solve(processes=...) process boundary.
         return (type(self), (self.name, self.available))
+
+
+class UnsupportedErrorModelError(ReproError, TypeError):
+    """A closed form that requires memoryless arrivals got a renewal model.
+
+    The paper's two-speed closed forms (Theorem 1, the Section-5
+    combined expectations, the first-order windows) all rest on the
+    exponential — memoryless — arrival assumption: the remaining life of
+    the error process does not depend on how long the attempt has
+    already run.  A general renewal model (Weibull, Gamma, trace-driven)
+    breaks that step, so the entry points of :mod:`repro.failstop` and
+    the two-speed fast paths raise this error instead of silently
+    computing with the wrong closed form.  Callers should route such
+    models through the per-attempt schedule evaluator
+    (:mod:`repro.schedules`), which only needs the per-attempt renewal
+    primitives — the ``schedule``/``schedule-grid`` backends do this
+    automatically.
+
+    Inherits :class:`TypeError`: passing a non-memoryless model where an
+    exponential one is required is an interface misuse, not a numeric
+    domain problem.
+    """
+
+    def __init__(self, where: str, model: object):
+        self.where = where
+        self.model = model
+        spec = getattr(model, "spec", None)
+        shown = spec() if callable(spec) else repr(model)
+        super().__init__(
+            f"{where} requires a memoryless (exponential) error model, got "
+            f"{shown}; route non-exponential renewal models through the "
+            f"schedule evaluator (the 'schedule'/'schedule-grid' backends)"
+        )
+
+    def __reduce__(self):
+        # Multi-arg __init__ needs explicit pickle support so the error
+        # survives the Study.solve(processes=...) process boundary.
+        return (type(self), (self.where, self.model))
 
 
 class UnsupportedScenarioError(ReproError):

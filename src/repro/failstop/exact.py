@@ -38,6 +38,7 @@ import numpy as np
 
 from ..errors.combined import CombinedErrors
 from ..errors.exponential import capped_exposure
+from ..errors.models import require_memoryless
 from ..platforms.configuration import Configuration
 from ..quantities import as_float_array, is_scalar
 
@@ -53,7 +54,16 @@ __all__ = [
 
 
 def _parts(cfg: Configuration, errors: CombinedErrors, work, sigma1: float, sigma2: float):
-    """Common sub-expressions: (w, 1-q1, 1/q2, M1, M2)."""
+    """Common sub-expressions: (w, 1-q1, 1/q2, M1, M2).
+
+    The funnel of every closed form in this module, so the
+    memorylessness audit lives here: the expressions encode exponential
+    survival products, and a general renewal model must go through the
+    schedule evaluator instead (typed error, never a silently wrong
+    number).  A *memoryless* :class:`~repro.errors.models.ErrorModel`
+    converts to its byte-identical :class:`CombinedErrors`.
+    """
+    errors = require_memoryless(errors, "repro.failstop.exact")
     w = as_float_array(work)
     if np.any(w <= 0):
         raise ValueError("work must be > 0")
@@ -164,6 +174,7 @@ def expected_time_paper_eq7(
     """
     if sigma2 is None:
         sigma2 = sigma1
+    errors = require_memoryless(errors, "repro.failstop.exact.expected_time_paper_eq7")
     w = as_float_array(work)
     V = cfg.verification_time
     lf = errors.failstop_rate

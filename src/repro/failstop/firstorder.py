@@ -35,6 +35,7 @@ covered by the approximation-error tests.
 from __future__ import annotations
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import require_memoryless
 from ..core.firstorder import OverheadCoefficients
 from ..platforms.configuration import Configuration
 
@@ -52,7 +53,14 @@ def time_coefficients(
     sigma1: float,
     sigma2: float | None = None,
 ) -> OverheadCoefficients:
-    """Eq. (9) coefficients ``(x, y, z)`` of the time overhead."""
+    """Eq. (9) coefficients ``(x, y, z)`` of the time overhead.
+
+    The first-order expansion rests on exponential arrivals; renewal
+    models raise :class:`~repro.exceptions.UnsupportedErrorModelError`
+    (this guard also covers every Theorem-1/validity-window consumer in
+    :mod:`repro.failstop`, which all funnel through the coefficients).
+    """
+    errors = require_memoryless(errors, "repro.failstop.firstorder")
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:
@@ -75,6 +83,7 @@ def energy_coefficients(
     sigma2: float | None = None,
 ) -> OverheadCoefficients:
     """Eq. (10) coefficients ``(x, y, z)`` of the energy overhead (mJ)."""
+    errors = require_memoryless(errors, "repro.failstop.firstorder")
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.optimize import brentq, minimize_scalar
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import require_memoryless
 from ..exceptions import ConvergenceError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
@@ -89,6 +90,7 @@ def time_optimal_work(
     ``(12C/lambda^2)^{1/3} sigma`` when ``f = 1, V = 0, sigma2 = 2 sigma1``;
     the Theorem-2 bench compares this exact optimum against the formula.
     """
+    errors = require_memoryless(errors, "repro.failstop.solver.time_optimal_work")
     if sigma2 is None:
         sigma2 = sigma1
 
@@ -107,7 +109,16 @@ def solve_pair_combined(
     sigma2: float,
     rho: float,
 ) -> CombinedSolution | None:
-    """Exact constrained optimum for one speed pair (``None`` = infeasible)."""
+    """Exact constrained optimum for one speed pair (``None`` = infeasible).
+
+    Memoryless only (the exact closed forms it optimises are
+    exponential); renewal models raise
+    :class:`~repro.exceptions.UnsupportedErrorModelError` — route them
+    through :func:`repro.schedules.solver.solve_schedule` with a
+    ``TwoSpeed`` schedule instead (the ``schedule``/``schedule-grid``
+    backends do this automatically).
+    """
+    errors = require_memoryless(errors, "repro.failstop.solver.solve_pair_combined")
     require_positive(rho, "rho")
     interval = _feasible_interval(cfg, errors, sigma1, sigma2, rho)
     if interval is None:

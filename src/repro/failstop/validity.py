@@ -60,8 +60,14 @@ def first_order_window(errors: CombinedErrors) -> tuple[float, float]:
     """The ``Pidle = 0`` validity window for ``sigma2/sigma1``.
 
     ``(0, inf)`` when there are no fail-stop errors — the silent-only
-    expansion is valid for every speed pair.
+    expansion is valid for every speed pair.  Exponential only: the
+    window comes out of the first-order (memoryless) expansion, so a
+    renewal model raises
+    :class:`~repro.exceptions.UnsupportedErrorModelError`.
     """
+    from ..errors.models import require_memoryless
+
+    errors = require_memoryless(errors, "repro.failstop.validity.first_order_window")
     return errors.speed_ratio_validity_window()
 
 

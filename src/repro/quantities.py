@@ -36,7 +36,22 @@ __all__ = [
     "require_speed_set",
     "as_float_array",
     "is_scalar",
+    "fmt_round_trip",
 ]
+
+
+def fmt_round_trip(value: float) -> str:
+    """Compact *round-tripping* float formatting for spec strings.
+
+    ``%g`` keeps clean values clean (``0.4``, ``1``); when its 6
+    significant digits would lose the value (e.g. the ``0.6000...01``
+    speeds a geometric ramp produces, or a derived Weibull scale), fall
+    back to ``repr`` so ``float(fmt_round_trip(x)) == x`` always holds.
+    The single formatter behind both the schedule and the error-model
+    spec grammars — their round-trip guarantees must stay in lockstep.
+    """
+    s = f"{value:g}"
+    return s if float(s) == value else repr(value)
 
 
 def require_positive(value: float, name: str) -> float:

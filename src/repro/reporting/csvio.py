@@ -93,6 +93,7 @@ _RESULT_FIELDS = (
     "mode",
     "failstop_fraction",
     "error_rate",
+    "errors",
     "schedule",
     "label",
     "backend",
@@ -131,6 +132,7 @@ def write_results_csv(path: str | Path, results) -> Path:
                 if sc.mode in ("combined", "failstop")
                 else "",
                 "" if sc.error_rate is None else f"{sc.error_rate:.10g}",
+                "" if sc.errors is None else sc.errors.spec(),
                 "" if sc.schedule is None else sc.schedule.spec(),
                 sc.label or "",
                 r.provenance.backend,

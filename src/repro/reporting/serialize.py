@@ -118,6 +118,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     cfg = scenario.config
     best = result.best
     schedule = scenario.schedule
+    errors = scenario.errors
     payload: dict[str, Any] = {
         "schema": _RESULT_SCHEMA,
         "scenario": {
@@ -126,6 +127,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
             "mode": scenario.mode,
             "failstop_fraction": scenario.failstop_fraction,
             "error_rate": scenario.error_rate,
+            "errors": None if errors is None else errors.to_dict(),
             "schedule": None if schedule is None else schedule.to_dict(),
             "label": scenario.label,
         },

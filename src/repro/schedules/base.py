@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..exceptions import InvalidParameterError, SpeedNotAvailableError
+from ..quantities import fmt_round_trip as _fmt
 from ..quantities import require_positive
 
 __all__ = [
@@ -63,18 +64,6 @@ _SCHEDULE_SCHEMA = "repro/speed-schedule/v1"
 
 #: Registered policy kinds, spec-prefix -> class (filled at import time).
 _KINDS: dict[str, type["SpeedSchedule"]] = {}
-
-
-def _fmt(value: float) -> str:
-    """Compact *round-tripping* float formatting for spec strings.
-
-    ``%g`` keeps clean values clean (``0.4``, ``1``); when its 6
-    significant digits would lose the value (e.g. the ``0.6000...01``
-    speeds a :class:`Geometric` ramp produces), fall back to ``repr``
-    so ``parse_schedule(s.spec()) == s`` always holds.
-    """
-    s = f"{value:g}"
-    return s if float(s) == value else repr(value)
 
 
 class SpeedSchedule(abc.ABC):

@@ -58,10 +58,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import ErrorModel, collapse_memoryless
 from ..exceptions import InvalidParameterError, InvalidTruncationError
 from ..platforms.configuration import Configuration
 from ..quantities import as_float_array, is_scalar
 from .base import SpeedSchedule
+
+#: What every ``errors=`` parameter of this module accepts: the legacy
+#: exponential split, a renewal :class:`ErrorModel`, or ``None``
+#: (silent-only at the configuration's own rate).
+ErrorsLike = CombinedErrors | ErrorModel | None
 
 __all__ = [
     "ScheduleExpectation",
@@ -100,10 +106,39 @@ class ScheduleExpectation:
         return self.attempts - 1.0
 
 
-def _resolve_errors(cfg: Configuration, errors: CombinedErrors | None) -> CombinedErrors:
+def _resolve_errors(
+    cfg: Configuration, errors: ErrorsLike
+) -> CombinedErrors | ErrorModel:
+    """The per-attempt primitive provider for one evaluation.
+
+    ``None`` means silent-only at the configuration's own rate.  A
+    memoryless :class:`ErrorModel` collapses to its byte-identical
+    :class:`CombinedErrors` so the exponential fast path stays bit-for-
+    bit the legacy one; any other renewal model supplies the same
+    ``attempt_failure_probability`` / ``attempt_exposure`` interface
+    through its renewal CDF primitives.
+    """
     if errors is None:
         return CombinedErrors(total_rate=cfg.lam, failstop_fraction=0.0)
-    return errors
+    return collapse_memoryless(errors)
+
+
+def _attempt_primitives(err, w, speed: float, V: float):
+    """One attempt's ``(failure probability, capped busy time)``.
+
+    For a renewal :class:`ErrorModel` this is a single
+    ``per_window_primitives`` call — the solver's bracketing loops
+    evaluate hundreds of points, and computing p and m separately would
+    double the incomplete-gamma/ECDF work.  The legacy
+    :class:`CombinedErrors` path keeps its two byte-identical closed
+    forms.
+    """
+    if isinstance(err, ErrorModel):
+        return err.per_window_primitives((w + V) / speed, w / speed)
+    return (
+        err.attempt_failure_probability(w, speed, V),
+        err.attempt_exposure(w, speed, V),
+    )
 
 
 def evaluate_schedule(
@@ -111,7 +146,7 @@ def evaluate_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
     max_attempts: int | None = None,
     components: tuple[str, ...] = ("time", "energy"),
 ) -> ScheduleExpectation:
@@ -163,8 +198,7 @@ def evaluate_schedule(
     reach = np.ones_like(w)
 
     for s in head:
-        p = err.attempt_failure_probability(w, s, V)
-        m = err.attempt_exposure(w, s, V)
+        p, m = _attempt_primitives(err, w, s, V)
         if want_time:
             t = t + reach * (m + p * R)
         if want_energy:
@@ -174,8 +208,9 @@ def evaluate_schedule(
 
     # Tail: attempts len(head)+1 .. inf all run at the tail speed, so the
     # remaining series is geometric with ratio p_t and sums exactly.
-    p_t = np.asarray(err.attempt_failure_probability(w, tail, V))
-    m_t = np.asarray(err.attempt_exposure(w, tail, V))
+    p_t, m_t = _attempt_primitives(err, w, tail, V)
+    p_t = np.asarray(p_t)
+    m_t = np.asarray(m_t)
     with np.errstate(divide="ignore", invalid="ignore"):
         # p_t == 1.0 (numerically) means re-executions never succeed: the
         # expectation diverges, matching the exp-overflow convention of
@@ -236,7 +271,7 @@ def expected_time_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ):
     """Exact expected pattern time under ``schedule`` (Prop. 2 analogue)."""
     return evaluate_schedule(cfg, schedule, work, errors=errors, components=("time",)).time
@@ -247,7 +282,7 @@ def expected_energy_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ):
     """Exact expected pattern energy (mJ) under ``schedule`` (Prop. 3 analogue)."""
     return evaluate_schedule(
@@ -260,7 +295,7 @@ def expected_reexecutions_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
     max_attempts: int | None = None,
 ):
     """Expected number of re-executions per pattern under ``schedule``.
@@ -281,7 +316,7 @@ def time_overhead_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ):
     """Exact expected time per work unit under ``schedule``."""
     w = as_float_array(work)
@@ -297,7 +332,7 @@ def energy_overhead_schedule(
     schedule: SpeedSchedule,
     work,
     *,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ):
     """Exact expected energy per work unit (mJ) under ``schedule``."""
     w = as_float_array(work)

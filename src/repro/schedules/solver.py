@@ -29,12 +29,11 @@ import numpy as np
 from scipy.optimize import brentq, minimize_scalar
 
 from ..core.numeric import minimize_unimodal
-from ..errors.combined import CombinedErrors
 from ..exceptions import ConvergenceError, InfeasibleBoundError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
 from .base import SpeedSchedule
-from .evaluator import energy_overhead_schedule, time_overhead_schedule
+from .evaluator import ErrorsLike, energy_overhead_schedule, time_overhead_schedule
 
 __all__ = ["ScheduleSolution", "solve_schedule", "schedule_min_bound"]
 
@@ -75,7 +74,7 @@ class ScheduleSolution:
         return (self.sigma1, self.sigma2)
 
 
-def _overhead_fns(cfg: Configuration, errors: CombinedErrors | None, schedule: SpeedSchedule):
+def _overhead_fns(cfg: Configuration, errors: ErrorsLike, schedule: SpeedSchedule):
     def t_over(w: float) -> float:
         with np.errstate(over="ignore"):
             return float(time_overhead_schedule(cfg, schedule, w, errors=errors))
@@ -90,7 +89,7 @@ def _overhead_fns(cfg: Configuration, errors: CombinedErrors | None, schedule: S
 def schedule_min_bound(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ) -> float:
     """The smallest feasible ``rho`` for this schedule (Eq.-6 analogue).
 
@@ -107,7 +106,7 @@ def solve_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
     rho: float,
-    errors: CombinedErrors | None = None,
+    errors: ErrorsLike = None,
 ) -> ScheduleSolution:
     """Exact constrained optimum for one schedule.
 

@@ -41,12 +41,13 @@ measures the speedup over the per-scenario loop
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import ErrorModel, as_error_model, collapse_memoryless
 from ..exceptions import InvalidParameterError, InvalidTruncationError
 from ..platforms.configuration import Configuration
 from .base import SpeedSchedule, as_schedule
@@ -99,6 +100,15 @@ class ScheduleGrid:
     speeds padded to the batch maximum ``H`` (padded slots are masked
     out by ``head_len`` during evaluation, so padding never changes a
     row's value).  Build instances with :meth:`from_points`.
+
+    Rows may mix error models: exponential rows (``None``,
+    :class:`CombinedErrors`, or a memoryless :class:`ErrorModel`) live
+    entirely in the ``lam_f``/``lam_s`` columns and keep the scalar
+    fast path's arithmetic bit for bit; rows carrying a general renewal
+    :class:`ErrorModel` are listed in ``models`` and have their
+    per-attempt primitives computed through the model's renewal CDFs —
+    row-wise over the batch, but fully vectorised along the work axis,
+    so a mixed grid still evaluates in broadcast passes.
     """
 
     head: np.ndarray
@@ -112,6 +122,29 @@ class ScheduleGrid:
     kappa: np.ndarray
     idle: np.ndarray
     p_io: np.ndarray
+    #: Non-exponential rows as ``(row_index, model)`` pairs; their
+    #: ``lam_f``/``lam_s`` column entries are placeholders (0).
+    models: tuple[tuple[int, ErrorModel], ...] = ()
+    #: Rows grouped by *distinct* model, precomputed so the hot
+    #: ``_primitives`` path makes one vectorised sub-matrix call per
+    #: model rather than one per row (a study grid typically shares a
+    #: handful of models across many (schedule, rho) rows).
+    _model_groups: tuple[tuple[ErrorModel, np.ndarray], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        groups: dict[ErrorModel, list[int]] = {}
+        for i, model in self.models:
+            groups.setdefault(model, []).append(i)
+        object.__setattr__(
+            self,
+            "_model_groups",
+            tuple(
+                (model, np.asarray(idx, dtype=np.intp))
+                for model, idx in groups.items()
+            ),
+        )
 
     @property
     def n(self) -> int:
@@ -122,12 +155,17 @@ class ScheduleGrid:
     @classmethod
     def from_points(
         cls,
-        points: Sequence[tuple[Configuration, SpeedSchedule, CombinedErrors | None]],
+        points: Sequence[
+            tuple[Configuration, SpeedSchedule, CombinedErrors | ErrorModel | None]
+        ],
     ) -> "ScheduleGrid":
         """Stack ``(cfg, schedule, errors)`` triples into one grid.
 
         ``errors=None`` means silent-only at the configuration's own
-        rate, matching the scalar evaluator's default.
+        rate, matching the scalar evaluator's default; entries may also
+        be :class:`CombinedErrors` or renewal :class:`ErrorModel`
+        instances (memoryless models collapse onto the exponential
+        column fast path, general models become ``models`` rows).
         """
         if not points:
             raise InvalidParameterError("a schedule grid needs at least one point")
@@ -143,19 +181,34 @@ class ScheduleGrid:
         for i, (h, _) in enumerate(normalized):
             head[i, : len(h)] = h
         lam_f, lam_s = [], []
-        for cfg, _, errors in points:
+        models: list[tuple[int, ErrorModel]] = []
+        for i, (cfg, _, errors) in enumerate(points):
+            errors = collapse_memoryless(errors)
             if errors is None:
                 lam_f.append(0.0)
                 lam_s.append(cfg.lam)
-            else:
+            elif isinstance(errors, CombinedErrors):
                 lam_f.append(errors.failstop_rate)
                 lam_s.append(errors.silent_rate)
+            elif isinstance(errors, ErrorModel):
+                # General renewal row: the rate columns are placeholders
+                # (the exponential pass writes zeros there, which the
+                # model overwrite in _primitives replaces).
+                lam_f.append(0.0)
+                lam_s.append(0.0)
+                models.append((i, errors))
+            else:
+                raise InvalidParameterError(
+                    f"grid errors must be CombinedErrors, ErrorModel or None, "
+                    f"got {type(errors).__name__}"
+                )
         return cls(
             head=head,
             head_len=col([len(h) for h, _ in normalized]),
             tail=tail,
             lam_f=col(lam_f),
             lam_s=col(lam_s),
+            models=tuple(models),
             C=col([cfg.checkpoint_time for cfg, _, _ in points]),
             V=col([cfg.verification_time for cfg, _, _ in points]),
             R=col([cfg.recovery_time for cfg, _, _ in points]),
@@ -167,11 +220,28 @@ class ScheduleGrid:
     # ------------------------------------------------------------------
     def _primitives(self, w: np.ndarray, s: np.ndarray):
         """Per-attempt ``(failure probability, capped exposure)`` at
-        speed ``s``, broadcast over the work grid ``w``."""
+        speed ``s``, broadcast over the work grid ``w``.
+
+        The exponential column pass runs over every row first — its
+        expressions (and hence the exponential rows' bits) are exactly
+        the scalar fast path's — then the general-model rows are
+        overwritten through their renewal primitives, each call
+        vectorised along the work axis.  Exponential rows are therefore
+        independent of which models share the batch.
+        """
         tau = (w + self.V) / s
         omega = w / s
         p = -np.expm1(-(self.lam_f * tau + self.lam_s * omega))
         m = _capped_exposure_cols(self.lam_f, tau)
+        if self._model_groups:
+            # tau/omega may have broadcast shape (n, 1) against an
+            # (n, m) work grid; materialise rows for fancy indexing.
+            tau_b = np.broadcast_to(tau, p.shape)
+            omega_b = np.broadcast_to(omega, p.shape)
+            for model, idx in self._model_groups:
+                p_g, m_g = model.per_window_primitives(tau_b[idx], omega_b[idx])
+                p[idx] = p_g
+                m[idx] = m_g
         return p, m
 
     def _compute_power(self, s: np.ndarray) -> np.ndarray:
@@ -482,6 +552,9 @@ def _as_points(cfg, schedules, errors):
         if isinstance(errors, (list, tuple))
         else [errors] * len(scheds)
     )
+    # Spec strings are sugar for renewal ErrorModels; CombinedErrors and
+    # model objects pass through untouched.
+    errs = [as_error_model(e) if isinstance(e, str) else e for e in errs]
     if not len(cfgs) == len(scheds) == len(errs):
         raise InvalidParameterError(
             f"mismatched grid axes: {len(cfgs)} config(s), {len(scheds)} "
@@ -495,7 +568,7 @@ def evaluate_schedule_batch(
     schedules: Sequence[SpeedSchedule | str],
     work,
     *,
-    errors: CombinedErrors | Sequence[CombinedErrors | None] | None = None,
+    errors: "CombinedErrors | ErrorModel | str | Sequence | None" = None,
     components: tuple[str, ...] = ("time", "energy"),
     max_attempts: int | None = None,
 ) -> ScheduleExpectation:
@@ -503,9 +576,11 @@ def evaluate_schedule_batch(
 
     ``cfg`` and ``errors`` may be single values (applied to every
     schedule — the sigma-axis case: one platform, many policies) or
-    per-schedule sequences.  ``work`` broadcasts as in
-    :meth:`ScheduleGrid.evaluate`: a 1-D array of ``m`` pattern sizes
-    yields ``(len(schedules), m)`` result arrays.
+    per-schedule sequences; error entries may be legacy
+    :class:`CombinedErrors`, renewal :class:`ErrorModel` instances, or
+    spec strings (``"weibull:shape=0.7,mtbf=5e3"``).  ``work``
+    broadcasts as in :meth:`ScheduleGrid.evaluate`: a 1-D array of
+    ``m`` pattern sizes yields ``(len(schedules), m)`` result arrays.
     """
     grid = ScheduleGrid.from_points(_as_points(cfg, schedules, errors))
     return grid.evaluate(work, components=components, max_attempts=max_attempts)
@@ -516,7 +591,7 @@ def solve_schedule_batch(
     schedules: Sequence[SpeedSchedule | str],
     rho,
     *,
-    errors: CombinedErrors | Sequence[CombinedErrors | None] | None = None,
+    errors: "CombinedErrors | ErrorModel | str | Sequence | None" = None,
 ) -> ScheduleGridSolution:
     """Constrained optima of many schedules in one vectorised pass.
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import ErrorModel, collapse_memoryless
 from ..exceptions import ConvergenceError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
@@ -104,13 +105,16 @@ class ApplicationSimulator:
     def __init__(
         self,
         cfg: Configuration,
-        errors: CombinedErrors | None = None,
+        errors: CombinedErrors | ErrorModel | None = None,
         rng: np.random.Generator | int | None = None,
     ):
         self.cfg = cfg
         if errors is None:
             errors = CombinedErrors(total_rate=cfg.lam, failstop_fraction=0.0)
-        self.errors = errors
+        # Memoryless models collapse to the legacy split: the
+        # exponential sampling path (and its RNG stream) stays exactly
+        # the legacy one.
+        self.errors = collapse_memoryless(errors)
         if isinstance(rng, np.random.Generator):
             self.rng = rng
         else:
@@ -139,8 +143,46 @@ class ApplicationSimulator:
         require_positive(sigma2, "sigma2")
 
         cfg = self.cfg
-        lam_f = self.errors.failstop_rate
-        lam_s = self.errors.silent_rate
+        # Per-attempt samplers, chosen by model type up front.  The
+        # silent draw happens only on attempts a fail-stop error did
+        # not pre-empt — both for the model semantics and to keep the
+        # legacy exponential RNG stream (and its seeded traces) exactly
+        # as before.  A sampler returns the interruption time, or
+        # +inf when the attempt's window survives.
+        if isinstance(self.errors, ErrorModel):
+            # Renewal branch, mirroring PatternSimulator: fresh
+            # inter-arrival per attempt; <= window test to match the
+            # model CDF's P(X <= t) convention at trace atoms.
+            fs_proc = self.errors.failstop_arrivals
+            sil_proc = self.errors.silent_arrivals
+
+            def sample_fail(window: float) -> float:
+                if fs_proc is None:
+                    return math.inf
+                t_fail = float(fs_proc.sample_interarrivals(self.rng, 1)[0])
+                return t_fail if t_fail <= window else math.inf
+
+            def sample_silent(exec_span: float) -> bool:
+                return sil_proc is not None and self.rng.random() < float(
+                    sil_proc.failure_probability(exec_span)
+                )
+
+        else:
+            lam_f = self.errors.failstop_rate
+            lam_s = self.errors.silent_rate
+
+            def sample_fail(window: float) -> float:
+                t_fail = (
+                    self.rng.exponential(scale=1.0 / lam_f) if lam_f > 0 else math.inf
+                )
+                return t_fail if t_fail < window else math.inf
+
+            def sample_silent(exec_span: float) -> bool:
+                return (
+                    lam_s > 0
+                    and self.rng.random() < -np.expm1(-lam_s * exec_span)
+                )
+
         pm = cfg.power
         p_io = pm.io_total_power()
         V, R, C = cfg.verification_time, cfg.recovery_time, cfg.checkpoint_time
@@ -180,10 +222,8 @@ class ApplicationSimulator:
                 verify_span = V / speed
                 window = exec_span + verify_span
 
-                t_fail = (
-                    self.rng.exponential(scale=1.0 / lam_f) if lam_f > 0 else math.inf
-                )
-                if t_fail < window:
+                t_fail = sample_fail(window)
+                if math.isfinite(t_fail):
                     # Fail-stop interruption mid-computation or mid-verify.
                     n_failstop += 1
                     emit(EventKind.PARTIAL_EXECUTE, t_fail, speed, p, attempt)
@@ -191,10 +231,7 @@ class ApplicationSimulator:
                     emit(EventKind.RECOVER, R, 0.0, p, attempt)
                     continue
 
-                silent = (
-                    lam_s > 0
-                    and self.rng.random() < -np.expm1(-lam_s * exec_span)
-                )
+                silent = sample_silent(exec_span)
                 emit(EventKind.EXECUTE, exec_span, speed, p, attempt)
                 emit(EventKind.VERIFY, verify_span, speed, p, attempt)
                 if silent:

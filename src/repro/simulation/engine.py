@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors.combined import CombinedErrors
+from ..errors.models import ErrorModel, collapse_memoryless
 from ..exceptions import ConvergenceError, InvalidParameterError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
@@ -64,10 +65,17 @@ class PatternSimulator:
         Platform/processor configuration (supplies ``C``, ``V``, ``R``
         and the power model).
     errors:
-        Optional :class:`~repro.errors.combined.CombinedErrors` giving
-        the fail-stop/silent split.  ``None`` (default) means silent
-        errors only at the configuration's own rate — the model of
-        Sections 2-4.
+        Optional error model: a legacy
+        :class:`~repro.errors.combined.CombinedErrors` split, or a
+        renewal :class:`~repro.errors.models.ErrorModel`
+        (Weibull/Gamma/trace arrivals — each attempt draws a fresh
+        inter-arrival through the model's ``sample_interarrivals``, the
+        renewal semantics the analytical evaluator assumes).  A
+        memoryless model collapses to its byte-identical
+        ``CombinedErrors`` so the exponential sampling path — and its
+        RNG stream — is exactly the legacy one.  ``None`` (default)
+        means silent errors only at the configuration's own rate — the
+        model of Sections 2-4.
     rng:
         NumPy random generator or integer seed.  Defaults to a fresh
         unseeded generator; pass a seed for reproducibility.
@@ -84,13 +92,13 @@ class PatternSimulator:
     def __init__(
         self,
         cfg: Configuration,
-        errors: CombinedErrors | None = None,
+        errors: CombinedErrors | ErrorModel | None = None,
         rng: np.random.Generator | int | None = None,
     ):
         self.cfg = cfg
         if errors is None:
             errors = CombinedErrors(total_rate=cfg.lam, failstop_fraction=0.0)
-        self.errors = errors
+        self.errors = collapse_memoryless(errors)
         if isinstance(rng, np.random.Generator):
             self.rng = rng
         else:
@@ -134,13 +142,60 @@ class PatternSimulator:
             raise ValueError("n must be >= 1")
 
         cfg = self.cfg
-        lam_f = self.errors.failstop_rate
-        lam_s = self.errors.silent_rate
         pm = cfg.power
         p_io = pm.io_total_power()
         V = cfg.verification_time
         R = cfg.recovery_time
         C = cfg.checkpoint_time
+
+        # One per-round sampler, chosen by model type up front.  Both
+        # samplers draw the fail-stop arrival first, then the silent
+        # indicator, so the exponential path consumes the RNG stream
+        # exactly as the legacy engine did.
+        if isinstance(self.errors, ErrorModel):
+            fs_proc = self.errors.failstop_arrivals
+            sil_proc = self.errors.silent_arrivals
+
+            def draw(m: int, tau: float, omega: float):
+                # Renewal semantics: recovery restarts the arrival
+                # pattern, so every attempt draws a fresh inter-arrival
+                # from the model (the assumption the analytical
+                # evaluator's per-attempt primitives encode).  The
+                # window test is <= to match the model CDF's P(X <= t)
+                # convention — immaterial for continuous families, but
+                # a trace ECDF has atoms, and an arrival exactly at the
+                # window's end must count as a failure on both sides.
+                if fs_proc is not None:
+                    t_fail = fs_proc.sample_interarrivals(self.rng, m)
+                    failstop = t_fail <= tau
+                else:
+                    t_fail = np.empty(m)
+                    failstop = np.zeros(m, dtype=bool)
+                if sil_proc is not None:
+                    p_sil = sil_proc.failure_probability(omega)
+                    silent = self.rng.random(m) < p_sil
+                else:
+                    silent = np.zeros(m, dtype=bool)
+                return t_fail, failstop, silent
+
+        else:
+            lam_f = self.errors.failstop_rate
+            lam_s = self.errors.silent_rate
+
+            def draw(m: int, tau: float, omega: float):
+                # Fail-stop: first arrival within the (W+V)/sigma window.
+                if lam_f > 0.0:
+                    t_fail = self.rng.exponential(scale=1.0 / lam_f, size=m)
+                    failstop = t_fail < tau
+                else:
+                    t_fail = np.empty(m)
+                    failstop = np.zeros(m, dtype=bool)
+                # Silent: strike within the computation window W/sigma.
+                if lam_s > 0.0:
+                    silent = self.rng.random(m) < -np.expm1(-lam_s * omega)
+                else:
+                    silent = np.zeros(m, dtype=bool)
+                return t_fail, failstop, silent
 
         times = np.zeros(n)
         energies = np.zeros(n)
@@ -165,19 +220,7 @@ class PatternSimulator:
             omega = work / speed
             p_cpu = pm.compute_power(speed)
 
-            # Fail-stop: first arrival within the (W+V)/sigma window.
-            if lam_f > 0.0:
-                t_fail = self.rng.exponential(scale=1.0 / lam_f, size=m)
-                failstop = t_fail < tau
-            else:
-                t_fail = np.empty(m)
-                failstop = np.zeros(m, dtype=bool)
-
-            # Silent: strike within the computation window W/sigma.
-            if lam_s > 0.0:
-                silent = self.rng.random(m) < -np.expm1(-lam_s * omega)
-            else:
-                silent = np.zeros(m, dtype=bool)
+            t_fail, failstop, silent = draw(m, tau, omega)
 
             exec_time = np.where(failstop, t_fail, tau)
             times[active] += exec_time

@@ -19,10 +19,11 @@ import numpy as np
 
 from ..core import exact as silent_exact
 from ..errors.combined import CombinedErrors
+from ..errors.models import ErrorModel
 from ..exceptions import InvalidParameterError
 from ..failstop import exact as combined_exact
 from ..platforms.configuration import Configuration
-from ..schedules.base import SpeedSchedule
+from ..schedules.base import SpeedSchedule, TwoSpeed
 from ..schedules.evaluator import evaluate_schedule
 from .engine import PatternSimulator
 from .outcomes import BatchSummary
@@ -81,7 +82,7 @@ def check_agreement(
     sigma2: float | None = None,
     *,
     schedule: SpeedSchedule | None = None,
-    errors: CombinedErrors | None = None,
+    errors: CombinedErrors | ErrorModel | None = None,
     n: int = 20_000,
     rng: np.random.Generator | int | None = None,
 ) -> AgreementReport:
@@ -90,7 +91,10 @@ def check_agreement(
     Uses Propositions 2/3 when ``errors`` is ``None`` or silent-only,
     the combined closed forms otherwise, and the general schedule
     evaluator when a per-attempt ``schedule`` is given (exclusive with
-    ``sigma1``/``sigma2``).
+    ``sigma1``/``sigma2``).  A renewal :class:`ErrorModel`
+    (Weibull/Gamma/trace arrivals) is validated against the schedule
+    evaluator's renewal primitives — the exponential closed forms do
+    not apply to it.
     """
     if schedule is not None:
         if sigma1 is not None or sigma2 is not None:
@@ -118,6 +122,23 @@ def check_agreement(
     sim = PatternSimulator(cfg, errors=errors, rng=rng)
     batch = sim.run(work=work, sigma1=sigma1, sigma2=sigma2, n=n)
     eff_errors = sim.errors
+    if isinstance(eff_errors, ErrorModel):
+        # Non-memoryless model (the simulator collapses memoryless ones
+        # to CombinedErrors): the two-speed closed forms assume
+        # exponential arrivals, so the expectation comes from the
+        # schedule evaluator's renewal primitives instead.
+        expectation = evaluate_schedule(
+            cfg, TwoSpeed(sigma1, sigma2), work, errors=eff_errors
+        )
+        return AgreementReport(
+            work=work,
+            sigma1=sigma1,
+            sigma2=sigma2,
+            n=n,
+            expected_time=float(expectation.time),
+            expected_energy=float(expectation.energy),
+            summary=batch.summary(),
+        )
     if eff_errors.failstop_fraction == 0.0:
         # Silent-only: Props 2/3 with the model's silent rate.
         cfg_eff = cfg.with_error_rate(eff_errors.silent_rate)

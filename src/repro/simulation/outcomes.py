@@ -88,13 +88,39 @@ class BatchSummary:
             total_silent=int(np.sum(batch.silent_errors)),
         )
 
+    def _zscore(self, mean: float, expected: float, sem: float) -> float:
+        """``(mean - expected) / sem``, zero-variance batches handled.
+
+        A (numerically) zero ``sem`` means every sample was identical —
+        typically a batch that observed *no failures* at a large-MTBF
+        operating point (easy to hit with renewal models whose CDF is
+        tiny at the attempt window).  The z-test is then inapplicable:
+        dividing would raise ZeroDivisionError on an exact zero, or
+        standardise against the ~1e-16-relative summation noise
+        ``np.std`` leaves on identical samples.  Instead the deviation
+        is judged against what *unobserved* failures could explain:
+        zero failures in ``n`` samples bounds the per-pattern failure
+        probability at ~3/n (the rule of three), and the expectation's
+        failure-weighted correction is of that relative order — within
+        ``30/n`` relative the batch carries no evidence against the
+        model (z = 0), beyond it the model is genuinely off the
+        deterministic no-failure outcome (z = +-inf, fail loudly).
+        """
+        dev = mean - expected
+        scale = max(abs(mean), abs(expected))
+        if sem <= 1e-12 * scale:
+            if abs(dev) <= scale * 30.0 / self.n:
+                return 0.0
+            return math.copysign(math.inf, dev)
+        return dev / sem
+
     def time_zscore(self, expected: float) -> float:
         """Standardised deviation of the sample mean time from ``expected``."""
-        return (self.mean_time - expected) / self.sem_time
+        return self._zscore(self.mean_time, expected, self.sem_time)
 
     def energy_zscore(self, expected: float) -> float:
         """Standardised deviation of the sample mean energy from ``expected``."""
-        return (self.mean_energy - expected) / self.sem_energy
+        return self._zscore(self.mean_energy, expected, self.sem_energy)
 
     def time_ci95(self) -> tuple[float, float]:
         """Normal-approximation 95% confidence interval for the mean time."""

@@ -53,7 +53,7 @@ class TestValidation:
     def test_failstop_mode_implies_full_fraction(self):
         sc = Scenario(config="hera-xscale", rho=RHO, mode="failstop")
         assert sc.effective_failstop_fraction == 1.0
-        assert sc.errors().failstop_fraction == 1.0
+        assert sc.resolved_errors().failstop_fraction == 1.0
 
     def test_failstop_mode_rejects_partial_fraction(self):
         with pytest.raises(InvalidParameterError):

@@ -79,6 +79,47 @@ class TestFigure:
             main(["figure", "fig99"])
 
 
+class TestErrorsCommand:
+    def test_lists_families_and_grammar(self, capsys):
+        assert main(["errors"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("exp", "weibull", "gamma", "trace"):
+            assert kind in out
+        assert "failstop=" in out
+        assert "--errors" in out
+
+
+class TestSolveErrors:
+    def test_solve_with_weibull_model(self, capsys):
+        assert main([
+            "solve", "--errors", "weibull:shape=0.7,mtbf=3e5,failstop=0.2",
+            "--rho", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schedule-grid" in out
+        assert "weibull" in out
+        assert "speed pair" in out
+
+    def test_solve_with_model_and_schedule(self, capsys):
+        assert main([
+            "solve", "--errors", "gamma:shape=2,mtbf=3e5",
+            "--schedule", "geom:0.4,1.5,1", "--rho", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gamma" in out and "geom" in out
+
+    def test_bad_spec_rejected(self, capsys):
+        assert main(["solve", "--errors", "weibull:bogus=1"]) == 1
+        assert "invalid scenario" in capsys.readouterr().out
+
+    def test_conflicting_mode_rejected(self, capsys):
+        assert main([
+            "solve", "--errors", "gamma:shape=2,mtbf=3e5", "--mode", "combined",
+            "--failstop-fraction", "0.5",
+        ]) == 1
+        assert "invalid scenario" in capsys.readouterr().out
+
+
 class TestValidate:
     def test_silent_agreement_passes(self, capsys):
         rc = main(["validate", "--samples", "8000", "--seed", "3"])
@@ -92,6 +133,22 @@ class TestValidate:
             "--samples", "8000", "--seed", "4",
         ])
         assert rc == 0
+
+    def test_renewal_model_agreement_passes(self, capsys):
+        rc = main([
+            "validate", "--errors", "gamma:shape=2,mtbf=2000",
+            "--work", "1500", "--sigma1", "0.4", "--sigma2", "0.8",
+            "--samples", "8000", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "error model     : gamma:shape=2" in out
+        assert "PASS" in out
+
+    def test_bad_error_spec_rejected(self, capsys):
+        rc = main(["validate", "--errors", "nope:shape=1"])
+        assert rc == 1
+        assert "invalid error model" in capsys.readouterr().out
 
 
 class TestTheorem2:

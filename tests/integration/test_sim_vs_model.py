@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.solver import solve_bicrit
-from repro.errors import CombinedErrors
+from repro.errors import CombinedErrors, parse_error_model
 from repro.schedules import parse_schedule
 from repro.simulation import ApplicationSimulator, check_agreement
 
@@ -106,6 +106,85 @@ class TestGeneralSchedulesEndToEnd:
         best = Scenario(config=cfg, rho=4.5, schedule=sched).solve(cache=False).best
         report = check_agreement(
             cfg, work=best.work, schedule=sched, n=20_000, rng=424242
+        )
+        assert report.agrees()
+
+
+class TestRenewalModelsEndToEnd:
+    """PR-4 satellite: Monte-Carlo replay validates the renewal
+    error-model evaluator — Weibull and Gamma arrivals at solver-chosen
+    operating points, mirroring the schedule checks above."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "weibull:shape=0.7,mtbf=2000,failstop=0.2",
+            "weibull:shape=1.6,mtbf=2000",
+            "gamma:shape=2,mtbf=2000,failstop=0.5",
+            "trace:times=300;900;2e3;4e3;1.2e4;2.5e4",
+        ],
+    )
+    def test_amplified_rate_agreement(self, hera_xscale, spec):
+        # MTBFs around 2e3 make failures (and hence later attempt
+        # speeds) actually occur within the sample budget.
+        model = parse_error_model(spec)
+        report = check_agreement(
+            hera_xscale,
+            work=1500.0,
+            schedule=parse_schedule("esc:0.4,0.6,0.8"),
+            errors=model,
+            n=20_000,
+            rng=510 + len(spec),
+        )
+        assert report.agrees(), (
+            f"simulator disagrees with the renewal evaluator for {spec}: "
+            f"z_time={report.time_zscore:.2f} z_energy={report.energy_zscore:.2f}"
+        )
+
+    @pytest.mark.parametrize(
+        "spec,rho,seed",
+        [
+            ("weibull:shape=0.7,mtbf=5000,failstop=0.2", 6.0, 881),
+            ("gamma:shape=2,mtbf=5000", 4.5, 882),
+        ],
+    )
+    def test_solved_operating_point_agreement(self, hera_xscale, spec, rho, seed):
+        """The acceptance pin: |z| < 4 for Weibull and Gamma at an
+        operating point chosen by the solver itself, closing the loop
+        model -> vectorised solve -> Monte-Carlo replay."""
+        from repro.api import Scenario
+
+        sched = parse_schedule("geom:0.4,1.5,1")
+        best = (
+            Scenario(config=hera_xscale, rho=rho, errors=spec, schedule=sched)
+            .solve(cache=False)
+            .best
+        )
+        report = check_agreement(
+            hera_xscale,
+            work=best.work,
+            schedule=sched,
+            errors=parse_error_model(spec),
+            n=20_000,
+            rng=seed,
+        )
+        assert report.agrees(), (
+            f"{spec} at solved W={best.work:.1f}: "
+            f"z_time={report.time_zscore:.2f} z_energy={report.energy_zscore:.2f}"
+        )
+
+    def test_two_speed_renewal_agreement(self, hera_xscale):
+        # The sigma1/sigma2 entry point (no schedule object) also
+        # validates through the renewal evaluator.
+        model = parse_error_model("weibull:shape=0.7,mtbf=2000,failstop=0.5")
+        report = check_agreement(
+            hera_xscale,
+            work=1500.0,
+            sigma1=0.4,
+            sigma2=0.8,
+            errors=model,
+            n=20_000,
+            rng=883,
         )
         assert report.agrees()
 

@@ -1,0 +1,215 @@
+"""Property-based tests on the renewal error-model subsystem (hypothesis).
+
+Randomly generated ``Exponential``/``Weibull``/``Gamma``/``Trace``
+arrival processes and their fail-stop splits must satisfy the
+structural contracts of :mod:`repro.errors.models`:
+
+* CDF laws — ``failure_probability`` is a CDF (bounds, monotonicity,
+  zero at zero) and ``expected_exposure`` is its survival integral
+  (monotone, capped by both the window and the MTBF);
+* exponential equivalence — an ``ExponentialArrivals`` model's
+  per-attempt primitives match the legacy ``CombinedErrors`` closed
+  forms to 1e-14 (and the dedicated ``to_combined`` fast path exactly);
+* serialization — ``parse_error_model(m.spec()) == m`` and
+  ``error_model_from_dict(m.to_dict()) == m`` for every representable
+  model (the spec formatter falls back to ``repr`` precisely so the
+  round-trip never loses a float);
+* canonical identity — equal canonical forms imply equal hash *and*
+  equal Scenario solve-cache key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import Scenario
+from repro.errors import (
+    CombinedErrors,
+    ErrorModel,
+    ExponentialArrivals,
+    GammaArrivals,
+    TraceArrivals,
+    WeibullArrivals,
+    error_model_from_dict,
+    parse_error_model,
+)
+
+# Rates/MTBFs spanning the paper's platforms and the amplified
+# simulation regimes; shapes cover infant-mortality (<1) and wear-out
+# (>1) fits.  Floats are otherwise arbitrary — round-trips must survive
+# ugly mantissas.
+rates = st.floats(min_value=1e-8, max_value=1e-2, allow_nan=False)
+mtbfs = st.floats(min_value=1e2, max_value=1e8, allow_nan=False)
+shapes = st.floats(min_value=0.3, max_value=4.0, allow_nan=False)
+# Pure splits plus non-degenerate mixes.  Denormal fractions (1e-300)
+# would scale a source's MTBF to infinity — the constructors reject
+# that with a typed error, which is its own (non-property) test.
+fractions = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.floats(min_value=1e-6, max_value=1.0 - 1e-6, allow_nan=False),
+)
+
+
+@st.composite
+def exponentials(draw) -> ExponentialArrivals:
+    return ExponentialArrivals(rate=draw(rates))
+
+
+@st.composite
+def weibulls(draw) -> WeibullArrivals:
+    return WeibullArrivals.from_mtbf(shape=draw(shapes), mtbf=draw(mtbfs))
+
+
+@st.composite
+def gammas(draw) -> GammaArrivals:
+    return GammaArrivals.from_mtbf(shape=draw(shapes), mtbf=draw(mtbfs))
+
+
+@st.composite
+def traces(draw) -> TraceArrivals:
+    times = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return TraceArrivals(times=tuple(times))
+
+
+processes = st.one_of(exponentials(), weibulls(), gammas(), traces())
+
+
+@st.composite
+def models(draw) -> ErrorModel:
+    return ErrorModel(process=draw(processes), failstop_fraction=draw(fractions))
+
+
+class TestCDFLaws:
+    @given(proc=processes)
+    def test_cdf_bounds_and_monotonicity(self, proc):
+        t = np.geomspace(1e-2, 1e9, 60)
+        p = proc.failure_probability(t)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+        assert np.all(np.diff(p) >= 0.0)
+        assert proc.failure_probability(0.0) == 0.0
+
+    @given(proc=processes)
+    def test_survival_complements(self, proc):
+        t = np.geomspace(1e-2, 1e9, 30)
+        np.testing.assert_allclose(
+            proc.survival_probability(t),
+            1.0 - proc.failure_probability(t),
+            rtol=0,
+            atol=1e-12,
+        )
+
+    @given(proc=processes)
+    def test_expected_exposure_monotone_and_capped(self, proc):
+        t = np.geomspace(1e-2, 1e9, 60)
+        m = proc.expected_exposure(t)
+        assert np.all(np.diff(m) >= -1e-9 * np.abs(m[1:]))  # monotone (fp slack)
+        assert np.all(m <= t * (1 + 1e-12))  # never more than the window
+        assert np.all(m <= proc.mtbf * (1 + 1e-12))  # never more than the mean
+
+    @given(model=models())
+    def test_attempt_probability_in_unit_interval(self, model):
+        w = np.geomspace(1.0, 1e6, 20)
+        p = model.attempt_failure_probability(w, 0.5, 5.0)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+        # More work, more exposure — monotone up to one-ulp rounding
+        # ripples in the combined probability.
+        assert np.all(np.diff(p) >= -(2.0**-52))
+
+
+class TestExponentialEquivalence:
+    @given(rate=rates, f=fractions, speed=st.floats(min_value=0.1, max_value=2.0))
+    def test_generic_primitives_match_combined_to_1e14(self, rate, f, speed):
+        """The *generic* renewal path over exponential arrivals agrees
+        with the legacy closed forms to 1e-14 relative (the closed form
+        merges the two survival exponents; the renewal path multiplies
+        them)."""
+        legacy = CombinedErrors(total_rate=rate, failstop_fraction=f)
+        model = ErrorModel(process=ExponentialArrivals(rate=rate), failstop_fraction=f)
+        w = np.geomspace(1.0, 1e6, 25)
+        p_legacy = legacy.attempt_failure_probability(w, speed, 5.0)
+        m_legacy = legacy.attempt_exposure(w, speed, 5.0)
+        p_model = model.attempt_failure_probability(w, speed, 5.0)
+        m_model = model.attempt_exposure(w, speed, 5.0)
+        np.testing.assert_allclose(p_model, p_legacy, rtol=1e-14, atol=1e-300)
+        np.testing.assert_allclose(m_model, m_legacy, rtol=1e-14)
+
+    @given(rate=rates, f=fractions, speed=st.floats(min_value=0.1, max_value=2.0))
+    def test_to_combined_fast_path_is_byte_identical(self, rate, f, speed):
+        """The routing layers collapse memoryless models through
+        ``to_combined`` — that path must be bit-for-bit the legacy one."""
+        legacy = CombinedErrors(total_rate=rate, failstop_fraction=f)
+        collapsed = legacy.to_model().to_combined()
+        w = np.geomspace(1.0, 1e6, 25)
+        assert np.array_equal(
+            collapsed.attempt_failure_probability(w, speed, 5.0),
+            legacy.attempt_failure_probability(w, speed, 5.0),
+        )
+        assert np.array_equal(
+            collapsed.attempt_exposure(w, speed, 5.0),
+            legacy.attempt_exposure(w, speed, 5.0),
+        )
+
+
+class TestSerializationRoundTrips:
+    @given(model=models())
+    def test_spec_string_round_trip(self, model):
+        parsed = parse_error_model(model.spec())
+        assert parsed == model
+        assert parsed.spec() == model.spec()
+        assert type(parsed.process) is type(model.process)
+
+    @given(model=models())
+    def test_dict_round_trip(self, model):
+        restored = error_model_from_dict(model.to_dict())
+        assert restored == model
+        assert restored.to_dict() == model.to_dict()
+
+
+class TestCanonicalIdentity:
+    @given(model=models())
+    def test_equal_canon_means_equal_hash_and_cache_key(self, model):
+        """A model rebuilt from its spec string is the *same* model:
+        equality, hash, and the Scenario solve-cache key all agree."""
+        rebuilt = parse_error_model(model.spec())
+        assert rebuilt == model
+        assert hash(rebuilt) == hash(model)
+        assert rebuilt.canonical() == model.canonical()
+        a = Scenario(config="hera-xscale", rho=3.0, errors=model)
+        b = Scenario(config="hera-xscale", rho=3.0, errors=rebuilt)
+        assert a.cache_key() == b.cache_key()
+
+    @given(shape=shapes, mtbf=mtbfs, f=fractions)
+    def test_mtbf_and_scale_spellings_share_identity(self, shape, mtbf, f):
+        """``mtbf=`` is sugar for ``scale=``: both spellings of the same
+        Weibull share one canonical identity (and hence one cache
+        entry)."""
+        via_mtbf = ErrorModel(
+            process=WeibullArrivals.from_mtbf(shape=shape, mtbf=mtbf),
+            failstop_fraction=f,
+        )
+        via_scale = ErrorModel(
+            process=WeibullArrivals(shape=shape, scale=via_mtbf.process.scale),
+            failstop_fraction=f,
+        )
+        assert via_mtbf == via_scale
+        assert hash(via_mtbf) == hash(via_scale)
+
+    @given(times=st.lists(
+        st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=8,
+    ), f=fractions)
+    def test_trace_identity_is_order_insensitive(self, times, f):
+        a = ErrorModel(process=TraceArrivals(times=tuple(times)), failstop_fraction=f)
+        b = ErrorModel(
+            process=TraceArrivals(times=tuple(reversed(times))), failstop_fraction=f
+        )
+        assert a == b and hash(a) == hash(b)
