@@ -31,6 +31,18 @@ broadcast NumPy ops:
 >>> [r.best.speed_pair for r in study.solve(backend="grid")]
 [(0.4, 0.4), (0.45, 0.45)]
 
+Derived analyses compose through the lazy :class:`Experiment` pipeline
+— a deduplicated, batched execution plan plus analysis verbs on the
+result (``docs/experiments.md``):
+
+>>> fr = (
+...     repro.Experiment.over(configs=("hera-xscale",), rhos=(2.5, 3.0, 4.0))
+...     .solve()
+...     .frontier()
+... )
+>>> fr.is_monotone()
+True
+
 The legacy entry points remain as thin wrappers over the same registry:
 
 >>> cfg = repro.get_configuration("hera-xscale")
@@ -134,7 +146,11 @@ from .power import PowerModel
 # Extension surface (lazy-ish: these are light imports, re-exported for
 # discoverability; the full APIs live in their subpackages).
 from .analysis import (
+    CrossoverResult,
+    FrontierResult,
     ParetoFrontier,
+    SavingsResult,
+    SensitivityResult,
     fit_power_law,
     map_regions,
     optimal_pairs_by_rho,
@@ -164,6 +180,8 @@ from .sweep import (
 # The unified solve API (imported last: its backends wrap the solver
 # implementations above).
 from .api import (
+    ExecutionPlan,
+    Experiment,
     Result,
     ResultSet,
     Scenario,
@@ -175,13 +193,15 @@ from .api import (
     register_backend,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
     # unified solve API
     "Scenario",
     "Study",
+    "Experiment",
+    "ExecutionPlan",
     "Result",
     "ResultSet",
     "SolverBackend",
@@ -275,6 +295,10 @@ __all__ = [
     # analysis
     "pareto_frontier",
     "ParetoFrontier",
+    "FrontierResult",
+    "SavingsResult",
+    "SensitivityResult",
+    "CrossoverResult",
     "map_regions",
     "optimal_pairs_by_rho",
     "summarize_savings",

@@ -1,4 +1,11 @@
-"""Derived analyses: savings, crossovers, scaling, Pareto, regions, breakdown."""
+"""Derived analyses: savings, crossovers, scaling, Pareto, regions, breakdown.
+
+Since v1.5 the analyses are *verbs* on a solved
+:class:`~repro.api.result.ResultSet` (:mod:`repro.analysis.verbs`);
+the module-level helpers here are thin adapters kept for their legacy
+signatures, all riding the :class:`~repro.api.experiment.Experiment`
+pipeline and its batched backends underneath.
+"""
 
 from .breakdown import EnergyBreakdown, energy_breakdown
 from .crossover import Crossover, PairInterval, find_pair_changes, optimal_pairs_by_rho
@@ -7,8 +14,24 @@ from .regions import RegionMap, map_regions
 from .savings import SavingsSummary, savings_percent, series_savings, summarize_savings
 from .scaling import PowerLawFit, fit_power_law
 from .sensitivity import Elasticities, parameter_elasticities
+from .verbs import (
+    AnalysisProvenance,
+    CrossoverEvent,
+    CrossoverResult,
+    FrontierPoint,
+    FrontierResult,
+    SavingsResult,
+    SensitivityResult,
+)
 
 __all__ = [
+    "AnalysisProvenance",
+    "FrontierPoint",
+    "FrontierResult",
+    "SavingsResult",
+    "SensitivityResult",
+    "CrossoverEvent",
+    "CrossoverResult",
     "savings_percent",
     "series_savings",
     "SavingsSummary",

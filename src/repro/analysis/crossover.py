@@ -17,8 +17,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.solver import solve_bicrit
-from ..exceptions import InfeasibleBoundError
 from ..platforms.configuration import Configuration
 from ..sweep.runner import SweepSeries
 
@@ -78,6 +76,13 @@ def optimal_pairs_by_rho(
     reported interval ends are grid values, accurate to the grid step
     (``(rho_hi - rho_lo) / (n - 1)``).
 
+    .. note:: Legacy-shaped adapter.  The whole rho grid compiles into
+       one :class:`repro.api.Experiment` plan (one batch through the
+       ``firstorder`` backend and the solve cache, instead of ``n``
+       sequential ``solve_bicrit`` calls) and the interval scan reads
+       the ``.crossover()`` verb's per-point winners — byte-identical
+       pairs to the historical loop.
+
     Examples
     --------
     >>> from repro.platforms import get_configuration
@@ -85,16 +90,20 @@ def optimal_pairs_by_rho(
     >>> len({i.pair for i in iv}) >= 3   # several distinct winners
     True
     """
+    from ..api.experiment import Experiment
+
     grid = np.linspace(rho_lo, rho_hi, n)
+    results = Experiment.over(
+        configs=(cfg,),
+        rhos=tuple(float(r) for r in grid),
+        name=f"pairs-by-rho:{cfg.name}",
+    ).solve()
+    pairs = results.crossover(values=grid).pairs
     intervals: list[PairInterval] = []
     current_pair: tuple[float, float] | None = None
     start = None
     prev = None
-    for rho in grid:
-        try:
-            pair = solve_bicrit(cfg, float(rho)).best.speed_pair
-        except InfeasibleBoundError:
-            pair = None
+    for rho, pair in zip(grid, pairs):
         if pair != current_pair:
             if current_pair is not None:
                 intervals.append(

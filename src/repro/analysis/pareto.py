@@ -98,6 +98,8 @@ def pareto_frontier(
     n: int = 60,
     *,
     backend: str | None = None,
+    schedule=None,
+    errors=None,
 ) -> ParetoFrontier:
     """Trace the Pareto frontier by sweeping the bound.
 
@@ -106,9 +108,17 @@ def pareto_frontier(
     and energy — the unconstrained plateau at loose bounds) are
     collapsed, so the frontier contains only distinct trade-offs.
 
-    The rho sweep is solved as one :class:`repro.api.Study` batch;
-    ``backend`` forwards a registry name (``"grid"`` vectorises the
-    whole frontier into a single broadcast pass).
+    .. note:: Legacy-shaped adapter.  The rho sweep compiles to one
+       :class:`repro.api.Experiment` plan (deduplicated, solved in
+       batched backend passes) and the curve is read off the
+       ``.frontier(prune=False)`` verb — the legacy collapse rule, so
+       the exponential two-speed output is byte-identical to the
+       historical per-point loop.  ``backend`` forwards a registry name
+       (``"grid"`` vectorises the whole frontier into a single
+       broadcast pass); optional ``schedule``/``errors`` trace the
+       frontier under a per-attempt speed schedule and/or a renewal
+       error model (impossible pre-pipeline), riding the batched
+       ``schedule-grid`` kernel.
 
     Examples
     --------
@@ -125,27 +135,18 @@ def pareto_frontier(
     if not rho_lo < rho_hi:
         raise ValueError(f"need rho_lo < rho_hi, got [{rho_lo}, {rho_hi}]")
 
-    from ..api.scenario import Scenario
-    from ..api.study import Study
+    from ..api.experiment import Experiment
 
     rhos = np.linspace(rho_lo, rho_hi, n)
-    study = Study(
-        scenarios=tuple(Scenario(config=cfg, rho=float(r)) for r in rhos),
+    experiment = Experiment.over(
+        configs=(cfg,),
+        rhos=tuple(float(r) for r in rhos),
+        schedules=(schedule,),
+        error_models=(errors,),
         name=f"pareto:{cfg.name}",
     )
-    results = study.solve(backend=backend)
-
-    points: list[ParetoPoint] = []
-    for rho, result in zip(rhos, results):
-        if not result.feasible:
-            continue
-        sol = result.best
-        if points:
-            prev = points[-1].solution
-            if (
-                abs(prev.time_overhead - sol.time_overhead) < 1e-12
-                and abs(prev.energy_overhead - sol.energy_overhead) < 1e-12
-            ):
-                continue
-        points.append(ParetoPoint(rho=float(rho), solution=sol))
-    return ParetoFrontier(config_name=cfg.name, points=tuple(points))
+    frontier = experiment.solve(backend=backend).frontier(prune=False)
+    points = tuple(
+        ParetoPoint(rho=p.rho, solution=p.result.best) for p in frontier.points
+    )
+    return ParetoFrontier(config_name=cfg.name, points=points)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sweep.runner import SweepSeries
+from .verbs import percent_savings
 
 __all__ = ["savings_percent", "series_savings", "SavingsSummary", "summarize_savings"]
 
@@ -32,11 +33,14 @@ def savings_percent(two_speed_energy: float, single_speed_energy: float) -> floa
 
 
 def series_savings(series: SweepSeries) -> np.ndarray:
-    """Per-point savings (%) along a sweep; NaN where either is infeasible."""
-    one = series.energy_single()
-    two = series.energy_two()
-    with np.errstate(invalid="ignore", divide="ignore"):
-        return (1.0 - two / one) * 100.0
+    """Per-point savings (%) along a sweep; NaN where either is infeasible.
+
+    .. note:: Legacy adapter over
+       :func:`repro.analysis.verbs.percent_savings` — the same
+       NaN-propagating element-wise rule the ``ResultSet.savings``
+       verb applies.
+    """
+    return percent_savings(series.energy_two(), series.energy_single())
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core.solver import solve_bicrit
-from ..exceptions import InfeasibleBoundError
 from ..platforms.configuration import Configuration
 
 __all__ = ["Elasticities", "parameter_elasticities"]
@@ -77,10 +75,6 @@ class Elasticities:
         return ranked[0][0]
 
 
-def _optimal_energy(cfg: Configuration, rho: float) -> float:
-    return solve_bicrit(cfg, rho).best.energy_overhead
-
-
 def parameter_elasticities(
     cfg: Configuration,
     rho: float,
@@ -89,6 +83,14 @@ def parameter_elasticities(
     parameters: tuple[str, ...] | None = None,
 ) -> Elasticities:
     """Central-difference elasticities of the optimal energy overhead.
+
+    .. note:: Legacy-shaped adapter.  The base point and every ±step
+       perturbation compile into a single
+       :class:`repro.api.Experiment` plan — one deduplicated batch
+       through the backend registry (and the solve cache) instead of
+       2k+1 sequential ``solve_bicrit`` calls — with the same
+       ``firstorder`` solver underneath, so the elasticities are
+       byte-identical to the historical loop.
 
     Parameters
     ----------
@@ -108,6 +110,9 @@ def parameter_elasticities(
     >>> el.values["rho"] == 0.0   # bound inactive at rho = 3
     True
     """
+    from ..api.experiment import Experiment
+    from ..api.scenario import Scenario
+
     if not 0 < rel_step < 0.5:
         raise ValueError("rel_step must be in (0, 0.5)")
     names = tuple(_APPLIERS) if parameters is None else tuple(parameters)
@@ -115,24 +120,34 @@ def parameter_elasticities(
     if unknown:
         raise KeyError(f"unknown parameters: {sorted(unknown)}")
 
-    base_energy = _optimal_energy(cfg, rho)
-    out: dict[str, float | None] = {}
+    # One scenario for the base optimum + a (hi, lo) pair per
+    # perturbable parameter, solved as one deduplicated plan.
+    scenarios = [Scenario(config=cfg, rho=rho, label="base")]
+    perturbable: list[str] = []
     for name in names:
         base = _BASE_VALUES[name](cfg, rho)
         if base <= 0:
-            out[name] = None  # log-derivative undefined at zero
-            continue
-        try:
-            cfg_hi, rho_hi = _APPLIERS[name](cfg, rho, base * (1 + rel_step))
-            cfg_lo, rho_lo = _APPLIERS[name](cfg, rho, base * (1 - rel_step))
-            e_hi = _optimal_energy(cfg_hi, rho_hi)
-            e_lo = _optimal_energy(cfg_lo, rho_lo)
-        except InfeasibleBoundError:
-            out[name] = None  # perturbation crossed the feasibility edge
-            continue
-        out[name] = (math.log(e_hi) - math.log(e_lo)) / (
-            math.log1p(rel_step) - math.log1p(-rel_step)
-        )
+            continue  # log-derivative undefined at zero
+        cfg_hi, rho_hi = _APPLIERS[name](cfg, rho, base * (1 + rel_step))
+        cfg_lo, rho_lo = _APPLIERS[name](cfg, rho, base * (1 - rel_step))
+        scenarios.append(Scenario(config=cfg_hi, rho=rho_hi, label=f"{name}+"))
+        scenarios.append(Scenario(config=cfg_lo, rho=rho_lo, label=f"{name}-"))
+        perturbable.append(name)
+
+    results = Experiment.from_scenarios(
+        scenarios, name=f"sensitivity:{cfg.name}"
+    ).solve()
+    base_energy = results[0].require().best.energy_overhead
+
+    out: dict[str, float | None] = {name: None for name in names}
+    denominator = math.log1p(rel_step) - math.log1p(-rel_step)
+    for k, name in enumerate(perturbable):
+        hi, lo = results[1 + 2 * k], results[2 + 2 * k]
+        if not (hi.feasible and lo.feasible):
+            continue  # perturbation crossed the feasibility edge
+        out[name] = (
+            math.log(hi.best.energy_overhead) - math.log(lo.best.energy_overhead)
+        ) / denominator
     return Elasticities(
         config_name=cfg.name, rho=rho, base_energy=base_energy, values=out
     )

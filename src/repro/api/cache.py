@@ -42,13 +42,15 @@ def _key(scenario: Hashable, backend: str) -> tuple[Hashable, str]:
 
 
 class SolveCache:
-    """A bounded FIFO memo of solve results keyed by (scenario, backend).
+    """A bounded LRU memo of solve results keyed by (scenario, backend).
 
     Parameters
     ----------
     maxsize:
-        Maximum number of retained results; the oldest entry is evicted
-        first.  ``None`` means unbounded.
+        Maximum number of retained results; the least-recently-*used*
+        entry is evicted first (a hit refreshes an entry's recency, so
+        the hot scenarios of a repeated sweep survive a long tail of
+        one-off solves).  ``None`` means unbounded.
 
     Examples
     --------
@@ -90,21 +92,29 @@ class SolveCache:
 
     # ------------------------------------------------------------------
     def get(self, scenario: Hashable, backend: str) -> "Result | None":
-        """Look up a prior result; counts a hit or a miss."""
-        result = self._entries.get(_key(scenario, backend))
+        """Look up a prior result; counts a hit or a miss.
+
+        A hit moves the entry to the most-recently-used position, so
+        hot entries outlive the FIFO horizon of a long one-off tail.
+        """
+        key = _key(scenario, backend)
+        result = self._entries.get(key)
         if result is None:
             self._misses += 1
         else:
             self._hits += 1
+            self._entries.move_to_end(key)
         return result
 
     def put(self, scenario: Hashable, backend: str, result: "Result") -> None:
-        """Store a result, evicting the oldest entry when full."""
+        """Store a result, evicting the least-recently-used entry when
+        full.  Re-storing an existing key refreshes its recency."""
         key = _key(scenario, backend)
         if key not in self._entries and self._maxsize is not None:
             while len(self._entries) >= self._maxsize:
                 self._entries.popitem(last=False)
         self._entries[key] = result
+        self._entries.move_to_end(key)
 
     def invalidate_backend(self, backend: str) -> int:
         """Drop every entry produced under ``backend``; returns the

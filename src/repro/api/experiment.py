@@ -1,0 +1,505 @@
+"""Composable experiment pipeline: lazy plans over the batched backends.
+
+The paper's deliverables are *derived analyses* — Pareto frontiers of
+energy vs time, savings-over-baseline curves, crossover maps — not
+single solves.  An :class:`Experiment` describes the scenario grid of
+such an analysis declaratively (a fluent builder over configurations,
+bounds, schedules and error models), and compiles it into an
+:class:`ExecutionPlan` *before* anything is solved:
+
+* duplicate scenarios (same :meth:`~repro.api.scenario.Scenario.cache_key`
+  under the same backend) are solved **once** and replayed everywhere
+  they appear — the variational-execution leverage of sharing one
+  deduplicated plan across many near-identical evaluations;
+* the remaining unique scenarios are grouped by backend, so
+  batch-capable backends (``grid``, ``schedule-grid``) receive whole
+  groups as single broadcast passes instead of per-point loops;
+* execution is sharded — optionally over worker processes — with each
+  completed shard written to the solve cache immediately, so an
+  interrupted run *resumes* (re-executing the plan replays the
+  completed shards from cache and only solves the remainder), and an
+  optional ``progress`` callback observes shard completion.
+
+The pipeline ends in the uniform :class:`~repro.api.result.ResultSet`,
+whose analysis verbs (``.frontier()``, ``.savings()``,
+``.sensitivity()``, ``.crossover()`` — see :mod:`repro.analysis.verbs`)
+turn the solved grid into the typed, exportable analysis objects.
+
+Examples
+--------
+>>> from repro.api import Experiment
+>>> fr = (
+...     Experiment.over(configs=("hera-xscale",), rhos=(2.5, 3.0, 4.0))
+...     .solve()
+...     .frontier()
+... )
+>>> fr.is_monotone()
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+from ..exceptions import InfeasibleBoundError
+from .backends import get_backend
+from .cache import DEFAULT_CACHE, SolveCache
+from .result import Result, ResultSet
+from .scenario import Scenario, _resolve_cache
+from .study import Study, _shard, _solve_shard
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platforms.configuration import Configuration
+    from ..schedules.base import SpeedSchedule
+    from ..sweep.axes import SweepAxis
+
+__all__ = ["Experiment", "ExecutionPlan", "PlanGroup", "PlanProgress"]
+
+
+@dataclass(frozen=True)
+class PlanProgress:
+    """One progress tick of :meth:`ExecutionPlan.execute`.
+
+    Emitted after every completed *solve* shard, so a long frontier
+    sweep can be observed — and, because completed shards are cached
+    immediately, safely interrupted and resumed.  The counters cover
+    only the work actually solved this run: cache replays are free and
+    emit no ticks, so a fully-cached re-execution completes silently.
+    """
+
+    done_shards: int
+    total_shards: int
+    backend: str
+    solved_scenarios: int
+    total_scenarios: int
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the plan's solve work in [0, 1]."""
+        if self.total_scenarios == 0:
+            return 1.0
+        return self.solved_scenarios / self.total_scenarios
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """One batched backend call of an :class:`ExecutionPlan`.
+
+    ``indices`` index into the plan's *unique* scenario tuple; every
+    scenario of a group resolves to the same ``backend``, so the whole
+    group can go through one ``solve_batch`` (one broadcast pass for
+    the vectorised backends).
+    """
+
+    backend: str
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled, deduplicated solve plan for one experiment.
+
+    Attributes
+    ----------
+    name:
+        The experiment's name (carried into the result set).
+    scenarios:
+        Every requested scenario, in request order.
+    unique:
+        The deduplicated scenarios actually solved (first-occurrence
+        order).  Two requested scenarios collapse into one unique entry
+        when their :meth:`~repro.api.scenario.Scenario.cache_key` *and*
+        resolved backend coincide — labels, backend preferences and
+        equivalent spellings (catalog name vs resolved configuration,
+        ``two:s,s`` vs ``const:s``) never cause a second solve.
+    backend_names:
+        The resolved backend per unique scenario.
+    index_map:
+        ``index_map[i]`` is the unique index serving requested
+        scenario ``i``.
+    groups:
+        Unique indices grouped by backend, first-use order — the
+        batched calls the plan will issue.
+    """
+
+    name: str
+    scenarios: tuple[Scenario, ...]
+    unique: tuple[Scenario, ...]
+    backend_names: tuple[str, ...]
+    index_map: tuple[int, ...]
+    groups: tuple[PlanGroup, ...]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def n_unique(self) -> int:
+        """Number of scenarios actually solved."""
+        return len(self.unique)
+
+    @property
+    def n_deduplicated(self) -> int:
+        """Requested scenarios served by another scenario's solve."""
+        return len(self.scenarios) - len(self.unique)
+
+    def describe(self) -> str:
+        """Human-readable plan summary (CLI ``--explain`` style)."""
+        lines = [
+            f"plan {self.name!r}: {len(self.scenarios)} scenarios -> "
+            f"{self.n_unique} unique solves ({self.n_deduplicated} deduplicated)"
+        ]
+        for group in self.groups:
+            batched = get_backend(group.backend).batched
+            kind = "batched" if batched else "per-scenario"
+            lines.append(
+                f"  {group.backend:13s} {len(group):5d} scenarios  [{kind}]"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        scenarios: Sequence[Scenario],
+        *,
+        backend: str | None = None,
+        name: str = "experiment",
+        deduplicate: bool = True,
+    ) -> "ExecutionPlan":
+        """Build the plan for ``scenarios``.
+
+        ``backend`` forces one registry backend for every scenario
+        (validated here, so bad routing fails before any solve);
+        ``None`` routes each scenario to its own default.
+        ``deduplicate=False`` keeps every requested scenario as its own
+        solve — :meth:`Study.solve` uses this to preserve its
+        one-lookup-per-scenario cache semantics while sharing this
+        plan's execution engine.
+        """
+        if backend is not None:
+            solver = get_backend(backend)
+            for sc in scenarios:
+                solver.check_supports(sc)
+
+        unique: list[Scenario] = []
+        names: list[str] = []
+        index_map: list[int] = []
+        seen: dict[tuple, int] = {}
+        for sc in scenarios:
+            bn = sc.resolve_backend_name(backend)
+            key = (sc.cache_key(), bn) if deduplicate else None
+            pos = seen.get(key) if deduplicate else None
+            if pos is None:
+                pos = len(unique)
+                if deduplicate:
+                    seen[key] = pos
+                unique.append(sc)
+                names.append(bn)
+            index_map.append(pos)
+
+        by_backend: dict[str, list[int]] = {}
+        for u, bn in enumerate(names):
+            by_backend.setdefault(bn, []).append(u)
+        groups = tuple(
+            PlanGroup(backend=bn, indices=tuple(idxs))
+            for bn, idxs in by_backend.items()
+        )
+        return cls(
+            name=name,
+            scenarios=tuple(scenarios),
+            unique=tuple(unique),
+            backend_names=tuple(names),
+            index_map=tuple(index_map),
+            groups=groups,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        *,
+        cache: bool | SolveCache = True,
+        processes: int | None = None,
+        strict: bool = False,
+        progress: Callable[[PlanProgress], None] | None = None,
+    ) -> ResultSet:
+        """Run the plan; returns results in *requested* scenario order.
+
+        Parameters
+        ----------
+        cache:
+            As in :meth:`Scenario.solve`.  Each completed shard is
+            written to the cache immediately, so re-executing an
+            interrupted plan resumes from the completed shards instead
+            of starting over.
+        processes:
+            When > 1, fan cache-miss shards out over that many worker
+            processes (batched backends are sharded into contiguous
+            sub-batches, per-scenario backends fan out point-wise —
+            the same policy as :meth:`Study.solve`).
+        strict:
+            Raise :class:`InfeasibleBoundError` on the first
+            infeasible scenario instead of returning a best-less
+            result for it.
+        progress:
+            Optional callback receiving a :class:`PlanProgress` after
+            every completed shard.
+        """
+        cache_obj = _resolve_cache(cache, DEFAULT_CACHE)
+        unique_results: list[Result | None] = [None] * len(self.unique)
+
+        # Cache replay per unique scenario (dedup means one lookup per
+        # distinct solve, not one per requested scenario).
+        shards: list[tuple[str, list[int]]] = []
+        for group in self.groups:
+            misses: list[int] = []
+            for u in group.indices:
+                hit = (
+                    cache_obj.get(self.unique[u], self.backend_names[u])
+                    if cache_obj is not None
+                    else None
+                )
+                if hit is not None:
+                    unique_results[u] = replace(
+                        hit,
+                        scenario=self.unique[u],
+                        provenance=replace(
+                            hit.provenance, cache_hit=True, wall_time=0.0
+                        ),
+                    )
+                else:
+                    misses.append(u)
+            if not misses:
+                continue
+            if get_backend(group.backend).batched:
+                n_shards = processes if processes is not None and processes > 1 else 1
+                shards.extend(
+                    (group.backend, chunk) for chunk in _shard(misses, n_shards)
+                )
+            elif processes is not None and processes > 1:
+                shards.extend((group.backend, [u]) for u in misses)
+            else:
+                shards.append((group.backend, misses))
+
+        total_solved = sum(len(idxs) for _, idxs in shards)
+        done_scenarios = 0
+
+        def _complete(pos: int, bn: str, idxs: list[int], batch: list[Result]) -> None:
+            nonlocal done_scenarios
+            for u, res in zip(idxs, batch):
+                unique_results[u] = res
+                # Cache per shard, not at the end: a killed run keeps
+                # its completed shards and resumes from them.
+                if cache_obj is not None and res.feasible:
+                    cache_obj.put(self.unique[u], self.backend_names[u], res)
+            done_scenarios += len(idxs)
+            if progress is not None:
+                progress(
+                    PlanProgress(
+                        done_shards=pos + 1,
+                        total_shards=len(shards),
+                        backend=bn,
+                        solved_scenarios=done_scenarios,
+                        total_scenarios=total_solved,
+                    )
+                )
+
+        if processes is not None and processes > 1 and shards:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                futures = [
+                    pool.submit(_solve_shard, [self.unique[u] for u in idxs], bn)
+                    for bn, idxs in shards
+                ]
+                for pos, ((bn, idxs), future) in enumerate(zip(shards, futures)):
+                    _complete(pos, bn, idxs, future.result())
+        else:
+            for pos, (bn, idxs) in enumerate(shards):
+                batch = get_backend(bn).solve_batch([self.unique[u] for u in idxs])
+                _complete(pos, bn, idxs, batch)
+
+        # Fan the unique solves back out to the requested scenarios.
+        # Dedup replays keep the requesting scenario's own spelling
+        # (labels, spec strings) and are marked as replays.
+        first_owner: set[int] = set()
+        results: list[Result] = []
+        for i, u in enumerate(self.index_map):
+            res = unique_results[u]
+            assert res is not None
+            if u in first_owner:
+                res = replace(
+                    res,
+                    provenance=replace(res.provenance, cache_hit=True, wall_time=0.0),
+                )
+            else:
+                first_owner.add(u)
+            if self.scenarios[i] is not self.unique[u]:
+                res = replace(res, scenario=self.scenarios[i])
+            results.append(res)
+
+        if strict:
+            for res in results:
+                if not res.feasible:
+                    raise InfeasibleBoundError(res.scenario.rho, res.rho_min)
+        return ResultSet(results=tuple(results), name=self.name)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A lazy, composable scenario pipeline.
+
+    Nothing is solved until :meth:`solve` (or
+    :meth:`plan` + :meth:`ExecutionPlan.execute`); until then the
+    experiment is a cheap frozen value that can be filtered
+    (:meth:`where`), extended (:meth:`concat`) and inspected.
+
+    Examples
+    --------
+    >>> exp = Experiment.over(
+    ...     configs=("hera-xscale",), rhos=(2.5, 3.0),
+    ...     schedules=(None, "geom:0.4,1.5,1"),
+    ... )
+    >>> len(exp)
+    4
+    >>> exp.plan().n_unique
+    4
+    """
+
+    scenarios: tuple[Scenario, ...] = field(default=())
+    name: str = "experiment"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __getitem__(self, index: int) -> Scenario:
+        return self.scenarios[index]
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def over(
+        cls,
+        configs: "Iterable[Configuration | str] | None" = None,
+        rhos: Sequence[float] | float = (3.0,),
+        *,
+        rho: float | None = None,
+        modes: Sequence[str] = ("silent",),
+        failstop_fractions: Sequence[float | None] = (None,),
+        error_rates: Sequence[float | None] = (None,),
+        schedules: "Sequence[SpeedSchedule | str | None]" = (None,),
+        error_models: Sequence = (None,),
+        backend: str | None = None,
+        name: str = "experiment",
+    ) -> "Experiment":
+        """The cartesian product configs x rhos x modes x fractions x
+        models x rates x schedules — the grid of
+        :meth:`Study.from_grid`, wrapped as a lazy experiment.
+
+        ``rho=`` is scalar sugar for a one-value bound axis; ``rhos``
+        also accepts a bare float.  Axis semantics (which axes apply
+        to which modes) are exactly those of
+        :meth:`repro.api.Study.from_grid`.
+        """
+        if rho is not None:
+            rhos = (float(rho),)
+        elif isinstance(rhos, (int, float)):
+            rhos = (float(rhos),)
+        study = Study.from_grid(
+            configs=configs,
+            rhos=tuple(rhos),
+            modes=modes,
+            failstop_fractions=failstop_fractions,
+            error_rates=error_rates,
+            schedules=schedules,
+            error_models=error_models,
+            backend=backend,
+            name=name,
+        )
+        return cls(scenarios=study.scenarios, name=name)
+
+    @classmethod
+    def over_axis(
+        cls,
+        cfg: "Configuration",
+        rho: float,
+        axis: "SweepAxis",
+        *,
+        modes: Sequence[str] = ("silent",),
+        schedule: "SpeedSchedule | str | None" = None,
+        errors=None,
+        name: str | None = None,
+    ) -> "Experiment":
+        """One scenario per (axis value, mode), axis-major order —
+        :meth:`Study.over_axis` as a lazy experiment."""
+        study = Study.over_axis(
+            cfg, rho, axis, modes=modes, schedule=schedule, errors=errors, name=name
+        )
+        return cls(scenarios=study.scenarios, name=study.name)
+
+    @classmethod
+    def from_scenarios(
+        cls, scenarios: Iterable[Scenario], *, name: str = "experiment"
+    ) -> "Experiment":
+        """Wrap explicit scenarios (any iterable) as an experiment."""
+        return cls(scenarios=tuple(scenarios), name=name)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def where(self, predicate: Callable[[Scenario], bool]) -> "Experiment":
+        """Keep only the scenarios satisfying ``predicate``.
+
+        Examples
+        --------
+        >>> exp = Experiment.over(configs=("hera-xscale",), rhos=(2.0, 3.0))
+        >>> len(exp.where(lambda sc: sc.rho > 2.5))
+        1
+        """
+        return replace(
+            self, scenarios=tuple(sc for sc in self.scenarios if predicate(sc))
+        )
+
+    def concat(self, other: "Experiment | Iterable[Scenario]") -> "Experiment":
+        """This experiment followed by ``other``'s scenarios."""
+        extra = tuple(other.scenarios if isinstance(other, Experiment) else other)
+        return replace(self, scenarios=self.scenarios + extra)
+
+    def with_name(self, name: str) -> "Experiment":
+        """A renamed copy (the name flows into the result set)."""
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def plan(self, backend: str | None = None) -> ExecutionPlan:
+        """Compile the deduplicated :class:`ExecutionPlan` (lazy: no
+        solve happens here)."""
+        return ExecutionPlan.compile(self.scenarios, backend=backend, name=self.name)
+
+    def solve(
+        self,
+        backend: str | None = None,
+        *,
+        cache: bool | SolveCache = True,
+        processes: int | None = None,
+        strict: bool = False,
+        progress: Callable[[PlanProgress], None] | None = None,
+    ) -> ResultSet:
+        """Compile and execute in one call; see
+        :meth:`ExecutionPlan.execute` for the parameters."""
+        return self.plan(backend).execute(
+            cache=cache, processes=processes, strict=strict, progress=progress
+        )

@@ -22,6 +22,12 @@ import numpy as np
 from ..exceptions import InfeasibleBoundError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.verbs import (
+        CrossoverResult,
+        FrontierResult,
+        SavingsResult,
+        SensitivityResult,
+    )
     from ..simulation.estimators import AgreementReport
     from .scenario import Scenario
 
@@ -253,6 +259,62 @@ class ResultSet:
         for r in self.results:
             seen.setdefault(r.provenance.backend, None)
         return tuple(seen)
+
+    # -- analysis verbs (implemented in repro.analysis.verbs) -----------
+    def frontier(
+        self,
+        x: str = "time_overhead",
+        y: str = "energy_overhead",
+        *,
+        prune: bool = True,
+    ) -> "FrontierResult":
+        """The x-vs-y trade-off frontier of these results (default:
+        achieved time vs energy — the paper's bi-criteria curve), with
+        a well-defined knee.  ``prune=False`` keeps the result order
+        and collapses only exact duplicates (the legacy
+        ``pareto_frontier`` rule)."""
+        from ..analysis.verbs import build_frontier
+
+        return build_frontier(self, x, y, prune=prune)
+
+    def savings(
+        self,
+        baseline: "ResultSet",
+        *,
+        values=None,
+        axis: str = "value",
+        y: str = "energy_overhead",
+    ) -> "SavingsResult":
+        """Per-point percent savings of these results over a
+        positionally-aligned ``baseline`` result set."""
+        from ..analysis.verbs import build_savings
+
+        return build_savings(self, baseline, values=values, axis=axis, y=y)
+
+    def sensitivity(
+        self,
+        *,
+        values=None,
+        axis: str = "rho",
+        y: str = "energy_overhead",
+    ) -> "SensitivityResult":
+        """Central-difference log-log elasticities of ``y`` along the
+        swept axis (defaults to the scenarios' ``rho``)."""
+        from ..analysis.verbs import build_sensitivity
+
+        return build_sensitivity(self, values=values, axis=axis, y=y)
+
+    def crossover(
+        self,
+        *,
+        values=None,
+        axis: str = "rho",
+    ) -> "CrossoverResult":
+        """All winning-speed-pair switches along the result order
+        (feasibility transitions included)."""
+        from ..analysis.verbs import build_crossover
+
+        return build_crossover(self, values=values, axis=axis)
 
     # -- conversions into the reporting layers --------------------------
     def to_dicts(self) -> list[dict[str, Any]]:

@@ -17,15 +17,14 @@ scenario order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from ..exceptions import InfeasibleBoundError
 from ..platforms.catalog import configuration_names
 from .backends import get_backend
-from .cache import DEFAULT_CACHE, SolveCache
+from .cache import SolveCache
 from .result import Result, ResultSet
-from .scenario import Scenario, _resolve_cache
+from .scenario import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..platforms.configuration import Configuration
@@ -230,68 +229,14 @@ class Study:
             scenario is infeasible instead of returning a best-less
             result for it.
         """
-        scenarios = self.scenarios
-        names = [sc.resolve_backend_name(backend) for sc in scenarios]
-        if backend is not None:
-            solver = get_backend(backend)
-            for sc in scenarios:
-                solver.check_supports(sc)
+        # One execution engine for studies and experiments: compile a
+        # plan without dedup (a study answers every requested scenario
+        # with its own cache lookup) and run it — cache replay,
+        # batched-vs-per-scenario sharding, process fan-out and strict
+        # handling all live in ExecutionPlan.execute.
+        from .experiment import ExecutionPlan
 
-        cache_obj = _resolve_cache(cache, DEFAULT_CACHE)
-        results: list[Result | None] = [None] * len(scenarios)
-        pending: list[int] = []
-        for i, (sc, bn) in enumerate(zip(scenarios, names)):
-            hit = cache_obj.get(sc, bn) if cache_obj is not None else None
-            if hit is not None:
-                # Replay under this study's scenario (cache keys are
-                # canonical; see Scenario.solve).
-                results[i] = replace(
-                    hit,
-                    scenario=sc,
-                    provenance=replace(hit.provenance, cache_hit=True, wall_time=0.0),
-                )
-            else:
-                pending.append(i)
-
-        if processes is not None and processes > 1 and pending:
-            from concurrent.futures import ProcessPoolExecutor
-
-            pending_by_backend: dict[str, list[int]] = {}
-            for i in pending:
-                pending_by_backend.setdefault(names[i], []).append(i)
-            shards: list[tuple[str, list[int]]] = []
-            for bn, idxs in pending_by_backend.items():
-                if get_backend(bn).batched:
-                    # Keep the vectorised pass: shard the batch across
-                    # the workers instead of fanning out per scenario.
-                    shards.extend((bn, chunk) for chunk in _shard(idxs, processes))
-                else:
-                    shards.extend((bn, [i]) for i in idxs)
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                futures = [
-                    pool.submit(_solve_shard, [scenarios[i] for i in idxs], bn)
-                    for bn, idxs in shards
-                ]
-                for (bn, idxs), future in zip(shards, futures):
-                    for i, res in zip(idxs, future.result()):
-                        results[i] = res
-        else:
-            by_backend: dict[str, list[int]] = {}
-            for i in pending:
-                by_backend.setdefault(names[i], []).append(i)
-            for bn, idxs in by_backend.items():
-                batch = get_backend(bn).solve_batch([scenarios[i] for i in idxs])
-                for i, res in zip(idxs, batch):
-                    results[i] = res
-
-        if cache_obj is not None:
-            for i in pending:
-                res = results[i]
-                if res is not None and res.feasible:
-                    cache_obj.put(scenarios[i], names[i], res)
-
-        if strict:
-            for res in results:
-                if res is not None and not res.feasible:
-                    raise InfeasibleBoundError(res.scenario.rho, res.rho_min)
-        return ResultSet(results=tuple(results), name=self.name)  # type: ignore[arg-type]
+        plan = ExecutionPlan.compile(
+            self.scenarios, backend=backend, name=self.name, deduplicate=False
+        )
+        return plan.execute(cache=cache, processes=processes, strict=strict)

@@ -41,6 +41,16 @@ Commands
     Demonstrate the Theta(lambda^{-2/3}) scaling of Theorem 2.
 ``pareto``
     Trace the energy-vs-time Pareto frontier and locate its knee.
+``frontier``
+    The pipeline-native frontier: any schedule x error-model scenario,
+    compiled to one deduplicated Experiment plan over the batched
+    backends, with CSV/JSON export
+    (``repro frontier --errors weibull:shape=0.7,mtbf=3e5 --schedule
+    geom:0.4,1.5,1``).
+``savings``
+    Energy savings over the baseline along a sweep axis — two-speed vs
+    one-speed, or (with ``--errors``) pair enumeration vs the best
+    constant-speed schedule under a renewal error model.
 ``fraction``
     Sweep the fail-stop fraction f of the Section-5 combined model.
 ``multiverif``
@@ -128,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
              "with --mode/--failstop-fraction/--rate",
     )
     p_solve.add_argument("--backend", default=None, help="solver backend override")
+    p_solve.add_argument(
+        "--analyze", choices=("frontier", "savings"), default=None,
+        help="run an analysis verb on the solved scenario(s): 'savings' compares "
+             "against the schedule-less pair enumeration of the same scenario, "
+             "'frontier' reads the energy-vs-time trade-off off a --schedule axis",
+    )
     p_solve.add_argument("--csv", default=None, help="also write a one-row results CSV")
     p_solve.add_argument(
         "--simulate", type=int, default=0, metavar="N",
@@ -189,6 +205,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_par.add_argument("--rho-max", type=float, default=10.0)
     p_par.add_argument("--points", type=int, default=60)
 
+    p_fr = sub.add_parser(
+        "frontier",
+        help="energy-vs-time frontier through the Experiment pipeline "
+             "(any schedule x error-model scenario, batched backends)",
+    )
+    p_fr.add_argument("--config", default="hera-xscale")
+    p_fr.add_argument("--rho-min", type=float, default=None,
+                      help="tightest bound (default: the feasibility edge)")
+    p_fr.add_argument("--rho-max", type=float, default=10.0)
+    p_fr.add_argument("--points", type=int, default=60)
+    p_fr.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help="trace the frontier under this per-attempt speed schedule",
+    )
+    p_fr.add_argument(
+        "--errors", default=None, metavar="SPEC",
+        help="trace the frontier under this renewal error model "
+             "(e.g. weibull:shape=0.7,mtbf=3e5)",
+    )
+    p_fr.add_argument("--backend", default=None, help="force one solver backend")
+    p_fr.add_argument("--explain", action="store_true",
+                      help="print the deduplicated execution plan first")
+    p_fr.add_argument("--csv", default=None, help="export the frontier as CSV")
+    p_fr.add_argument("--json", default=None, help="export the frontier as JSON")
+
+    p_sav = sub.add_parser(
+        "savings",
+        help="energy savings over the baseline along a sweep axis "
+             "(two-speed vs one-speed; with --errors: pair enumeration "
+             "vs the best constant-speed schedule)",
+    )
+    p_sav.add_argument("--config", default="atlas-crusoe")
+    p_sav.add_argument("--axis", choices=AXIS_NAMES, default="C")
+    p_sav.add_argument("--rho", type=float, default=3.0)
+    p_sav.add_argument("--points", type=int, default=None, help="axis resolution")
+    p_sav.add_argument(
+        "--errors", default=None, metavar="SPEC",
+        help="compute the savings under this error model (baseline becomes "
+             "the best constant-speed schedule per point)",
+    )
+    p_sav.add_argument("--backend", default=None, help="force one solver backend")
+    p_sav.add_argument("--csv", default=None, help="export the per-point savings CSV")
+    p_sav.add_argument("--json", default=None, help="export the savings as JSON")
+
     p_frac = sub.add_parser("fraction", help="fail-stop fraction sweep (Section 5)")
     p_frac.add_argument("--config", default="hera-xscale")
     p_frac.add_argument("--rho", type=float, default=3.0)
@@ -235,11 +295,24 @@ def _cmd_configs(_: argparse.Namespace) -> int:
 
 
 def _cmd_backends(_: argparse.Namespace) -> int:
+    def yn(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    print(
+        f"{'backend':14s} {'modes':29s} {'schedules':>9s} "
+        f"{'errors':>7s} {'batched':>8s}"
+    )
     for name in available_backends():
         backend = get_backend(name)
         modes = ", ".join(sorted(backend.modes))
-        kind = "batched" if backend.batched else "per-scenario"
-        print(f"{name:13s} modes: {modes:28s} [{kind}]")
+        print(
+            f"{name:14s} {modes:29s} {yn(backend.handles_schedules):>9s} "
+            f"{yn(backend.handles_error_models):>7s} {yn(backend.batched):>8s}"
+        )
+    print()
+    print("batched backends solve whole Experiment/Study groups in one")
+    print("broadcast pass; Experiment plans route each scenario to its")
+    print("default backend unless --backend forces one")
     return 0
 
 
@@ -336,12 +409,52 @@ def _solve_schedule_axis(args: argparse.Namespace, specs: list[str]) -> int:
         best = min(feasible, key=lambda r: r.best.energy_overhead)
         print(f"best            : {best.scenario.schedule.spec()}  "
               f"E/W = {best.best.energy_overhead:.2f} mJ/work")
+    if args.analyze == "frontier" and feasible:
+        frontier = results.frontier()
+        knee = frontier.knee()
+        print(f"frontier        : {len(frontier)} non-dominated of "
+              f"{len(feasible)} feasible policies; knee at "
+              f"{knee.result.scenario.schedule.spec()} "
+              f"(T/W = {knee.x:.4f}, E/W = {knee.y:.2f})")
+    elif args.analyze == "savings":
+        _print_schedule_savings(args, results)
     if args.simulate > 0:
         print("(--simulate applies to single-schedule solves; skipped)")
     if args.csv:
         path = results.to_csv(args.csv)
         print(f"wrote {path}")
     return 0 if feasible else 1
+
+
+def _print_schedule_savings(args: argparse.Namespace, results) -> None:
+    """``solve --analyze savings``: each scheduled row vs the
+    schedule-less pair enumeration of the same scenario."""
+    from .exceptions import InfeasibleBoundError
+
+    try:
+        baseline = Scenario(
+            config=args.config,
+            rho=args.rho,
+            mode=args.mode,
+            failstop_fraction=args.failstop_fraction,
+            error_rate=args.rate,
+            errors=args.errors,
+        ).solve()
+    except InfeasibleBoundError:
+        print("savings         : baseline pair enumeration infeasible")
+        return
+    from .api.result import ResultSet
+
+    base_set = ResultSet(results=(baseline,) * len(results), name="pair-baseline")
+    savings = results.savings(base_set, values=range(len(results)), axis="index")
+    print(f"savings vs pair enumeration (E/W = "
+          f"{baseline.best.energy_overhead:.2f} mJ/work):")
+    for res, pct in zip(results, savings.percent):
+        spec = res.scenario.schedule.spec() if res.scenario.schedule else "-"
+        if np.isnan(pct):
+            print(f"  {spec:24s} infeasible")
+        else:
+            print(f"  {spec:24s} {pct:+7.2f}%")
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -388,6 +501,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"pattern size    : W = {best.work:.0f} work units")
     print(f"energy overhead : E/W = {best.energy_overhead:.2f} mJ/work")
     print(f"time overhead   : T/W = {best.time_overhead:.4f} s/work  (bound {args.rho:g})")
+    if args.analyze == "frontier":
+        print("(--analyze frontier needs a --schedule axis; repeat --schedule, "
+              "or use 'repro frontier' for a rho sweep)")
+    elif args.analyze == "savings":
+        if schedule is None:
+            print("(--analyze savings compares a schedule against the pair "
+                  "enumeration; nothing to compare without --schedule)")
+        else:
+            from .api.result import ResultSet
+
+            _print_schedule_savings(
+                args, ResultSet(results=(result,), name="solve")
+            )
     if args.csv:
         from .api.result import ResultSet
 
@@ -557,6 +683,163 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from .api.experiment import Experiment
+    from .core.feasibility import min_performance_bound_config
+    from .exceptions import (
+        InvalidParameterError,
+        UnknownBackendError,
+        UnsupportedScenarioError,
+    )
+
+    cfg = get_configuration(args.config)
+    rho_lo = args.rho_min
+    if rho_lo is None:
+        # With a schedule/model the two-speed feasibility edge is only a
+        # hint; infeasible head points simply drop out of the frontier.
+        rho_lo = min_performance_bound_config(cfg) * 1.0001
+    if not rho_lo < args.rho_max:
+        print(f"need rho-min < rho-max, got [{rho_lo:g}, {args.rho_max:g}]")
+        return 1
+    try:
+        experiment = Experiment.over(
+            configs=(cfg,),
+            rhos=tuple(float(r) for r in np.linspace(rho_lo, args.rho_max, args.points)),
+            schedules=(args.schedule,),
+            error_models=(args.errors,),
+            name=f"frontier:{cfg.name}",
+        )
+        plan = experiment.plan(args.backend)
+    except (InvalidParameterError, UnknownBackendError, UnsupportedScenarioError) as exc:
+        print(f"invalid frontier spec: {exc}")
+        return 1
+    if args.explain:
+        print(plan.describe())
+        print()
+    frontier = plan.execute().frontier()
+    if len(frontier) == 0:
+        print(f"{cfg.name}: no feasible point in [{rho_lo:g}, {args.rho_max:g}]")
+        return 1
+
+    bits = [f"{cfg.name}"]
+    if args.schedule:
+        bits.append(f"schedule {args.schedule}")
+    if args.errors:
+        bits.append(f"errors {args.errors}")
+    knee = frontier.knee()
+    print(f"{' '.join(bits)}: frontier with {len(frontier)} distinct trade-offs "
+          f"(backends: {', '.join(frontier.provenance.backends)})")
+    print(f"{'rho':>8}  {'T/W':>8}  {'E/W':>10}")
+    for p in frontier.points:
+        marker = "  <- knee" if p is knee else ""
+        print(f"{p.rho:>8.3f}  {p.x:>8.4f}  {p.y:>10.2f}{marker}")
+    if args.csv:
+        print(f"wrote {frontier.to_csv(args.csv)}")
+    if args.json:
+        print(f"wrote {frontier.to_json(args.json)}")
+    return 0
+
+
+def _best_per_block(results, block: int):
+    """Reduce a ResultSet of per-point candidate blocks to the best
+    (lowest-energy feasible) result per block."""
+    from .api.result import ResultSet
+
+    best = []
+    for start in range(0, len(results), block):
+        rows = [results[k] for k in range(start, start + block)]
+        feasible = [r for r in rows if r.feasible]
+        best.append(
+            min(feasible, key=lambda r: r.best.energy_overhead)
+            if feasible
+            else rows[0]
+        )
+    return ResultSet(results=tuple(best), name=f"{results.name}:best-per-point")
+
+
+def _cmd_savings(args: argparse.Namespace) -> int:
+    from .api.experiment import Experiment
+    from .exceptions import (
+        InvalidParameterError,
+        UnknownBackendError,
+        UnsupportedScenarioError,
+    )
+    from .schedules import Constant
+
+    cfg = get_configuration(args.config)
+    kwargs = {"n": args.points} if args.points else {}
+    axis = axis_by_name(args.axis, **kwargs)
+
+    try:
+        if args.errors is None:
+            candidate = Experiment.over_axis(
+                cfg, args.rho, axis, name=f"savings:{cfg.name}:{axis.name}"
+            ).solve(args.backend)
+            baseline = Experiment.over_axis(
+                cfg, args.rho, axis, modes=("single-speed",),
+                name="single-speed-baseline",
+            ).solve(args.backend)
+            baseline_desc = "one-speed optimum"
+        else:
+            # Under an explicit error model the one-speed baseline is
+            # the best *constant* schedule per point, solved in the
+            # same batched pass as the pair enumeration.
+            points = [axis.apply(cfg, args.rho, v) for v in axis.values]
+            candidate = Experiment.from_scenarios(
+                (
+                    Scenario(config=c, rho=r, errors=args.errors)
+                    for c, r in points
+                ),
+                name=f"savings:{cfg.name}:{axis.name}",
+            ).solve(args.backend)
+            speeds = cfg.speeds
+            baseline = _best_per_block(
+                Experiment.from_scenarios(
+                    (
+                        Scenario(config=c, rho=r, errors=args.errors,
+                                 schedule=Constant(s))
+                        for c, r in points
+                        for s in speeds
+                    ),
+                    name="const-baseline",
+                ).solve(args.backend),
+                block=len(speeds),
+            )
+            baseline_desc = "best constant-speed schedule"
+    except (
+        InvalidParameterError,
+        UnknownBackendError,
+        UnsupportedScenarioError,
+    ) as exc:
+        print(f"invalid savings spec: {exc}")
+        return 1
+
+    savings = candidate.savings(baseline, values=axis.values, axis=axis.name)
+    model = f"  errors {args.errors}" if args.errors else ""
+    print(f"{cfg.name}: savings vs {baseline_desc} along {axis.label} "
+          f"(rho = {args.rho:g}){model}")
+    print(f"{'value':>12}  {'E candidate':>11}  {'E baseline':>11}  {'saving %':>9}")
+    for v, c, b, p in zip(
+        savings.values, savings.candidate_y, savings.baseline_y, savings.percent
+    ):
+        if np.isnan(p):
+            print(f"{v:>12.4g}  {'-':>11}  {'-':>11}  {'-':>9}")
+        else:
+            print(f"{v:>12.4g}  {c:>11.2f}  {b:>11.2f}  {p:>9.2f}")
+    if savings.finite_mask.any():
+        print(f"max saving      : {savings.max_savings_percent:.2f}% "
+              f"at {axis.name} = {savings.argmax_value:g} "
+              f"(mean {savings.mean_savings_percent:.2f}%, "
+              f"{savings.num_points_with_savings()} point(s) > 0.01%)")
+    else:
+        print("(no point feasible for both candidate and baseline)")
+    if args.csv:
+        print(f"wrote {savings.to_csv(args.csv)}")
+    if args.json:
+        print(f"wrote {savings.to_json(args.json)}")
+    return 0 if savings.finite_mask.any() else 1
+
+
 def _cmd_fraction(args: argparse.Namespace) -> int:
     from .sweep.fraction import sweep_failstop_fraction
 
@@ -652,6 +935,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "theorem2": _cmd_theorem2,
     "pareto": _cmd_pareto,
+    "frontier": _cmd_frontier,
+    "savings": _cmd_savings,
     "fraction": _cmd_fraction,
     "multiverif": _cmd_multiverif,
     "trace": _cmd_trace,

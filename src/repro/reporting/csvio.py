@@ -13,7 +13,12 @@ from pathlib import Path
 from ..sweep.runner import SweepSeries
 from ..sweep.tables import SpeedPairTable
 
-__all__ = ["write_series_csv", "write_table_csv", "read_series_csv_rows"]
+__all__ = [
+    "write_series_csv",
+    "write_table_csv",
+    "read_series_csv_rows",
+    "write_rows_csv",
+]
 
 _SERIES_FIELDS = (
     "value",
@@ -78,6 +83,37 @@ def write_table_csv(path: str | Path, table: SpeedPairTable) -> Path:
                 )
             else:
                 writer.writerow([f"{row.sigma1:.6g}", "", "", "", "0"])
+    return path
+
+
+def write_rows_csv(path, fieldnames, rows) -> Path:
+    """Write dict rows under a fixed header — the generic writer behind
+    the analysis-result exports (``FrontierResult.to_csv`` & co).
+
+    ``None`` values and NaN floats become empty cells; floats render
+    with ``%.10g`` — 10 significant digits, the precision convention of
+    every writer in this module (compact cells; re-reads agree with the
+    in-memory values to ~1e-10 relative, not bit-exactly — use
+    ``to_json``/``to_dicts`` for full-precision round trips).
+    """
+    import math
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fieldnames)
+        for row in rows:
+            cells = []
+            for name in fieldnames:
+                v = row.get(name)
+                if v is None:
+                    cells.append("")
+                elif isinstance(v, float):
+                    cells.append("" if math.isnan(v) else f"{v:.10g}")
+                else:
+                    cells.append(str(v))
+            writer.writerow(cells)
     return path
 
 

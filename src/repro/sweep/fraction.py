@@ -75,10 +75,11 @@ def sweep_failstop_fraction(
     entries.
 
     .. note:: Legacy-shaped wrapper.  Builds one ``combined``-mode
-       :class:`repro.api.Scenario` per fraction and solves them as a
-       :class:`repro.api.Study` batch — which memoises repeated sweeps
-       and, with ``processes > 1``, fans the expensive numeric solves
-       out over worker processes.
+       :class:`repro.api.Scenario` per fraction and compiles them into
+       a :class:`repro.api.Experiment` plan — which deduplicates
+       repeated fractions, memoises repeated sweeps and, with
+       ``processes > 1``, fans the expensive numeric solves out over
+       worker processes.
 
     Examples
     --------
@@ -87,8 +88,8 @@ def sweep_failstop_fraction(
     >>> len(sw)
     11
     """
+    from ..api.experiment import Experiment
     from ..api.scenario import Scenario
-    from ..api.study import Study
 
     if total_rate is None:
         total_rate = cfg.lam
@@ -96,8 +97,8 @@ def sweep_failstop_fraction(
         fractions = np.linspace(0.0, 1.0, 11)
     fractions = np.asarray(fractions, dtype=float)
 
-    study = Study(
-        scenarios=tuple(
+    experiment = Experiment.from_scenarios(
+        (
             Scenario(
                 config=cfg,
                 rho=rho,
@@ -110,7 +111,7 @@ def sweep_failstop_fraction(
         ),
         name=f"failstop-fraction:{cfg.name}",
     )
-    results = study.solve(processes=processes)
+    results = experiment.solve(processes=processes)
     return FractionSweep(
         config_name=cfg.name,
         rho=rho,

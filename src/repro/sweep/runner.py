@@ -127,11 +127,11 @@ def run_sweep(
     """Solve both problems at every value of ``axis``.
 
     .. note:: Legacy wrapper.  Delegates to
-       ``repro.api.Study.over_axis(...).solve()``, solving the
-       two-speed and single-speed scenarios of every axis value
-       through the backend registry.  ``backend`` forwards a registry
-       name (e.g. ``"grid"`` for the vectorised batch path); ``None``
-       uses the scalar ``firstorder`` backend.
+       ``repro.api.Experiment.over_axis(...).solve()``, compiling the
+       two-speed and single-speed scenarios of every axis value into
+       one deduplicated plan through the backend registry.  ``backend``
+       forwards a registry name (e.g. ``"grid"`` for the vectorised
+       batch path); ``None`` uses the scalar ``firstorder`` backend.
 
     Examples
     --------
@@ -141,10 +141,10 @@ def run_sweep(
     >>> len(s)
     5
     """
-    from ..api.study import Study
+    from ..api.experiment import Experiment
 
-    study = Study.over_axis(cfg, rho, axis, modes=("silent", "single-speed"))
-    results = study.solve(backend=backend)
+    experiment = Experiment.over_axis(cfg, rho, axis, modes=("silent", "single-speed"))
+    results = experiment.solve(backend=backend)
     points: list[SweepPoint] = []
     for i, value in enumerate(axis.values):
         points.append(

@@ -1,0 +1,167 @@
+"""Equivalence pins: legacy analysis entry points vs the pipeline.
+
+PR 5 rewired ``pareto_frontier``, ``run_sweep``,
+``sweep_failstop_fraction``, ``optimal_pairs_by_rho`` and
+``parameter_elasticities`` as thin adapters over the
+:class:`repro.api.Experiment` pipeline.  These tests pin the adapters
+against per-point scalar loops (the pre-pipeline semantics):
+byte-identical outputs for the exponential two-speed cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.crossover import optimal_pairs_by_rho
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.sensitivity import parameter_elasticities
+from repro.api import Scenario
+from repro.core.feasibility import min_performance_bound_config
+from repro.core.solver import solve_bicrit
+from repro.exceptions import InfeasibleBoundError
+from repro.sweep.axes import checkpoint_axis, rho_axis
+from repro.sweep.fraction import sweep_failstop_fraction
+from repro.sweep.runner import run_sweep
+
+
+class TestParetoEquivalence:
+    def test_byte_identical_to_per_point_loop(self, hera_xscale):
+        n, rho_hi = 25, 8.0
+        frontier = pareto_frontier(hera_xscale, rho_hi=rho_hi, n=n)
+
+        # The historical construction: one scalar solve per rho, with
+        # the consecutive-duplicate collapse.
+        rho_lo = min_performance_bound_config(hera_xscale) * 1.0001
+        expected = []
+        for rho in np.linspace(rho_lo, rho_hi, n):
+            try:
+                sol = solve_bicrit(hera_xscale, float(rho)).best
+            except InfeasibleBoundError:
+                continue
+            if expected:
+                prev = expected[-1][1]
+                if (
+                    abs(prev.time_overhead - sol.time_overhead) < 1e-12
+                    and abs(prev.energy_overhead - sol.energy_overhead) < 1e-12
+                ):
+                    continue
+            expected.append((float(rho), sol))
+
+        assert len(frontier.points) == len(expected)
+        for point, (rho, sol) in zip(frontier.points, expected):
+            assert point.rho == rho
+            assert point.solution.speed_pair == sol.speed_pair
+            assert point.solution.work == sol.work
+            assert point.solution.energy_overhead == sol.energy_overhead
+            assert point.solution.time_overhead == sol.time_overhead
+
+    def test_all_configs_round_trip(self, any_config):
+        frontier = pareto_frontier(any_config, n=20)
+        assert len(frontier) >= 2
+        assert np.all(np.diff(frontier.energies) <= 1e-9)
+
+
+class TestRunSweepEquivalence:
+    @pytest.mark.parametrize("axis_factory", [checkpoint_axis, rho_axis])
+    def test_byte_identical_to_per_point_loop(self, atlas_crusoe, axis_factory):
+        axis = axis_factory(n=9)
+        series = run_sweep(atlas_crusoe, 3.0, axis)
+        for i, value in enumerate(axis.values):
+            cfg_v, rho_v = axis.apply(atlas_crusoe, 3.0, value)
+            for mode, point_sol in (
+                ("silent", series.points[i].two_speed),
+                ("single-speed", series.points[i].single_speed),
+            ):
+                try:
+                    expected = (
+                        Scenario(config=cfg_v, rho=rho_v, mode=mode)
+                        .solve(cache=False)
+                        .best
+                    )
+                except InfeasibleBoundError:
+                    expected = None
+                if expected is None:
+                    assert point_sol is None
+                else:
+                    assert point_sol.speed_pair == expected.speed_pair
+                    assert point_sol.work == expected.work
+                    assert point_sol.energy_overhead == expected.energy_overhead
+
+
+class TestFractionEquivalence:
+    def test_byte_identical_to_per_point_loop(self, hera_xscale):
+        fractions = np.linspace(0.0, 1.0, 5)
+        sweep = sweep_failstop_fraction(hera_xscale, 3.0, fractions=fractions)
+        for i, f in enumerate(fractions):
+            expected = (
+                Scenario(
+                    config=hera_xscale,
+                    rho=3.0,
+                    mode="combined",
+                    failstop_fraction=float(f),
+                    error_rate=hera_xscale.lam,
+                )
+                .solve(cache=False)
+                .raw
+            )
+            got = sweep.solutions[i]
+            assert got.sigma1 == expected.sigma1
+            assert got.sigma2 == expected.sigma2
+            assert got.work == expected.work
+            assert got.energy_overhead == expected.energy_overhead
+
+
+class TestCrossoverEquivalence:
+    def test_byte_identical_to_per_point_loop(self, hera_xscale):
+        intervals = optimal_pairs_by_rho(hera_xscale, 1.2, 9.0, 60)
+
+        grid = np.linspace(1.2, 9.0, 60)
+        expected = []
+        current, start, prev = None, None, None
+        for rho in grid:
+            try:
+                pair = solve_bicrit(hera_xscale, float(rho)).best.speed_pair
+            except InfeasibleBoundError:
+                pair = None
+            if pair != current:
+                if current is not None:
+                    expected.append((current, float(start), float(prev)))
+                current, start = pair, rho
+            prev = rho
+        if current is not None:
+            expected.append((current, float(start), float(prev)))
+
+        assert [(iv.pair, iv.rho_min, iv.rho_max) for iv in intervals] == expected
+
+
+class TestSensitivityEquivalence:
+    def test_byte_identical_to_sequential_loop(self, any_config):
+        rho = 3.0
+        got = parameter_elasticities(any_config, rho)
+
+        # The historical sequential loop over solve_bicrit.
+        from repro.analysis.sensitivity import _APPLIERS, _BASE_VALUES
+
+        rel_step = 0.02
+        base_energy = solve_bicrit(any_config, rho).best.energy_overhead
+        assert got.base_energy == base_energy
+        for name in _APPLIERS:
+            base = _BASE_VALUES[name](any_config, rho)
+            if base <= 0:
+                assert got.values[name] is None
+                continue
+            try:
+                cfg_hi, rho_hi = _APPLIERS[name](any_config, rho, base * (1 + rel_step))
+                cfg_lo, rho_lo = _APPLIERS[name](any_config, rho, base * (1 - rel_step))
+                e_hi = solve_bicrit(cfg_hi, rho_hi).best.energy_overhead
+                e_lo = solve_bicrit(cfg_lo, rho_lo).best.energy_overhead
+            except InfeasibleBoundError:
+                assert got.values[name] is None
+                continue
+            expected = (math.log(e_hi) - math.log(e_lo)) / (
+                math.log1p(rel_step) - math.log1p(-rel_step)
+            )
+            assert got.values[name] == expected

@@ -1,0 +1,246 @@
+"""Analysis verbs on ResultSet: frontier, savings, sensitivity, crossover."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.verbs import (
+    CrossoverResult,
+    FrontierResult,
+    SavingsResult,
+    SensitivityResult,
+    percent_savings,
+)
+from repro.api import Experiment
+from repro.reporting.csvio import read_series_csv_rows
+
+
+def _rho_results(cfg, n=12, lo=2.2, hi=6.0, **over_kwargs):
+    return Experiment.over(
+        configs=(cfg,), rhos=tuple(float(r) for r in np.linspace(lo, hi, n)),
+        name="verbs-test", **over_kwargs,
+    ).solve()
+
+
+class TestFrontierVerb:
+    def test_default_axes_and_monotone(self, hera_xscale):
+        fr = _rho_results(hera_xscale).frontier()
+        assert isinstance(fr, FrontierResult)
+        assert fr.x_attr == "time_overhead"
+        assert fr.y_attr == "energy_overhead"
+        assert fr.is_monotone()
+        assert np.all(np.diff(fr.xs) >= 0)
+        assert np.all(np.diff(fr.ys) < 0)  # pruned: strictly improving
+
+    def test_prune_false_keeps_result_order_duplicates_collapsed(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=30, hi=60.0)
+        legacy = results.frontier(prune=False)
+        pruned = results.frontier()
+        assert len(pruned) <= len(legacy)
+        # prune=False keeps only consecutive-duplicate collapse.
+        pts = list(zip(legacy.xs, legacy.ys))
+        assert len(pts) == len(set(pts))
+
+    def test_infeasible_points_skipped(self, hera_xscale):
+        fr = _rho_results(hera_xscale, lo=1.01, n=10).frontier()
+        assert len(fr) >= 1  # infeasible head dropped, no crash
+
+    def test_knee_well_defined(self, hera_xscale):
+        fr = _rho_results(hera_xscale).frontier()
+        knee = fr.knee()
+        assert knee in fr.points
+        assert fr.dominates(knee.x + 1.0, knee.y + 1.0)
+        assert not fr.dominates(fr.xs.min() - 1.0, fr.ys.min() - 1.0)
+
+    def test_empty_frontier_knee_raises(self, hera_xscale):
+        fr = _rho_results(hera_xscale, lo=1.01, hi=1.02, n=2).frontier()
+        assert len(fr) == 0
+        with pytest.raises(ValueError):
+            fr.knee()
+
+    def test_custom_axes(self, hera_xscale):
+        fr = _rho_results(hera_xscale).frontier(x="time_overhead", y="work")
+        assert fr.y_attr == "work"
+        assert len(fr) >= 1
+
+    def test_provenance_recorded(self, hera_xscale):
+        results = _rho_results(hera_xscale)
+        fr = results.frontier()
+        assert fr.provenance.source == "verbs-test"
+        assert fr.provenance.n_results == len(results)
+        assert "firstorder" in fr.provenance.backends
+
+    def test_csv_json_export(self, hera_xscale, tmp_path):
+        fr = _rho_results(hera_xscale).frontier()
+        path = fr.to_csv(tmp_path / "fr.csv")
+        rows = read_series_csv_rows(path)
+        assert len(rows) == len(fr)
+        assert set(rows[0]) == {
+            "rho", "time_overhead", "energy_overhead", "scenario", "backend",
+        }
+        payload = json.loads(fr.to_json())
+        assert payload["x"] == "time_overhead"
+        assert len(payload["points"]) == len(fr)
+        written = fr.to_json(tmp_path / "fr.json")
+        assert json.loads(written.read_text())["points"] == payload["points"]
+
+    def test_schedule_and_error_model_frontier(self, hera_xscale):
+        # The pre-pipeline impossibility: frontier over a renewal model
+        # under a geometric schedule.
+        fr = _rho_results(
+            hera_xscale, n=6, lo=3.0, hi=6.0,
+            schedules=("geom:0.4,1.5,1",),
+            error_models=("gamma:shape=2,mtbf=3e5",),
+        ).frontier()
+        assert fr.is_monotone()
+        assert len(fr) >= 1
+        assert fr.provenance.backends == ("schedule-grid",)
+
+
+class TestSavingsVerb:
+    def test_two_speed_vs_single_speed(self, atlas_crusoe):
+        two = _rho_results(atlas_crusoe, n=8)
+        one = Experiment.over(
+            configs=(atlas_crusoe,),
+            rhos=tuple(float(r) for r in np.linspace(2.2, 6.0, 8)),
+            modes=("single-speed",),
+            name="baseline",
+        ).solve()
+        sav = two.savings(one)
+        assert isinstance(sav, SavingsResult)
+        assert sav.axis == "rho"  # inferred from distinct rhos
+        m = sav.finite_mask
+        assert m.any()
+        assert np.all(sav.percent[m] >= -1e-9)  # two-speed never worse
+        assert sav.baseline_name == "baseline"
+        assert 0 <= sav.num_points_with_savings() <= len(sav)
+
+    def test_misaligned_lengths_rejected(self, hera_xscale):
+        a = _rho_results(hera_xscale, n=4)
+        b = _rho_results(hera_xscale, n=5)
+        with pytest.raises(ValueError):
+            a.savings(b)
+
+    def test_nan_at_infeasible_points(self, hera_xscale):
+        cand = _rho_results(hera_xscale, lo=1.01, n=8)
+        base = Experiment.over(
+            configs=(hera_xscale,),
+            rhos=tuple(float(r) for r in np.linspace(1.01, 6.0, 8)),
+            modes=("single-speed",),
+        ).solve()
+        sav = cand.savings(base)
+        infeasible = ~cand.feasible_mask()
+        assert infeasible.any()
+        assert np.all(np.isnan(sav.percent[infeasible]))
+
+    def test_summary_stats_and_export(self, atlas_crusoe, tmp_path):
+        from repro.sweep.axes import checkpoint_axis
+
+        axis = checkpoint_axis(n=6)
+        cand = Experiment.over_axis(atlas_crusoe, 3.0, axis).solve()
+        base = Experiment.over_axis(
+            atlas_crusoe, 3.0, axis, modes=("single-speed",)
+        ).solve()
+        sav = cand.savings(base, values=axis.values, axis="C")
+        assert sav.axis == "C"
+        assert sav.argmax_value in axis.values
+        assert sav.max_savings_percent >= sav.mean_savings_percent - 1e-12
+        rows = read_series_csv_rows(sav.to_csv(tmp_path / "s.csv"))
+        assert set(rows[0]) == {
+            "C", "candidate_energy", "baseline_energy", "savings_percent",
+        }
+        payload = json.loads(sav.to_json())
+        assert payload["axis"] == "C"
+        assert payload["baseline"] == base.name
+
+    def test_percent_savings_nan_propagation(self):
+        out = percent_savings(
+            np.array([50.0, np.nan, 75.0]), np.array([100.0, 100.0, np.nan])
+        )
+        assert out[0] == 50.0
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_all_nan_summary(self, hera_xscale):
+        cand = _rho_results(hera_xscale, lo=1.01, hi=1.02, n=3)
+        base = _rho_results(hera_xscale, lo=1.01, hi=1.02, n=3)
+        sav = cand.savings(base, values=(1, 2, 3))
+        assert np.isnan(sav.max_savings_percent)
+        assert np.isnan(sav.argmax_value)
+        assert np.isnan(sav.mean_savings_percent)
+        assert not sav.any_savings
+
+
+class TestSensitivityVerb:
+    def test_elasticity_along_rho(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=10, lo=2.2, hi=3.2)
+        sens = results.sensitivity()
+        assert isinstance(sens, SensitivityResult)
+        assert np.isnan(sens.elasticities[0]) and np.isnan(sens.elasticities[-1])
+        m = sens.finite_mask
+        assert m.any()
+        # Energy falls (weakly) as the bound loosens: elasticity <= 0.
+        assert np.all(sens.elasticities[m] <= 1e-9)
+
+    def test_custom_values_axis(self, atlas_crusoe):
+        from repro.sweep.axes import checkpoint_axis
+
+        axis = checkpoint_axis(n=7)
+        results = Experiment.over_axis(atlas_crusoe, 3.0, axis).solve()
+        sens = results.sensitivity(values=axis.values, axis="C")
+        assert sens.axis == "C"
+        assert len(sens) == 7
+        assert np.isfinite(sens.max_abs_elasticity())
+        assert sens.at(axis.values[3]) == sens.elasticities[3]
+
+    def test_infeasible_neighbours_yield_nan(self, hera_xscale):
+        results = _rho_results(hera_xscale, lo=1.01, n=8)
+        sens = results.sensitivity()
+        feasible = results.feasible_mask()
+        first = int(np.argmax(feasible))
+        if first > 0:
+            # The first feasible point has an infeasible neighbour.
+            assert np.isnan(sens.elasticities[first])
+
+    def test_mismatched_values_rejected(self, hera_xscale):
+        with pytest.raises(ValueError):
+            _rho_results(hera_xscale, n=4).sensitivity(values=(1.0, 2.0))
+
+    def test_export(self, hera_xscale, tmp_path):
+        sens = _rho_results(hera_xscale, n=6).sensitivity()
+        rows = read_series_csv_rows(sens.to_csv(tmp_path / "sens.csv"))
+        assert len(rows) == 6
+        assert rows[0]["elasticity"] == ""  # endpoint NaN -> empty cell
+        payload = json.loads(sens.to_json())
+        assert payload["y"] == "energy_overhead"
+
+
+class TestCrossoverVerb:
+    def test_finds_pair_changes_along_rho(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=40, lo=1.2, hi=9.0)
+        cx = results.crossover()
+        assert isinstance(cx, CrossoverResult)
+        assert len(cx) >= 2  # several winners across a wide rho range
+        assert len(cx.distinct_pairs()) >= 3
+        for e in cx.events:
+            assert e.index_after == e.index_before + 1
+            assert e.pair_before != e.pair_after
+
+    def test_feasibility_transition_counts(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=10, lo=1.01, hi=4.0)
+        cx = results.crossover()
+        assert any(e.pair_before is None for e in cx.events)
+
+    def test_constant_winner_no_events(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=4, lo=8.0, hi=9.0)
+        cx = results.crossover()
+        assert len(cx) == 0
+
+    def test_export(self, hera_xscale, tmp_path):
+        cx = _rho_results(hera_xscale, n=30, lo=1.2, hi=9.0).crossover()
+        rows = read_series_csv_rows(cx.to_csv(tmp_path / "cx.csv"))
+        assert len(rows) == len(cx)
+        payload = json.loads(cx.to_json())
+        assert len(payload["events"]) == len(cx)

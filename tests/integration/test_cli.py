@@ -176,6 +176,140 @@ class TestPareto:
         assert "Atlas" in capsys.readouterr().out
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestBackendsListing:
+    def test_batched_column_exposed(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        for column in ("backend", "modes", "schedules", "errors", "batched"):
+            assert column in header
+        rows = {line.split()[0]: line for line in out.splitlines()[1:7]}
+        assert rows["grid"].rstrip().endswith("yes")
+        assert rows["schedule-grid"].rstrip().endswith("yes")
+        assert rows["firstorder"].rstrip().endswith("no")
+
+
+class TestFrontierCommand:
+    def test_basic_frontier_with_knee(self, capsys):
+        assert main(["frontier", "--points", "20", "--rho-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct trade-offs" in out
+        assert "<- knee" in out
+
+    def test_explain_prints_plan(self, capsys):
+        assert main(["frontier", "--points", "6", "--rho-max", "5",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "unique solves" in out
+
+    def test_renewal_model_schedule_frontier(self, capsys):
+        # Impossible pre-pipeline: a frontier under a renewal error
+        # model and a non-two-speed schedule, batched end to end.
+        assert main([
+            "frontier", "--points", "6", "--rho-max", "6",
+            "--errors", "weibull:shape=0.7,mtbf=3e5",
+            "--schedule", "geom:0.4,1.5,1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schedule-grid" in out
+
+    def test_csv_json_export(self, capsys, tmp_path):
+        csv = tmp_path / "fr.csv"
+        js = tmp_path / "fr.json"
+        assert main(["frontier", "--points", "8", "--rho-max", "6",
+                     "--csv", str(csv), "--json", str(js)]) == 0
+        assert csv.read_text().startswith("rho,")
+        import json
+
+        assert json.loads(js.read_text())["x"] == "time_overhead"
+
+    def test_bad_range_rejected(self, capsys):
+        assert main(["frontier", "--rho-min", "5", "--rho-max", "2"]) == 1
+        assert "rho-min < rho-max" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self, capsys):
+        assert main(["frontier", "--errors", "nope:1"]) == 1
+        assert "invalid frontier spec" in capsys.readouterr().out
+
+
+class TestSavingsCommand:
+    def test_two_speed_savings_along_axis(self, capsys):
+        assert main(["savings", "--axis", "C", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "savings vs one-speed optimum" in out
+        assert "max saving" in out
+
+    def test_error_model_savings(self, capsys):
+        assert main([
+            "savings", "--config", "hera-xscale", "--axis", "C",
+            "--points", "3", "--errors", "gamma:shape=2,mtbf=5e3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best constant-speed schedule" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv = tmp_path / "sav.csv"
+        assert main(["savings", "--axis", "C", "--points", "4",
+                     "--csv", str(csv)]) == 0
+        assert csv.read_text().splitlines()[0] == (
+            "C,candidate_energy,baseline_energy,savings_percent"
+        )
+
+    def test_unknown_backend_rejected_cleanly(self, capsys):
+        assert main(["savings", "--axis", "C", "--points", "3",
+                     "--backend", "bogus"]) == 1
+        assert "invalid savings spec" in capsys.readouterr().out
+
+    def test_unsupported_backend_rejected_cleanly(self, capsys):
+        assert main([
+            "savings", "--axis", "C", "--points", "3",
+            "--errors", "weibull:shape=0.7,mtbf=3e5",
+            "--backend", "firstorder",
+        ]) == 1
+        assert "invalid savings spec" in capsys.readouterr().out
+
+
+class TestSolveAnalyze:
+    def test_schedule_axis_frontier(self, capsys):
+        assert main([
+            "solve", "--schedule", "two:0.4,0.6", "--schedule", "const:0.5",
+            "--schedule", "geom:0.4,1.5,1", "--analyze", "frontier",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "frontier        :" in out
+        assert "knee at" in out
+
+    def test_schedule_axis_savings(self, capsys):
+        assert main([
+            "solve", "--schedule", "two:0.4,0.6", "--schedule", "const:0.5",
+            "--analyze", "savings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "savings vs pair enumeration" in out
+
+    def test_single_solve_savings(self, capsys):
+        assert main([
+            "solve", "--schedule", "geom:0.4,1.5,1", "--analyze", "savings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "savings vs pair enumeration" in out
+        assert "geom:0.4,1.5,1" in out
+
+    def test_single_solve_frontier_hint(self, capsys):
+        assert main(["solve", "--analyze", "frontier"]) == 0
+        assert "repro frontier" in capsys.readouterr().out
+
+
 class TestFraction:
     def test_sweep_printed(self, capsys):
         assert main(["fraction", "--rate", "5e-4", "--points", "3"]) == 0

@@ -1,0 +1,138 @@
+"""Property-based tests for the Experiment pipeline (hypothesis).
+
+Two pipeline invariants the ISSUE pins:
+
+* plan dedup: an :class:`~repro.api.experiment.ExecutionPlan` never
+  hands the same ``(cache_key(), backend)`` to a backend twice, no
+  matter how many duplicate spellings the request contains;
+* frontier shape: ``.frontier()`` over any rho sweep is monotone in
+  time overhead (non-decreasing x, strictly decreasing y) with a
+  well-defined knee that belongs to the frontier.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.api.experiment as experiment_module
+from repro.api import Experiment, Scenario, SolveCache
+from repro.platforms.catalog import configuration_names
+
+CONFIG_NAMES = st.sampled_from(configuration_names())
+
+# A small palette of scenario variations: the same solve spelled many
+# ways (labels, equivalent schedules) plus genuinely distinct points.
+RHOS = st.sampled_from((2.4, 2.5, 3.0, 3.5))
+SCHEDULES = st.sampled_from(
+    (None, "two:0.5,0.5", "const:0.5", "geom:0.4,1.5,1", "two:0.4,0.6")
+)
+LABELS = st.sampled_from((None, "a", "b"))
+
+
+@st.composite
+def scenario_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    out = []
+    for _ in range(n):
+        out.append(
+            Scenario(
+                config=draw(CONFIG_NAMES),
+                rho=draw(RHOS),
+                schedule=draw(SCHEDULES),
+                label=draw(LABELS),
+            )
+        )
+    return out
+
+
+class _CountingBackendProxy:
+    """Counts every scenario a backend is actually asked to solve."""
+
+    def __init__(self, backend, seen: list):
+        self._backend = backend
+        self._seen = seen
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+    @property
+    def batched(self):
+        return self._backend.batched
+
+    def solve_batch(self, scenarios):
+        self._seen.extend(
+            (sc.cache_key(), self._backend.name) for sc in scenarios
+        )
+        return self._backend.solve_batch(scenarios)
+
+
+@given(scenarios=scenario_lists())
+@settings(max_examples=30, deadline=None)
+def test_plan_never_solves_the_same_cache_key_twice(scenarios):
+    exp = Experiment.from_scenarios(scenarios)
+    plan = exp.plan()
+
+    # Static invariant: unique entries have pairwise-distinct keys and
+    # the index map covers every requested scenario.
+    keys = [
+        (sc.cache_key(), bn) for sc, bn in zip(plan.unique, plan.backend_names)
+    ]
+    assert len(set(keys)) == len(keys) == plan.n_unique
+    assert len(plan.index_map) == len(scenarios)
+    assert set(plan.index_map) == set(range(plan.n_unique))
+
+    # Dynamic invariant: the backends see each key exactly once.
+    seen: list = []
+    real_get_backend = experiment_module.get_backend
+    experiment_module.__dict__["get_backend"] = lambda name: _CountingBackendProxy(
+        real_get_backend(name), seen
+    )
+    try:
+        results = exp.solve(cache=SolveCache())
+    finally:
+        experiment_module.__dict__["get_backend"] = real_get_backend
+    assert len(seen) == len(set(seen)) == plan.n_unique
+    assert len(results) == len(scenarios)
+
+    # Every request is answered under its own scenario spelling.
+    for sc, res in zip(scenarios, results):
+        assert res.scenario == sc
+
+
+@given(scenarios=scenario_lists())
+@settings(max_examples=20, deadline=None)
+def test_cold_private_cache_misses_once_per_unique(scenarios):
+    cache = SolveCache()
+    exp = Experiment.from_scenarios(scenarios)
+    plan = exp.plan()
+    exp.solve(cache=cache)
+    assert cache.misses == plan.n_unique
+    assert cache.hits == 0
+
+
+@given(
+    name=CONFIG_NAMES,
+    rho_lo=st.floats(min_value=1.5, max_value=3.0),
+    span=st.floats(min_value=0.5, max_value=8.0),
+    n=st.integers(min_value=2, max_value=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_frontier_is_monotone_with_well_defined_knee(name, rho_lo, span, n):
+    import numpy as np
+
+    rhos = tuple(float(r) for r in np.linspace(rho_lo, rho_lo + span, n))
+    frontier = Experiment.over(configs=(name,), rhos=rhos).solve().frontier()
+
+    xs, ys = frontier.xs, frontier.ys
+    assert frontier.is_monotone()
+    if len(frontier) >= 2:
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) < 0)  # pruned: strictly improving y
+    if len(frontier) >= 1:
+        knee = frontier.knee()
+        assert knee in frontier.points
+        # The knee dominates its own upper-right quadrant and the
+        # frontier never dominates a point below its minima.
+        assert frontier.dominates(knee.x, knee.y)
+        assert not frontier.dominates(xs.min() - 1.0, ys.min() - 1.0)

@@ -57,3 +57,66 @@ class TestRunSweep:
         for p in series.points:
             if p.single_speed is not None:
                 assert p.single_speed.sigma1 == p.single_speed.sigma2
+
+
+class TestNaNAccessors:
+    """Every array accessor must NaN-encode infeasible points and stay
+    aligned with the axis values (the plot-readiness contract)."""
+
+    TWO_ACCESSORS = ("sigma1", "sigma2", "work_two", "energy_two")
+    ONE_ACCESSORS = ("sigma_single", "work_single", "energy_single")
+
+    def _series_with_infeasible_head(self, cfg):
+        # rho just above 1 is below the minimum feasible bound, so the
+        # head of a rho sweep is infeasible for both solvers.
+        return run_sweep(cfg, 3.0, rho_axis(lo=1.01, hi=3.5, n=12))
+
+    def test_all_two_speed_accessors_nan_at_infeasible(self, atlas_crusoe):
+        series = self._series_with_infeasible_head(atlas_crusoe)
+        mask = series.feasible_mask()
+        assert not mask.all() and mask.any()
+        for accessor in self.TWO_ACCESSORS:
+            arr = getattr(series, accessor)()
+            assert np.all(np.isnan(arr[~mask])), accessor
+            assert np.all(np.isfinite(arr[mask])), accessor
+
+    def test_all_single_speed_accessors_nan_at_infeasible(self, atlas_crusoe):
+        series = self._series_with_infeasible_head(atlas_crusoe)
+        one_mask = np.array([p.single_speed is not None for p in series.points])
+        assert not one_mask.all() and one_mask.any()
+        for accessor in self.ONE_ACCESSORS:
+            arr = getattr(series, accessor)()
+            assert np.all(np.isnan(arr[~one_mask])), accessor
+            assert np.all(np.isfinite(arr[one_mask])), accessor
+
+    def test_accessor_lengths_align_with_axis(self, atlas_crusoe):
+        axis = rho_axis(lo=1.01, hi=3.5, n=9)
+        series = run_sweep(atlas_crusoe, 3.0, axis)
+        np.testing.assert_allclose(series.values, axis.values)
+        for accessor in self.TWO_ACCESSORS + self.ONE_ACCESSORS:
+            arr = getattr(series, accessor)()
+            assert arr.shape == (len(axis),), accessor
+
+    def test_accessor_values_align_pointwise(self, atlas_crusoe):
+        # Each array element must come from *its own* point, not a
+        # shifted neighbour: cross-check against the point objects.
+        series = self._series_with_infeasible_head(atlas_crusoe)
+        for i, p in enumerate(series.points):
+            if p.two_speed is not None:
+                assert series.sigma1()[i] == p.two_speed.sigma1
+                assert series.energy_two()[i] == p.two_speed.energy_overhead
+            else:
+                assert np.isnan(series.energy_two()[i])
+            if p.single_speed is not None:
+                assert series.work_single()[i] == p.single_speed.work
+            else:
+                assert np.isnan(series.work_single()[i])
+
+    def test_nan_propagates_through_series_savings(self, atlas_crusoe):
+        from repro.analysis.savings import series_savings
+
+        series = self._series_with_infeasible_head(atlas_crusoe)
+        s = series_savings(series)
+        mask = series.feasible_mask()
+        assert np.all(np.isnan(s[~mask]))
+        assert np.all(np.isfinite(s[mask]))
