@@ -173,6 +173,10 @@ def solve_bicrit_combined(
     """
     from ..api.scenario import Scenario
 
+    # A renewal ErrorModel also exposes failstop_fraction/total_rate, so
+    # without this guard it would silently decompose into exponential
+    # rates below; collapse memoryless models, reject the rest (RPR002).
+    errors = require_memoryless(errors, "repro.failstop.solver.solve_bicrit_combined")
     return Scenario(
         config=cfg,
         rho=rho,

@@ -106,3 +106,33 @@ class TestTimeOptimalWork:
             works.append(time_optimal_work(cfg, CombinedErrors(lam, 1.0), 0.5, 0.5))
         # 100x rate -> ~10x smaller W (sqrt), certainly not 100^(2/3)=21.5x.
         assert works[0] / works[1] == pytest.approx(10.0, rel=0.1)
+
+
+class TestMemorylessGuard:
+    """Pin the require_memoryless guard on solve_bicrit_combined.
+
+    A renewal ErrorModel also exposes failstop_fraction/total_rate, so
+    before the guard was added the legacy wrapper silently decomposed a
+    Weibull model into exponential rates and solved the wrong problem.
+    """
+
+    def test_renewal_model_rejected(self, hera_xscale):
+        from repro.errors.models import ErrorModel, WeibullArrivals
+        from repro.exceptions import UnsupportedErrorModelError
+
+        weibull = ErrorModel(
+            process=WeibullArrivals.from_mtbf(shape=0.7, mtbf=1.0 / hera_xscale.lam),
+            failstop_fraction=0.5,
+        )
+        with pytest.raises(UnsupportedErrorModelError):
+            solve_bicrit_combined(hera_xscale, weibull, rho=3.0)
+
+    def test_memoryless_model_collapses_to_combined(self, hera_xscale):
+        from repro.errors.models import ErrorModel
+
+        errors = CombinedErrors(hera_xscale.lam, 0.5)
+        via_model = solve_bicrit_combined(
+            hera_xscale, ErrorModel.from_combined(errors), rho=3.0
+        )
+        direct = solve_bicrit_combined(hera_xscale, errors, rho=3.0)
+        assert via_model == direct
