@@ -1,0 +1,28 @@
+"""Diagnostic records emitted by the lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) so reports are stable and
+    grouped by file regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixit: str = ""
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: CODE message`` report format."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.fixit:
+            text += f" [fix: {self.fixit}]"
+        return text

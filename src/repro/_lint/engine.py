@@ -1,0 +1,176 @@
+"""The `repro-lint` engine: file walking, rule dispatch, suppression.
+
+A *rule* is a callable taking a :class:`LintContext` and yielding
+:class:`~repro._lint.diagnostics.Diagnostic` objects.  Rules register
+themselves with the :func:`rule` decorator (code + summary + fix-it);
+the engine parses each file once, hands every registered rule the same
+context, filters diagnostics through the file's suppression directives
+and returns the sorted remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidParameterError
+from .diagnostics import Diagnostic
+from .suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "rule",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def posix_path(self) -> str:
+        """The file path with forward slashes (for pattern matching)."""
+        return self.path.as_posix()
+
+    def in_package_dir(self, *parts: str) -> bool:
+        """True when the file lives under ``.../parts[0]/parts[1]/...``."""
+        pieces = self.path.parts
+        n = len(parts)
+        return any(
+            pieces[i : i + n] == parts for i in range(len(pieces) - n + 1)
+        )
+
+    def diagnostic(
+        self, node: ast.AST, code: str, message: str, fixit: str = ""
+    ) -> Diagnostic:
+        """A diagnostic anchored at ``node``'s location in this file."""
+        return Diagnostic(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            fixit=fixit,
+        )
+
+
+RuleFn = Callable[[LintContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: stable code, summary, and the check callable."""
+
+    code: str
+    summary: str
+    fixit: str
+    check: RuleFn = field(compare=False)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, summary: str, fixit: str) -> Callable[[RuleFn], RuleFn]:
+    """Register ``fn`` as the implementation of rule ``code``."""
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if code in _RULES:
+            raise InvalidParameterError(f"lint rule {code!r} already registered")
+        _RULES[code] = Rule(code=code, summary=summary, fixit=fixit, check=fn)
+        return fn
+
+    return decorate
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code."""
+    _ensure_rules_loaded()
+    return tuple(_RULES[c] for c in sorted(_RULES))
+
+
+def _ensure_rules_loaded() -> None:
+    # Rules live in their own module so importing the engine alone (for
+    # the API types) never runs registration twice.
+    from . import rules  # noqa: F401  (import-for-side-effect)
+
+
+def lint_source(
+    source: str,
+    path: Path | str = "<string>",
+    select: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one in-memory source blob; the core of every entry point.
+
+    ``select`` restricts the run to the listed rule codes (default:
+    every registered rule).  Returns sorted, suppression-filtered
+    diagnostics; a file that does not parse yields a single ``RPR000``
+    syntax diagnostic (the rules need an AST).
+    """
+    _ensure_rules_loaded()
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RPR000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    wanted = set(select) if select is not None else None
+    found: list[Diagnostic] = []
+    for r in all_rules():
+        if wanted is not None and r.code not in wanted:
+            continue
+        for diag in r.check(ctx):
+            if not ctx.suppressions.is_suppressed(diag.line, diag.code):
+                found.append(diag)
+    return sorted(found)
+
+
+def lint_file(
+    path: Path | str, select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path, select=select)
+
+
+def _iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[Path | str], select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint files and directory trees; directories recurse over ``*.py``."""
+    found: list[Diagnostic] = []
+    for path in _iter_python_files(paths):
+        found.extend(lint_file(path, select=select))
+    return sorted(found)

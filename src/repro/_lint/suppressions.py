@@ -1,0 +1,88 @@
+"""Suppression comments for `repro-lint` diagnostics.
+
+Two scopes, mirroring the usual ``noqa`` conventions but namespaced so
+they cannot collide with ruff/flake8 directives:
+
+Per line
+    ``# repro-lint: ignore[RPR004]`` at the end of the offending line
+    suppresses the listed code(s) on that line; a comma-separated list
+    (``ignore[RPR004,RPR005]``) suppresses several, and a bare
+    ``# repro-lint: ignore`` suppresses every rule on the line.
+
+Per file
+    ``# repro-lint: skip-file`` anywhere in the file disables every
+    rule for the whole file; ``# repro-lint: skip-file[RPR005]``
+    disables only the listed code(s).
+
+Suppressions are parsed from the token stream (not regexes over raw
+source) so string literals that *look* like directives are never
+misread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: ``ignore``/``skip-file`` directive with an optional [CODE,...] list.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>ignore|skip-file)"
+    r"(?:\[(?P<codes>[A-Z0-9,\s]+)\])?",
+)
+
+#: Sentinel meaning "every code" for a bare directive.
+ALL_CODES = "*"
+
+
+@dataclass
+class Suppressions:
+    """The parsed suppression state of one file."""
+
+    #: line number -> set of suppressed codes (or {ALL_CODES}).
+    lines: dict[int, set[str]] = field(default_factory=dict)
+    #: file-wide suppressed codes (or {ALL_CODES}).
+    file_codes: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is silenced at ``line`` (or file-wide)."""
+        if ALL_CODES in self.file_codes or code in self.file_codes:
+            return True
+        at_line = self.lines.get(line)
+        if at_line is None:
+            return False
+        return ALL_CODES in at_line or code in at_line
+
+
+def _parse_codes(raw: str | None) -> set[str]:
+    if raw is None:
+        return {ALL_CODES}
+    codes = {c.strip() for c in raw.split(",") if c.strip()}
+    return codes or {ALL_CODES}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Collect the suppression directives of ``source``.
+
+    Unparseable sources (the engine reports those as syntax
+    diagnostics anyway) yield an empty suppression set.
+    """
+    out = Suppressions()
+    # A syntactically broken file still gets linted (RPR000 reports the
+    # parse error); its suppression comments are simply not readable.
+    with contextlib.suppress(tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("verb") == "skip-file":
+                out.file_codes |= codes
+            else:
+                out.lines.setdefault(tok.start[0], set()).update(codes)
+    return out

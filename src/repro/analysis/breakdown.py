@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core import exact
 from ..platforms.configuration import Configuration
+from ..exceptions import InvalidParameterError
 
 __all__ = ["EnergyBreakdown", "energy_breakdown"]
 
@@ -115,9 +116,9 @@ def energy_breakdown(
     if sigma2 is None:
         sigma2 = sigma1
     if work <= 0:
-        raise ValueError("work must be > 0")
+        raise InvalidParameterError("work must be > 0")
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
 
     lam = cfg.lam
     V = cfg.verification_time

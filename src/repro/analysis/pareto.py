@@ -11,11 +11,18 @@ returns) via the maximum-distance-to-chord rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.solution import PatternSolution
 from ..platforms.configuration import Configuration
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..errors.models import ArrivalProcess, ErrorModel
+    from ..errors.combined import CombinedErrors
+    from ..schedules.base import SpeedSchedule
 
 __all__ = ["ParetoPoint", "ParetoFrontier", "pareto_frontier"]
 
@@ -98,8 +105,8 @@ def pareto_frontier(
     n: int = 60,
     *,
     backend: str | None = None,
-    schedule=None,
-    errors=None,
+    schedule: "SpeedSchedule | str | None" = None,
+    errors: "ErrorModel | ArrivalProcess | CombinedErrors | str | None" = None,
 ) -> ParetoFrontier:
     """Trace the Pareto frontier by sweeping the bound.
 
@@ -133,7 +140,7 @@ def pareto_frontier(
     if rho_lo is None:
         rho_lo = min_performance_bound_config(cfg) * 1.0001
     if not rho_lo < rho_hi:
-        raise ValueError(f"need rho_lo < rho_hi, got [{rho_lo}, {rho_hi}]")
+        raise InvalidParameterError(f"need rho_lo < rho_hi, got [{rho_lo}, {rho_hi}]")
 
     from ..api.experiment import Experiment
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.singlespeed import solve_single_speed
 from ..core.solver import solve_bicrit
-from ..exceptions import InfeasibleBoundError
+from ..exceptions import InfeasibleBoundError, InvalidParameterError
 from ..platforms.configuration import Configuration
 from ..sweep.axes import SweepAxis
 
@@ -99,7 +99,7 @@ def map_regions(
     (4, 4)
     """
     if x_axis.name == y_axis.name:
-        raise ValueError(f"both axes address {x_axis.name!r}")
+        raise InvalidParameterError(f"both axes address {x_axis.name!r}")
     nx, ny = len(x_axis), len(y_axis)
     sigma1 = np.full((nx, ny), np.nan)
     sigma2 = np.full((nx, ny), np.nan)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..sweep.runner import SweepSeries
 from .verbs import percent_savings
+from ..exceptions import InvalidParameterError
 
 __all__ = ["savings_percent", "series_savings", "SavingsSummary", "summarize_savings"]
 
@@ -28,7 +29,7 @@ def savings_percent(two_speed_energy: float, single_speed_energy: float) -> floa
     solver inconsistency.
     """
     if single_speed_energy <= 0:
-        raise ValueError("single_speed_energy must be > 0")
+        raise InvalidParameterError("single_speed_energy must be > 0")
     return (1.0 - two_speed_energy / single_speed_energy) * 100.0
 
 
@@ -75,7 +76,7 @@ def summarize_savings(series: SweepSeries, *, threshold: float = 0.01) -> Saving
     s = series_savings(series)
     finite = np.isfinite(s)
     if not finite.any():
-        raise ValueError("no sweep point is feasible for both solvers")
+        raise InvalidParameterError("no sweep point is feasible for both solvers")
     values = series.values
     sf = np.where(finite, s, -np.inf)
     k = int(np.argmax(sf))

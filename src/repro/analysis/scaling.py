@@ -12,6 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
+
+from ..exceptions import InvalidParameterError
+from ..quantities import ScalarOrArray
 
 __all__ = ["PowerLawFit", "fit_power_law"]
 
@@ -24,12 +28,12 @@ class PowerLawFit:
     prefactor: float
     r_squared: float
 
-    def predict(self, x):
+    def predict(self, x: ScalarOrArray) -> ScalarOrArray:
         """Evaluate the fitted law (broadcasts over ``x``)."""
         return self.prefactor * np.asarray(x, dtype=float) ** self.exponent
 
 
-def fit_power_law(x, y) -> PowerLawFit:
+def fit_power_law(x: npt.ArrayLike, y: npt.ArrayLike) -> PowerLawFit:
     """Least-squares fit of ``log y = log a + b log x``.
 
     Parameters
@@ -53,11 +57,11 @@ def fit_power_law(x, y) -> PowerLawFit:
     xa = np.asarray(x, dtype=float)
     ya = np.asarray(y, dtype=float)
     if xa.shape != ya.shape:
-        raise ValueError("x and y must have the same shape")
+        raise InvalidParameterError("x and y must have the same shape")
     if xa.size < 3:
-        raise ValueError("need at least 3 points to fit a power law")
+        raise InvalidParameterError("need at least 3 points to fit a power law")
     if np.any(xa <= 0) or np.any(ya <= 0):
-        raise ValueError("power-law fits need strictly positive data")
+        raise InvalidParameterError("power-law fits need strictly positive data")
     lx = np.log(xa)
     ly = np.log(ya)
     b, a = np.polyfit(lx, ly, 1)

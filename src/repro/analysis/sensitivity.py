@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from ..platforms.configuration import Configuration
+from ..exceptions import InvalidParameterError
 
 __all__ = ["Elasticities", "parameter_elasticities"]
 
@@ -71,7 +72,7 @@ class Elasticities:
         """Name of the parameter with the largest |elasticity|."""
         ranked = self.ranked()
         if not ranked:
-            raise ValueError("no parameter could be perturbed")
+            raise InvalidParameterError("no parameter could be perturbed")
         return ranked[0][0]
 
 
@@ -114,7 +115,7 @@ def parameter_elasticities(
     from ..api.scenario import Scenario
 
     if not 0 < rel_step < 0.5:
-        raise ValueError("rel_step must be in (0, 0.5)")
+        raise InvalidParameterError("rel_step must be in (0, 0.5)")
     names = tuple(_APPLIERS) if parameters is None else tuple(parameters)
     unknown = set(names) - set(_APPLIERS)
     if unknown:

@@ -32,9 +32,11 @@ import math
 from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+from ..exceptions import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.result import Result, ResultSet
@@ -205,7 +207,7 @@ class FrontierResult:
         raises :class:`ValueError`.
         """
         if not self.points:
-            raise ValueError("empty frontier has no knee")
+            raise InvalidParameterError("empty frontier has no knee")
         if len(self.points) < 3:
             return self.points[0]
         t = self.xs
@@ -454,7 +456,7 @@ def build_savings(
     ``rho`` when they differ point-to-point, else the point index).
     """
     if len(results) != len(baseline):
-        raise ValueError(
+        raise InvalidParameterError(
             f"candidate and baseline are not aligned: "
             f"{len(results)} vs {len(baseline)} results"
         )
@@ -469,7 +471,7 @@ def build_savings(
             values = np.arange(len(results), dtype=float)
     values = np.asarray(values, dtype=float)
     if values.shape != cand.shape:
-        raise ValueError(
+        raise InvalidParameterError(
             f"values axis has {values.shape[0]} entries for "
             f"{cand.shape[0]} results"
         )
@@ -574,7 +576,7 @@ def build_sensitivity(
     values = np.asarray(values, dtype=float)
     ys = np.array([float(getattr(r, y)) for r in results])
     if values.shape != ys.shape:
-        raise ValueError(
+        raise InvalidParameterError(
             f"values axis has {values.shape[0]} entries for "
             f"{ys.shape[0]} results"
         )
@@ -699,7 +701,7 @@ def build_crossover(
     values = np.asarray(values, dtype=float)
     pairs = [r.speed_pair for r in results]
     if values.shape[0] != len(pairs):
-        raise ValueError(
+        raise InvalidParameterError(
             f"values axis has {values.shape[0]} entries for "
             f"{len(pairs)} results"
         )

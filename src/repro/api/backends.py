@@ -38,24 +38,28 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import replace
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.numeric import ExactSolution, solve_pair_exact
 from ..core.singlespeed import _solve_single_speed_direct
 from ..core.solver import _solve_bicrit_direct, evaluate_pair
+from ..errors.combined import CombinedErrors
 from ..errors.models import ErrorModel
 from ..exceptions import (
     InfeasibleBoundError,
+    InvalidParameterError,
     UnknownBackendError,
     UnsupportedScenarioError,
 )
 from ..failstop.solver import CombinedSolution, solve_pair_combined
+from ..platforms.configuration import Configuration
 from ..schedules.base import TwoSpeed
 from ..schedules.solver import ScheduleSolution, solve_schedule
-from ..schedules.vectorized import ScheduleGrid, solve_schedule_grid
-from ..sweep.vectorized import solve_bicrit_grid
+from ..schedules.vectorized import ScheduleGrid, ScheduleGridSolution, solve_schedule_grid
+from ..sweep.vectorized import GridSolution, solve_bicrit_grid
 from .result import GridPoint, Provenance, Result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -250,7 +254,12 @@ def _scenario_pair_axis(scenario: "Scenario") -> list[tuple[float, float]]:
     return [(s1, s2) for s1 in s1_set for s2 in s2_set]
 
 
-def _best_pair_combined(cfg, errors, pairs, rho) -> CombinedSolution | None:
+def _best_pair_combined(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    pairs: Sequence[tuple[float, float]],
+    rho: float,
+) -> CombinedSolution | None:
     """Strict-improvement scan of :func:`solve_pair_combined` over the
     pair axis — the single pair-enumeration loop shared by the
     ``combined`` backend and the ``schedule-grid`` backend's
@@ -354,7 +363,9 @@ class GridBackend(SolverBackend):
             for r in results
         ]
 
-    def _materialise(self, scenario, cfg, grid, pos: int) -> Result:
+    def _materialise(
+        self, scenario: "Scenario", cfg: Configuration, grid: GridSolution, pos: int
+    ) -> Result:
         """One scenario's result from its row of the grid output."""
         point = GridPoint(
             sigma1=float(grid.sigma1[pos]),
@@ -638,7 +649,9 @@ class ScheduleGridBackend(SolverBackend):
             for r in results
         ]
 
-    def _materialise(self, scenario, sol, pos: int) -> Result:
+    def _materialise(
+        self, scenario: "Scenario", sol: ScheduleGridSolution, pos: int
+    ) -> Result:
         """One scenario's result from its row of the grid solution."""
         if not sol.feasible[pos]:
             return Result(
@@ -664,8 +677,8 @@ class ScheduleGridBackend(SolverBackend):
 
     def _materialise_enum(
         self,
-        scenario,
-        sol,
+        scenario: "Scenario",
+        sol: ScheduleGridSolution,
         start: int,
         pairs: list[tuple[float, float]],
     ) -> Result:
@@ -724,7 +737,7 @@ def register_backend(backend: SolverBackend, *, replace: bool = False) -> Solver
     """
     if backend.name in _REGISTRY:
         if not replace:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"backend {backend.name!r} is already registered; "
                 f"pass replace=True to override"
             )

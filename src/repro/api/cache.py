@@ -20,7 +20,9 @@ A process-wide :data:`DEFAULT_CACHE` backs ``Scenario.solve`` /
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable
+from collections.abc import Hashable
+from typing import TYPE_CHECKING
+from ..exceptions import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .result import Result
@@ -61,7 +63,7 @@ class SolveCache:
 
     def __init__(self, maxsize: int | None = 8192):
         if maxsize is not None and maxsize <= 0:
-            raise ValueError("maxsize must be positive or None")
+            raise InvalidParameterError("maxsize must be positive or None")
         self._maxsize = maxsize
         self._entries: OrderedDict[Hashable, "Result"] = OrderedDict()
         self._hits = 0

@@ -40,7 +40,8 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from ..exceptions import InfeasibleBoundError
 from .backends import get_backend
@@ -50,6 +51,8 @@ from .scenario import Scenario, _resolve_cache
 from .study import Study, _shard, _solve_shard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..errors.combined import CombinedErrors
+    from ..errors.models import ArrivalProcess, ErrorModel
     from ..platforms.configuration import Configuration
     from ..schedules.base import SpeedSchedule
     from ..sweep.axes import SweepAxis
@@ -439,7 +442,7 @@ class Experiment:
         *,
         modes: Sequence[str] = ("silent",),
         schedule: "SpeedSchedule | str | None" = None,
-        errors=None,
+        errors: "ErrorModel | ArrivalProcess | CombinedErrors | str | None" = None,
         name: str | None = None,
     ) -> "Experiment":
         """One scenario per (axis value, mode), axis-major order —

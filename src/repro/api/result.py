@@ -15,7 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -281,7 +282,7 @@ class ResultSet:
         self,
         baseline: "ResultSet",
         *,
-        values=None,
+        values: "Sequence[float] | np.ndarray | None" = None,
         axis: str = "value",
         y: str = "energy_overhead",
     ) -> "SavingsResult":
@@ -294,7 +295,7 @@ class ResultSet:
     def sensitivity(
         self,
         *,
-        values=None,
+        values: "Sequence[float] | np.ndarray | None" = None,
         axis: str = "rho",
         y: str = "energy_overhead",
     ) -> "SensitivityResult":
@@ -307,7 +308,7 @@ class ResultSet:
     def crossover(
         self,
         *,
-        values=None,
+        values: "Sequence[float] | np.ndarray | None" = None,
         axis: str = "rho",
     ) -> "CrossoverResult":
         """All winning-speed-pair switches along the result order

@@ -54,7 +54,9 @@ MODES: tuple[str, ...] = ("silent", "single-speed", "combined", "failstop")
 _COMBINED_MODES = frozenset({"combined", "failstop"})
 
 
-def _resolve_cache(cache, default):
+def _resolve_cache(
+    cache: "SolveCache | bool | None", default: "SolveCache | None"
+) -> "SolveCache | None":
     """Map the ``cache`` argument convention to a cache object or None.
 
     ``True`` -> the process-wide default, ``False``/``None`` -> no

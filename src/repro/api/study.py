@@ -18,7 +18,8 @@ scenario order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from ..platforms.catalog import configuration_names
 from .backends import get_backend
@@ -27,6 +28,8 @@ from .result import Result, ResultSet
 from .scenario import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..errors.combined import CombinedErrors
+    from ..errors.models import ArrivalProcess, ErrorModel
     from ..platforms.configuration import Configuration
     from ..schedules.base import SpeedSchedule
     from ..sweep.axes import SweepAxis
@@ -156,7 +159,7 @@ class Study:
         *,
         modes: Sequence[str] = ("silent",),
         schedule: "SpeedSchedule | str | None" = None,
-        errors=None,
+        errors: "ErrorModel | ArrivalProcess | CombinedErrors | str | None" = None,
         name: str | None = None,
     ) -> "Study":
         """One scenario per (axis value, mode), axis-major order.

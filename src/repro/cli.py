@@ -65,13 +65,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from . import __version__
 from .api.backends import available_backends, get_backend
 from .api.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api.result import ResultSet
 from .analysis.savings import summarize_savings
 from .analysis.scaling import fit_power_law
 from .errors.combined import CombinedErrors
@@ -281,7 +285,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--montecarlo-samples", type=int, default=0,
                        help="add a simulation-agreement section with this many samples")
 
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific static checks (docs/static-analysis.md)"
+    )
+    p_lint.add_argument("paths", nargs="*", help="files/directories (default: src/repro)")
+    p_lint.add_argument("--select", default=None, help="comma-separated rule codes")
+    p_lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    p_lint.add_argument("--all", action="store_true",
+                        help="also run ruff + mypy when installed")
+
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: delegate to the repro._lint CLI verbatim."""
+    from ._lint.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.all:
+        argv.append("--all")
+    return lint_main(argv)
 
 
 def _cmd_configs(_: argparse.Namespace) -> int:
@@ -426,7 +453,7 @@ def _solve_schedule_axis(args: argparse.Namespace, specs: list[str]) -> int:
     return 0 if feasible else 1
 
 
-def _print_schedule_savings(args: argparse.Namespace, results) -> None:
+def _print_schedule_savings(args: argparse.Namespace, results: "ResultSet") -> None:
     """``solve --analyze savings``: each scheduled row vs the
     schedule-less pair enumeration of the same scenario."""
     from .exceptions import InfeasibleBoundError
@@ -740,7 +767,7 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
     return 0
 
 
-def _best_per_block(results, block: int):
+def _best_per_block(results: "ResultSet", block: int) -> "ResultSet":
     """Reduce a ResultSet of per-point candidate blocks to the best
     (lowest-energy feasible) result per block."""
     from .api.result import ResultSet
@@ -941,6 +968,7 @@ _COMMANDS = {
     "multiverif": _cmd_multiverif,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

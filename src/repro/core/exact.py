@@ -29,10 +29,16 @@ exponent uses ``W`` and not ``W + V``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..platforms.configuration import Configuration
-from ..quantities import as_float_array, is_scalar
+from ..quantities import FloatArray, ScalarOrArray, as_float_array, is_scalar
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schedules.base import SpeedSchedule
 
 __all__ = [
     "expected_time",
@@ -46,16 +52,18 @@ __all__ = [
 ]
 
 
-def _validate(work, sigma1: float, sigma2: float) -> np.ndarray:
+def _validate(work: ScalarOrArray, sigma1: float, sigma2: float) -> FloatArray:
     w = as_float_array(work)
     if np.any(w <= 0):
-        raise ValueError("work must be > 0")
+        raise InvalidParameterError("work must be > 0")
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     return w
 
 
-def expected_time_single_speed(cfg: Configuration, work, sigma: float):
+def expected_time_single_speed(
+    cfg: Configuration, work: ScalarOrArray, sigma: float
+) -> ScalarOrArray:
     """Proposition 1: exact expected pattern time with a single speed.
 
     Equivalent to ``expected_time(cfg, work, sigma, sigma)`` — the
@@ -74,7 +82,9 @@ def expected_time_single_speed(cfg: Configuration, work, sigma: float):
     return float(t) if is_scalar(work) else t
 
 
-def expected_time(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def expected_time(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """Proposition 2: exact expected pattern time with two speeds.
 
     ``sigma2 = None`` defaults to ``sigma1``.  The re-execution factor
@@ -99,7 +109,9 @@ def expected_time(cfg: Configuration, work, sigma1: float, sigma2: float | None 
     return float(t) if is_scalar(work) else t
 
 
-def expected_energy(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def expected_energy(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """Proposition 3: exact expected pattern energy (mJ) with two speeds.
 
     Checkpoint/recovery segments draw ``Pio + Pidle``; computation and
@@ -124,7 +136,9 @@ def expected_energy(cfg: Configuration, work, sigma1: float, sigma2: float | Non
     return float(e) if is_scalar(work) else e
 
 
-def expected_reexecutions(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def expected_reexecutions(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """Expected number of re-executions (sigma2 attempts) per pattern.
 
     The first execution fails with probability ``p1 = 1 - e^{-lam W/s1}``;
@@ -142,7 +156,9 @@ def expected_reexecutions(cfg: Configuration, work, sigma1: float, sigma2: float
     return float(n) if is_scalar(work) else n
 
 
-def time_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def time_overhead(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """Exact expected time per unit of work, ``T(W, s1, s2) / W``.
 
     This is the quantity bounded by ``rho`` in the BiCrit problem; for
@@ -154,7 +170,9 @@ def time_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | None 
     return float(r) if is_scalar(work) else r
 
 
-def energy_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def energy_overhead(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """Exact expected energy per unit of work, ``E(W, s1, s2) / W`` (mJ).
 
     The BiCrit objective; the expected application energy is
@@ -168,7 +186,9 @@ def energy_overhead(cfg: Configuration, work, sigma1: float, sigma2: float | Non
 # ----------------------------------------------------------------------
 # Schedule-aware numeric path (per-attempt speeds)
 # ----------------------------------------------------------------------
-def expected_time_schedule(cfg: Configuration, schedule, work):
+def expected_time_schedule(
+    cfg: Configuration, schedule: "SpeedSchedule", work: ScalarOrArray
+) -> ScalarOrArray:
     """Exact expected pattern time under a per-attempt speed schedule.
 
     Generalises Propositions 1/2: with ``TwoSpeed(s1, s2)`` this equals
@@ -182,7 +202,9 @@ def expected_time_schedule(cfg: Configuration, schedule, work):
     return _impl(cfg, schedule, work)
 
 
-def expected_energy_schedule(cfg: Configuration, schedule, work):
+def expected_energy_schedule(
+    cfg: Configuration, schedule: "SpeedSchedule", work: ScalarOrArray
+) -> ScalarOrArray:
     """Exact expected pattern energy (mJ) under a per-attempt schedule.
 
     The Proposition-3 analogue for arbitrary schedules (silent errors

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from ..platforms.configuration import Configuration
 from .firstorder import time_coefficients
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "QuadraticCoefficients",
@@ -78,7 +79,7 @@ class QuadraticCoefficients:
             If the constraint is infeasible.
         """
         if not self.is_feasible:
-            raise ValueError("infeasible constraint has no real positive roots")
+            raise InvalidParameterError("infeasible constraint has no real positive roots")
         disc = max(self.discriminant, 0.0)
         sq = math.sqrt(disc)
         # b <= 0 here, so -b + sq is the well-conditioned sum.

@@ -33,7 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..platforms.configuration import Configuration
-from ..quantities import as_float_array, is_scalar
+from ..quantities import ScalarOrArray, as_float_array, is_scalar
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "OverheadCoefficients",
@@ -56,11 +57,11 @@ class OverheadCoefficients:
     y: float
     z: float
 
-    def evaluate(self, work):
+    def evaluate(self, work: ScalarOrArray) -> ScalarOrArray:
         """Evaluate ``x + y W + z / W`` (broadcasts over ``work``)."""
         w = as_float_array(work)
         if np.any(w <= 0):
-            raise ValueError("work must be > 0")
+            raise InvalidParameterError("work must be > 0")
         v = self.x + self.y * w + self.z / w
         return float(v) if is_scalar(work) else v
 
@@ -72,11 +73,11 @@ class OverheadCoefficients:
         term vanish — see Section 5.2 and :mod:`repro.failstop`).
         """
         if self.y <= 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"no interior minimiser: linear coefficient y={self.y} <= 0"
             )
         if self.z <= 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"no interior minimiser: fixed-cost coefficient z={self.z} <= 0"
             )
         return float(np.sqrt(self.z / self.y))
@@ -93,7 +94,7 @@ def time_coefficients(
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     lam = cfg.lam
     V = cfg.verification_time
     x = 1.0 / sigma1 + lam * (cfg.recovery_time / sigma1 + V / (sigma1 * sigma2))
@@ -109,7 +110,7 @@ def energy_coefficients(
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     lam = cfg.lam
     V = cfg.verification_time
     pm = cfg.power
@@ -126,12 +127,16 @@ def energy_coefficients(
     return OverheadCoefficients(x=x, y=y, z=z)
 
 
-def time_overhead_fo(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def time_overhead_fo(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """First-order time overhead ``T(W,s1,s2)/W`` per Eq. (2)."""
     return time_coefficients(cfg, sigma1, sigma2).evaluate(work)
 
 
-def energy_overhead_fo(cfg: Configuration, work, sigma1: float, sigma2: float | None = None):
+def energy_overhead_fo(
+    cfg: Configuration, work: ScalarOrArray, sigma1: float, sigma2: float | None = None
+) -> ScalarOrArray:
     """First-order energy overhead ``E(W,s1,s2)/W`` per Eq. (3).
 
     This is the objective the paper's solver minimises and the value its

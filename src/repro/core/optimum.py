@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..platforms.configuration import Configuration
 from .feasibility import feasible_interval
 from .firstorder import energy_coefficients
+from ..exceptions import InvalidParameterError
 
 __all__ = ["energy_optimal_work", "optimal_work", "clamp_to_interval"]
 
@@ -46,7 +47,7 @@ def clamp_to_interval(value: float, interval: tuple[float, float]) -> float:
     """
     w1, w2 = interval
     if w1 > w2:
-        raise ValueError(f"empty interval [{w1}, {w2}]")
+        raise InvalidParameterError(f"empty interval [{w1}, {w2}]")
     return min(max(w1, value), w2)
 
 

@@ -19,12 +19,22 @@ Semantics of the two sources (Section 5.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..quantities import as_float_array, is_scalar, require_positive, require_probability
+from ..quantities import (
+    ScalarOrArray,
+    as_float_array,
+    is_scalar,
+    require_positive,
+    require_probability,
+)
 from .exponential import ExponentialErrors, capped_exposure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .models import ErrorModel
 
 __all__ = ["CombinedErrors"]
 
@@ -119,7 +129,7 @@ class CombinedErrors:
             total_rate=total_rate, failstop_fraction=self.failstop_fraction
         )
 
-    def to_model(self):
+    def to_model(self) -> "ErrorModel":
         """Lift into the renewal-model layer
         (:class:`repro.errors.models.ErrorModel` over exponential
         arrivals; the inverse of ``ErrorModel.to_combined``)."""
@@ -131,8 +141,8 @@ class CombinedErrors:
     # Per-attempt expectations (the speed-schedule building blocks)
     # ------------------------------------------------------------------
     def attempt_failure_probability(
-        self, work, speed: float, verification_time: float = 0.0
-    ):
+        self, work: ScalarOrArray, speed: float, verification_time: float = 0.0
+    ) -> ScalarOrArray:
         """Probability that one attempt at ``speed`` fails.
 
         An attempt fails when a fail-stop error strikes within its
@@ -145,15 +155,17 @@ class CombinedErrors:
         """
         w = as_float_array(work)
         if np.any(w <= 0):
-            raise ValueError("work must be > 0")
+            raise InvalidParameterError("work must be > 0")
         if speed <= 0:
-            raise ValueError("speed must be > 0")
+            raise InvalidParameterError("speed must be > 0")
         tau = (w + verification_time) / speed
         omega = w / speed
         p = -np.expm1(-(self.failstop_rate * tau + self.silent_rate * omega))
         return float(p) if is_scalar(work) else p
 
-    def attempt_exposure(self, work, speed: float, verification_time: float = 0.0):
+    def attempt_exposure(
+        self, work: ScalarOrArray, speed: float, verification_time: float = 0.0
+    ) -> ScalarOrArray:
         """Expected busy seconds of one attempt at ``speed``.
 
         ``E[min(T_f, tau)] = (1 - e^{-lambda_f tau}) / lambda_f`` with
@@ -165,9 +177,9 @@ class CombinedErrors:
         """
         w = as_float_array(work)
         if np.any(w <= 0):
-            raise ValueError("work must be > 0")
+            raise InvalidParameterError("work must be > 0")
         if speed <= 0:
-            raise ValueError("speed must be > 0")
+            raise InvalidParameterError("speed must be > 0")
         tau = (w + verification_time) / speed
         m = capped_exposure(self.failstop_rate, tau)
         return float(m) if is_scalar(work) else m

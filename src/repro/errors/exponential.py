@@ -23,13 +23,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
-from ..quantities import as_float_array, is_scalar, require_positive
+from ..quantities import (
+    FloatArray,
+    ScalarOrArray,
+    as_float_array,
+    is_scalar,
+    require_positive,
+)
+from ..exceptions import InvalidParameterError
 
 __all__ = ["ExponentialErrors", "capped_exposure"]
 
 
-def capped_exposure(rate: float, window):
+def capped_exposure(rate: float, window: ScalarOrArray) -> ScalarOrArray:
     """Expected busy time before the first arrival or the window's end.
 
     ``E[min(X, tau)] = (1 - e^{-rate * tau}) / rate`` for
@@ -45,7 +53,7 @@ def capped_exposure(rate: float, window):
     """
     tau = as_float_array(window)
     if rate < 0.0:
-        raise ValueError("rate must be >= 0")
+        raise InvalidParameterError("rate must be >= 0")
     if rate == 0.0:
         out = tau
     else:
@@ -89,7 +97,7 @@ class ExponentialErrors:
         """Mean time between errors ``mu = 1 / lambda`` in seconds."""
         return 1.0 / self.rate
 
-    def strike_probability(self, exposure):
+    def strike_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         """Probability ``p(T) = 1 - exp(-lambda T)`` of >= 1 error in ``T`` s.
 
         Accepts scalars or arrays; negative exposures are rejected because
@@ -97,19 +105,19 @@ class ExponentialErrors:
         """
         t = as_float_array(exposure)
         if np.any(t < 0):
-            raise ValueError("exposure must be >= 0")
+            raise InvalidParameterError("exposure must be >= 0")
         p = -np.expm1(-self.rate * t)
         return float(p) if is_scalar(exposure) else p
 
-    def survival_probability(self, exposure):
+    def survival_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         """Probability ``exp(-lambda T)`` that no error strikes in ``T`` s."""
         t = as_float_array(exposure)
         if np.any(t < 0):
-            raise ValueError("exposure must be >= 0")
+            raise InvalidParameterError("exposure must be >= 0")
         q = np.exp(-self.rate * t)
         return float(q) if is_scalar(exposure) else q
 
-    def expected_time_lost(self, work, speed):
+    def expected_time_lost(self, work: ScalarOrArray, speed: ScalarOrArray) -> ScalarOrArray:
         """Expected time lost to an interrupting error, ``T_lost(w, sigma)``.
 
         This is the mean arrival time of the first error *conditioned on
@@ -126,9 +134,9 @@ class ExponentialErrors:
         w = as_float_array(work)
         s = as_float_array(speed)
         if np.any(w < 0):
-            raise ValueError("work must be >= 0")
+            raise InvalidParameterError("work must be >= 0")
         if np.any(s <= 0):
-            raise ValueError("speed must be > 0")
+            raise InvalidParameterError("speed must be > 0")
         tau = w / s
         x = self.rate * tau
         # For huge lambda*tau, expm1 overflows to inf and tau/inf -> 0,
@@ -144,11 +152,13 @@ class ExponentialErrors:
     # ------------------------------------------------------------------
     # Sampling (Monte-Carlo substrate)
     # ------------------------------------------------------------------
-    def sample_arrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_arrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         """Draw first-arrival times ``X ~ Exp(lambda)`` (seconds)."""
         return rng.exponential(scale=self.mtbf, size=size)
 
-    def sample_strikes(self, rng: np.random.Generator, exposure, size) -> np.ndarray:
+    def sample_strikes(
+        self, rng: np.random.Generator, exposure: ScalarOrArray, size: int | tuple[int, ...]
+    ) -> npt.NDArray[np.bool_]:
         """Draw Bernoulli indicators of >= 1 error within ``exposure`` s."""
         p = self.strike_probability(exposure)
         return rng.random(size) < p

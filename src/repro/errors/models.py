@@ -60,6 +60,7 @@ import abc
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
+from collections.abc import Callable
 from typing import Any
 
 import numpy as np
@@ -67,6 +68,8 @@ from scipy.special import gammainc, gammaincc
 
 from ..exceptions import InvalidParameterError, UnsupportedErrorModelError
 from ..quantities import (
+    FloatArray,
+    ScalarOrArray,
     as_float_array,
     fmt_round_trip as _fmt,
     is_scalar,
@@ -98,7 +101,7 @@ _MODEL_SCHEMA = "repro/error-model/v1"
 _KINDS: dict[str, type["ArrivalProcess"]] = {}
 
 
-def _nonneg_exposure(exposure) -> np.ndarray:
+def _nonneg_exposure(exposure: ScalarOrArray) -> FloatArray:
     t = as_float_array(exposure)
     if np.any(t < 0):
         raise InvalidParameterError("exposure must be >= 0")
@@ -132,19 +135,19 @@ class ArrivalProcess(abc.ABC):
         """Mean inter-arrival time ``E[X]`` in seconds."""
 
     @abc.abstractmethod
-    def failure_probability(self, exposure):
+    def failure_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         """CDF: probability of >= 1 arrival within ``exposure`` seconds.
 
         Broadcasts over ``exposure``; rejects negative windows.
         """
 
     @abc.abstractmethod
-    def expected_exposure(self, window):
+    def expected_exposure(self, window: ScalarOrArray) -> ScalarOrArray:
         """``E[min(X, t)]``: expected busy seconds before the first
         arrival or the window's end.  Broadcasts over ``window``."""
 
     @abc.abstractmethod
-    def sample_interarrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_interarrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         """Draw fresh first-arrival times ``X`` (seconds), one per attempt."""
 
     @abc.abstractmethod
@@ -187,13 +190,13 @@ class ArrivalProcess(abc.ABC):
         """
         return False
 
-    def survival_probability(self, exposure):
+    def survival_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         """``1 - CDF``: probability no arrival strikes within the window."""
         t = _nonneg_exposure(exposure)
         q = 1.0 - self.failure_probability(t)
         return float(q) if is_scalar(exposure) else q
 
-    def expected_time_lost(self, window):
+    def expected_time_lost(self, window: ScalarOrArray) -> ScalarOrArray:
         """``E[X | X < t]``: mean arrival time given an in-window strike.
 
         Derived from the primitives via
@@ -252,7 +255,7 @@ class ArrivalProcess(abc.ABC):
 def _register_kind(cls: type[ArrivalProcess]) -> type[ArrivalProcess]:
     """Class decorator: add a family to the spec/serialisation registry."""
     if cls.kind in _KINDS:  # pragma: no cover - programming error
-        raise ValueError(f"arrival-process kind {cls.kind!r} already registered")
+        raise InvalidParameterError(f"arrival-process kind {cls.kind!r} already registered")
     _KINDS[cls.kind] = cls
     return cls
 
@@ -294,7 +297,11 @@ def _reject_unknown(kv: dict[str, str], kind: str) -> None:
 
 
 def _scale_from_spec(
-    kv: dict[str, str], kind: str, mtbf_to_scale, *, required: bool = True
+    kv: dict[str, str],
+    kind: str,
+    mtbf_to_scale: Callable[[float], float],
+    *,
+    required: bool = True,
 ) -> float | None:
     """Resolve the ``scale=`` / ``mtbf=`` alternative of a spec string.
 
@@ -357,26 +364,26 @@ class ExponentialArrivals(ArrivalProcess):
     def mtbf(self) -> float:
         return 1.0 / self.rate
 
-    def failure_probability(self, exposure):
+    def failure_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         p = -np.expm1(-self.rate * t)
         return float(p) if is_scalar(exposure) else p
 
-    def survival_probability(self, exposure):
+    def survival_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         q = np.exp(-self.rate * t)
         return float(q) if is_scalar(exposure) else q
 
-    def expected_exposure(self, window):
+    def expected_exposure(self, window: ScalarOrArray) -> ScalarOrArray:
         _nonneg_exposure(window)
         return capped_exposure(self.rate, window)
 
-    def expected_time_lost(self, window):
+    def expected_time_lost(self, window: ScalarOrArray) -> ScalarOrArray:
         # The numerically hardened exponential form (series fallback for
         # denormal lambda*t), identical to the legacy process.
         return ExponentialErrors(rate=self.rate).expected_time_lost(window, 1.0)
 
-    def sample_interarrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_interarrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         return rng.exponential(scale=self.mtbf, size=size)
 
     def thinned(self, fraction: float) -> "ExponentialArrivals":
@@ -445,23 +452,23 @@ class WeibullArrivals(ArrivalProcess):
     def mtbf(self) -> float:
         return self.scale * math.gamma(1.0 + 1.0 / self.shape)
 
-    def failure_probability(self, exposure):
+    def failure_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         p = -np.expm1(-((t / self.scale) ** self.shape))
         return float(p) if is_scalar(exposure) else p
 
-    def survival_probability(self, exposure):
+    def survival_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         q = np.exp(-((t / self.scale) ** self.shape))
         return float(q) if is_scalar(exposure) else q
 
-    def expected_exposure(self, window):
+    def expected_exposure(self, window: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(window)
         x = (t / self.scale) ** self.shape
         m = self.mtbf * gammainc(1.0 / self.shape, x)
         return float(m) if is_scalar(window) else m
 
-    def sample_interarrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_interarrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         return self.scale * rng.weibull(self.shape, size=size)
 
     def thinned(self, fraction: float) -> "WeibullArrivals":
@@ -527,23 +534,23 @@ class GammaArrivals(ArrivalProcess):
     def mtbf(self) -> float:
         return self.shape * self.scale
 
-    def failure_probability(self, exposure):
+    def failure_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         p = gammainc(self.shape, t / self.scale)
         return float(p) if is_scalar(exposure) else p
 
-    def survival_probability(self, exposure):
+    def survival_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         q = gammaincc(self.shape, t / self.scale)
         return float(q) if is_scalar(exposure) else q
 
-    def expected_exposure(self, window):
+    def expected_exposure(self, window: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(window)
         x = t / self.scale
         m = t * gammaincc(self.shape, x) + self.mtbf * gammainc(self.shape + 1.0, x)
         return float(m) if is_scalar(window) else m
 
-    def sample_interarrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_interarrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         return rng.gamma(self.shape, self.scale, size=size)
 
     def thinned(self, fraction: float) -> "GammaArrivals":
@@ -657,20 +664,20 @@ class TraceArrivals(ArrivalProcess):
     def mtbf(self) -> float:
         return float(self._prefix[-1] / self.n_samples)
 
-    def failure_probability(self, exposure):
+    def failure_probability(self, exposure: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(exposure)
         k = np.searchsorted(self._sorted, t, side="right")
         p = k / self.n_samples
         return float(p) if is_scalar(exposure) else p
 
-    def expected_exposure(self, window):
+    def expected_exposure(self, window: ScalarOrArray) -> ScalarOrArray:
         t = _nonneg_exposure(window)
         n = self.n_samples
         k = np.searchsorted(self._sorted, t, side="right")
         m = (self._prefix[k] + (n - k) * t) / n
         return float(m) if is_scalar(window) else m
 
-    def sample_interarrivals(self, rng: np.random.Generator, size) -> np.ndarray:
+    def sample_interarrivals(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> FloatArray:
         return rng.choice(self._sorted, size=size, replace=True)
 
     def thinned(self, fraction: float) -> "TraceArrivals":
@@ -848,7 +855,9 @@ class ErrorModel:
     # ------------------------------------------------------------------
     # Per-attempt expectations (the schedule-evaluator primitives)
     # ------------------------------------------------------------------
-    def per_window_primitives(self, tau, omega):
+    def per_window_primitives(
+        self, tau: ScalarOrArray, omega: ScalarOrArray
+    ) -> tuple[FloatArray, FloatArray]:
         """``(failure probability, capped busy time)`` for one attempt
         with fail-stop window ``tau`` and computation window ``omega``.
 
@@ -888,8 +897,8 @@ class ErrorModel:
         return np.asarray(p, dtype=np.float64), np.asarray(m, dtype=np.float64)
 
     def attempt_failure_probability(
-        self, work, speed: float, verification_time: float = 0.0
-    ):
+        self, work: ScalarOrArray, speed: float, verification_time: float = 0.0
+    ) -> ScalarOrArray:
         """Probability that one attempt at ``speed`` fails (renewal CDFs).
 
         Drop-in for :meth:`CombinedErrors.attempt_failure_probability`;
@@ -898,22 +907,24 @@ class ErrorModel:
         """
         w = as_float_array(work)
         if np.any(w <= 0):
-            raise ValueError("work must be > 0")
+            raise InvalidParameterError("work must be > 0")
         if speed <= 0:
-            raise ValueError("speed must be > 0")
+            raise InvalidParameterError("speed must be > 0")
         p, _ = self.per_window_primitives((w + verification_time) / speed, w / speed)
         return float(p) if is_scalar(work) else p
 
-    def attempt_exposure(self, work, speed: float, verification_time: float = 0.0):
+    def attempt_exposure(
+        self, work: ScalarOrArray, speed: float, verification_time: float = 0.0
+    ) -> ScalarOrArray:
         """Expected busy seconds of one attempt at ``speed``.
 
         Drop-in for :meth:`CombinedErrors.attempt_exposure`.
         """
         w = as_float_array(work)
         if np.any(w <= 0):
-            raise ValueError("work must be > 0")
+            raise InvalidParameterError("work must be > 0")
         if speed <= 0:
-            raise ValueError("speed must be > 0")
+            raise InvalidParameterError("speed must be > 0")
         _, m = self.per_window_primitives((w + verification_time) / speed, w / speed)
         return float(m) if is_scalar(work) else m
 
@@ -996,10 +1007,10 @@ def parse_error_model(spec: str) -> ErrorModel:
 def error_model_from_dict(data: dict[str, Any]) -> ErrorModel:
     """Restore a model from :meth:`ErrorModel.to_dict` output."""
     if data.get("schema") != _MODEL_SCHEMA:
-        raise ValueError(f"not an error-model payload: {data.get('schema')!r}")
+        raise InvalidParameterError(f"not an error-model payload: {data.get('schema')!r}")
     kind = data.get("kind")
     if kind not in _KINDS:
-        raise ValueError(f"unknown error-model kind {kind!r}")
+        raise InvalidParameterError(f"unknown error-model kind {kind!r}")
     params = dict(data["params"])
     if "times" in params:
         params["times"] = tuple(params["times"])

@@ -127,7 +127,7 @@ class UnknownBackendError(ReproError, KeyError):
     # the plain Exception rendering for user-facing errors.
     __str__ = Exception.__str__
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
         # Multi-arg __init__ needs explicit pickle support so the error
         # survives the Study.solve(processes=...) process boundary.
         return (type(self), (self.name, self.available))
@@ -165,7 +165,7 @@ class UnsupportedErrorModelError(ReproError, TypeError):
             f"schedule evaluator (the 'schedule'/'schedule-grid' backends)"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
         # Multi-arg __init__ needs explicit pickle support so the error
         # survives the Study.solve(processes=...) process boundary.
         return (type(self), (self.where, self.model))
@@ -184,5 +184,5 @@ class UnsupportedScenarioError(ReproError):
         self.reason = reason
         super().__init__(f"backend {backend!r} cannot solve this scenario: {reason}")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
         return (type(self), (self.backend, self.reason))

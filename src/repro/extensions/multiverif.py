@@ -54,7 +54,7 @@ __all__ = [
 ]
 
 
-def _validate(work: float, q: int, sigma1: float, sigma2: float, recall: float):
+def _validate(work: float, q: int, sigma1: float, sigma2: float, recall: float) -> None:
     if work <= 0:
         raise InvalidParameterError(f"work must be > 0, got {work!r}")
     if not isinstance(q, (int, np.integer)) or q < 1:
@@ -173,12 +173,28 @@ def expected_energy(
     return e1 + p1 * (R * p_io + e_fix) + (1.0 - p1) * C * p_io
 
 
-def time_overhead(cfg, work, q, sigma1, sigma2=None, *, recall: float = 1.0) -> float:
+def time_overhead(
+    cfg: Configuration,
+    work: float,
+    q: int,
+    sigma1: float,
+    sigma2: float | None = None,
+    *,
+    recall: float = 1.0,
+) -> float:
     """Expected time per unit of work."""
     return expected_time(cfg, work, q, sigma1, sigma2, recall=recall) / work
 
 
-def energy_overhead(cfg, work, q, sigma1, sigma2=None, *, recall: float = 1.0) -> float:
+def energy_overhead(
+    cfg: Configuration,
+    work: float,
+    q: int,
+    sigma1: float,
+    sigma2: float | None = None,
+    *,
+    recall: float = 1.0,
+) -> float:
     """Expected energy (mJ) per unit of work."""
     return expected_energy(cfg, work, q, sigma1, sigma2, recall=recall) / work
 

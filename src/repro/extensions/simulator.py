@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ConvergenceError
+from ..exceptions import ConvergenceError, InvalidParameterError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive, require_probability
 from ..simulation.outcomes import PatternBatch
@@ -43,7 +43,9 @@ class MultiVerifSimulator:
         self.cfg = cfg
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
-    def _attempt(self, m: int, work: float, q: int, sigma: float, recall: float):
+    def _attempt(
+        self, m: int, work: float, q: int, sigma: float, recall: float
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised single attempt for ``m`` samples at ``sigma``.
 
         Returns ``(elapsed_cpu_seconds, failed)`` arrays.  Elapsed time
@@ -108,9 +110,9 @@ class MultiVerifSimulator:
         require_positive(sigma2, "sigma2")
         require_probability(recall, "recall")
         if q < 1:
-            raise ValueError("q must be >= 1")
+            raise InvalidParameterError("q must be >= 1")
         if n < 1:
-            raise ValueError("n must be >= 1")
+            raise InvalidParameterError("n must be >= 1")
 
         cfg = self.cfg
         pm = cfg.power

@@ -34,13 +34,19 @@ with ``P_{io}' = Pio + Pidle`` and ``P_i = kappa sigma_i^3 + Pidle``.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..errors.combined import CombinedErrors
 from ..errors.exponential import capped_exposure
 from ..errors.models import require_memoryless
 from ..platforms.configuration import Configuration
-from ..quantities import as_float_array, is_scalar
+from ..quantities import FloatArray, ScalarOrArray, as_float_array, is_scalar
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schedules.base import SpeedSchedule
 
 __all__ = [
     "expected_time",
@@ -53,7 +59,13 @@ __all__ = [
 ]
 
 
-def _parts(cfg: Configuration, errors: CombinedErrors, work, sigma1: float, sigma2: float):
+def _parts(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    work: ScalarOrArray,
+    sigma1: float,
+    sigma2: float,
+) -> tuple[FloatArray, FloatArray, FloatArray, FloatArray, FloatArray]:
     """Common sub-expressions: (w, 1-q1, 1/q2, M1, M2).
 
     The funnel of every closed form in this module, so the
@@ -66,9 +78,9 @@ def _parts(cfg: Configuration, errors: CombinedErrors, work, sigma1: float, sigm
     errors = require_memoryless(errors, "repro.failstop.exact")
     w = as_float_array(work)
     if np.any(w <= 0):
-        raise ValueError("work must be > 0")
+        raise InvalidParameterError("work must be > 0")
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     V = cfg.verification_time
     lf = errors.failstop_rate
     ls = errors.silent_rate
@@ -87,10 +99,10 @@ def _parts(cfg: Configuration, errors: CombinedErrors, work, sigma1: float, sigm
 def expected_time(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Exact expected pattern time with both error sources (Prop. 4 intent).
 
     ``errors`` supplies the fail-stop/silent split; the configuration's
@@ -108,10 +120,10 @@ def expected_time(
 def expected_energy(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Exact expected pattern energy (mJ) with both sources (Prop. 5 intent).
 
     A fail-stop interruption after ``t`` seconds still burned
@@ -134,10 +146,10 @@ def expected_energy(
 def time_overhead(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Exact expected time per work unit with both sources."""
     w = as_float_array(work)
     r = expected_time(cfg, errors, work, sigma1, sigma2) / w
@@ -147,10 +159,10 @@ def time_overhead(
 def energy_overhead(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Exact expected energy per work unit (mJ) with both sources."""
     w = as_float_array(work)
     r = expected_energy(cfg, errors, work, sigma1, sigma2) / w
@@ -160,10 +172,10 @@ def energy_overhead(
 def expected_time_paper_eq7(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Equation (7) exactly as printed in the paper (erratum witness).
 
     Differs from :func:`expected_time` by the spurious term
@@ -180,7 +192,7 @@ def expected_time_paper_eq7(
     lf = errors.failstop_rate
     ls = errors.silent_rate
     if lf <= 0:
-        raise ValueError("Eq. (7) divides by lambda_f; need failstop_fraction > 0")
+        raise InvalidParameterError("Eq. (7) divides by lambda_f; need failstop_fraction > 0")
     tau1 = (w + V) / sigma1
     tau2 = (w + V) / sigma2
     p1 = -np.expm1(-(lf * tau1 + ls * w / sigma1))
@@ -197,7 +209,12 @@ def expected_time_paper_eq7(
 # ----------------------------------------------------------------------
 # Schedule-aware numeric path (per-attempt speeds)
 # ----------------------------------------------------------------------
-def expected_time_schedule(cfg: Configuration, errors: CombinedErrors, schedule, work):
+def expected_time_schedule(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    schedule: "SpeedSchedule",
+    work: ScalarOrArray,
+) -> ScalarOrArray:
     """Exact expected time under a per-attempt schedule with both sources.
 
     The closed form above is the ``TwoSpeed`` instance of the general
@@ -211,7 +228,12 @@ def expected_time_schedule(cfg: Configuration, errors: CombinedErrors, schedule,
     return _impl(cfg, schedule, work, errors=errors)
 
 
-def expected_energy_schedule(cfg: Configuration, errors: CombinedErrors, schedule, work):
+def expected_energy_schedule(
+    cfg: Configuration,
+    errors: CombinedErrors,
+    schedule: "SpeedSchedule",
+    work: ScalarOrArray,
+) -> ScalarOrArray:
     """Exact expected energy (mJ) under a per-attempt schedule with both sources."""
     from ..schedules.evaluator import expected_energy_schedule as _impl
 

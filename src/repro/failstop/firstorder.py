@@ -38,6 +38,8 @@ from ..errors.combined import CombinedErrors
 from ..errors.models import require_memoryless
 from ..core.firstorder import OverheadCoefficients
 from ..platforms.configuration import Configuration
+from ..exceptions import InvalidParameterError
+from ..quantities import ScalarOrArray
 
 __all__ = [
     "time_coefficients",
@@ -64,7 +66,7 @@ def time_coefficients(
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     lam = errors.total_rate
     f = errors.failstop_fraction
     s = errors.silent_fraction
@@ -87,7 +89,7 @@ def energy_coefficients(
     if sigma2 is None:
         sigma2 = sigma1
     if sigma1 <= 0 or sigma2 <= 0:
-        raise ValueError("speeds must be > 0")
+        raise InvalidParameterError("speeds must be > 0")
     lam = errors.total_rate
     f = errors.failstop_fraction
     s = errors.silent_fraction
@@ -110,10 +112,10 @@ def energy_coefficients(
 def time_overhead_fo(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """First-order time overhead per Eq. (9) (broadcasts over ``work``)."""
     return time_coefficients(cfg, errors, sigma1, sigma2).evaluate(work)
 
@@ -121,9 +123,9 @@ def time_overhead_fo(
 def energy_overhead_fo(
     cfg: Configuration,
     errors: CombinedErrors,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """First-order energy overhead per Eq. (10) (broadcasts over ``work``)."""
     return energy_coefficients(cfg, errors, sigma1, sigma2).evaluate(work)

@@ -37,12 +37,14 @@ import math
 import numpy as np
 
 from ..quantities import (
+    ScalarOrArray,
     as_float_array,
     is_scalar,
     require_nonnegative,
     require_positive,
     require_speed,
 )
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "second_order_time_overhead",
@@ -86,17 +88,17 @@ def second_order_time_overhead(
     error_rate: float,
     checkpoint_time: float,
     recovery_time: float,
-    work,
+    work: ScalarOrArray,
     sigma1: float,
     sigma2: float | None = None,
-):
+) -> ScalarOrArray:
     """Evaluate the Proposition 7 expansion at ``work`` (broadcasts)."""
     x, z, y1, y2 = second_order_coefficients(
         error_rate, checkpoint_time, recovery_time, sigma1, sigma2
     )
     w = as_float_array(work)
     if np.any(w <= 0):
-        raise ValueError("work must be > 0")
+        raise InvalidParameterError("work must be > 0")
     v = x + z / w + y1 * w + y2 * w * w
     return float(v) if is_scalar(work) else v
 

@@ -10,6 +10,7 @@ XScale (``1550 sigma^3 + 60``) and the Transmeta Crusoe
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from collections.abc import Iterable
 
 from ..exceptions import SpeedNotAvailableError
 from ..quantities import require_nonnegative, require_positive, require_speed_set
@@ -101,6 +102,6 @@ class Processor:
         """Copy with a different ``Pidle`` (Figure 6 sweeps)."""
         return replace(self, idle_power=idle_power)
 
-    def with_speeds(self, speeds) -> "Processor":
+    def with_speeds(self, speeds: Iterable[float]) -> "Processor":
         """Copy with a different speed set (solver-scaling ablations)."""
         return replace(self, speeds=tuple(speeds))

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..quantities import as_float_array, is_scalar
+from ..quantities import ScalarOrArray, as_float_array, is_scalar
 from .model import PowerModel
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "compute_energy",
@@ -31,17 +32,19 @@ __all__ = [
 ]
 
 
-def compute_time(work, speed):
+def compute_time(work: ScalarOrArray, speed: ScalarOrArray) -> ScalarOrArray:
     """Seconds needed to execute ``work`` units at ``speed``: ``w / sigma``."""
     w = as_float_array(work)
     s = as_float_array(speed)
     if np.any(s <= 0):
-        raise ValueError("speed must be > 0")
+        raise InvalidParameterError("speed must be > 0")
     t = w / s
     return float(t) if (is_scalar(work) and is_scalar(speed)) else t
 
 
-def compute_energy(power: PowerModel, work, speed):
+def compute_energy(
+    power: PowerModel, work: ScalarOrArray, speed: ScalarOrArray
+) -> ScalarOrArray:
     """Energy (mJ) to execute ``work`` units of CPU work at ``speed``.
 
     ``E = (w / sigma) * (Pidle + kappa * sigma**3)``.
@@ -52,7 +55,9 @@ def compute_energy(power: PowerModel, work, speed):
     return float(e) if (is_scalar(work) and is_scalar(speed)) else e
 
 
-def elapsed_compute_energy(power: PowerModel, elapsed, speed):
+def elapsed_compute_energy(
+    power: PowerModel, elapsed: ScalarOrArray, speed: ScalarOrArray
+) -> ScalarOrArray:
     """Energy (mJ) for ``elapsed`` wall-clock seconds of computing at ``speed``.
 
     Used for partially executed segments: a fail-stop error interrupting
@@ -60,18 +65,18 @@ def elapsed_compute_energy(power: PowerModel, elapsed, speed):
     """
     t = as_float_array(elapsed)
     if np.any(t < 0):
-        raise ValueError("elapsed must be >= 0")
+        raise InvalidParameterError("elapsed must be >= 0")
     e = t * power.compute_power(as_float_array(speed))
     return float(e) if (is_scalar(elapsed) and is_scalar(speed)) else e
 
 
-def io_energy(power: PowerModel, seconds):
+def io_energy(power: PowerModel, seconds: ScalarOrArray) -> ScalarOrArray:
     """Energy (mJ) for ``seconds`` of checkpoint/recovery I/O.
 
     ``E = seconds * (Pidle + Pio)``.
     """
     t = as_float_array(seconds)
     if np.any(t < 0):
-        raise ValueError("seconds must be >= 0")
+        raise InvalidParameterError("seconds must be >= 0")
     e = t * power.io_total_power()
     return float(e) if is_scalar(seconds) else e

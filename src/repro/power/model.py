@@ -18,11 +18,13 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..quantities import (
+    ScalarOrArray,
     as_float_array,
     is_scalar,
     require_nonnegative,
     require_positive,
 )
+from ..exceptions import InvalidParameterError
 
 __all__ = ["PowerModel"]
 
@@ -63,15 +65,15 @@ class PowerModel:
         require_nonnegative(self.io, "io")
 
     # ------------------------------------------------------------------
-    def cpu_power(self, speed):
+    def cpu_power(self, speed: ScalarOrArray) -> ScalarOrArray:
         """Dynamic CPU power ``Pcpu(sigma) = kappa * sigma**3`` in mW."""
         s = as_float_array(speed)
         if np.any(s < 0):
-            raise ValueError("speed must be >= 0")
+            raise InvalidParameterError("speed must be >= 0")
         p = self.kappa * s**3
         return float(p) if is_scalar(speed) else p
 
-    def compute_power(self, speed):
+    def compute_power(self, speed: ScalarOrArray) -> ScalarOrArray:
         """Total power while computing at ``speed``: ``Pidle + kappa sigma^3``."""
         s = as_float_array(speed)
         p = self.idle + self.cpu_power(s)

@@ -22,13 +22,17 @@ consistent message instead of failing deep inside NumPy.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from collections.abc import Iterable
+from typing import TypeAlias
 
 import numpy as np
+import numpy.typing as npt
 
 from .exceptions import InvalidParameterError
 
 __all__ = [
+    "FloatArray",
+    "ScalarOrArray",
     "require_positive",
     "require_nonnegative",
     "require_probability",
@@ -38,6 +42,14 @@ __all__ = [
     "is_scalar",
     "fmt_round_trip",
 ]
+
+#: A float64 NumPy array — the element type every kernel computes in.
+FloatArray: TypeAlias = npt.NDArray[np.float64]
+
+#: The broadcastable in/out type of the model functions: a scalar input
+#: yields a scalar result, an array input yields an elementwise array
+#: (see :func:`as_float_array` / :func:`is_scalar`).
+ScalarOrArray: TypeAlias = "float | FloatArray"
 
 
 def fmt_round_trip(value: float) -> str:
@@ -109,7 +121,7 @@ def require_speed_set(speeds: Iterable[float]) -> tuple[float, ...]:
     return canon
 
 
-def as_float_array(value) -> np.ndarray:
+def as_float_array(value: npt.ArrayLike) -> FloatArray:
     """Coerce scalars/sequences to a float64 ndarray without copying arrays.
 
     Model functions accept either a scalar ``W`` or an array of pattern
@@ -120,6 +132,6 @@ def as_float_array(value) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
-def is_scalar(value) -> bool:
+def is_scalar(value: npt.ArrayLike) -> bool:
     """True when ``value`` is a Python/NumPy scalar (0-d) input."""
     return np.ndim(value) == 0

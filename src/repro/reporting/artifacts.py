@@ -19,7 +19,7 @@ from ..sweep.fraction import FractionSweep
 __all__ = ["write_frontier_csv", "write_fraction_csv", "write_regions_csv"]
 
 
-def _open(path: str | Path):
+def _open(path: str | Path) -> Path:
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     return p

@@ -9,9 +9,14 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from ..sweep.runner import SweepSeries
 from ..sweep.tables import SpeedPairTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.result import Result
 
 __all__ = [
     "write_series_csv",
@@ -86,7 +91,11 @@ def write_table_csv(path: str | Path, table: SpeedPairTable) -> Path:
     return path
 
 
-def write_rows_csv(path, fieldnames, rows) -> Path:
+def write_rows_csv(
+    path: str | Path,
+    fieldnames: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+) -> Path:
     """Write dict rows under a fixed header — the generic writer behind
     the analysis-result exports (``FrontierResult.to_csv`` & co).
 
@@ -143,7 +152,7 @@ _RESULT_FIELDS = (
 )
 
 
-def write_results_csv(path: str | Path, results) -> Path:
+def write_results_csv(path: str | Path, results: "Iterable[Result]") -> Path:
     """Write a :class:`repro.api.ResultSet` (or iterable of results),
     one row per result, scenario order.
 

@@ -81,7 +81,7 @@ def format_timeline(result: ApplicationResult, *, width: int = 100) -> str:
     # Paint in priority order: long CPU segments first, then the short
     # I/O segments (recoveries/checkpoints are often sub-quantum and
     # must stay visible), then zero-duration error markers.
-    def paint(kinds) -> None:
+    def paint(kinds: set[EventKind]) -> None:
         for e in result.events:
             if e.kind in kinds and e.duration > 0:
                 ch = _BAR_CHARS.get(e.kind, "?")

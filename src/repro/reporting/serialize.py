@@ -14,6 +14,7 @@ from typing import Any
 
 from ..core.solution import PatternSolution
 from ..sweep.runner import SweepPoint, SweepSeries
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "solution_to_dict",
@@ -48,7 +49,7 @@ def solution_to_dict(sol: PatternSolution) -> dict[str, Any]:
 def solution_from_dict(data: dict[str, Any]) -> PatternSolution:
     """Restore a :class:`PatternSolution` (validates the schema tag)."""
     if data.get("schema") != _SOLUTION_SCHEMA:
-        raise ValueError(f"not a pattern-solution payload: {data.get('schema')!r}")
+        raise InvalidParameterError(f"not a pattern-solution payload: {data.get('schema')!r}")
     return PatternSolution(
         sigma1=data["sigma1"],
         sigma2=data["sigma2"],
@@ -86,7 +87,7 @@ def series_to_dict(series: SweepSeries) -> dict[str, Any]:
 def series_from_dict(data: dict[str, Any]) -> SweepSeries:
     """Restore a :class:`SweepSeries` (validates the schema tag)."""
     if data.get("schema") != _SERIES_SCHEMA:
-        raise ValueError(f"not a sweep-series payload: {data.get('schema')!r}")
+        raise InvalidParameterError(f"not a sweep-series payload: {data.get('schema')!r}")
     points = tuple(
         SweepPoint(
             value=p["value"],

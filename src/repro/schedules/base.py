@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from ..exceptions import InvalidParameterError, SpeedNotAvailableError
 from ..quantities import fmt_round_trip as _fmt
@@ -235,7 +236,7 @@ class SpeedSchedule(abc.ABC):
 def _register_kind(cls: type[SpeedSchedule]) -> type[SpeedSchedule]:
     """Class decorator: add a policy to the spec/serialisation registry."""
     if cls.kind in _KINDS:  # pragma: no cover - programming error
-        raise ValueError(f"schedule kind {cls.kind!r} already registered")
+        raise InvalidParameterError(f"schedule kind {cls.kind!r} already registered")
     _KINDS[cls.kind] = cls
     return cls
 
@@ -558,10 +559,10 @@ def parse_schedule(spec: str) -> SpeedSchedule:
 def schedule_from_dict(data: dict[str, Any]) -> SpeedSchedule:
     """Restore a schedule from :meth:`SpeedSchedule.to_dict` output."""
     if data.get("schema") != _SCHEDULE_SCHEMA:
-        raise ValueError(f"not a speed-schedule payload: {data.get('schema')!r}")
+        raise InvalidParameterError(f"not a speed-schedule payload: {data.get('schema')!r}")
     kind = data.get("kind")
     if kind not in _KINDS:
-        raise ValueError(f"unknown schedule kind {kind!r}")
+        raise InvalidParameterError(f"unknown schedule kind {kind!r}")
     return _KINDS[kind]._from_dict(data)
 
 

@@ -61,7 +61,7 @@ from ..errors.combined import CombinedErrors
 from ..errors.models import ErrorModel, collapse_memoryless
 from ..exceptions import InvalidParameterError, InvalidTruncationError
 from ..platforms.configuration import Configuration
-from ..quantities import as_float_array, is_scalar
+from ..quantities import ScalarOrArray, as_float_array, is_scalar
 from .base import SpeedSchedule
 
 #: What every ``errors=`` parameter of this module accepts: the legacy
@@ -123,7 +123,9 @@ def _resolve_errors(
     return collapse_memoryless(errors)
 
 
-def _attempt_primitives(err, w, speed: float, V: float):
+def _attempt_primitives(
+    err: CombinedErrors | ErrorModel, w: ScalarOrArray, speed: float, V: float
+) -> tuple[ScalarOrArray, ScalarOrArray]:
     """One attempt's ``(failure probability, capped busy time)``.
 
     For a renewal :class:`ErrorModel` this is a single
@@ -144,7 +146,7 @@ def _attempt_primitives(err, w, speed: float, V: float):
 def evaluate_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
     max_attempts: int | None = None,
@@ -269,10 +271,10 @@ def evaluate_schedule(
 def expected_time_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
-):
+) -> ScalarOrArray:
     """Exact expected pattern time under ``schedule`` (Prop. 2 analogue)."""
     return evaluate_schedule(cfg, schedule, work, errors=errors, components=("time",)).time
 
@@ -280,10 +282,10 @@ def expected_time_schedule(
 def expected_energy_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
-):
+) -> ScalarOrArray:
     """Exact expected pattern energy (mJ) under ``schedule`` (Prop. 3 analogue)."""
     return evaluate_schedule(
         cfg, schedule, work, errors=errors, components=("energy",)
@@ -293,11 +295,11 @@ def expected_energy_schedule(
 def expected_reexecutions_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
     max_attempts: int | None = None,
-):
+) -> ScalarOrArray:
     """Expected number of re-executions per pattern under ``schedule``.
 
     ``max_attempts`` truncates the attempt series exactly as in
@@ -314,10 +316,10 @@ def expected_reexecutions_schedule(
 def time_overhead_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
-):
+) -> ScalarOrArray:
     """Exact expected time per work unit under ``schedule``."""
     w = as_float_array(work)
     r = (
@@ -330,10 +332,10 @@ def time_overhead_schedule(
 def energy_overhead_schedule(
     cfg: Configuration,
     schedule: SpeedSchedule,
-    work,
+    work: ScalarOrArray,
     *,
     errors: ErrorsLike = None,
-):
+) -> ScalarOrArray:
     """Exact expected energy per work unit (mJ) under ``schedule``."""
     w = as_float_array(work)
     r = (

@@ -23,6 +23,8 @@ solver (combined), byte-identical to the legacy paths.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,7 +76,9 @@ class ScheduleSolution:
         return (self.sigma1, self.sigma2)
 
 
-def _overhead_fns(cfg: Configuration, errors: ErrorsLike, schedule: SpeedSchedule):
+def _overhead_fns(
+    cfg: Configuration, errors: ErrorsLike, schedule: SpeedSchedule
+) -> tuple[Callable[[float], float], Callable[[float], float]]:
     def t_over(w: float) -> float:
         with np.errstate(over="ignore"):
             return float(time_overhead_schedule(cfg, schedule, w, errors=errors))

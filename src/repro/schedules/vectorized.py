@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from ..errors.combined import CombinedErrors
 from ..errors.models import ErrorModel, as_error_model, collapse_memoryless
 from ..exceptions import InvalidParameterError, InvalidTruncationError
 from ..platforms.configuration import Configuration
+from ..quantities import FloatArray, ScalarOrArray
 from .base import SpeedSchedule, as_schedule
 from .evaluator import ScheduleExpectation
 
@@ -173,7 +174,7 @@ class ScheduleGrid:
         normalized = [sched.normalized() for _, sched, _ in points]
         H = max((len(h) for h, _ in normalized), default=0)
 
-        def col(values) -> np.ndarray:
+        def col(values: Sequence[float]) -> FloatArray:
             return np.asarray(values, dtype=np.float64).reshape(n, 1)
 
         tail = col([t for _, t in normalized])
@@ -218,7 +219,9 @@ class ScheduleGrid:
         )
 
     # ------------------------------------------------------------------
-    def _primitives(self, w: np.ndarray, s: np.ndarray):
+    def _primitives(
+        self, w: FloatArray, s: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
         """Per-attempt ``(failure probability, capped exposure)`` at
         speed ``s``, broadcast over the work grid ``w``.
 
@@ -249,7 +252,7 @@ class ScheduleGrid:
 
     def evaluate(
         self,
-        work,
+        work: ScalarOrArray,
         *,
         components: tuple[str, ...] = ("time", "energy"),
         max_attempts: int | None = None,
@@ -331,7 +334,7 @@ class ScheduleGrid:
         if want_energy:
             e = e + geom * tail_energy_unit
 
-        def out(a):
+        def out(a: FloatArray | None) -> FloatArray | None:
             return None if a is None else (a[:, 0] if squeeze else a)
 
         return ScheduleExpectation(
@@ -386,7 +389,12 @@ class ScheduleGridSolution:
         return self.work.shape[0]
 
 
-def _lockstep_bisect(fn, a, b, fa) -> np.ndarray:
+def _lockstep_bisect(
+    fn: Callable[[FloatArray], FloatArray],
+    a: FloatArray,
+    b: FloatArray,
+    fa: FloatArray,
+) -> FloatArray:
     """Elementwise bisection of ``fn``'s sign change on ``[a, b]``.
 
     All rows iterate together; each iteration is one batched ``fn``
@@ -403,7 +411,9 @@ def _lockstep_bisect(fn, a, b, fa) -> np.ndarray:
     return 0.5 * (a + b)
 
 
-def _lockstep_golden(fn, a, b):
+def _lockstep_golden(
+    fn: Callable[[FloatArray], FloatArray], a: FloatArray, b: FloatArray
+) -> tuple[FloatArray, FloatArray]:
     """Elementwise golden-section minimisation on ``[a, b]``.
 
     Returns ``(argmin, min)``.  The classic recurrence: the surviving
@@ -436,7 +446,7 @@ def _lockstep_golden(fn, a, b):
     return x, fn(x)
 
 
-def solve_schedule_grid(grid: ScheduleGrid, rho) -> ScheduleGridSolution:
+def solve_schedule_grid(grid: ScheduleGrid, rho: ScalarOrArray) -> ScheduleGridSolution:
     """Constrained optimum of every grid point under its bound ``rho``.
 
     The batched analogue of :func:`repro.schedules.solver.solve_schedule`
@@ -533,10 +543,14 @@ def solve_schedule_grid(grid: ScheduleGrid, rho) -> ScheduleGridSolution:
 # ----------------------------------------------------------------------
 # Convenience front doors (one configuration, many schedules)
 # ----------------------------------------------------------------------
-def _as_points(cfg, schedules, errors):
+def _as_points(
+    cfg: "Configuration | str | Sequence[Configuration | str]",
+    schedules: Sequence[SpeedSchedule | str],
+    errors: "CombinedErrors | ErrorModel | str | Sequence | None",
+) -> list[tuple[Configuration, SpeedSchedule, "CombinedErrors | ErrorModel | None"]]:
     from ..platforms.catalog import get_configuration
 
-    def resolve(c):
+    def resolve(c: "Configuration | str") -> Configuration:
         return get_configuration(c) if isinstance(c, str) else c
 
     scheds = [as_schedule(s) for s in schedules]
@@ -564,9 +578,9 @@ def _as_points(cfg, schedules, errors):
 
 
 def evaluate_schedule_batch(
-    cfg,
+    cfg: "Configuration | str | Sequence[Configuration | str]",
     schedules: Sequence[SpeedSchedule | str],
-    work,
+    work: ScalarOrArray,
     *,
     errors: "CombinedErrors | ErrorModel | str | Sequence | None" = None,
     components: tuple[str, ...] = ("time", "energy"),
@@ -587,9 +601,9 @@ def evaluate_schedule_batch(
 
 
 def solve_schedule_batch(
-    cfg,
+    cfg: "Configuration | str | Sequence[Configuration | str]",
     schedules: Sequence[SpeedSchedule | str],
-    rho,
+    rho: ScalarOrArray,
     *,
     errors: "CombinedErrors | ErrorModel | str | Sequence | None" = None,
 ) -> ScheduleGridSolution:

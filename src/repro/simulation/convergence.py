@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors.combined import CombinedErrors
-from ..exceptions import ConvergenceError
+from ..exceptions import ConvergenceError, InvalidParameterError
 from ..platforms.configuration import Configuration
 from ..quantities import require_positive
 from .engine import PatternSimulator
@@ -92,7 +92,7 @@ def simulate_until(
     """
     require_positive(precision, "precision")
     if initial_n < 2:
-        raise ValueError("initial_n must be >= 2")
+        raise InvalidParameterError("initial_n must be >= 2")
     sim = PatternSimulator(cfg, errors=errors, rng=rng)
 
     batches: list[PatternBatch] = []

@@ -139,7 +139,7 @@ class PatternSimulator:
             require_positive(sigma2, "sigma2")
             schedule = TwoSpeed(sigma1, sigma2)
         if n < 1:
-            raise ValueError("n must be >= 1")
+            raise InvalidParameterError("n must be >= 1")
 
         cfg = self.cfg
         pm = cfg.power
@@ -156,7 +156,9 @@ class PatternSimulator:
             fs_proc = self.errors.failstop_arrivals
             sil_proc = self.errors.silent_arrivals
 
-            def draw(m: int, tau: float, omega: float):
+            def draw(
+                m: int, tau: float, omega: float
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
                 # Renewal semantics: recovery restarts the arrival
                 # pattern, so every attempt draws a fresh inter-arrival
                 # from the model (the assumption the analytical
@@ -182,7 +184,9 @@ class PatternSimulator:
             lam_f = self.errors.failstop_rate
             lam_s = self.errors.silent_rate
 
-            def draw(m: int, tau: float, omega: float):
+            def draw(
+                m: int, tau: float, omega: float
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
                 # Fail-stop: first arrival within the (W+V)/sigma window.
                 if lam_f > 0.0:
                     t_fail = self.rng.exponential(scale=1.0 / lam_f, size=m)

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from ..exceptions import InvalidParameterError
 
 __all__ = ["PatternBatch", "BatchSummary"]
 
@@ -44,7 +45,7 @@ class PatternBatch:
         n = len(self.times)
         for name in ("energies", "attempts", "failstop_errors", "silent_errors"):
             if len(getattr(self, name)) != n:
-                raise ValueError(f"{name} must have the same length as times")
+                raise InvalidParameterError(f"{name} must have the same length as times")
 
     @property
     def size(self) -> int:
@@ -74,7 +75,7 @@ class BatchSummary:
     def from_batch(cls, batch: PatternBatch) -> "BatchSummary":
         n = batch.size
         if n < 2:
-            raise ValueError("need at least 2 samples to estimate a standard error")
+            raise InvalidParameterError("need at least 2 samples to estimate a standard error")
         sqrt_n = math.sqrt(n)
         return cls(
             n=n,

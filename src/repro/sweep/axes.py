@@ -14,7 +14,7 @@ platforms, matching the paper's axes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -144,7 +144,7 @@ _FACTORIES: dict[str, Callable[..., SweepAxis]] = {
 AXIS_NAMES: tuple[str, ...] = tuple(_FACTORIES)
 
 
-def axis_by_name(name: str, **kwargs) -> SweepAxis:
+def axis_by_name(name: str, **kwargs: object) -> SweepAxis:
     """Build a default axis by canonical name (``C``, ``V``, ``lambda``,
     ``rho``, ``Pidle``, ``Pio``); ``kwargs`` forward to the factory."""
     try:

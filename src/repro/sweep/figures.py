@@ -10,6 +10,7 @@ configuration, its panels, and the axis ranges (the paper narrows the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 
 from ..platforms.catalog import get_configuration
 from ..platforms.configuration import Configuration
@@ -52,7 +53,13 @@ class FigureSpec:
         return axis_by_name(panel, **kwargs)
 
 
-def _spec(fid: str, config: str, lambda_max: float, desc: str, panels=PANEL_ORDER) -> FigureSpec:
+def _spec(
+    fid: str,
+    config: str,
+    lambda_max: float,
+    desc: str,
+    panels: Sequence[str] = PANEL_ORDER,
+) -> FigureSpec:
     return FigureSpec(
         figure_id=fid,
         config_name=config,

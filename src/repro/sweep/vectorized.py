@@ -22,12 +22,14 @@ closed-form fast paths).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from ..platforms.configuration import Configuration
+from ..quantities import FloatArray, ScalarOrArray
 from ..sweep.axes import SweepAxis
+from ..exceptions import InvalidParameterError
 
 __all__ = [
     "GridSolution",
@@ -68,14 +70,14 @@ class GridSolution:
 
 def solve_bicrit_grid(
     *,
-    lam,
-    checkpoint,
-    verification,
-    recovery,
-    kappa,
-    idle_power,
-    io_power,
-    rho,
+    lam: ScalarOrArray,
+    checkpoint: ScalarOrArray,
+    verification: ScalarOrArray,
+    recovery: ScalarOrArray,
+    kappa: ScalarOrArray,
+    idle_power: ScalarOrArray,
+    io_power: ScalarOrArray,
+    rho: ScalarOrArray,
     speeds: tuple[float, ...],
 ) -> GridSolution:
     """Solve BiCrit for arrays of parameters in one broadcast pass.
@@ -90,7 +92,7 @@ def solve_bicrit_grid(
         for a in (lam, checkpoint, verification, recovery, kappa, idle_power, io_power, rho)
     )
 
-    def col(a):
+    def col(a: ScalarOrArray) -> FloatArray:
         # shape (n, 1, 1) for broadcasting against the (K, K) pair grid
         arr = np.broadcast_to(np.asarray(a, dtype=np.float64), (n,))
         return arr.reshape(n, 1, 1)
@@ -133,7 +135,9 @@ def solve_bicrit_grid(
 
     energy = np.where(feasible, energy, np.inf)
 
-    def reduce(energy_grid, mask):
+    def reduce(
+        energy_grid: FloatArray, mask: "FloatArray | np.ndarray"
+    ) -> tuple[FloatArray, FloatArray, FloatArray, FloatArray, FloatArray]:
         """argmin over the pair grid (optionally masked) per value."""
         e = np.where(mask, energy_grid, np.inf)
         flat = e.reshape(n, -1)
@@ -233,7 +237,7 @@ class ScheduleSweepSolution:
             When no schedule on the axis is feasible.
         """
         if not self.feasible_mask().any():
-            raise ValueError("no schedule on the axis meets the bound")
+            raise InvalidParameterError("no schedule on the axis meets the bound")
         return int(np.nanargmin(self.energy))
 
 

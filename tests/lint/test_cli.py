@@ -1,0 +1,101 @@
+"""CLI contract: exit codes, selection, rule listing, `repro lint`."""
+
+import textwrap
+
+import pytest
+
+from repro._lint.cli import main
+
+
+@pytest.fixture
+def violating_file(tmp_path):
+    p = tmp_path / "bad.py"
+    p.write_text(
+        textwrap.dedent(
+            """
+            def f(x):
+                raise ValueError("bad")
+            """
+        )
+    )
+    return p
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    p = tmp_path / "good.py"
+    p.write_text("def f(x: int) -> int:\n    return x\n")
+    return p
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main([str(clean_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violating_file_exits_nonzero(self, violating_file, capsys):
+        assert main([str(violating_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out and "RPR007" in out
+        assert "issue(s)" in out
+
+    def test_directory_walk(self, tmp_path, violating_file, capsys):
+        assert main([str(tmp_path)]) == 1
+
+    def test_select_narrows_run(self, violating_file, capsys):
+        assert main(["--select", "RPR005", str(violating_file)]) == 0
+        assert main(["--select", "RPR004", str(violating_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR007" not in out
+
+    def test_per_rule_fixture_exit_codes(self, tmp_path):
+        """Each rule's minimal violating fixture fails the CLI on its own."""
+        fixtures = {
+            "RPR001": (
+                "policy/schedules.py",
+                "class S(SpeedSchedule):\n    kind = 'x'\n",
+            ),
+            "RPR002": (
+                "failstop/forms.py",
+                "def f(cfg, errors):\n    return errors.total_rate\n",
+            ),
+            "RPR003": (
+                "api/backends.py",
+                "class B(SolverBackend):\n    name = 'b'\n    modes = ()\n    batched = True\n",
+            ),
+            "RPR004": ("analysis/verbs.py", "def f():\n    raise ValueError('x')\n"),
+            "RPR005": ("core/numeric.py", "def f(x):\n    return x == 0.4\n"),
+            "RPR006": (
+                "schedules/base.py",
+                "def cache_key(self):\n    return time.time()\n",
+            ),
+            "RPR007": ("power/model.py", "def f(x):\n    return x\n"),
+        }
+        for code, (rel, body) in fixtures.items():
+            target = tmp_path / code / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(body)
+            rc = main(["--select", code, str(target)])
+            assert rc == 1, f"{code} fixture did not fail the CLI"
+
+
+class TestListRules:
+    def test_list_rules_prints_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR004", "RPR007"):
+            assert code in out
+        assert "fix:" in out
+
+
+class TestReproCliIntegration:
+    def test_repro_lint_subcommand(self, clean_file, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(clean_file)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_lint_subcommand_failure(self, violating_file, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(violating_file)]) == 1

@@ -1,0 +1,91 @@
+"""Suppression-directive semantics: line scope, file scope, parsing."""
+
+import textwrap
+from pathlib import Path
+
+from repro._lint import lint_source
+from repro._lint.suppressions import parse_suppressions
+
+
+def run(source: str, path: str = "src/repro/example.py"):
+    return lint_source(textwrap.dedent(source), Path(path))
+
+
+class TestLineSuppression:
+    def test_ignore_silences_named_code_on_its_line(self):
+        source = """
+            def f(x: int) -> int:
+                raise ValueError("bad")  # repro-lint: ignore[RPR004]
+        """
+        assert run(source) == []
+
+    def test_ignore_is_code_specific(self):
+        source = """
+            def f(x):  # repro-lint: ignore[RPR004]
+                return x
+        """
+        # The directive names RPR004; the RPR007 finding on the same
+        # line must survive.
+        assert [d.code for d in run(source)] == ["RPR007"]
+
+    def test_ignore_multiple_codes(self):
+        source = """
+            def f(x):  # repro-lint: ignore[RPR004, RPR007]
+                return x
+        """
+        assert run(source) == []
+
+    def test_ignore_does_not_leak_to_other_lines(self):
+        source = """
+            def f(x: int) -> int:
+                raise ValueError("a")  # repro-lint: ignore[RPR004]
+
+            def g(x: int) -> int:
+                raise ValueError("b")
+        """
+        diags = run(source)
+        assert [d.code for d in diags] == ["RPR004"]
+        assert diags[0].line == 6
+
+
+class TestFileSuppression:
+    def test_skip_file_silences_named_code_everywhere(self):
+        source = """
+            # repro-lint: skip-file[RPR004]
+            def f(x: int) -> int:
+                raise ValueError("a")
+
+            def g(x: int) -> int:
+                raise ValueError("b")
+        """
+        assert run(source) == []
+
+    def test_skip_file_star_silences_everything(self):
+        source = """
+            # repro-lint: skip-file[*]
+            def f(x):
+                raise ValueError("a")
+        """
+        assert run(source) == []
+
+    def test_skip_file_leaves_other_codes(self):
+        source = """
+            # repro-lint: skip-file[RPR004]
+            def f(x):
+                raise ValueError("a")
+        """
+        assert [d.code for d in run(source)] == ["RPR007"]
+
+
+class TestParsing:
+    def test_directive_inside_string_literal_ignored(self):
+        sup = parse_suppressions('x = "# repro-lint: ignore[RPR004]"\n')
+        assert not sup.lines and not sup.file_codes
+
+    def test_unparsable_source_yields_empty_suppressions(self):
+        sup = parse_suppressions("def broken(:\n")
+        assert not sup.lines and not sup.file_codes
+
+    def test_whitespace_tolerant(self):
+        sup = parse_suppressions("x = 1  #  repro-lint:  ignore[ RPR004 , RPR005 ]\n")
+        assert sup.lines == {1: {"RPR004", "RPR005"}}
