@@ -1,9 +1,11 @@
 """Bench: batched mixed-error-model grids vs the per-scenario loop.
 
-The PR-4 acceptance bench: a (model x schedule x rho) grid mixing
-exponential, Weibull, Gamma and trace-driven error models — every row a
-general schedule, so nothing short-circuits into a two-speed closed
-form — is solved twice:
+The PR-4 acceptance bench, re-measured through the :mod:`repro.perf`
+harness (median wall times over repeated runs, bootstrap CIs).  A
+(model x schedule x rho) grid mixing exponential, Weibull and Gamma
+error models — every row a general schedule, so nothing short-circuits
+into a two-speed closed form — is shared with the ``repro bench`` CLI
+via :func:`repro.perf.workloads.build_suite` and solved three ways:
 
 * ``scalar_loop`` — the ``schedule`` backend's per-scenario
   ``solve_batch`` (minimise/bracket/minimise per scenario, SciPy scalar
@@ -11,112 +13,103 @@ form — is solved twice:
 * ``schedule_grid`` — one ``schedule-grid`` batched pass: exponential
   rows ride the broadcast rate columns, renewal rows evaluate their
   CDF primitives row-wise but vectorised along the whole work axis, and
-  the constrained solve runs in lockstep for all rows at once.
+  the constrained solve runs in lockstep for all rows at once;
+* ``schedule_grid_jit`` — the ``schedule-grid-jit`` tier, whose
+  renewal rows additionally reuse per-(speed, checkpoint) primitive
+  tables across grid rows sharing an error model.
 
-Both result sets must agree: feasibility identical, energy overheads to
+All result sets must agree: feasibility identical, energy overheads to
 1e-9 relative.  The grid sticks to the *smooth* families — a
 trace-driven ECDF makes the overheads jump at each sample threshold, so
 two correct solvers can land on opposite sides of the same step with
 different objective values, and "agreement" is ill-defined there (the
 trace evaluator itself is pinned exactly by the unit/Monte-Carlo tests;
-see docs/errors.md).  The speedup and the max relative energy
-disagreement land in ``results/error_model_bench.csv``, following
-``bench_schedule_grid.py``.
+see docs/errors.md).  The full report lands in
+``results/BENCH_error_models.json``; the legacy summary stays in
+``results/error_model_bench.csv``.
 """
 
 from __future__ import annotations
 
-import csv
-import time
-
-import numpy as np
-
 from repro.api.backends import get_backend
-from repro.api.scenario import Scenario
-from repro.errors import parse_error_model
+from repro.perf import BenchRunner, build_suite
+from repro.perf.workloads import error_model_scenarios
+from repro.reporting.csvio import write_rows_csv
 
 ENERGY_RTOL = 1e-9
 
-MODELS = (
-    "exp:rate=3.38e-06",
-    "exp:rate=3.38e-06,failstop=0.5",
-    "weibull:shape=0.7,mtbf=3e5",
-    "weibull:shape=0.7,mtbf=3e5,failstop=0.2",
-    "weibull:shape=1.5,mtbf=1e5",
-    "gamma:shape=2,mtbf=3e5",
-    "gamma:shape=0.5,mtbf=3e5,failstop=0.5",
-    "gamma:shape=3,mtbf=2e5",
+N_MODELS = 8
+
+_CSV_FIELDS = (
+    "path",
+    "scenarios",
+    "models",
+    "seconds_total",
+    "seconds_per_scenario",
+    "speedup_vs_scalar_loop",
+    "max_rel_energy_error_smooth",
 )
-SCHEDULES = (
-    "esc:0.4,0.6,0.8",
-    "geom:0.4,1.5,1",
-    "geom:0.8,0.5,1,0.2",
-    "esc:0.6,0.4,0.8@1",
-    "geom:0.45,1.4,0.9",
-)
-RHOS = np.linspace(2.8, 5.0, 10)
 
 
-def _scenarios() -> list[Scenario]:
-    return [
-        Scenario(
-            config="hera-xscale",
-            rho=float(rho),
-            errors=parse_error_model(model),
-            schedule=sched,
+def _max_rel_energy(reference, candidate):
+    n_feasible = 0
+    max_rel = 0.0
+    for r, c in zip(reference, candidate):
+        assert c.feasible == r.feasible
+        if not r.feasible:
+            continue
+        n_feasible += 1
+        rel = abs(c.best.energy_overhead - r.best.energy_overhead) / abs(
+            r.best.energy_overhead
         )
-        for model in MODELS
-        for sched in SCHEDULES
-        for rho in RHOS
-    ]
+        max_rel = max(max_rel, rel)
+    return n_feasible, max_rel
 
 
 def test_error_model_grid_speedup(results_dir):
     """400-scenario mixed-model grid: batched pass >= 5x the scalar
     loop, <= 1e-9 relative energy disagreement on the smooth families."""
-    scenarios = _scenarios()
+    scenarios = error_model_scenarios()
     assert len(scenarios) == 400
 
-    t0 = time.perf_counter()
     scalar = get_backend("schedule").solve_batch(scenarios)
-    t_scalar = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
     batched = get_backend("schedule-grid").solve_batch(scenarios)
-    t_grid = time.perf_counter() - t0
+    jitted = get_backend("schedule-grid-jit").solve_batch(scenarios)
 
-    n_feasible = 0
-    max_rel = 0.0
-    for s, b in zip(scalar, batched):
-        assert b.feasible == s.feasible
-        if not s.feasible:
-            continue
-        n_feasible += 1
-        rel = abs(b.best.energy_overhead - s.best.energy_overhead) / abs(
-            s.best.energy_overhead
-        )
-        max_rel = max(max_rel, rel)
+    n_feasible, max_rel = _max_rel_energy(scalar, batched)
     assert n_feasible > 200, "grid degenerated: most scenarios infeasible"
     assert max_rel <= ENERGY_RTOL, f"energy disagreement {max_rel:.2e}"
 
-    speedup = t_scalar / t_grid
-    per_scalar = t_scalar / len(scenarios)
-    per_grid = t_grid / len(scenarios)
+    _, max_rel_jit = _max_rel_energy(scalar, jitted)
+    assert max_rel_jit <= ENERGY_RTOL, f"jit disagreement {max_rel_jit:.2e}"
 
-    with (results_dir / "error_model_bench.csv").open("w", newline="") as fh:
-        w = csv.writer(fh)
-        w.writerow(
-            ["path", "scenarios", "models", "seconds_total",
-             "seconds_per_scenario", "speedup_vs_scalar_loop",
-             "max_rel_energy_error_smooth"]
-        )
-        w.writerow(
-            ["scalar_loop", len(scenarios), len(MODELS), f"{t_scalar:.3f}",
-             f"{per_scalar:.3e}", "1.0", ""]
-        )
-        w.writerow(
-            ["schedule_grid", len(scenarios), len(MODELS), f"{t_grid:.3f}",
-             f"{per_grid:.3e}", f"{speedup:.1f}", f"{max_rel:.2e}"]
-        )
+    report = BenchRunner(repetitions=3, warmup=0).run(
+        "error_models", build_suite("error_models")
+    )
+    report.write(results_dir)
 
+    n = len(scenarios)
+    rows = []
+    for ws in report.workloads:
+        rows.append(
+            {
+                "path": ws.name,
+                "scenarios": n,
+                "models": N_MODELS,
+                "seconds_total": ws.median,
+                "seconds_per_scenario": ws.median / n,
+                "speedup_vs_scalar_loop": 1.0 if ws.speedup is None else ws.speedup,
+                "max_rel_energy_error_smooth": {
+                    "schedule_grid": max_rel,
+                    "schedule_grid_jit": max_rel_jit,
+                }.get(ws.name),
+            }
+        )
+    write_rows_csv(results_dir / "error_model_bench.csv", _CSV_FIELDS, rows)
+
+    speedup = report.workload("schedule_grid").speedup
     assert speedup >= 5.0, f"schedule-grid only {speedup:.1f}x over the loop"
+    jit_speedup = report.workload("schedule_grid_jit").speedup
+    assert jit_speedup >= 5.0, (
+        f"schedule-grid-jit only {jit_speedup:.1f}x over the loop"
+    )

@@ -1,9 +1,11 @@
 """Bench: a batched Experiment frontier vs the legacy per-point loop.
 
-The acceptance case of PR 5: a Pareto frontier over a *renewal* error
-model (Weibull, shape 0.7) under a *non-two-speed* schedule (geometric
-escalation) — a combination the pre-pipeline ``repro.analysis.pareto``
-could not express at all.  The same rho grid is solved twice:
+The acceptance case of PR 5, re-measured through the :mod:`repro.perf`
+harness: a Pareto frontier over a *renewal* error model (Weibull,
+shape 0.7) under a *non-two-speed* schedule (geometric escalation) — a
+combination the pre-pipeline ``repro.analysis.pareto`` could not
+express at all.  The rho grid is shared with the ``repro bench`` CLI
+via :func:`repro.perf.workloads.build_suite` and solved twice:
 
 * ``per_point_loop`` — one ``Scenario.solve(cache=False)`` per bound,
   the way the legacy analysis modules drove their solvers (each call
@@ -14,59 +16,51 @@ could not express at all.  The same rho grid is solved twice:
   broadcast passes.
 
 Both paths must agree to 1e-12 relative on the energy objective (the
-kernel's rows are batch-composition independent); the speedup lands in
-``results/experiment_plan_bench.csv`` and must be >= 10x.
+kernel's rows are batch-composition independent); the full report lands
+in ``results/BENCH_experiment_plan.json`` and the legacy summary in
+``results/experiment_plan_bench.csv``.
 """
 
 from __future__ import annotations
 
-import csv
-import time
+from repro.api import Experiment
+from repro.perf import BenchRunner, build_suite
+from repro.perf.workloads import experiment_plan_scenarios
+from repro.reporting.csvio import write_rows_csv
 
-import numpy as np
-
-from repro.api import Experiment, Scenario
-
-CONFIG = "hera-xscale"
-SCHEDULE = "geom:0.4,1.5,1"
-ERRORS = "weibull:shape=0.7,mtbf=3e5"
-# Spans the schedule's constrained region (feasibility edge ~2.76, the
-# bound goes inactive ~2.89) plus the plateau, so the frontier carries
-# several distinct trade-offs.
-RHOS = tuple(float(r) for r in np.linspace(2.76, 4.0, 96))
 ENERGY_RTOL = 1e-12
 
-
-def _scenarios() -> list[Scenario]:
-    return [
-        Scenario(config=CONFIG, rho=rho, schedule=SCHEDULE, errors=ERRORS)
-        for rho in RHOS
-    ]
+_CSV_FIELDS = (
+    "path",
+    "scenarios",
+    "frontier_points",
+    "seconds_total",
+    "seconds_per_scenario",
+    "speedup_vs_per_point_loop",
+    "max_rel_energy_error",
+)
 
 
 def test_experiment_plan_speedup(results_dir):
     """Renewal-model x general-schedule frontier: the batched plan must
     be >= 10x the per-point loop at <= 1e-12 energy disagreement."""
-    scenarios = _scenarios()
+    scenarios = experiment_plan_scenarios()
+    assert len(scenarios) == 96
 
     # Legacy shape: one solve per frontier point, no batching, no cache.
-    t0 = time.perf_counter()
     per_point = []
     for sc in scenarios:
         try:
             per_point.append(sc.solve(cache=False))
         except Exception:  # infeasible head points mirror frontier skips
             per_point.append(None)
-    t_loop = time.perf_counter() - t0
 
     # The pipeline: one deduplicated plan, one schedule-grid group.
     experiment = Experiment.from_scenarios(scenarios, name="bench-frontier")
     plan = experiment.plan()
     assert plan.n_unique == len(scenarios)
     assert [g.backend for g in plan.groups] == ["schedule-grid"]
-    t0 = time.perf_counter()
     batched = plan.execute(cache=False)
-    t_plan = time.perf_counter() - t0
 
     frontier = batched.frontier()
     assert len(frontier) >= 1
@@ -86,22 +80,39 @@ def test_experiment_plan_speedup(results_dir):
     assert n_feasible >= len(scenarios) // 2, "frontier grid mostly infeasible"
     assert max_rel <= ENERGY_RTOL, f"energy disagreement {max_rel:.2e}"
 
-    speedup = t_loop / t_plan
-    with (results_dir / "experiment_plan_bench.csv").open("w", newline="") as fh:
-        w = csv.writer(fh)
-        w.writerow(
-            ["path", "scenarios", "frontier_points", "seconds_total",
-             "seconds_per_scenario", "speedup_vs_per_point_loop",
-             "max_rel_energy_error"]
-        )
-        w.writerow(
-            ["per_point_loop", len(scenarios), len(frontier),
-             f"{t_loop:.3f}", f"{t_loop / len(scenarios):.3e}", "1.0", ""]
-        )
-        w.writerow(
-            ["batched_plan", len(scenarios), len(frontier),
-             f"{t_plan:.3f}", f"{t_plan / len(scenarios):.3e}",
-             f"{speedup:.1f}", f"{max_rel:.2e}"]
-        )
+    report = BenchRunner(repetitions=3, warmup=0).run(
+        "experiment_plan", build_suite("experiment_plan")
+    )
+    report.write(results_dir)
 
-    assert speedup >= 10.0, f"batched plan only {speedup:.1f}x over the loop"
+    loop_ws = report.workload("per_point_loop")
+    plan_ws = report.workload("batched_plan")
+    n = len(scenarios)
+    write_rows_csv(
+        results_dir / "experiment_plan_bench.csv",
+        _CSV_FIELDS,
+        [
+            {
+                "path": "per_point_loop",
+                "scenarios": n,
+                "frontier_points": len(frontier),
+                "seconds_total": loop_ws.median,
+                "seconds_per_scenario": loop_ws.median / n,
+                "speedup_vs_per_point_loop": 1.0,
+                "max_rel_energy_error": None,
+            },
+            {
+                "path": "batched_plan",
+                "scenarios": n,
+                "frontier_points": len(frontier),
+                "seconds_total": plan_ws.median,
+                "seconds_per_scenario": plan_ws.median / n,
+                "speedup_vs_per_point_loop": plan_ws.speedup,
+                "max_rel_energy_error": max_rel,
+            },
+        ],
+    )
+
+    assert plan_ws.speedup >= 10.0, (
+        f"batched plan only {plan_ws.speedup:.1f}x over the loop"
+    )

@@ -1,7 +1,7 @@
 """Pluggable solver backends behind a process-wide registry.
 
 A backend turns a :class:`~repro.api.scenario.Scenario` into a
-:class:`~repro.api.result.Result`.  Six ship by default:
+:class:`~repro.api.result.Result`.  Seven ship by default:
 
 ``firstorder``
     The paper's Theorem-1 closed form + O(K^2) enumeration
@@ -27,6 +27,13 @@ A backend turns a :class:`~repro.api.scenario.Scenario` into a
     whole batch in lockstep broadcast passes — the general-schedule
     analogue of ``grid``, and the default for scheduled scenarios whose
     policy is not expressible as a two-speed pair.
+``schedule-grid-jit``
+    The native-speed tier (:mod:`repro.schedules.jit`): identical batch
+    splitting to ``schedule-grid`` but stacking into a
+    :class:`~repro.schedules.jit.JitScheduleGrid`, whose hot
+    evaluation runs through a numba-compiled kernel when numba is
+    installed (``pip install repro[jit]``) and falls back to the
+    byte-identical NumPy path when it is not.
 
 Registering a new backend (``register_backend``) is the single
 extension point for new solve strategies; every consumer (legacy
@@ -57,6 +64,7 @@ from ..exceptions import (
 from ..failstop.solver import CombinedSolution, solve_pair_combined
 from ..platforms.configuration import Configuration
 from ..schedules.base import TwoSpeed
+from ..schedules.jit import JitScheduleGrid
 from ..schedules.solver import ScheduleSolution, solve_schedule
 from ..schedules.vectorized import ScheduleGrid, ScheduleGridSolution, solve_schedule_grid
 from ..sweep.vectorized import GridSolution, solve_bicrit_grid
@@ -73,6 +81,7 @@ __all__ = [
     "GridBackend",
     "ScheduleBackend",
     "ScheduleGridBackend",
+    "ScheduleGridJitBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -101,6 +110,13 @@ class SolverBackend(abc.ABC):
     #: evaluator dispatches through the model's renewal primitives —
     #: opt in.
     handles_error_models: bool = False
+    #: Whether this backend routes its hot path through an optional
+    #: native (jit-compiled) kernel tier when one is importable.  A
+    #: ``uses_jit`` backend must degrade gracefully — identical results
+    #: through a pure-NumPy fallback — when the jit dependency is
+    #: absent; :func:`repro.schedules.jit.jit_available` reports which
+    #: tier is live.
+    uses_jit: bool = False
 
     @property
     def batched(self) -> bool:
@@ -628,7 +644,7 @@ class ScheduleGridBackend(SolverBackend):
                 )
                 rhos.extend([sc.rho] * len(pairs))
             if points:
-                grid = ScheduleGrid.from_points(points)
+                grid = self._build_grid(points)
                 sol = solve_schedule_grid(grid, np.asarray(rhos))
                 for pos, i in enumerate(general):
                     results[i] = self._materialise(scenarios[i], sol, pos)
@@ -648,6 +664,16 @@ class ScheduleGridBackend(SolverBackend):
             )
             for r in results
         ]
+
+    def _build_grid(self, points: list[tuple]) -> ScheduleGrid:
+        """Stack the batch's numeric points into the evaluation grid.
+
+        The single override point of the kernel tiers: the jit backend
+        swaps in :class:`~repro.schedules.jit.JitScheduleGrid` here and
+        inherits everything else (splitting, materialisation, the
+        lockstep solver) unchanged.
+        """
+        return ScheduleGrid.from_points(points)
 
     def _materialise(
         self, scenario: "Scenario", sol: ScheduleGridSolution, pos: int
@@ -719,6 +745,32 @@ class ScheduleGridBackend(SolverBackend):
         )
 
 
+class ScheduleGridJitBackend(ScheduleGridBackend):
+    """``schedule-grid`` with the native-speed kernel tier.
+
+    Identical batch splitting and materialisation to
+    :class:`ScheduleGridBackend` — only the grid class differs: batches
+    stack into a :class:`~repro.schedules.jit.JitScheduleGrid`, whose
+    pure-exponential evaluations run through a numba-compiled kernel
+    when numba is importable (``pip install repro[jit]``; results agree
+    with the NumPy tier to ``<= 1e-12`` relative) and whose renewal
+    rows reuse per-``(model, V, speed)`` primitive tables across the
+    batch.  Without numba the fallback is byte-identical to
+    ``schedule-grid`` — same code path, so choosing this backend is
+    always safe.
+    """
+
+    name = "schedule-grid-jit"
+    modes = frozenset({"silent", "combined", "failstop"})
+    # handles_schedules / handles_error_models are inherited — this
+    # tier accepts exactly what schedule-grid accepts.
+    uses_jit = True
+
+    def _build_grid(self, points: list[tuple]) -> ScheduleGrid:
+        """Stack into the jit-tier grid (NumPy-identical fallback)."""
+        return JitScheduleGrid.from_points(points)
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -773,3 +825,4 @@ register_backend(CombinedBackend())
 register_backend(GridBackend())
 register_backend(ScheduleBackend())
 register_backend(ScheduleGridBackend())
+register_backend(ScheduleGridJitBackend())

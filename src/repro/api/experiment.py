@@ -314,13 +314,33 @@ class ExecutionPlan:
         if processes is not None and processes > 1 and shards:
             from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                futures = [
-                    pool.submit(_solve_shard, [self.unique[u] for u in idxs], bn)
-                    for bn, idxs in shards
-                ]
-                for pos, ((bn, idxs), future) in enumerate(zip(shards, futures)):
-                    _complete(pos, bn, idxs, future.result())
+            from .shm import ScenarioPack, solve_pack_shard
+
+            # Zero-copy handoff: pack the unique scenarios once into
+            # shared memory so each task pickles only (block name,
+            # layout, row indices) instead of whole scenario lists.
+            # Falls back to the legacy pickled path when shared memory
+            # is unavailable (pack is None) — identical results.
+            pack = ScenarioPack.create(self.unique)
+            try:
+                with ProcessPoolExecutor(max_workers=processes) as pool:
+                    if pack is not None:
+                        futures = [
+                            pool.submit(solve_pack_shard, *pack.task(idxs), bn)
+                            for bn, idxs in shards
+                        ]
+                    else:
+                        futures = [
+                            pool.submit(
+                                _solve_shard, [self.unique[u] for u in idxs], bn
+                            )
+                            for bn, idxs in shards
+                        ]
+                    for pos, ((bn, idxs), future) in enumerate(zip(shards, futures)):
+                        _complete(pos, bn, idxs, future.result())
+            finally:
+                if pack is not None:
+                    pack.dispose()
         else:
             for pos, (bn, idxs) in enumerate(shards):
                 batch = get_backend(bn).solve_batch([self.unique[u] for u in idxs])

@@ -1,0 +1,288 @@
+"""Zero-copy scenario handoff for process-pool shards.
+
+``ExecutionPlan.execute(processes=...)`` used to pickle a full list of
+:class:`~repro.api.scenario.Scenario` objects into every worker task —
+for wide grids that serialises the same configurations, schedules and
+error models over and over, once per shard.  This module replaces that
+with a **columnar shared-memory pack**:
+
+* the numeric per-scenario columns (``rho``, ``failstop_fraction``,
+  ``error_rate``) are written once into a POSIX shared-memory block as
+  raw ``float64`` arrays — workers map them zero-copy;
+* the object-valued fields (configuration, mode, speed restrictions,
+  schedule, error model, backend preference, label) are deduplicated
+  into small *pools* of distinct values, pickled once into the same
+  block; per-scenario ``int64`` pool-index columns say which entry
+  each scenario uses — a ten-thousand-scenario grid over eight
+  configurations serialises eight configurations, not ten thousand;
+* a worker task then costs only ``(shm name, layout, row indices,
+  backend name)`` — the scenarios themselves never cross the pipe.
+
+Workers attach the block read-only, rebuild their shard's scenarios
+(through the ordinary :class:`Scenario` constructor, so validation and
+normalisation are identical to the parent's), solve through the
+registry, and return results.  Segment lifetime stays with the parent:
+it creates the block before submitting tasks and unlinks it after the
+pool drains (see :func:`_attach` for why workers must not touch the
+resource tracker).
+
+When shared memory is unavailable (no ``/dev/shm``, permissions, or
+the ``REPRO_DISABLE_SHM`` environment variable for tests),
+:meth:`ScenarioPack.create` returns ``None`` and the caller falls back
+to the legacy pickled handoff — behaviour, results and ordering are
+identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .backends import get_backend
+from .result import Result
+from .scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
+
+__all__ = ["ScenarioPack", "PackLayout", "solve_pack_shard", "SHM_DISABLE_ENV"]
+
+#: Setting this environment variable (to any non-empty value) disables
+#: the shared-memory handoff, forcing the legacy pickled path — the
+#: switch the fallback tests flip.
+SHM_DISABLE_ENV = "REPRO_DISABLE_SHM"
+
+#: Column order of the float block (``NaN`` encodes ``None`` for the
+#: optional columns; both are validated positive elsewhere, so NaN can
+#: never collide with a real value).
+_FLOAT_COLS = ("rho", "failstop_fraction", "error_rate")
+
+#: Column order of the pool-index block (``-1`` encodes ``None``).
+_POOL_COLS = (
+    "config",
+    "mode",
+    "speeds",
+    "sigma2_choices",
+    "schedule",
+    "errors",
+    "backend",
+    "label",
+)
+
+
+@dataclass(frozen=True)
+class PackLayout:
+    """Byte layout of one pack's shared-memory block.
+
+    Small and picklable — this (plus the block name and the row
+    indices) is the whole per-task payload.
+    """
+
+    n: int
+    float_off: int
+    int_off: int
+    blob_off: int
+    blob_len: int
+
+
+def _attach(name: str) -> "SharedMemory":
+    """Attach an existing block without adopting its lifetime.
+
+    On Python < 3.13 attaching also registers the segment with the
+    resource tracker (bpo-38119; ``track=False`` exists only in
+    3.13+).  That is safe here *because* pool workers inherit the
+    parent's tracker (both ``fork`` and ``spawn`` forward its fd), so
+    the tracker's name cache is one shared set: the attach-side
+    registration collapses with the creator's, and the parent's
+    ``unlink()`` clears it exactly once.  Workers must therefore *not*
+    unregister — that would drop the parent's entry and turn the final
+    unlink into a tracker error.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+@dataclass
+class ScenarioPack:
+    """A plan's unique scenarios, packed columnar into shared memory.
+
+    Created by the parent (:meth:`create`), mapped by workers
+    (:func:`solve_pack_shard`), disposed by the parent
+    (:meth:`dispose`) once the pool has drained.
+    """
+
+    shm: "SharedMemory"
+    layout: PackLayout
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, scenarios: Sequence[Scenario]) -> "ScenarioPack | None":
+        """Pack ``scenarios`` into a fresh shared-memory block.
+
+        Returns ``None`` — caller falls back to pickled handoff — when
+        there is nothing to pack, shared memory is unavailable on this
+        platform, or :data:`SHM_DISABLE_ENV` is set.
+        """
+        if not scenarios or os.environ.get(SHM_DISABLE_ENV):
+            return None
+        n = len(scenarios)
+
+        floats = np.empty((len(_FLOAT_COLS), n), dtype=np.float64)
+        ints = np.empty((len(_POOL_COLS), n), dtype=np.int64)
+        pools: list[list[object]] = [[] for _ in _POOL_COLS]
+        interns: list[dict[object, int]] = [{} for _ in _POOL_COLS]
+        for j, sc in enumerate(scenarios):
+            floats[0, j] = sc.rho
+            floats[1, j] = (
+                np.nan if sc.failstop_fraction is None else sc.failstop_fraction
+            )
+            floats[2, j] = np.nan if sc.error_rate is None else sc.error_rate
+            values = (
+                sc.config,
+                sc.mode,
+                sc.speeds,
+                sc.sigma2_choices,
+                sc.schedule,
+                sc.errors,
+                sc.backend,
+                sc.label,
+            )
+            for c, value in enumerate(values):
+                if value is None:
+                    ints[c, j] = -1
+                    continue
+                pos = interns[c].get(value)
+                if pos is None:
+                    pos = len(pools[c])
+                    interns[c][value] = pos
+                    pools[c].append(value)
+                ints[c, j] = pos
+
+        blob = pickle.dumps(pools, protocol=pickle.HIGHEST_PROTOCOL)
+        float_off = 0
+        int_off = float_off + floats.nbytes
+        blob_off = int_off + ints.nbytes
+        layout = PackLayout(
+            n=n,
+            float_off=float_off,
+            int_off=int_off,
+            blob_off=blob_off,
+            blob_len=len(blob),
+        )
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=blob_off + len(blob))
+        except (ImportError, OSError):  # pragma: no cover - platform-specific
+            return None
+        buf = np.ndarray(floats.shape, dtype=np.float64, buffer=shm.buf)
+        buf[:] = floats
+        ibuf = np.ndarray(ints.shape, dtype=np.int64, buffer=shm.buf, offset=int_off)
+        ibuf[:] = ints
+        shm.buf[blob_off : blob_off + len(blob)] = blob
+        return cls(shm=shm, layout=layout)
+
+    # ------------------------------------------------------------------
+    def task(self, indices: Sequence[int]) -> tuple[str, PackLayout, list[int]]:
+        """The picklable per-shard payload for :func:`solve_pack_shard`."""
+        return (self.shm.name, self.layout, list(indices))
+
+    def dispose(self) -> None:
+        """Close and unlink the block (parent side, after the pool)."""
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _read_rows(
+    shm: "SharedMemory", layout: PackLayout, indices: Sequence[int]
+) -> list[Scenario]:
+    """Decode the requested rows of an attached pack block.
+
+    The zero-copy numpy views over ``shm.buf`` are locals of this
+    frame: by the time the caller closes the block they are gone, so
+    the close cannot trip over exported buffer views.
+    """
+    floats = np.ndarray(
+        (len(_FLOAT_COLS), layout.n),
+        dtype=np.float64,
+        buffer=shm.buf,
+        offset=layout.float_off,
+    )
+    ints = np.ndarray(
+        (len(_POOL_COLS), layout.n),
+        dtype=np.int64,
+        buffer=shm.buf,
+        offset=layout.int_off,
+    )
+    blob = bytes(shm.buf[layout.blob_off : layout.blob_off + layout.blob_len])
+    pools: list[list[object]] = pickle.loads(blob)
+
+    def pool(c: int, j: int) -> object | None:
+        k = int(ints[c, j])
+        return None if k < 0 else pools[c][k]
+
+    out: list[Scenario] = []
+    for j in indices:
+        fraction = float(floats[1, j])
+        rate = float(floats[2, j])
+        out.append(
+            Scenario(
+                config=pool(0, j),  # type: ignore[arg-type]
+                rho=float(floats[0, j]),
+                mode=pool(1, j),  # type: ignore[arg-type]
+                failstop_fraction=None if np.isnan(fraction) else fraction,
+                error_rate=None if np.isnan(rate) else rate,
+                speeds=pool(2, j),  # type: ignore[arg-type]
+                sigma2_choices=pool(3, j),  # type: ignore[arg-type]
+                schedule=pool(4, j),  # type: ignore[arg-type]
+                errors=pool(5, j),  # type: ignore[arg-type]
+                backend=pool(6, j),  # type: ignore[arg-type]
+                label=pool(7, j),  # type: ignore[arg-type]
+            )
+        )
+    return out
+
+
+def unpack_scenarios(
+    shm_name: str, layout: PackLayout, indices: Sequence[int]
+) -> list[Scenario]:
+    """Rebuild the scenarios at ``indices`` from a pack's block.
+
+    Runs in the worker: maps the columns zero-copy, reads only the
+    requested rows, and goes back through the :class:`Scenario`
+    constructor so the rebuilt scenarios pass the same validation and
+    normalisation as the originals (round-trip tests pin equality).
+    """
+    shm = _attach(shm_name)
+    try:
+        return _read_rows(shm, layout, indices)
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - only on decode errors
+            # A traceback from _read_rows still pins its frame (and the
+            # buffer views) while this finally runs; never let the
+            # close mask the real error — the mapping dies with the
+            # worker process.
+            pass
+
+
+def solve_pack_shard(
+    shm_name: str, layout: PackLayout, indices: list[int], backend_name: str
+) -> list[Result]:
+    """Worker entry point: rebuild one shard from the pack and solve it
+    through the named backend's batch path (module-level so process
+    pools can pickle it — the shared-memory twin of
+    :func:`repro.api.study._solve_shard`)."""
+    return get_backend(backend_name).solve_batch(
+        unpack_scenarios(shm_name, layout, indices)
+    )

@@ -1,0 +1,138 @@
+"""CI-overlap comparison of two bench reports (the regression gate).
+
+Given a *baseline* report (committed under ``benchmarks/baselines/``)
+and a *current* report (just measured), classify each workload the two
+share:
+
+* workloads with a **speedup** column are gated on it: the speedup is
+  a ratio of two medians measured *in the same run on the same
+  machine*, so it is dimensionless and survives a hardware change
+  between the baseline commit and the CI runner.  ``regression`` means
+  the current speedup's median is worse **and** the two speedup CIs do
+  not overlap; ``improvement`` is the symmetric case; everything else
+  is ``indistinguishable`` (per Touati et al., overlapping confidence
+  intervals never justify a claim either way);
+* baseline workloads (wall time only) are never gated — raw seconds
+  from a different machine are not comparable — and are reported as
+  ``informational``.
+
+:func:`compare_reports` returns a :class:`BenchComparison`;
+``comparison.regressions`` drives the CI exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from .runner import BenchReport
+from .stats import intervals_overlap
+
+__all__ = ["WorkloadComparison", "BenchComparison", "compare_reports"]
+
+#: Verdicts a workload comparison can produce.
+_VERDICTS = ("regression", "improvement", "indistinguishable", "informational")
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """One workload's verdict: baseline vs current speedup with CIs."""
+
+    name: str
+    verdict: str
+    baseline_speedup: float | None
+    current_speedup: float | None
+    baseline_ci: tuple[float, float] | None
+    current_ci: tuple[float, float] | None
+
+    def describe(self) -> str:
+        """One human-readable summary line."""
+        if self.verdict == "informational":
+            return f"{self.name}: wall-time only (not gated)"
+        assert self.baseline_speedup is not None
+        assert self.current_speedup is not None
+        return (
+            f"{self.name}: {self.verdict} "
+            f"(speedup {self.baseline_speedup:.3g} -> "
+            f"{self.current_speedup:.3g})"
+        )
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """All shared workloads' verdicts for one suite."""
+
+    name: str
+    workloads: tuple[WorkloadComparison, ...]
+
+    @property
+    def regressions(self) -> tuple[WorkloadComparison, ...]:
+        return tuple(w for w in self.workloads if w.verdict == "regression")
+
+    @property
+    def improvements(self) -> tuple[WorkloadComparison, ...]:
+        return tuple(w for w in self.workloads if w.verdict == "improvement")
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (the CI gate condition)."""
+        return not self.regressions
+
+
+def _compare_workload(
+    name: str, base: BenchReport, cur: BenchReport
+) -> WorkloadComparison:
+    b = base.workload(name)
+    c = cur.workload(name)
+    if (
+        b.speedup is None
+        or c.speedup is None
+        or b.speedup_ci is None
+        or c.speedup_ci is None
+    ):
+        return WorkloadComparison(
+            name=name,
+            verdict="informational",
+            baseline_speedup=b.speedup,
+            current_speedup=c.speedup,
+            baseline_ci=b.speedup_ci,
+            current_ci=c.speedup_ci,
+        )
+    if intervals_overlap(b.speedup_ci, c.speedup_ci):
+        verdict = "indistinguishable"
+    elif c.speedup < b.speedup:
+        verdict = "regression"
+    else:
+        verdict = "improvement"
+    return WorkloadComparison(
+        name=name,
+        verdict=verdict,
+        baseline_speedup=b.speedup,
+        current_speedup=c.speedup,
+        baseline_ci=b.speedup_ci,
+        current_ci=c.speedup_ci,
+    )
+
+
+def compare_reports(
+    baseline: BenchReport, current: BenchReport
+) -> BenchComparison:
+    """Classify every workload the two reports share.
+
+    Workloads present in only one report are skipped (suites grow over
+    time; a new candidate has no baseline to regress against).  The
+    reports must describe the same suite.
+    """
+    if baseline.name != current.name:
+        raise InvalidParameterError(
+            f"cannot compare different suites: baseline is "
+            f"{baseline.name!r}, current is {current.name!r}"
+        )
+    base_names = {ws.name for ws in baseline.workloads}
+    shared = [ws.name for ws in current.workloads if ws.name in base_names]
+    return BenchComparison(
+        name=current.name,
+        workloads=tuple(
+            _compare_workload(n, baseline, current) for n in shared
+        ),
+    )

@@ -1,0 +1,147 @@
+"""Estimators behind the perf harness: medians, bootstrap CIs, overlap.
+
+Following Touati et al. (*Towards a Statistical Methodology to
+Evaluate Program Speedups*), the harness never reports a single run:
+
+* the location estimate of a timing sample is its **median** — robust
+  against the long right tail of wall-clock noise (GC pauses,
+  scheduler preemption) that drags a mean upward;
+* uncertainty is a **percentile bootstrap** confidence interval of the
+  median (resample with replacement, take the empirical quantiles of
+  the resampled medians) — no normality assumption, valid at the small
+  repetition counts a bench can afford;
+* a **speedup** is a ratio of two medians, with its own bootstrap CI
+  from independently resampling both samples;
+* two measurements are only called *different* (regression or win)
+  when their confidence intervals do **not** overlap — the comparison
+  rule of :mod:`repro.perf.compare`.
+
+All bootstrap draws come from a seeded generator, so a report is a
+deterministic function of its timing samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "median",
+    "bootstrap_median_ci",
+    "bootstrap_speedup_ci",
+    "intervals_overlap",
+]
+
+#: Default bootstrap resample count — ample for 95% percentile CIs.
+DEFAULT_BOOTSTRAP = 2000
+
+#: Default bootstrap seed; any fixed value works, reports only need
+#: determinism given the same timing samples.
+DEFAULT_SEED = 20160816
+
+
+def _as_samples(samples: Sequence[float], where: str) -> np.ndarray:
+    xs = np.asarray(samples, dtype=np.float64)
+    if xs.ndim != 1 or xs.size == 0:
+        raise InvalidParameterError(
+            f"{where} needs a non-empty 1-D sample, got shape {xs.shape}"
+        )
+    if not np.all(np.isfinite(xs)):
+        raise InvalidParameterError(f"{where} contains non-finite samples")
+    return xs
+
+
+def _check_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+
+
+def median(samples: Sequence[float]) -> float:
+    """The sample median — the harness's location estimate."""
+    return float(np.median(_as_samples(samples, "median")))
+
+
+def _bootstrap_medians(
+    xs: np.ndarray, n_boot: int, rng: np.random.Generator
+) -> np.ndarray:
+    idx = rng.integers(0, xs.size, size=(n_boot, xs.size))
+    return np.median(xs[idx], axis=1)
+
+
+def bootstrap_median_ci(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = DEFAULT_SEED,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the median of ``samples``.
+
+    Deterministic given ``samples`` and ``seed``.  With a single
+    sample the interval degenerates to that point (reported, not
+    hidden — one repetition carries no uncertainty estimate).
+    """
+    xs = _as_samples(samples, "bootstrap_median_ci")
+    _check_confidence(confidence)
+    rng = np.random.default_rng(seed)
+    meds = _bootstrap_medians(xs, n_boot, rng)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(meds, alpha)),
+        float(np.quantile(meds, 1.0 - alpha)),
+    )
+
+
+def bootstrap_speedup_ci(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = DEFAULT_SEED,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for ``median(baseline)/median(candidate)``.
+
+    The two samples are resampled independently (the repetitions are
+    unpaired runs), each resample yielding one speedup; the CI is the
+    empirical quantile band of those speedups.  Values > 1 mean the
+    candidate is faster than the baseline.
+    """
+    base = _as_samples(baseline, "bootstrap_speedup_ci(baseline)")
+    cand = _as_samples(candidate, "bootstrap_speedup_ci(candidate)")
+    if np.any(cand <= 0) or np.any(base <= 0):
+        raise InvalidParameterError(
+            "bootstrap_speedup_ci needs strictly positive timings"
+        )
+    _check_confidence(confidence)
+    rng = np.random.default_rng(seed)
+    ratios = _bootstrap_medians(base, n_boot, rng) / _bootstrap_medians(
+        cand, n_boot, rng
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(ratios, alpha)),
+        float(np.quantile(ratios, 1.0 - alpha)),
+    )
+
+
+def intervals_overlap(
+    a: tuple[float, float], b: tuple[float, float]
+) -> bool:
+    """Whether two confidence intervals share any point.
+
+    Overlapping intervals mean the measurements are statistically
+    indistinguishable at the chosen confidence — the harness only
+    claims a regression or a win when this is ``False``.
+    """
+    (a_lo, a_hi), (b_lo, b_hi) = a, b
+    if a_lo > a_hi or b_lo > b_hi:
+        raise InvalidParameterError(
+            f"malformed interval(s): {a!r}, {b!r} (lo must be <= hi)"
+        )
+    return a_lo <= b_hi and b_lo <= a_hi

@@ -1,0 +1,299 @@
+"""The shared benchmark workload suites (full and ``--quick`` sizes).
+
+One definition of *what* each benchmark measures, used by three
+consumers: the ``benchmarks/bench_*.py`` scripts (tier-2, with their
+equivalence assertions), the ``repro bench`` CLI, and the CI bench
+smoke job.  A :class:`Workload` is a named zero-argument callable; a
+*suite* is a tuple of workloads where candidate workloads name the
+baseline workload their speedup is measured against (in-run, on the
+same machine — which is what makes the speedup columns of a committed
+``BENCH_*.json`` comparable across machines).
+
+Four suites mirror the legacy bench scripts:
+
+``schedule_grid``
+    The per-scenario ``schedule`` loop vs the batched
+    ``schedule-grid`` pass vs the ``schedule-grid-jit`` tier, on a
+    pure general-schedule exponential grid (the jit kernel's hot
+    case).
+``error_models``
+    The same comparison on a mixed renewal-model grid (Weibull/Gamma
+    rows exercise the primitive-table reuse, not the jit kernel).
+``experiment_plan``
+    Per-point ``Scenario.solve`` loop vs one batched
+    :class:`~repro.api.experiment.Experiment` plan over a frontier
+    grid.
+``study_batch``
+    The scalar ``firstorder`` backend vs the vectorised ``grid``
+    backend over a catalog x rho study.
+
+Quick sizes are chosen so the whole quick run (warmup + 3 reps x all
+suites) stays in CI-smoke territory while still exercising every code
+path being compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.scenario import Scenario
+    from ..api.study import Study
+
+__all__ = [
+    "Workload",
+    "build_suite",
+    "suite_names",
+    "schedule_grid_scenarios",
+    "error_model_scenarios",
+    "experiment_plan_scenarios",
+    "study_batch_study",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named, timeable unit of work.
+
+    ``fn`` is called once per warmup/repetition and may return a
+    mapping of auxiliary metrics (scenario counts, equivalence
+    residuals) merged into the report.  ``baseline`` names the
+    workload of the same suite this one's speedup is measured against;
+    ``None`` marks a baseline (or stand-alone) workload.
+    """
+
+    name: str
+    fn: Callable[[], Mapping[str, float] | None]
+    baseline: str | None = None
+
+
+# ----------------------------------------------------------------------
+# Grid definitions (the bench scripts' constants, sizeable via quick)
+# ----------------------------------------------------------------------
+
+_CONFIG = "hera-xscale"
+
+_SG_SCHEDULES = (
+    "esc:0.4,0.6,0.8",
+    "esc:0.6,0.4,0.8@1",
+    "esc:0.4,0.8,0.6,1",
+    "geom:0.4,1.5,1",
+    "geom:0.45,1.4,0.9",
+    "geom:0.4,1.8,1.2",
+    "geom:0.5,1.3,1",
+    "geom:0.8,0.5,1,0.2",
+    "geom:1,0.6,1.2,0.3",
+    "geom:0.6,1.6,1",
+)
+
+_EM_MODELS = (
+    "exp:rate=3.38e-06",
+    "exp:rate=3.38e-06,failstop=0.5",
+    "weibull:shape=0.7,mtbf=3e5",
+    "weibull:shape=0.7,mtbf=3e5,failstop=0.2",
+    "weibull:shape=1.5,mtbf=1e5",
+    "gamma:shape=2,mtbf=3e5",
+    "gamma:shape=0.5,mtbf=3e5,failstop=0.5",
+    "gamma:shape=3,mtbf=2e5",
+)
+_EM_SCHEDULES = (
+    "esc:0.4,0.6,0.8",
+    "geom:0.4,1.5,1",
+    "geom:0.8,0.5,1,0.2",
+    "esc:0.6,0.4,0.8@1",
+    "geom:0.45,1.4,0.9",
+)
+
+_EP_SCHEDULE = "geom:0.4,1.5,1"
+_EP_ERRORS = "weibull:shape=0.7,mtbf=3e5"
+
+
+def schedule_grid_scenarios(*, quick: bool = False) -> "list[Scenario]":
+    """The ``schedule_grid`` grid: general schedules x rhos x rates.
+
+    Full size is the legacy bench's 1000 scenarios (10 x 10 x 10);
+    quick is 2 x 3 x 2 = 12.
+    """
+    from ..api.scenario import Scenario
+
+    schedules = _SG_SCHEDULES[:2] if quick else _SG_SCHEDULES
+    rhos = np.linspace(2.8, 5.5, 3 if quick else 10)
+    rates = np.logspace(-6, -4, 2 if quick else 10)
+    return [
+        Scenario(
+            config=_CONFIG,
+            rho=float(rho),
+            error_rate=float(rate),
+            schedule=sched,
+        )
+        for sched in schedules
+        for rho in rhos
+        for rate in rates
+    ]
+
+
+def error_model_scenarios(*, quick: bool = False) -> "list[Scenario]":
+    """The ``error_models`` grid: renewal models x schedules x rhos.
+
+    Full size is the legacy bench's 400 scenarios (8 x 5 x 10); quick
+    is 3 x 2 x 3 = 18.
+    """
+    from ..api.scenario import Scenario
+
+    models = _EM_MODELS[2:5] if quick else _EM_MODELS
+    schedules = _EM_SCHEDULES[:2] if quick else _EM_SCHEDULES
+    rhos = np.linspace(2.8, 5.0, 3 if quick else 10)
+    return [
+        Scenario(config=_CONFIG, rho=float(rho), errors=model, schedule=sched)
+        for model in models
+        for sched in schedules
+        for rho in rhos
+    ]
+
+
+def experiment_plan_scenarios(*, quick: bool = False) -> "list[Scenario]":
+    """The ``experiment_plan`` frontier grid (96 bounds; quick: 6)."""
+    from ..api.scenario import Scenario
+
+    rhos = np.linspace(2.76, 4.0, 6 if quick else 96)
+    return [
+        Scenario(
+            config=_CONFIG, rho=float(rho), schedule=_EP_SCHEDULE, errors=_EP_ERRORS
+        )
+        for rho in rhos
+    ]
+
+
+def study_batch_study(*, quick: bool = False) -> "Study":
+    """The ``study_batch`` study: catalog x rho grid (184; quick: 10)."""
+    from ..api.study import Study
+    from ..platforms.catalog import configuration_names
+
+    configs = configuration_names()[:2] if quick else configuration_names()
+    rhos = tuple(float(r) for r in np.linspace(1.3, 3.5, 5 if quick else 23))
+    return Study.from_grid(configs=configs, rhos=rhos)
+
+
+# ----------------------------------------------------------------------
+# Suites
+# ----------------------------------------------------------------------
+
+
+def _solve_with(backend_name: str, scenarios: "Sequence[Scenario]") -> dict[str, float]:
+    from ..api.backends import get_backend
+
+    get_backend(backend_name).solve_batch(list(scenarios))
+    return {"scenarios": float(len(scenarios))}
+
+
+def _schedule_grid_suite(quick: bool) -> tuple[Workload, ...]:
+    scenarios = schedule_grid_scenarios(quick=quick)
+    return (
+        Workload("scalar_loop", lambda: _solve_with("schedule", scenarios)),
+        Workload(
+            "schedule_grid",
+            lambda: _solve_with("schedule-grid", scenarios),
+            baseline="scalar_loop",
+        ),
+        Workload(
+            "schedule_grid_jit",
+            lambda: _solve_with("schedule-grid-jit", scenarios),
+            baseline="scalar_loop",
+        ),
+    )
+
+
+def _error_models_suite(quick: bool) -> tuple[Workload, ...]:
+    scenarios = error_model_scenarios(quick=quick)
+    return (
+        Workload("scalar_loop", lambda: _solve_with("schedule", scenarios)),
+        Workload(
+            "schedule_grid",
+            lambda: _solve_with("schedule-grid", scenarios),
+            baseline="scalar_loop",
+        ),
+        Workload(
+            "schedule_grid_jit",
+            lambda: _solve_with("schedule-grid-jit", scenarios),
+            baseline="scalar_loop",
+        ),
+    )
+
+
+def _experiment_plan_suite(quick: bool) -> tuple[Workload, ...]:
+    scenarios = experiment_plan_scenarios(quick=quick)
+
+    def per_point() -> dict[str, float]:
+        from ..exceptions import InfeasibleBoundError
+
+        solved = 0
+        for sc in scenarios:
+            try:
+                sc.solve(cache=False)
+                solved += 1
+            except InfeasibleBoundError:
+                # Infeasible head points mirror frontier skips.
+                pass
+        return {"scenarios": float(len(scenarios)), "feasible": float(solved)}
+
+    def batched() -> dict[str, float]:
+        from ..api.experiment import Experiment
+
+        Experiment.from_scenarios(scenarios, name="bench-frontier").solve(
+            cache=False
+        )
+        return {"scenarios": float(len(scenarios))}
+
+    return (
+        Workload("per_point_loop", per_point),
+        Workload("batched_plan", batched, baseline="per_point_loop"),
+    )
+
+
+def _study_batch_suite(quick: bool) -> tuple[Workload, ...]:
+    study = study_batch_study(quick=quick)
+
+    def loop() -> dict[str, float]:
+        study.solve(backend="firstorder", cache=False)
+        return {"scenarios": float(len(study))}
+
+    def grid() -> dict[str, float]:
+        study.solve(backend="grid", cache=False)
+        return {"scenarios": float(len(study))}
+
+    return (
+        Workload("firstorder_loop", loop),
+        Workload("grid_backend", grid, baseline="firstorder_loop"),
+    )
+
+
+_SUITES: dict[str, Callable[[bool], tuple[Workload, ...]]] = {
+    "schedule_grid": _schedule_grid_suite,
+    "error_models": _error_models_suite,
+    "experiment_plan": _experiment_plan_suite,
+    "study_batch": _study_batch_suite,
+}
+
+
+def suite_names() -> tuple[str, ...]:
+    """The registered suite names, definition order."""
+    return tuple(_SUITES)
+
+
+def build_suite(name: str, *, quick: bool = False) -> tuple[Workload, ...]:
+    """Materialise one suite's workloads (grids built eagerly, so the
+    timed calls measure solving only)."""
+    try:
+        factory = _SUITES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown bench suite {name!r}; available: "
+            f"{', '.join(suite_names())}"
+        ) from None
+    return factory(quick)

@@ -8,8 +8,11 @@ expectation evaluator for arbitrary schedules
 (:mod:`repro.schedules.evaluator`), a numeric constrained solver
 (:mod:`repro.schedules.solver`), and a vectorised batch kernel that
 evaluates/solves whole schedule grids in broadcast NumPy ops
-(:mod:`repro.schedules.vectorized`).  The ``schedule`` and
-``schedule-grid`` backends of :mod:`repro.api` plug all of this into
+(:mod:`repro.schedules.vectorized`), plus an optional native-speed
+tier (:mod:`repro.schedules.jit`) that jit-compiles the hot kernel
+when numba is installed and falls back byte-identically when it is
+not.  The ``schedule``, ``schedule-grid`` and ``schedule-grid-jit``
+backends of :mod:`repro.api` plug all of this into
 ``Scenario(schedule=...)`` and ``Study`` batches.
 """
 
@@ -33,6 +36,7 @@ from .evaluator import (
     expected_time_schedule,
     time_overhead_schedule,
 )
+from .jit import JitScheduleGrid, jit_available
 from .solver import ScheduleSolution, schedule_min_bound, solve_schedule
 from .vectorized import (
     ScheduleGrid,
@@ -67,4 +71,6 @@ __all__ = [
     "evaluate_schedule_batch",
     "solve_schedule_batch",
     "solve_schedule_grid",
+    "JitScheduleGrid",
+    "jit_available",
 ]

@@ -1,0 +1,318 @@
+"""Native-speed schedule kernels: numba-jitted, NumPy-identical fallback.
+
+The ``schedule-grid`` tier (:mod:`repro.schedules.vectorized`) already
+evaluates whole ``(configuration, schedule, error-model)`` grids in
+broadcast NumPy passes.  This module pushes the hot inner kernel — the
+per-attempt primitive accumulation plus the closed-form geometric tail
+— past NumPy:
+
+* when **numba** is importable (``pip install repro[jit]``), the
+  exponential-row evaluation compiles to a fused native loop nest: one
+  pass over the ``(point, work)`` grid with no intermediate
+  temporaries, parallelised over grid rows.  The kernel replays the
+  exact expression sequence of
+  :meth:`~repro.schedules.vectorized.ScheduleGrid.evaluate` (same
+  ``expm1`` forms, same series/direct exposure split at ``x < 1e-8``),
+  so its results agree with the NumPy tier to the last few ulps — the
+  equivalence tests pin ``<= 1e-12`` relative on the energy objective;
+
+* when numba is **absent** (or disabled via the
+  ``REPRO_DISABLE_NUMBA`` environment variable, or the first compile
+  fails), :class:`JitScheduleGrid` falls back to the inherited NumPy
+  path and is **byte-identical** to :class:`ScheduleGrid` — the
+  fallback *is* the inherited code, so nothing can drift;
+
+* independent of numba, :class:`JitScheduleGrid` adds per-error-model
+  **primitive-table reuse**: on shared-work-axis passes (the solver's
+  coarse scan — the dominant broadcast evaluation), renewal-model rows
+  sharing ``(model, verification time, speed)`` evaluate their renewal
+  CDF primitives once and gather the row across the whole group,
+  instead of recomputing identical tables row by row.  The reuse is a
+  pure gather of elementwise results, so it too is byte-identical to
+  the row-by-row evaluation.
+
+The ``schedule-grid-jit`` backend of :mod:`repro.api.backends` stacks
+batches into :class:`JitScheduleGrid` instead of
+:class:`ScheduleGrid`; everything else (the lockstep constrained
+solver, the backend batch-splitting rules) is shared with the NumPy
+tier.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..quantities import FloatArray, ScalarOrArray
+from .evaluator import ScheduleExpectation
+from .vectorized import ScheduleGrid, _capped_exposure_cols
+
+__all__ = [
+    "JitScheduleGrid",
+    "jit_available",
+    "NUMBA_DISABLE_ENV",
+]
+
+#: Setting this environment variable (to any non-empty value) makes the
+#: jit tier behave as if numba were not installed — the import-guard
+#: switch the fallback tests flip.
+NUMBA_DISABLE_ENV = "REPRO_DISABLE_NUMBA"
+
+
+def _load_numba() -> Any:
+    """The ``numba`` module, or ``None`` when unavailable/disabled.
+
+    numba is an *optional* accelerator dependency: this import guard is
+    the single switch between the native tier and the byte-identical
+    NumPy fallback, so simulating its absence (tests, the CI fallback
+    job) only needs :data:`NUMBA_DISABLE_ENV`.
+    """
+    if os.environ.get(NUMBA_DISABLE_ENV):
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+_nb = _load_numba()
+
+#: The compiled exponential-row kernel (``None`` without numba).  Typed
+#: loosely: numba dispatchers are opaque callables.
+_EXP_KERNEL: Callable[..., tuple[FloatArray, FloatArray, FloatArray]] | None = None
+
+#: Set after a failed compile/first call so a broken numba install
+#: degrades to the NumPy tier once, instead of raising per evaluation.
+_KERNEL_BROKEN = False
+
+
+if _nb is not None:  # pragma: no cover - exercised only with numba installed
+
+    @_nb.njit(cache=True, parallel=True, fastmath=False)
+    def _exp_kernel_impl(
+        head: np.ndarray,
+        head_len: np.ndarray,
+        tail: np.ndarray,
+        lam_f: np.ndarray,
+        lam_s: np.ndarray,
+        C: np.ndarray,
+        V: np.ndarray,
+        R: np.ndarray,
+        kappa: np.ndarray,
+        idle: np.ndarray,
+        p_io: np.ndarray,
+        w: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused attempt-series evaluation of exponential grid rows.
+
+        Replays :meth:`ScheduleGrid.evaluate` element by element: the
+        per-attempt head accumulation (masked by ``head_len``), then
+        the closed-form geometric tail.  ``w`` has shape ``(1, m)``
+        (shared work axis) or ``(n, m)``; outputs are ``(n, m)``.
+        ``fastmath`` stays off — the ``<= 1e-12`` equivalence pin
+        against the NumPy tier needs IEEE-faithful expressions.
+        """
+        n = tail.shape[0]
+        m = w.shape[1]
+        shared = w.shape[0] == 1
+        t = np.empty((n, m))
+        e = np.empty((n, m))
+        att = np.empty((n, m))
+        for i in _nb.prange(n):
+            lf = lam_f[i, 0]
+            ls = lam_s[i, 0]
+            Ci = C[i, 0]
+            Vi = V[i, 0]
+            Ri = R[i, 0]
+            ki = kappa[i, 0]
+            ii = idle[i, 0]
+            pi = p_io[i, 0]
+            H = int(head_len[i, 0])
+            for j in range(m):
+                wj = w[0, j] if shared else w[i, j]
+                t_acc = Ci
+                e_acc = Ci * pi
+                attempts = 0.0
+                reach = 1.0
+                for k in range(H):
+                    s = head[i, k]
+                    tau = (wj + Vi) / s
+                    omega = wj / s
+                    p = -np.expm1(-(lf * tau + ls * omega))
+                    x = lf * tau
+                    if x < 1e-8:
+                        mexp = tau * (1.0 - x / 2.0 + x * x / 6.0)
+                    else:
+                        mexp = -np.expm1(-x) / lf
+                    t_acc = t_acc + reach * (mexp + p * Ri)
+                    e_acc = e_acc + reach * (mexp * (ki * s**3 + ii) + p * Ri * pi)
+                    attempts = attempts + reach
+                    reach = reach * p
+                s = tail[i, 0]
+                tau = (wj + Vi) / s
+                omega = wj / s
+                p_t = -np.expm1(-(lf * tau + ls * omega))
+                x = lf * tau
+                if x < 1e-8:
+                    m_t = tau * (1.0 - x / 2.0 + x * x / 6.0)
+                else:
+                    m_t = -np.expm1(-x) / lf
+                inv_gap = 1.0 / (1.0 - p_t) if p_t < 1.0 else np.inf
+                geom = reach * inv_gap
+                t[i, j] = t_acc + geom * (m_t + p_t * Ri)
+                e[i, j] = e_acc + geom * (m_t * (ki * s**3 + ii) + p_t * Ri * pi)
+                att[i, j] = attempts + geom
+        return t, e, att
+
+    _EXP_KERNEL = _exp_kernel_impl
+
+
+def jit_available() -> bool:
+    """True when the numba tier is importable, enabled, and healthy.
+
+    ``False`` means :class:`JitScheduleGrid` runs the byte-identical
+    NumPy fallback — the import guard (numba missing), the
+    :data:`NUMBA_DISABLE_ENV` switch, and a failed kernel compile all
+    land here.
+    """
+    return _EXP_KERNEL is not None and not _KERNEL_BROKEN
+
+
+@dataclass(frozen=True)
+class JitScheduleGrid(ScheduleGrid):
+    """A :class:`ScheduleGrid` with the native-speed evaluation tier.
+
+    Construction (:meth:`~ScheduleGrid.from_points`), the lockstep
+    constrained solver and every shape/broadcast rule are inherited
+    unchanged; only the evaluation hot path differs:
+
+    * pure-exponential, untruncated evaluations run through the
+      compiled kernel when :func:`jit_available` (``<= 1e-12``
+      relative vs the NumPy tier, pinned by the equivalence tests);
+    * everything else — renewal-model rows, truncated series, and any
+      grid when numba is absent — takes the inherited NumPy path
+      **byte for byte**, with one addition: renewal-model rows reuse
+      per-``(model, V, speed)`` primitive tables across rows on
+      shared-work-axis passes (a pure gather, still byte-identical).
+    """
+
+    # ------------------------------------------------------------------
+    def _primitives(
+        self, w: FloatArray, s: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Per-attempt primitives with per-model table reuse.
+
+        On shared-work-axis passes (``w`` is one row broadcast against
+        every grid row — the solver's coarse scan), rows of one model
+        group that share ``(verification time, speed)`` see exactly
+        the same ``(tau, omega)`` row, so their renewal primitives are
+        computed once and gathered to every duplicate row.  Per-row
+        passes (the lockstep probes) fall through to the inherited
+        per-group evaluation.
+        """
+        if not self._model_groups or w.ndim != 2 or w.shape[0] != 1:
+            return super()._primitives(w, s)
+
+        # Exponential pass over every row — same expressions as the
+        # base class, so exponential rows stay bit-for-bit identical.
+        tau = (w + self.V) / s
+        omega = w / s
+        p = -np.expm1(-(self.lam_f * tau + self.lam_s * omega))
+        m = _capped_exposure_cols(self.lam_f, tau)
+        tau_b = np.broadcast_to(tau, p.shape)
+        omega_b = np.broadcast_to(omega, p.shape)
+        for model, idx in self._model_groups:
+            # Table key: rows with equal (V, s) scalars share one
+            # primitive row.  Exact float keys — no tolerance grouping,
+            # so reuse can never change a row's value.
+            tables: dict[tuple[float, float], tuple[FloatArray, FloatArray]] = {}
+            for i in idx:
+                key = (float(self.V[i, 0]), float(s[i, 0]))
+                hit = tables.get(key)
+                if hit is None:
+                    hit = model.per_window_primitives(
+                        tau_b[i : i + 1], omega_b[i : i + 1]
+                    )
+                    tables[key] = hit
+                p[i] = hit[0][0]
+                m[i] = hit[1][0]
+        return p, m
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        work: ScalarOrArray,
+        *,
+        components: tuple[str, ...] = ("time", "energy"),
+        max_attempts: int | None = None,
+    ) -> ScheduleExpectation:
+        """Batched evaluation through the native kernel when possible.
+
+        The kernel covers the hot case — every row exponential, no
+        truncation, 2-D (or scalar/1-D) work; anything else defers to
+        the inherited NumPy tier (which is what the kernel is pinned
+        against).
+        """
+        global _KERNEL_BROKEN
+        if (
+            _EXP_KERNEL is None
+            or _KERNEL_BROKEN
+            or self._model_groups
+            or max_attempts is not None
+        ):
+            return super().evaluate(
+                work, components=components, max_attempts=max_attempts
+            )
+
+        w = np.asarray(work, dtype=np.float64)
+        if np.any(w <= 0):
+            raise InvalidParameterError("work must be > 0")
+        squeeze = w.ndim == 0
+        if w.ndim < 2:
+            w = np.atleast_2d(w)
+        if w.ndim != 2 or w.shape[0] not in (1, self.n):
+            return super().evaluate(work, components=components)
+        want_time = "time" in components
+        want_energy = "energy" in components
+        try:
+            t, e, att = _EXP_KERNEL(
+                np.ascontiguousarray(self.head),
+                self.head_len,
+                self.tail,
+                self.lam_f,
+                self.lam_s,
+                self.C,
+                self.V,
+                self.R,
+                self.kappa,
+                self.idle,
+                self.p_io,
+                np.ascontiguousarray(w),
+            )
+        except Exception:  # numba raises its own hierarchy on compile/launch
+            # A broken numba install (unsupported Python, missing
+            # llvmlite, ...) must degrade, not crash: disable the
+            # kernel for the process and replay through NumPy.
+            _KERNEL_BROKEN = True
+            return super().evaluate(
+                work, components=components, max_attempts=max_attempts
+            )
+
+        def out(a: FloatArray | None) -> FloatArray | None:
+            return None if a is None else (a[:, 0] if squeeze else a)
+
+        shape = t.shape
+        return ScheduleExpectation(
+            time=out(t) if want_time else None,
+            energy=out(e) if want_energy else None,
+            attempts=out(att),
+            truncated=False,
+            tail_bound_time=out(np.zeros(shape)) if want_time else None,
+            tail_bound_energy=out(np.zeros(shape)) if want_energy else None,
+        )

@@ -1,0 +1,118 @@
+"""The shared-memory scenario pack behind ``processes=`` execution.
+
+Pins the three contracts of :mod:`repro.api.shm`:
+
+* **round-trip** — packing scenarios into the columnar block and
+  rebuilding them in-process yields *equal* scenarios (same dataclass
+  equality, same solve-cache keys), across every optional field
+  combination;
+* **process equality** — ``ExecutionPlan.execute(processes=2)``
+  through the pack returns exactly what the sequential path and the
+  legacy pickled path (``REPRO_DISABLE_SHM``) return;
+* **fallback** — with the env switch set (or nothing to pack),
+  :meth:`ScenarioPack.create` declines and the executor silently uses
+  the pickled handoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.experiment import Experiment
+from repro.api.scenario import Scenario
+from repro.api.shm import SHM_DISABLE_ENV, ScenarioPack, solve_pack_shard, unpack_scenarios
+
+
+def _diverse_scenarios() -> list[Scenario]:
+    return [
+        Scenario(config="hera-xscale", rho=3.0),
+        Scenario(config="hera-xscale", rho=3.2, error_rate=1e-5,
+                 schedule="esc:0.4,0.6,0.8", label="esc row"),
+        Scenario(config="atlas-crusoe", rho=2.8, mode="combined",
+                 failstop_fraction=0.4),
+        Scenario(config="hera-xscale", rho=3.1,
+                 errors="weibull:shape=0.7,mtbf=3e5",
+                 schedule="geom:0.4,1.5,1"),
+        Scenario(config="coastal-xscale", rho=3.4, mode="failstop",
+                 backend="schedule"),
+        Scenario(config="hera-xscale", rho=3.0, speeds=(0.4, 0.6, 0.8, 1.0),
+                 sigma2_choices=(0.6, 0.8)),
+    ]
+
+
+def test_pack_round_trip_equality() -> None:
+    scenarios = _diverse_scenarios()
+    pack = ScenarioPack.create(scenarios)
+    assert pack is not None
+    try:
+        name, layout, indices = pack.task(range(len(scenarios)))
+        rebuilt = unpack_scenarios(name, layout, indices)
+        assert rebuilt == scenarios
+        for orig, back in zip(scenarios, rebuilt):
+            assert back.cache_key() == orig.cache_key()
+    finally:
+        pack.dispose()
+
+
+def test_pack_partial_shard_indices() -> None:
+    scenarios = _diverse_scenarios()
+    pack = ScenarioPack.create(scenarios)
+    assert pack is not None
+    try:
+        name, layout, _ = pack.task([])
+        assert unpack_scenarios(name, layout, [4, 1]) == [
+            scenarios[4], scenarios[1]
+        ]
+    finally:
+        pack.dispose()
+
+
+def test_solve_pack_shard_matches_direct_solve() -> None:
+    scenarios = [
+        Scenario(config="hera-xscale", rho=r, error_rate=1e-5,
+                 schedule="esc:0.4,0.6,0.8")
+        for r in (3.0, 3.3)
+    ]
+    pack = ScenarioPack.create(scenarios)
+    assert pack is not None
+    try:
+        name, layout, indices = pack.task([0, 1])
+        shard = solve_pack_shard(name, layout, indices, "schedule-grid")
+    finally:
+        pack.dispose()
+    from repro.api.backends import get_backend
+
+    direct = get_backend("schedule-grid").solve_batch(scenarios)
+    for s, d in zip(shard, direct):
+        assert s.feasible == d.feasible
+        if d.feasible:
+            assert s.best.energy_overhead == d.best.energy_overhead
+
+
+def test_create_declines_when_disabled(monkeypatch) -> None:
+    monkeypatch.setenv(SHM_DISABLE_ENV, "1")
+    assert ScenarioPack.create(_diverse_scenarios()) is None
+
+
+def test_create_declines_on_empty() -> None:
+    assert ScenarioPack.create([]) is None
+
+
+@pytest.mark.parametrize("disable_shm", [False, True])
+def test_processes_two_matches_sequential(monkeypatch, disable_shm) -> None:
+    """processes=2 (shm pack and pickled fallback) == sequential."""
+    if disable_shm:
+        monkeypatch.setenv(SHM_DISABLE_ENV, "1")
+    scenarios = [
+        Scenario(config=cfg, rho=r)
+        for cfg in ("hera-xscale", "atlas-crusoe")
+        for r in (2.9, 3.1, 3.3)
+    ]
+    exp = Experiment.from_scenarios(scenarios, name="shm-test")
+    sequential = exp.solve(cache=False)
+    parallel = exp.solve(cache=False, processes=2)
+    for s, p in zip(sequential, parallel):
+        assert p.feasible == s.feasible
+        assert p.scenario == s.scenario
+        if s.feasible:
+            assert p.best == s.best

@@ -187,16 +187,18 @@ class TestVersionFlag:
 
 
 class TestBackendsListing:
-    def test_batched_column_exposed(self, capsys):
+    def test_batched_and_jit_columns_exposed(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
         header = out.splitlines()[0]
-        for column in ("backend", "modes", "schedules", "errors", "batched"):
+        for column in ("backend", "modes", "schedules", "errors", "batched", "jit"):
             assert column in header
-        rows = {line.split()[0]: line for line in out.splitlines()[1:7]}
-        assert rows["grid"].rstrip().endswith("yes")
-        assert rows["schedule-grid"].rstrip().endswith("yes")
-        assert rows["firstorder"].rstrip().endswith("no")
+        rows = {line.split()[0]: line for line in out.splitlines()[1:8]}
+        # Last two cells per row: (batched, jit).
+        assert rows["grid"].split()[-2:] == ["yes", "no"]
+        assert rows["schedule-grid"].split()[-2:] == ["yes", "no"]
+        assert rows["schedule-grid-jit"].split()[-2:] == ["yes", "yes"]
+        assert rows["firstorder"].split()[-2:] == ["no", "no"]
 
 
 class TestFrontierCommand:

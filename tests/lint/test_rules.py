@@ -192,6 +192,46 @@ _BACKEND_MISSING_NAME = """
             return solve(scenario)
 """
 
+_BACKEND_INDIRECT_SUBCLASS_OK = """
+    class JitTierBackend(ScheduleGridBackend):
+        name = "mine-jit"
+        modes = ("silent",)
+        uses_jit = True
+
+        def _build_grid(self, points):
+            return JitScheduleGrid.from_points(points)
+"""
+
+_BACKEND_INDIRECT_ASSIGNS_BATCHED = """
+    class JitTierBackend(ScheduleGridBackend):
+        name = "mine-jit"
+        modes = ("silent",)
+        batched = True
+
+        def _solve(self, scenario):
+            return solve(scenario)
+"""
+
+_BACKEND_JIT_FLAG_WITHOUT_ENGINE = """
+    class JitTierBackend(ScheduleGridBackend):
+        name = "mine-jit"
+        modes = ("silent",)
+        uses_jit = True
+
+        def _build_grid(self, points):
+            return ScheduleGrid.from_points(points)
+"""
+
+_BACKEND_JIT_FLAG_NON_LITERAL = """
+    class JitTierBackend(ScheduleGridBackend):
+        name = "mine-jit"
+        modes = ("silent",)
+        uses_jit = compute_flag()
+
+        def _build_grid(self, points):
+            return JitScheduleGrid.from_points(points)
+"""
+
 
 class TestBackendCapabilities:
     def test_conforming_backend_clean(self):
@@ -216,6 +256,24 @@ class TestBackendCapabilities:
         diags = run(_BACKEND_MISSING_NAME, select="RPR003")
         assert codes_of(diags) == ["RPR003"]
         assert "`name`" in diags[0].message
+
+    def test_indirect_backend_subclass_clean(self):
+        assert run(_BACKEND_INDIRECT_SUBCLASS_OK, select="RPR003") == []
+
+    def test_indirect_backend_subclass_batched_flagged(self):
+        diags = run(_BACKEND_INDIRECT_ASSIGNS_BATCHED, select="RPR003")
+        assert codes_of(diags) == ["RPR003"]
+        assert "solve_batch" in diags[0].message
+
+    def test_uses_jit_without_engine_flagged(self):
+        diags = run(_BACKEND_JIT_FLAG_WITHOUT_ENGINE, select="RPR003")
+        assert codes_of(diags) == ["RPR003"]
+        assert "uses_jit" in diags[0].message
+
+    def test_uses_jit_non_literal_flagged(self):
+        diags = run(_BACKEND_JIT_FLAG_NON_LITERAL, select="RPR003")
+        assert codes_of(diags) == ["RPR003"]
+        assert "non-literal" in diags[0].message
 
 
 # ----------------------------------------------------------------------

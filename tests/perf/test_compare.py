@@ -1,0 +1,216 @@
+"""The CI-overlap comparison gate and the ``repro bench`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.perf import BenchReport, WorkloadStats, compare_reports
+from repro.perf.workloads import build_suite, suite_names
+
+
+def _stats(
+    name: str,
+    median: float,
+    *,
+    baseline: str | None = None,
+    speedup: float | None = None,
+    speedup_ci: tuple[float, float] | None = None,
+) -> WorkloadStats:
+    return WorkloadStats(
+        name=name,
+        times=(median, median, median),
+        median=median,
+        ci=(median * 0.95, median * 1.05),
+        baseline=baseline,
+        speedup=speedup,
+        speedup_ci=speedup_ci,
+    )
+
+
+def _report(*workloads: WorkloadStats, name: str = "suite") -> BenchReport:
+    return BenchReport(
+        name=name,
+        workloads=workloads,
+        repetitions=3,
+        warmup=1,
+        confidence=0.95,
+    )
+
+
+def test_compare_verdicts() -> None:
+    base = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+        _stats("same", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+        _stats("better", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+    )
+    cur = _report(
+        _stats("loop", 12.0),
+        # Disjoint CI below the baseline's: regression.
+        _stats("fast", 2.0, baseline="loop", speedup=5.0, speedup_ci=(4.0, 6.0)),
+        # Overlapping CI: indistinguishable even though the median moved.
+        _stats("same", 1.0, baseline="loop", speedup=10.5, speedup_ci=(9.5, 11.5)),
+        # Disjoint CI above: improvement.
+        _stats("better", 0.5, baseline="loop", speedup=20.0, speedup_ci=(18.0, 22.0)),
+    )
+    cmp_ = compare_reports(base, cur)
+    verdicts = {w.name: w.verdict for w in cmp_.workloads}
+    assert verdicts == {
+        "loop": "informational",
+        "fast": "regression",
+        "same": "indistinguishable",
+        "better": "improvement",
+    }
+    assert not cmp_.ok
+    assert [w.name for w in cmp_.regressions] == ["fast"]
+    assert [w.name for w in cmp_.improvements] == ["better"]
+    assert "regression" in cmp_.workloads[1].describe()
+
+
+def test_compare_skips_unshared_workloads() -> None:
+    base = _report(_stats("loop", 10.0))
+    cur = _report(
+        _stats("loop", 10.0),
+        _stats("new", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+    )
+    cmp_ = compare_reports(base, cur)
+    assert [w.name for w in cmp_.workloads] == ["loop"]
+    assert cmp_.ok
+
+
+def test_compare_rejects_suite_mismatch() -> None:
+    with pytest.raises(InvalidParameterError):
+        compare_reports(
+            _report(_stats("a", 1.0), name="x"),
+            _report(_stats("a", 1.0), name="y"),
+        )
+
+
+def test_suite_registry() -> None:
+    assert suite_names() == (
+        "schedule_grid", "error_models", "experiment_plan", "study_batch"
+    )
+    for name in suite_names():
+        suite = build_suite(name, quick=True)
+        names = [w.name for w in suite]
+        assert len(names) == len(set(names))
+        for wl in suite:
+            if wl.baseline is not None:
+                assert wl.baseline in names[: names.index(wl.name)], (
+                    "baselines must be measured before their candidates"
+                )
+    with pytest.raises(InvalidParameterError):
+        build_suite("nope")
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_cli_bench_list(capsys) -> None:
+    from repro.cli import main
+
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in suite_names():
+        assert name in out
+
+
+def test_cli_bench_run_and_gate(tmp_path, capsys) -> None:
+    from repro.cli import main
+
+    out_dir = tmp_path / "run1"
+    rc = main([
+        "bench", "run", "study_batch", "--quick",
+        "--reps", "2", "--warmup", "0", "--out", str(out_dir),
+    ])
+    assert rc == 0
+    report_path = out_dir / "BENCH_study_batch.json"
+    assert report_path.exists()
+    assert BenchReport.load(report_path).name == "study_batch"
+
+    # Second run gated against the first: same machine, same code — the
+    # CIs overlap, so the gate passes.
+    rc = main([
+        "bench", "run", "study_batch", "--quick",
+        "--reps", "2", "--warmup", "0",
+        "--out", str(tmp_path / "run2"), "--baseline-dir", str(out_dir),
+    ])
+    assert rc == 0
+    assert "no regression" not in capsys.readouterr().err
+
+
+def test_cli_bench_compare_exit_codes(tmp_path, capsys) -> None:
+    from repro.cli import main
+
+    base = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+    )
+    good = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 1.0, baseline="loop", speedup=10.5, speedup_ci=(9.5, 11.5)),
+    )
+    bad = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 3.0, baseline="loop", speedup=3.0, speedup_ci=(2.5, 3.5)),
+    )
+    base.write(tmp_path / "base")
+    good.write(tmp_path / "good")
+    bad.write(tmp_path / "bad")
+    b = str(tmp_path / "base" / "BENCH_suite.json")
+    assert main(["bench", "compare", b,
+                 str(tmp_path / "good" / "BENCH_suite.json")]) == 0
+    assert main(["bench", "compare", b,
+                 str(tmp_path / "bad" / "BENCH_suite.json")]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_directories(tmp_path, capsys) -> None:
+    from repro.cli import main
+
+    base = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 1.0, baseline="loop", speedup=10.0, speedup_ci=(9.0, 11.0)),
+    )
+    bad = _report(
+        _stats("loop", 10.0),
+        _stats("fast", 3.0, baseline="loop", speedup=3.0, speedup_ci=(2.5, 3.5)),
+    )
+    base.write(tmp_path / "base")
+    base.write(tmp_path / "same")
+    bad.write(tmp_path / "bad")
+    assert main(["bench", "compare", str(tmp_path / "base"),
+                 str(tmp_path / "same")]) == 0
+    assert main(["bench", "compare", str(tmp_path / "base"),
+                 str(tmp_path / "bad")]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # A directory without shared reports (or a file/dir mix) is a
+    # parameter error, not a traceback.
+    with pytest.raises(InvalidParameterError):
+        main(["bench", "compare", str(tmp_path / "base"), str(tmp_path)])
+    with pytest.raises(InvalidParameterError):
+        main(["bench", "compare", str(tmp_path / "base"),
+              str(tmp_path / "base" / "BENCH_suite.json")])
+
+
+def test_cli_bench_run_rejects_unknown_suite(tmp_path) -> None:
+    from repro.cli import main
+
+    with pytest.raises(InvalidParameterError):
+        main(["bench", "run", "nope", "--out", str(tmp_path)])
+
+
+def test_cli_backends_shows_jit_column(capsys) -> None:
+    from repro.cli import main
+
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    header = out.splitlines()[0]
+    assert "jit" in header
+    jit_line = next(
+        line for line in out.splitlines() if line.startswith("schedule-grid-jit")
+    )
+    assert jit_line.rstrip().endswith("yes")

@@ -1,0 +1,253 @@
+"""The ``schedule-grid-jit`` tier: equivalence, fallback, guard rails.
+
+Three contracts, mirroring the module docstring of
+:mod:`repro.schedules.jit`:
+
+* **equivalence** — whatever engine actually runs (numba kernel or
+  pure-NumPy fallback), :class:`JitScheduleGrid` agrees with the plain
+  :class:`ScheduleGrid` to <= 1e-12 relative on time and energy, across
+  hypothesis-generated schedules / bounds / error models;
+* **byte-identical fallback** — with numba absent (simulated through
+  the ``REPRO_DISABLE_NUMBA`` import guard), the tier *is* the base
+  grid: identical bits out, ``jit_available()`` False;
+* **guard rails** — a kernel that raises at call time latches
+  ``_KERNEL_BROKEN`` and silently degrades to the base implementation
+  for the rest of the process.
+
+Kernel-specific numerics (the real njit compilation) only run where
+numba is installed — the CI numba job; everywhere else those tests
+skip.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.schedules.jit as jit_mod
+from repro.api.backends import get_backend
+from repro.api.scenario import Scenario
+from repro.errors import parse_error_model
+from repro.platforms.catalog import get_configuration
+from repro.schedules import Escalating, Geometric, parse_schedule
+from repro.schedules.jit import NUMBA_DISABLE_ENV, JitScheduleGrid, jit_available
+from repro.schedules.vectorized import ScheduleGrid
+
+RTOL = 1e-12
+
+CFG = get_configuration("hera-xscale")
+
+
+def _grids(points) -> tuple[ScheduleGrid, JitScheduleGrid]:
+    return ScheduleGrid.from_points(points), JitScheduleGrid.from_points(points)
+
+
+def _assert_equivalent(base: ScheduleGrid, jit: JitScheduleGrid, work) -> None:
+    b = base.evaluate(work)
+    j = jit.evaluate(work)
+    np.testing.assert_allclose(j.time, b.time, rtol=RTOL)
+    np.testing.assert_allclose(j.energy, b.energy, rtol=RTOL)
+    np.testing.assert_allclose(j.attempts, b.attempts, rtol=RTOL)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: schedules and error models the grid accepts
+# ----------------------------------------------------------------------
+
+_speeds = st.floats(min_value=0.2, max_value=1.2, allow_nan=False)
+
+
+@st.composite
+def _schedules(draw):
+    if draw(st.booleans()):
+        head = tuple(draw(st.lists(_speeds, min_size=1, max_size=4)))
+        terminal = draw(st.one_of(st.none(), _speeds))
+        return Escalating(head, terminal=terminal)
+    sigma1 = draw(st.floats(min_value=0.3, max_value=0.9))
+    ratio = draw(st.floats(min_value=1.1, max_value=1.8))
+    return Geometric(sigma1, ratio, sigma_max=1.2)
+
+
+_models = st.sampled_from(
+    [
+        None,
+        "exp:rate=3e-6",
+        "exp:rate=1e-5,failstop=0.4",
+        "weibull:shape=0.7,mtbf=3e5",
+        "gamma:shape=2,mtbf=2e5",
+    ]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    schedule=_schedules(),
+    model=_models,
+    w=st.floats(min_value=1e2, max_value=1e5),
+)
+def test_jit_matches_base_across_strategies(schedule, model, w) -> None:
+    """Random (schedule, model, work): jit tier within 1e-12 of base."""
+    errors = None if model is None else parse_error_model(model)
+    base, jit = _grids([(CFG, schedule, errors)])
+    _assert_equivalent(base, jit, float(w))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    schedules=st.lists(_schedules(), min_size=2, max_size=5),
+    model=_models,
+)
+def test_jit_matches_base_on_stacked_grids(schedules, model) -> None:
+    """Multi-row grids with a shared work row (the solver's shape)."""
+    errors = None if model is None else parse_error_model(model)
+    points = [(CFG, s, errors) for s in schedules]
+    base, jit = _grids(points)
+    work = np.logspace(2.0, 4.5, 7).reshape(1, -1)
+    _assert_equivalent(base, jit, work)
+
+
+def test_jit_matches_base_per_row_work() -> None:
+    """(n, m) per-row work panels take the same path as shared rows."""
+    points = [
+        (CFG, Escalating((0.4, 0.6, 0.8)), None),
+        (CFG, Geometric(0.5, 1.4, sigma_max=1.0), None),
+    ]
+    base, jit = _grids(points)
+    work = np.array([[500.0, 2e3, 8e3], [700.0, 3e3, 9e3]])
+    _assert_equivalent(base, jit, work)
+
+
+def test_backend_results_identical_without_numba() -> None:
+    """schedule-grid-jit output == schedule-grid output, bit for bit,
+    when the kernel is unavailable (the byte-identical fallback pin)."""
+    if jit_available():  # pragma: no cover - numba environments
+        pytest.skip("numba active: fallback identity asserted via subprocess test")
+    scenarios = [
+        Scenario(config="hera-xscale", rho=3.2, error_rate=1e-5,
+                 schedule="esc:0.4,0.6,0.8"),
+        Scenario(config="hera-xscale", rho=2.9,
+                 errors="weibull:shape=0.7,mtbf=3e5",
+                 schedule="geom:0.4,1.5,1"),
+        Scenario(config="atlas-crusoe", rho=3.5, error_rate=3e-5,
+                 schedule="two:0.8,1.1"),
+    ]
+    grid = get_backend("schedule-grid").solve_batch(scenarios)
+    jit = get_backend("schedule-grid-jit").solve_batch(scenarios)
+    for g, j in zip(grid, jit):
+        assert j.feasible == g.feasible
+        if g.feasible:
+            assert j.best.energy_overhead == g.best.energy_overhead
+            assert j.best.time_overhead == g.best.time_overhead
+            assert j.best.work == g.best.work
+
+
+def test_import_guard_disables_kernel(monkeypatch) -> None:
+    """REPRO_DISABLE_NUMBA at import time forces the pure-NumPy tier."""
+    monkeypatch.setenv(NUMBA_DISABLE_ENV, "1")
+    try:
+        reloaded = importlib.reload(jit_mod)
+        assert reloaded._EXP_KERNEL is None
+        assert not reloaded.jit_available()
+        # The reloaded class still computes — through the base path.
+        base, jit = (
+            ScheduleGrid.from_points([(CFG, Escalating((0.4, 0.6, 0.8)), None)]),
+            reloaded.JitScheduleGrid.from_points(
+                [(CFG, Escalating((0.4, 0.6, 0.8)), None)]
+            ),
+        )
+        b = base.evaluate(2e3)
+        j = jit.evaluate(2e3)
+        assert float(j.time[0]) == float(b.time[0])
+        assert float(j.energy[0]) == float(b.energy[0])
+    finally:
+        monkeypatch.delenv(NUMBA_DISABLE_ENV)
+        importlib.reload(jit_mod)
+
+
+def test_disable_env_subprocess_byte_identity() -> None:
+    """Full-process check of the import guard: a child with
+    REPRO_DISABLE_NUMBA set reports the same bits as this process'
+    schedule-grid backend (meaningful with or without numba here)."""
+    code = (
+        "from repro.api.backends import get_backend\n"
+        "from repro.api.scenario import Scenario\n"
+        "from repro.schedules import jit_available\n"
+        "assert not jit_available()\n"
+        "sc = Scenario(config='hera-xscale', rho=3.1, error_rate=2e-5,\n"
+        "              schedule='geom:0.4,1.5,1')\n"
+        "r = get_backend('schedule-grid-jit').solve_batch([sc])[0]\n"
+        "print(repr(r.best.energy_overhead), repr(r.best.work))\n"
+    )
+    env = dict(os.environ, **{NUMBA_DISABLE_ENV: "1"})
+    env.setdefault("PYTHONPATH", "src")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, check=True,
+    ).stdout.split()
+    sc = Scenario(
+        config="hera-xscale", rho=3.1, error_rate=2e-5, schedule="geom:0.4,1.5,1"
+    )
+    ref = get_backend("schedule-grid").solve_batch([sc])[0]
+    assert out[0] == repr(ref.best.energy_overhead)
+    assert out[1] == repr(ref.best.work)
+
+
+def test_broken_kernel_latches_and_falls_back(monkeypatch) -> None:
+    """A kernel that explodes at call time must not poison results:
+    evaluate() returns the base answer and latches _KERNEL_BROKEN."""
+
+    def boom(*args: object) -> None:
+        raise RuntimeError("simulated kernel failure")
+
+    monkeypatch.setattr(jit_mod, "_EXP_KERNEL", boom)
+    monkeypatch.setattr(jit_mod, "_KERNEL_BROKEN", False)
+    points = [(CFG, Escalating((0.4, 0.6, 0.8)), None)]
+    base, jit = _grids(points)
+    b = base.evaluate(1.5e3)
+    j = jit.evaluate(1.5e3)
+    assert float(j.energy[0]) == float(b.energy[0])
+    assert jit_mod._KERNEL_BROKEN is True
+    # Latched: subsequent evaluates defer immediately (kernel not called).
+    j2 = jit.evaluate(2.5e3)
+    assert float(j2.energy[0]) == float(base.evaluate(2.5e3).energy[0])
+
+
+@pytest.mark.skipif(not jit_available(), reason="numba not installed")
+def test_numba_kernel_matches_numpy_exactly_enough() -> None:
+    """With numba active, the compiled kernel vs the NumPy evaluator:
+    <= 1e-12 relative on a mixed grid (the acceptance tolerance)."""
+    points = [
+        (CFG, Escalating((0.4, 0.6, 0.8)), None),
+        (CFG, Geometric(0.4, 1.5, sigma_max=1.0), parse_error_model("exp:rate=1e-5")),
+        (CFG, parse_schedule("geom:0.8,0.5,1,0.2"), None),
+    ]
+    base, jit = _grids(points)
+    work = np.logspace(2, 5, 50).reshape(1, -1)
+    _assert_equivalent(base, jit, work)
+
+
+@pytest.mark.skipif(not jit_available(), reason="numba not installed")
+def test_numba_solver_energy_within_tolerance() -> None:
+    """End-to-end constrained solve through the jit backend vs the
+    plain grid backend under numba: <= 1e-12 on the energy objective."""
+    scenarios = [
+        Scenario(config="hera-xscale", rho=r, error_rate=1e-5,
+                 schedule="esc:0.4,0.6,0.8")
+        for r in (2.9, 3.3, 4.0)
+    ]
+    grid = get_backend("schedule-grid").solve_batch(scenarios)
+    jit = get_backend("schedule-grid-jit").solve_batch(scenarios)
+    for g, j in zip(grid, jit):
+        assert j.feasible == g.feasible
+        if g.feasible:
+            rel = abs(j.best.energy_overhead - g.best.energy_overhead) / abs(
+                g.best.energy_overhead
+            )
+            assert rel <= RTOL
