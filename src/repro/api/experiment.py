@@ -43,12 +43,13 @@ from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import TYPE_CHECKING
 
-from ..exceptions import InfeasibleBoundError
+from ..exceptions import InfeasibleBoundError, WorkerCrashError
+from ..exec.base import Shard, ShardOutcome, Transport, resolve_transport
 from .backends import get_backend
 from .cache import DEFAULT_CACHE, SolveCache
 from .result import Result, ResultSet
 from .scenario import Scenario, _resolve_cache
-from .study import Study, _shard, _solve_shard
+from .study import Study, _shard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..errors.combined import CombinedErrors
@@ -229,6 +230,7 @@ class ExecutionPlan:
         processes: int | None = None,
         strict: bool = False,
         progress: Callable[[PlanProgress], None] | None = None,
+        transport: "Transport | str | None" = None,
     ) -> ResultSet:
         """Run the plan; returns results in *requested* scenario order.
 
@@ -236,12 +238,15 @@ class ExecutionPlan:
         ----------
         cache:
             As in :meth:`Scenario.solve`.  Each completed shard is
-            written to the cache immediately, so re-executing an
-            interrupted plan resumes from the completed shards instead
-            of starting over.
+            written to the cache **the moment it lands** — infeasible
+            outcomes included — so re-executing a plan interrupted by
+            ``KeyboardInterrupt``, a worker crash, or a poisoned shard
+            resumes from every completed shard instead of starting
+            over.
         processes:
-            When > 1, fan cache-miss shards out over that many worker
-            processes (batched backends are sharded into contiguous
+            When > 1 (and no explicit ``transport``), fan cache-miss
+            shards out over a per-call process pool of that many
+            workers (batched backends are sharded into contiguous
             sub-batches, per-scenario backends fan out point-wise —
             the same policy as :meth:`Study.solve`).
         strict:
@@ -250,14 +255,33 @@ class ExecutionPlan:
             result for it.
         progress:
             Optional callback receiving a :class:`PlanProgress` after
-            every completed shard.
+            every completed shard, in actual completion order.
+        transport:
+            Where the shards execute: a
+            :class:`~repro.exec.base.Transport` instance, ``"inline"``,
+            ``"pooled"``, ``"warm"`` (the process-wide
+            :func:`~repro.exec.warm.get_default_pool`), or ``None`` for
+            the historical ``processes=`` semantics.  See
+            docs/execution.md.
+
+        Raises
+        ------
+        WorkerCrashError
+            When shards were lost to crashed workers (beyond the warm
+            pool's retry bound).  Raised only after the harvest drained
+            and every completed shard was cached, so a re-execute
+            solves just the lost remainder.
         """
         cache_obj = _resolve_cache(cache, DEFAULT_CACHE)
         unique_results: list[Result | None] = [None] * len(self.unique)
+        # Resolving the transport is cheap (no worker spawns until
+        # prepare) and its parallelism sizes the sharding below.
+        tp = resolve_transport(transport, processes)
+        fan_out = tp.parallelism > 1
 
         # Cache replay per unique scenario (dedup means one lookup per
         # distinct solve, not one per requested scenario).
-        shards: list[tuple[str, list[int]]] = []
+        specs: list[tuple[str, list[int]]] = []
         for group in self.groups:
             misses: list[int] = []
             for u in group.indices:
@@ -279,72 +303,83 @@ class ExecutionPlan:
             if not misses:
                 continue
             if get_backend(group.backend).batched:
-                n_shards = processes if processes is not None and processes > 1 else 1
-                shards.extend(
-                    (group.backend, chunk) for chunk in _shard(misses, n_shards)
+                specs.extend(
+                    (group.backend, chunk)
+                    for chunk in _shard(misses, tp.parallelism if fan_out else 1)
                 )
-            elif processes is not None and processes > 1:
-                shards.extend((group.backend, [u]) for u in misses)
+            elif fan_out:
+                specs.extend((group.backend, [u]) for u in misses)
             else:
-                shards.append((group.backend, misses))
+                specs.append((group.backend, misses))
 
-        total_solved = sum(len(idxs) for _, idxs in shards)
+        shards = [
+            Shard(shard_id=pos, backend=bn, indices=tuple(idxs))
+            for pos, (bn, idxs) in enumerate(specs)
+        ]
+        total_solved = sum(len(s) for s in shards)
         done_scenarios = 0
+        done_shards = 0
 
-        def _complete(pos: int, bn: str, idxs: list[int], batch: list[Result]) -> None:
-            nonlocal done_scenarios
-            for u, res in zip(idxs, batch):
+        def _complete(outcome: ShardOutcome) -> None:
+            nonlocal done_scenarios, done_shards
+            assert outcome.results is not None
+            for u, res in zip(outcome.shard.indices, outcome.results):
                 unique_results[u] = res
-                # Cache per shard, not at the end: a killed run keeps
-                # its completed shards and resumes from them.
-                if cache_obj is not None and res.feasible:
+                # Cache per shard, not at the end — and infeasible
+                # results too: a killed run keeps its completed shards
+                # (including known-infeasible points) and resumes from
+                # them.
+                if cache_obj is not None:
                     cache_obj.put(self.unique[u], self.backend_names[u], res)
-            done_scenarios += len(idxs)
+            done_scenarios += len(outcome.shard)
+            done_shards += 1
             if progress is not None:
                 progress(
                     PlanProgress(
-                        done_shards=pos + 1,
+                        done_shards=done_shards,
                         total_shards=len(shards),
-                        backend=bn,
+                        backend=outcome.shard.backend,
                         solved_scenarios=done_scenarios,
                         total_scenarios=total_solved,
                     )
                 )
 
-        if processes is not None and processes > 1 and shards:
-            from concurrent.futures import ProcessPoolExecutor
-
-            from .shm import ScenarioPack, solve_pack_shard
-
-            # Zero-copy handoff: pack the unique scenarios once into
-            # shared memory so each task pickles only (block name,
-            # layout, row indices) instead of whole scenario lists.
-            # Falls back to the legacy pickled path when shared memory
-            # is unavailable (pack is None) — identical results.
-            pack = ScenarioPack.create(self.unique)
+        failures: list[ShardOutcome] = []
+        if shards:
+            tp.prepare(self.unique)
             try:
-                with ProcessPoolExecutor(max_workers=processes) as pool:
-                    if pack is not None:
-                        futures = [
-                            pool.submit(solve_pack_shard, *pack.task(idxs), bn)
-                            for bn, idxs in shards
-                        ]
+                for shard in shards:
+                    tp.submit_shard(shard)
+                # Harvest in completion order: every outcome is cached
+                # (and its progress tick emitted) the moment it lands,
+                # and a failed shard becomes an error *outcome* rather
+                # than an exception — one crashed worker or poisoned
+                # shard can no longer discard the others' finished
+                # work.
+                for outcome in tp.as_completed():
+                    if outcome.ok:
+                        _complete(outcome)
                     else:
-                        futures = [
-                            pool.submit(
-                                _solve_shard, [self.unique[u] for u in idxs], bn
-                            )
-                            for bn, idxs in shards
-                        ]
-                    for pos, ((bn, idxs), future) in enumerate(zip(shards, futures)):
-                        _complete(pos, bn, idxs, future.result())
+                        failures.append(outcome)
             finally:
-                if pack is not None:
-                    pack.dispose()
-        else:
-            for pos, (bn, idxs) in enumerate(shards):
-                batch = get_backend(bn).solve_batch([self.unique[u] for u in idxs])
-                _complete(pos, bn, idxs, batch)
+                tp.close()
+        if failures:
+            # Deterministic shard exceptions (a raising backend) would
+            # fail identically on retry — re-raise the first one
+            # as-is.  Pure worker crashes aggregate into a
+            # WorkerCrashError that tells the caller a re-execute
+            # resumes from the cached shards.
+            from concurrent.futures.process import BrokenProcessPool
+
+            for outcome in failures:
+                assert outcome.error is not None
+                if not isinstance(
+                    outcome.error, (WorkerCrashError, BrokenProcessPool)
+                ):
+                    raise outcome.error
+            raise WorkerCrashError(
+                len(failures), sum(len(oc.shard) for oc in failures)
+            )
 
         # Fan the unique solves back out to the requested scenarios.
         # Dedup replays keep the requesting scenario's own spelling
@@ -520,9 +555,14 @@ class Experiment:
         processes: int | None = None,
         strict: bool = False,
         progress: Callable[[PlanProgress], None] | None = None,
+        transport: "Transport | str | None" = None,
     ) -> ResultSet:
         """Compile and execute in one call; see
         :meth:`ExecutionPlan.execute` for the parameters."""
         return self.plan(backend).execute(
-            cache=cache, processes=processes, strict=strict, progress=progress
+            cache=cache,
+            processes=processes,
+            strict=strict,
+            progress=progress,
+            transport=transport,
         )

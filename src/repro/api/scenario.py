@@ -355,8 +355,10 @@ class Scenario:
         ------
         InfeasibleBoundError
             When no candidate satisfies ``rho`` (matching the legacy
-            ``solve_*`` contracts).  Infeasible outcomes are not
-            cached.
+            ``solve_*`` contracts).  Infeasible outcomes are cached
+            like feasible ones — a repeated solve of a known-infeasible
+            scenario replays the verdict (and re-raises) without
+            re-solving.
         UnknownBackendError, UnsupportedScenarioError
             On bad routing.
         """
@@ -381,10 +383,24 @@ class Scenario:
 
         solver = get_backend(name)
         t0 = time.perf_counter()
-        result = solver.solve(self)
+        try:
+            result = solver.solve(self)
+        except InfeasibleBoundError as exc:
+            # Infeasibility is a solve outcome, not a transient: cache
+            # the best-less verdict so a repeated or resumed run never
+            # re-solves a known-infeasible point, then keep the raising
+            # contract.
+            if cache_obj is not None:
+                wall = time.perf_counter() - t0
+                verdict = solver.infeasible_result(self, exc)
+                verdict = replace(
+                    verdict, provenance=replace(verdict.provenance, wall_time=wall)
+                )
+                cache_obj.put(self, name, verdict)
+            raise
         wall = time.perf_counter() - t0
         result = replace(result, provenance=replace(result.provenance, wall_time=wall))
-        if cache_obj is not None and result.feasible:
+        if cache_obj is not None:
             cache_obj.put(self, name, result)
         return result.require()
 

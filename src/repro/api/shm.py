@@ -181,11 +181,26 @@ class ScenarioPack:
             shm = shared_memory.SharedMemory(create=True, size=blob_off + len(blob))
         except (ImportError, OSError):  # pragma: no cover - platform-specific
             return None
-        buf = np.ndarray(floats.shape, dtype=np.float64, buffer=shm.buf)
-        buf[:] = floats
-        ibuf = np.ndarray(ints.shape, dtype=np.int64, buffer=shm.buf, offset=int_off)
-        ibuf[:] = ints
-        shm.buf[blob_off : blob_off + len(blob)] = blob
+        try:
+            _fill_block(shm, layout, floats, ints, blob)
+        except BaseException:
+            # The segment exists in /dev/shm the moment create=True
+            # succeeds: if filling it fails, it must be unlinked here
+            # or it leaks until reboot (nothing else knows its name).
+            try:
+                shm.close()
+            except BufferError:
+                # The in-flight traceback pins _fill_block's frame —
+                # and with it any numpy views over shm.buf — while
+                # this handler runs, so close() can refuse.  The
+                # mapping dies with the process; the unlink below is
+                # the actual leak fix.
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
         return cls(shm=shm, layout=layout)
 
     # ------------------------------------------------------------------
@@ -200,6 +215,29 @@ class ScenarioPack:
             self.shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+
+
+def _fill_block(
+    shm: "SharedMemory",
+    layout: PackLayout,
+    floats: np.ndarray,
+    ints: np.ndarray,
+    blob: bytes,
+) -> None:
+    """Write the packed columns into a freshly created block.
+
+    Module-level so the leak fault-injection test can monkeypatch it to
+    raise mid-fill; :meth:`ScenarioPack.create` owns the cleanup.
+    """
+    buf = np.ndarray(
+        floats.shape, dtype=np.float64, buffer=shm.buf, offset=layout.float_off
+    )
+    buf[:] = floats
+    ibuf = np.ndarray(
+        ints.shape, dtype=np.int64, buffer=shm.buf, offset=layout.int_off
+    )
+    ibuf[:] = ints
+    shm.buf[layout.blob_off : layout.blob_off + layout.blob_len] = blob
 
 
 def _read_rows(

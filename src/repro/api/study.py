@@ -30,6 +30,7 @@ from .scenario import Scenario
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..errors.combined import CombinedErrors
     from ..errors.models import ArrivalProcess, ErrorModel
+    from ..exec.base import Transport
     from ..platforms.configuration import Configuration
     from ..schedules.base import SpeedSchedule
     from ..sweep.axes import SweepAxis
@@ -201,6 +202,7 @@ class Study:
         cache: bool | SolveCache = True,
         processes: int | None = None,
         strict: bool = False,
+        transport: "Transport | str | None" = None,
     ) -> ResultSet:
         """Solve every scenario; returns results in scenario order.
 
@@ -221,16 +223,18 @@ class Study:
             vectorised pass — while per-scenario backends fan out one
             scenario per task.  Worth it for large grids of the
             numeric backends; the vectorised backends are often faster
-            in-process for small grids.  Workers rebuild the
-            backend registry by importing :mod:`repro.api.backends`,
-            so custom backends registered at runtime are only visible
-            to workers under the ``fork`` start method (the Linux
-            default) — under ``spawn``/``forkserver`` they must be
-            registered at import time of your module.
+            in-process for small grids.
         strict:
             When True, raise :class:`InfeasibleBoundError` if any
             scenario is infeasible instead of returning a best-less
             result for it.
+        transport:
+            Where the shards execute — a
+            :class:`~repro.exec.base.Transport`, ``"inline"``,
+            ``"pooled"``, ``"warm"``, or ``None`` for the historical
+            ``processes=`` semantics.  See docs/execution.md for the
+            transports and the ``fork``/``spawn`` backend-registry
+            caveat that applies to all multi-process execution.
         """
         # One execution engine for studies and experiments: compile a
         # plan without dedup (a study answers every requested scenario
@@ -242,4 +246,6 @@ class Study:
         plan = ExecutionPlan.compile(
             self.scenarios, backend=backend, name=self.name, deduplicate=False
         )
-        return plan.execute(cache=cache, processes=processes, strict=strict)
+        return plan.execute(
+            cache=cache, processes=processes, strict=strict, transport=transport
+        )

@@ -66,6 +66,11 @@ Commands
     ``BENCH_<suite>.json``; ``repro bench compare`` classifies two
     reports via CI overlap (the CI regression gate); ``repro bench
     list`` shows the suites.
+``pool``
+    The process-wide warm-worker execution pool behind
+    ``transport="warm"`` (:mod:`repro.exec`): ``repro pool status``
+    reports workers, health and lifetime counters (``--start`` spawns
+    and heartbeats the fleet first); ``repro pool stop`` shuts it down.
 """
 
 from __future__ import annotations
@@ -323,6 +328,26 @@ def build_parser() -> argparse.ArgumentParser:
     pb_cmp.add_argument("baseline", help="baseline BENCH_*.json")
     pb_cmp.add_argument("current", help="current BENCH_*.json")
     bench_sub.add_parser("list", help="list the registered bench suites")
+
+    p_pool = sub.add_parser(
+        "pool", help="inspect/control the warm-worker execution pool"
+    )
+    pool_sub = p_pool.add_subparsers(dest="pool_command", required=True)
+    pp_status = pool_sub.add_parser(
+        "status",
+        help="show the process-wide warm pool (workers, health, counters)",
+    )
+    pp_status.add_argument(
+        "--start", action="store_true",
+        help="start the pool's workers (and heartbeat them) before reporting",
+    )
+    pp_status.add_argument(
+        "--workers", type=int, default=None,
+        help="fleet size when --start creates the pool (default: CPU-capped)",
+    )
+    pool_sub.add_parser(
+        "stop", help="shut the default warm pool's workers down"
+    )
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific static checks (docs/static-analysis.md)"
@@ -1098,6 +1123,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pool(args: argparse.Namespace) -> int:
+    """``repro pool``: status/stop of the process-wide warm pool.
+
+    The pool is process-local state: a bare ``status`` in a fresh CLI
+    process reports that no pool exists yet; ``--start`` spawns the
+    fleet, heartbeats it, and reports — the shape embedding callers
+    (and the CI smoke test) exercise.
+    """
+    from .exec import default_pool_or_none, get_default_pool, shutdown_default_pool
+
+    if args.pool_command == "stop":
+        if default_pool_or_none() is None:
+            print("warm pool: not running in this process")
+            return 0
+        shutdown_default_pool()
+        print("warm pool: stopped")
+        return 0
+
+    # status
+    if default_pool_or_none() is None and not args.start:
+        print(
+            "warm pool: not created in this process "
+            '(run a plan with transport="warm", or pass --start)'
+        )
+        return 0
+    pool = get_default_pool(max_workers=args.workers)
+    if args.start:
+        pool.start()
+        checked = pool.check_health()
+        healthy = sum(1 for ok in checked.values() if ok)
+        print(f"heartbeat: {healthy}/{len(checked)} worker(s) answered")
+    print(pool.status().describe())
+    return 0
+
+
 _COMMANDS = {
     "configs": _cmd_configs,
     "backends": _cmd_backends,
@@ -1117,6 +1177,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "pool": _cmd_pool,
     "lint": _cmd_lint,
 }
 

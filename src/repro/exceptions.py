@@ -18,6 +18,7 @@ __all__ = [
     "UnknownBackendError",
     "UnsupportedScenarioError",
     "UnsupportedErrorModelError",
+    "WorkerCrashError",
 ]
 
 
@@ -169,6 +170,34 @@ class UnsupportedErrorModelError(ReproError, TypeError):
         # Multi-arg __init__ needs explicit pickle support so the error
         # survives the Study.solve(processes=...) process boundary.
         return (type(self), (self.where, self.model))
+
+
+class WorkerCrashError(ReproError):
+    """One or more plan shards were lost to crashed worker processes.
+
+    Raised by :meth:`repro.api.experiment.ExecutionPlan.execute` after
+    the harvest loop has drained: every shard that *did* complete was
+    already written to the solve cache, so re-executing the same plan
+    replays the completed shards and solves only the lost remainder.
+    The warm-worker transport retries a crashed shard on a healthy
+    worker up to its retry bound before giving up on it; the per-call
+    process pool cannot (a dead worker breaks the whole pool), so a
+    single crash there surfaces every in-flight shard here.
+    """
+
+    def __init__(self, lost_shards: int, lost_scenarios: int):
+        self.lost_shards = lost_shards
+        self.lost_scenarios = lost_scenarios
+        super().__init__(
+            f"{lost_shards} shard(s) covering {lost_scenarios} scenario(s) "
+            f"were lost to worker crashes; every completed shard was cached "
+            f"— re-execute the plan to resume from them"
+        )
+
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
+        # Multi-arg __init__ needs explicit pickle support so the error
+        # survives a process boundary.
+        return (type(self), (self.lost_shards, self.lost_scenarios))
 
 
 class UnsupportedScenarioError(ReproError):

@@ -1,0 +1,44 @@
+"""Execution transports: where plan shards run.
+
+The :class:`Transport` seam decouples *what* an
+:class:`~repro.api.experiment.ExecutionPlan` solves from *where* the
+shards execute — in-process (:class:`InlineTransport`), on a per-call
+process pool (:class:`PooledTransport`), or on the persistent
+:class:`WarmWorkerPool`.  See docs/execution.md.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    InlineTransport,
+    Shard,
+    ShardOutcome,
+    Transport,
+    resolve_transport,
+    solve_shard_inline,
+)
+from .pooled import PooledTransport
+from .warm import (
+    PoolStatus,
+    WarmWorkerPool,
+    WorkerStatus,
+    default_pool_or_none,
+    get_default_pool,
+    shutdown_default_pool,
+)
+
+__all__ = [
+    "Shard",
+    "ShardOutcome",
+    "Transport",
+    "InlineTransport",
+    "PooledTransport",
+    "WarmWorkerPool",
+    "PoolStatus",
+    "WorkerStatus",
+    "get_default_pool",
+    "default_pool_or_none",
+    "shutdown_default_pool",
+    "resolve_transport",
+    "solve_shard_inline",
+]

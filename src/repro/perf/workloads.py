@@ -26,6 +26,13 @@ Four suites mirror the legacy bench scripts:
 ``study_batch``
     The scalar ``firstorder`` backend vs the vectorised ``grid``
     backend over a catalog x rho study.
+``dispatch_overhead``
+    Cold-pool vs warm-pool plan dispatch: the same sequence of small
+    multi-process plans executed through a fresh per-call
+    ``ProcessPoolExecutor`` each time (``processes=2``) vs the
+    persistent :class:`~repro.exec.warm.WarmWorkerPool`
+    (``transport="warm"``) — the per-plan spawn/teardown cost the warm
+    fabric amortises.
 
 Quick sizes are chosen so the whole quick run (warmup + 3 reps x all
 suites) stays in CI-smoke territory while still exercising every code
@@ -54,6 +61,7 @@ __all__ = [
     "error_model_scenarios",
     "experiment_plan_scenarios",
     "study_batch_study",
+    "dispatch_scenarios",
 ]
 
 
@@ -170,6 +178,16 @@ def experiment_plan_scenarios(*, quick: bool = False) -> "list[Scenario]":
     ]
 
 
+def dispatch_scenarios(*, quick: bool = False) -> "list[Scenario]":
+    """The ``dispatch_overhead`` grid: a small per-scenario-backend
+    plan (12 bounds; quick: 4), so shard *dispatch* — not solving —
+    dominates each plan."""
+    from ..api.scenario import Scenario
+
+    rhos = np.linspace(2.9, 3.6, 4 if quick else 12)
+    return [Scenario(config=_CONFIG, rho=float(rho)) for rho in rhos]
+
+
 def study_batch_study(*, quick: bool = False) -> "Study":
     """The ``study_batch`` study: catalog x rho grid (184; quick: 10)."""
     from ..api.study import Study
@@ -273,11 +291,41 @@ def _study_batch_suite(quick: bool) -> tuple[Workload, ...]:
     )
 
 
+def _dispatch_overhead_suite(quick: bool) -> tuple[Workload, ...]:
+    scenarios = dispatch_scenarios(quick=quick)
+    plans = 2 if quick else 4
+
+    def _run_plans(transport: "str | None") -> dict[str, float]:
+        from ..api.experiment import Experiment
+
+        exp = Experiment.from_scenarios(scenarios, name="bench-dispatch")
+        for _ in range(plans):
+            exp.solve(cache=False, processes=2, transport=transport)
+        return {"plans": float(plans), "scenarios": float(len(scenarios))}
+
+    def cold() -> dict[str, float]:
+        # transport=None + processes=2: a fresh ProcessPoolExecutor
+        # (and scenario pack) per plan — the per-call dispatch cost.
+        return _run_plans(None)
+
+    def warm() -> dict[str, float]:
+        # The process-wide warm pool: workers spawn once (first call,
+        # i.e. during warmup) and every later plan only pays queue
+        # traffic.  The atexit hook shuts the default pool down.
+        return _run_plans("warm")
+
+    return (
+        Workload("cold_pool", cold),
+        Workload("warm_pool", warm, baseline="cold_pool"),
+    )
+
+
 _SUITES: dict[str, Callable[[bool], tuple[Workload, ...]]] = {
     "schedule_grid": _schedule_grid_suite,
     "error_models": _error_models_suite,
     "experiment_plan": _experiment_plan_suite,
     "study_batch": _study_batch_suite,
+    "dispatch_overhead": _dispatch_overhead_suite,
 }
 
 

@@ -217,11 +217,34 @@ class TestExecution:
         results = exp.solve(cache=False)
         assert not results[0].feasible
 
-    def test_infeasible_results_not_cached(self, hera_xscale):
+    def test_infeasible_results_cached(self, hera_xscale):
+        # Infeasibility is a solve outcome: it is cached like any
+        # other, so a repeated run replays the verdict instead of
+        # re-solving the known-infeasible point.
         cache = SolveCache()
         exp = Experiment.over(configs=(hera_xscale,), rhos=(1.01,))
+        first = exp.solve(cache=cache)
+        assert not first[0].feasible
+        assert len(cache) == 1
+        again = exp.solve(cache=cache)
+        assert not again[0].feasible
+        assert again[0].provenance.cache_hit
+        # Strict mode still raises on the replayed infeasible.
+        with pytest.raises(InfeasibleBoundError):
+            exp.solve(cache=cache, strict=True)
+
+    def test_fully_cached_infeasible_grid_re_solves_nothing(self, hera_xscale):
+        # Regression pin for the resume contract: once an infeasible
+        # grid is fully cached, a re-execute issues zero backend calls
+        # (no progress ticks == no solve shards ran).
+        cache = SolveCache()
+        exp = Experiment.over(configs=(hera_xscale,), rhos=(1.01, 1.02, 1.03))
         exp.solve(cache=cache)
-        assert len(cache) == 0
+        ticks: list[PlanProgress] = []
+        replay = exp.solve(cache=cache, progress=ticks.append)
+        assert ticks == []
+        assert all(not r.feasible for r in replay)
+        assert all(r.provenance.cache_hit for r in replay)
 
     def test_processes_fan_out(self, hera_xscale):
         exp = Experiment.over(configs=(hera_xscale,), rhos=(2.5, 3.0, 3.5, 4.0))

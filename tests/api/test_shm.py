@@ -98,6 +98,30 @@ def test_create_declines_on_empty() -> None:
     assert ScenarioPack.create([]) is None
 
 
+def test_create_unlinks_segment_when_fill_raises(monkeypatch) -> None:
+    """Fault injection for the create-path leak: a failure *after*
+    ``SharedMemory(create=True)`` must close+unlink the fresh segment
+    before re-raising, or it lives in /dev/shm until reboot."""
+    import repro.api.shm as shm_mod
+
+    seen: list[str] = []
+
+    def exploding_fill(shm, layout, floats, ints, blob):
+        seen.append(shm.name)
+        raise RuntimeError("injected fill failure")
+
+    monkeypatch.setattr(shm_mod, "_fill_block", exploding_fill)
+    with pytest.raises(RuntimeError, match="injected fill failure"):
+        ScenarioPack.create(_diverse_scenarios())
+
+    assert len(seen) == 1
+    from multiprocessing import shared_memory
+
+    # The segment must be gone: attaching by name fails.
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=seen[0])
+
+
 @pytest.mark.parametrize("disable_shm", [False, True])
 def test_processes_two_matches_sequential(monkeypatch, disable_shm) -> None:
     """processes=2 (shm pack and pickled fallback) == sequential."""

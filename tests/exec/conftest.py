@@ -1,0 +1,96 @@
+"""Fixtures for the transport/crash-recovery suite.
+
+The ``chaos`` test backend is registered for the whole package (an
+autouse package-scoped fixture) — in the parent process, before any
+worker exists, so both the ``fork`` start method (registry inherited
+at fork) and the pooled executor (workers forked at first submit) see
+it; it is popped again on package teardown so the registry stays
+clean for the rest of the session (the ``repro backends`` CLI tests
+pin the listing).  Its behaviour is scripted per scenario through the
+``label`` field, which crosses the process boundary with the scenario
+itself:
+
+* ``kill:<path>`` — if ``<path>`` exists, delete it and ``SIGKILL``
+  the current process (the flag file makes the crash one-shot: a
+  retried or re-executed shard finds the file gone and solves
+  normally);
+* ``poison`` — always raise (a deterministic shard exception);
+* ``sleep:<seconds>`` — delay before solving (completion-order tests);
+* anything else — solve like the ``firstorder`` backend.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.api.backends import (
+    FirstOrderBackend,
+    SolverBackend,
+    _REGISTRY,
+    register_backend,
+)
+from repro.api.result import Result
+from repro.api.scenario import Scenario
+from repro.exceptions import ConvergenceError
+
+CHAOS_BACKEND = "chaos-test-backend"
+
+_first_order = FirstOrderBackend()
+
+
+class ChaosBackend(SolverBackend):
+    """Label-scripted backend for fault injection (see module doc)."""
+
+    name = CHAOS_BACKEND
+    modes = frozenset({"silent"})
+
+    def _solve(self, scenario: Scenario) -> Result:
+        for part in (scenario.label or "").split(";"):
+            if part.startswith("kill:"):
+                flag = part[len("kill:") :]
+                if os.path.exists(flag):
+                    os.remove(flag)
+                    os.kill(os.getpid(), signal.SIGKILL)
+            elif part.startswith("sleep:"):
+                time.sleep(float(part[len("sleep:") :]))
+            elif part == "poison":
+                raise ConvergenceError("poisoned shard (chaos test backend)")
+        res = _first_order._solve(scenario)
+        return replace(
+            res, provenance=replace(res.provenance, backend=self.name)
+        )
+
+
+@pytest.fixture(autouse=True, scope="package")
+def _chaos_backend_registered():
+    fresh = CHAOS_BACKEND not in _REGISTRY
+    if fresh:
+        register_backend(ChaosBackend())
+    try:
+        yield
+    finally:
+        if fresh:
+            _REGISTRY.pop(CHAOS_BACKEND, None)
+
+
+@pytest.fixture
+def chaos_scenarios(hera_xscale):
+    """A small grid routed through the chaos backend, all feasible."""
+
+    def make(labels: list[str], rho: float = 3.0) -> list[Scenario]:
+        return [
+            Scenario(
+                config=hera_xscale,
+                rho=rho + 0.1 * i,
+                backend=CHAOS_BACKEND,
+                label=label,
+            )
+            for i, label in enumerate(labels)
+        ]
+
+    return make

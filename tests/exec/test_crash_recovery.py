@@ -1,0 +1,180 @@
+"""Crash-safe plan execution, end to end.
+
+The contract under test (docs/execution.md): a worker crash, a
+poisoned shard, or an interrupt never discards *other* shards'
+finished work — every completed shard is cached the moment it lands,
+so re-executing the plan replays the completed shards and solves only
+the remainder.
+
+The ``chaos`` backend (conftest) scripts the faults per scenario via
+labels; the worker-kill cases run in CI with ``REPRO_DISABLE_SHM``
+both unset and set (the fault-injection job), and the key ones are
+parametrised over the same switch here.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.cache import SolveCache
+from repro.api.experiment import Experiment, PlanProgress
+from repro.api.shm import SHM_DISABLE_ENV
+from repro.exceptions import ConvergenceError, WorkerCrashError
+from repro.exec import WarmWorkerPool
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def _field_equal(a, b) -> None:
+    """Result equality modulo wall-clock provenance."""
+    assert a.scenario == b.scenario
+    assert a.feasible == b.feasible
+    assert a.rho_min == b.rho_min
+    if a.feasible:
+        assert a.best == b.best
+
+
+@pytest.mark.parametrize("disable_shm", [False, True])
+def test_warm_worker_kill_is_retried_on_healthy_worker(
+    chaos_scenarios, tmp_path, monkeypatch, disable_shm
+):
+    if disable_shm:
+        monkeypatch.setenv(SHM_DISABLE_ENV, "1")
+    flag = tmp_path / "kill-once"
+    scenarios = chaos_scenarios([f"kill:{flag}", "", "", "", ""])
+    exp = Experiment.from_scenarios(scenarios, name="warm-kill")
+    # Baseline first — the flag file does not exist yet, so the inline
+    # run in *this* process solves the kamikaze scenario normally.
+    expected = exp.solve(cache=False, transport="inline")
+    flag.touch()
+
+    pool = WarmWorkerPool(max_workers=2, heartbeat_timeout=5.0)
+    try:
+        results = exp.solve(cache=False, transport=pool)
+        status = pool.status()
+    finally:
+        pool.shutdown()
+
+    # The first attempt killed its worker (consuming the flag file);
+    # the retry on a healthy worker solved the shard for real.
+    assert not flag.exists()
+    assert status.worker_crashes >= 1
+    assert status.shard_retries >= 1
+    assert len(results) == len(expected)
+    for got, want in zip(results, expected):
+        _field_equal(got, want)
+
+
+def test_warm_worker_kill_exhausts_retries_into_worker_crash_error(
+    chaos_scenarios, tmp_path
+):
+    # Three flag files: the shard kills its worker on every attempt
+    # (1 try + 2 retries), exhausting the default retry budget.
+    flags = [tmp_path / f"kill-{i}" for i in range(3)]
+    label = ";".join(f"kill:{flag}" for flag in flags)
+    for flag in flags:
+        flag.touch()
+    scenarios = chaos_scenarios([label, "", "", ""])
+    exp = Experiment.from_scenarios(scenarios, name="warm-kill-exhaust")
+
+    cache = SolveCache()
+    pool = WarmWorkerPool(max_workers=2, heartbeat_timeout=5.0)
+    try:
+        with pytest.raises(WorkerCrashError) as excinfo:
+            exp.solve(cache=cache, transport=pool)
+    finally:
+        pool.shutdown()
+    assert excinfo.value.lost_shards == 1
+    assert excinfo.value.lost_scenarios == 1
+    # The healthy shards' work survived the crash storm.
+    assert len(cache) == 3
+
+
+def test_poisoned_shard_keeps_other_shards_cached(chaos_scenarios):
+    scenarios = chaos_scenarios(["poison", "", "", "", ""])
+    exp = Experiment.from_scenarios(scenarios, name="poisoned")
+    cache = SolveCache()
+    # The deterministic shard exception surfaces as-is (retrying it
+    # would fail identically) — after the harvest drained.
+    with pytest.raises(ConvergenceError):
+        exp.solve(cache=cache, processes=2)
+    assert len(cache) == 4
+
+    # Re-executing the healthy remainder is pure cache replay...
+    healthy = Experiment.from_scenarios(scenarios[1:], name="healthy")
+    ticks: list[PlanProgress] = []
+    replayed = healthy.solve(cache=cache, progress=ticks.append)
+    assert ticks == []
+    assert all(r.provenance.cache_hit for r in replayed)
+    # ...byte-identical to an uninterrupted single-process run.
+    expected = healthy.solve(cache=False)
+    for got, want in zip(replayed, expected):
+        _field_equal(got, want)
+
+
+@pytest.mark.parametrize("disable_shm", [False, True])
+def test_killed_processes4_run_resumes_from_cache(
+    chaos_scenarios, tmp_path, monkeypatch, disable_shm
+):
+    """The acceptance scenario: ``processes=4``, a worker killed
+    mid-run, re-execute → completed shards replay from cache, only the
+    remainder is solved, final results equal the uninterrupted
+    single-process run."""
+    if disable_shm:
+        monkeypatch.setenv(SHM_DISABLE_ENV, "1")
+    flag = tmp_path / "kill-mid-plan"
+    # The kamikaze shard sleeps first so the fast shards can finish
+    # (and be harvested + cached) before it takes its worker down.
+    scenarios = chaos_scenarios([f"sleep:1.0;kill:{flag}"] + [""] * 7)
+    exp = Experiment.from_scenarios(scenarios, name="acceptance")
+    # Baseline before the flag exists: the inline run in this process
+    # sleeps but does not kill.
+    expected = exp.solve(cache=False, transport="inline")
+    flag.touch()
+
+    cache = SolveCache()
+    with pytest.raises(WorkerCrashError):
+        exp.solve(cache=cache, processes=4)
+    cached = len(cache)
+    # The crash broke the per-call pool, but every shard completed
+    # before it was cached (the kamikaze shard itself cannot be).
+    assert 1 <= cached <= len(scenarios) - 1
+
+    ticks: list[PlanProgress] = []
+    resumed = exp.solve(cache=cache, processes=4, progress=ticks.append)
+    # Only the remainder was solved on resume.
+    assert ticks[-1].total_scenarios == len(scenarios) - cached
+    assert len(cache) == len(scenarios)
+    for got, want in zip(resumed, expected):
+        _field_equal(got, want)
+
+
+def test_progress_ticks_follow_completion_order(chaos_scenarios):
+    """Satellite pin: a slow early shard no longer stalls the ticks of
+    later shards, and the counters stay monotone with correct totals
+    under out-of-order completion."""
+    scenarios = chaos_scenarios(["sleep:0.8", "", "", ""])
+    exp = Experiment.from_scenarios(scenarios, name="ordering")
+    ticks: list[PlanProgress] = []
+    stamps: list[float] = []
+
+    def observe(tick: PlanProgress) -> None:
+        ticks.append(tick)
+        stamps.append(time.monotonic())
+
+    results = exp.solve(cache=False, processes=2, progress=observe)
+    assert all(r.feasible for r in results)
+
+    assert [t.done_shards for t in ticks] == [1, 2, 3, 4]
+    solved = [t.solved_scenarios for t in ticks]
+    assert solved == sorted(solved) and len(set(solved)) == len(solved)
+    assert ticks[-1].solved_scenarios == ticks[-1].total_scenarios == 4
+    assert ticks[-1].total_shards == 4
+    assert ticks[-1].fraction == 1.0
+    # Completion order, not submission order: the fast shards ticked
+    # while the slow first-submitted shard was still running.  Under
+    # the old submission-order harvest every tick fired after the slow
+    # future resolved, making this spread ~0.
+    assert stamps[-1] - stamps[0] >= 0.3

@@ -377,3 +377,24 @@ class TestReport:
         assert main(["report", "--out", str(path)]) == 0
         assert path.exists()
         assert "# Reproduction report" in path.read_text()
+
+
+class TestPool:
+    def test_status_without_pool(self, capsys):
+        assert main(["pool", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "not created in this process" in out
+
+    def test_status_start_and_stop(self, capsys):
+        from repro.exec import default_pool_or_none
+
+        try:
+            assert main(["pool", "status", "--start", "--workers", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "heartbeat: 2/2" in out
+            assert "2 worker(s)" in out
+            assert "healthy" in out
+        finally:
+            assert main(["pool", "stop"]) == 0
+        assert "stopped" in capsys.readouterr().out
+        assert default_pool_or_none() is None

@@ -15,7 +15,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import repro.api.experiment as experiment_module
+import repro.exec.base as exec_base_module
 from repro.api import Experiment, Scenario, SolveCache
 from repro.platforms.catalog import configuration_names
 
@@ -82,16 +82,19 @@ def test_plan_never_solves_the_same_cache_key_twice(scenarios):
     assert len(plan.index_map) == len(scenarios)
     assert set(plan.index_map) == set(range(plan.n_unique))
 
-    # Dynamic invariant: the backends see each key exactly once.
+    # Dynamic invariant: the backends see each key exactly once.  The
+    # counting hook sits at the transport's solve seam
+    # (solve_shard_inline's backend lookup), where every shard of an
+    # inline-executed plan lands.
     seen: list = []
-    real_get_backend = experiment_module.get_backend
-    experiment_module.__dict__["get_backend"] = lambda name: _CountingBackendProxy(
+    real_get_backend = exec_base_module.get_backend
+    exec_base_module.__dict__["get_backend"] = lambda name: _CountingBackendProxy(
         real_get_backend(name), seen
     )
     try:
         results = exp.solve(cache=SolveCache())
     finally:
-        experiment_module.__dict__["get_backend"] = real_get_backend
+        exec_base_module.__dict__["get_backend"] = real_get_backend
     assert len(seen) == len(set(seen)) == plan.n_unique
     assert len(results) == len(scenarios)
 
