@@ -267,6 +267,11 @@ def check_backend_capabilities(ctx: LintContext) -> Iterator[Diagnostic]:
       capability matrix and the bench harness) obliges the class body
       to reference a jit engine (``JitScheduleGrid``, ``jit_available``
       — any jit-named identifier);
+    * ``sweep_aware = True`` (the marker ExecutionPlan reads to order
+      a group's shards along detected sweep axes) obliges the class
+      body to reference an incremental/sweep solve path — claiming
+      sweep ordering without the warm-started tier just scrambles the
+      plan for nothing;
     * every concrete subclass must declare its registry ``name`` and
       accepted ``modes``.
 
@@ -370,6 +375,43 @@ def check_backend_capabilities(ctx: LintContext) -> Iterator[Diagnostic]:
                     "build the grid through the jit tier (JitScheduleGrid) or "
                     "drop the declaration",
                 )
+
+        sweep_stmt = attrs.get("sweep_aware")
+        if sweep_stmt is not None:
+            value = (
+                sweep_stmt.value
+                if isinstance(sweep_stmt, (ast.Assign, ast.AnnAssign))
+                else None
+            )
+            literal = isinstance(value, ast.Constant) and isinstance(
+                value.value, bool
+            )
+            if not literal:
+                yield ctx.diagnostic(
+                    sweep_stmt,
+                    "RPR003",
+                    f"backend {node.name!r} sets `sweep_aware` to a "
+                    f"non-literal value; ExecutionPlan reads it off the class",
+                    "assign a literal True/False",
+                )
+            elif value.value is True and not abstract:
+                sweep_used: set[str] = set()
+                for method in _class_methods(node).values():
+                    sweep_used |= _identifiers_used(method)
+                if not any(
+                    "incremental" in s.lower() or "sweep" in s.lower()
+                    for s in sweep_used
+                ):
+                    yield ctx.diagnostic(
+                        sweep_stmt,
+                        "RPR003",
+                        f"backend {node.name!r} declares `sweep_aware = True` "
+                        f"but its body never references an incremental/sweep "
+                        f"solve path",
+                        "solve through the incremental tier "
+                        "(solve_schedule_grid_incremental) or drop the "
+                        "declaration",
+                    )
 
 
 # ----------------------------------------------------------------------

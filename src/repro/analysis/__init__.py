@@ -18,6 +18,8 @@ from .verbs import (
     AnalysisProvenance,
     CrossoverEvent,
     CrossoverResult,
+    DiffResult,
+    FieldDelta,
     FrontierPoint,
     FrontierResult,
     SavingsResult,
@@ -32,6 +34,8 @@ __all__ = [
     "SensitivityResult",
     "CrossoverEvent",
     "CrossoverResult",
+    "FieldDelta",
+    "DiffResult",
     "savings_percent",
     "series_savings",
     "SavingsSummary",

@@ -10,6 +10,7 @@ the winning policy — is a *verb* on a
 ``results.savings(b)``    :class:`SavingsResult` (percent saved vs ``b``)
 ``results.sensitivity()`` :class:`SensitivityResult` (log-log elasticities)
 ``results.crossover()``   :class:`CrossoverResult` (policy switch points)
+``results.diff(a, b)``    :class:`DiffResult` (why two optima differ)
 ========================  ==========================================
 
 The verbs are pure post-processing: they read the solved results (any
@@ -49,10 +50,13 @@ __all__ = [
     "SensitivityResult",
     "CrossoverEvent",
     "CrossoverResult",
+    "FieldDelta",
+    "DiffResult",
     "build_frontier",
     "build_savings",
     "build_sensitivity",
     "build_crossover",
+    "build_diff",
     "percent_savings",
 ]
 
@@ -724,5 +728,267 @@ def build_crossover(
         events=tuple(events),
         pairs=tuple(pairs),
         values=values,
+        provenance=_provenance(results),
+    )
+
+
+# ----------------------------------------------------------------------
+# Variational trace diff
+# ----------------------------------------------------------------------
+#: Relative tolerance for "the optimum sits on a feasibility crossing":
+#: the constrained solver's candidate rule returns the crossing value
+#: itself when an endpoint wins, so the match is essentially exact and
+#: the tolerance only absorbs export round-trips.
+_REGIME_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One changed quantity between two results (or their scenarios).
+
+    ``delta``/``percent`` are ``None`` for non-numeric fields and
+    whenever either side is undefined (infeasible results carry NaN
+    optima, which export as ``None``).
+    """
+
+    field: str
+    before: float | str | None
+    after: float | str | None
+    delta: float | None = None
+    percent: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "field": self.field,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "percent": self.percent,
+        }
+
+
+def _numeric_delta(field: str, va: float, vb: float) -> FieldDelta:
+    defined = math.isfinite(va) and math.isfinite(vb)
+    delta = vb - va if defined else None
+    percent = (
+        (vb / va - 1.0) * 100.0 if defined and va != 0.0 else None
+    )
+    return FieldDelta(
+        field=field,
+        before=_nan_none(va),
+        after=_nan_none(vb),
+        delta=delta,
+        percent=percent,
+    )
+
+
+@dataclass(frozen=True)
+class DiffResult:
+    """Why two (typically neighbouring) solved optima differ.
+
+    The variational view of a sweep: each point's solve is a small
+    perturbation of its neighbour's, so the *differences* — which
+    scenario axis moved, whether the optimum stayed interior or jumped
+    onto a feasibility crossing, how the feasible pattern-size interval
+    shifted, whether the winning speed pair flipped — explain the
+    sweep's shape far more directly than the two absolute solutions.
+    This is the introspection twin of the incremental solve tier, which
+    exploits exactly this similarity for warm starts.
+
+    ``regime_before``/``regime_after`` classify where each optimum sits:
+    ``interior`` (the unconstrained energy minimum), ``at-w-lo`` /
+    ``at-w-hi`` (the time-overhead bound is binding — the optimum is a
+    feasibility crossing), ``infeasible`` (no solution), or
+    ``unbounded`` (no interval information on the result).
+    """
+
+    name: str
+    index_a: int
+    index_b: int
+    scenario_changes: tuple[FieldDelta, ...]
+    invariants_equal: bool
+    regime_before: str
+    regime_after: str
+    changes: tuple[FieldDelta, ...]
+    pair_before: tuple[float, float] | None
+    pair_after: tuple[float, float] | None
+    provenance: AnalysisProvenance
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    @property
+    def feasibility_flip(self) -> bool:
+        """True when exactly one side is infeasible."""
+        return (self.regime_before == "infeasible") != (
+            self.regime_after == "infeasible"
+        )
+
+    @property
+    def regime_change(self) -> bool:
+        """True when the optimum's binding regime differs."""
+        return self.regime_before != self.regime_after
+
+    @property
+    def pair_flip(self) -> bool:
+        """True when the winning speed pair changed."""
+        return self.pair_before != self.pair_after
+
+    def change(self, field: str) -> FieldDelta | None:
+        """The delta for ``field`` (``None`` when it did not change)."""
+        for d in self.changes:
+            if d.field == field:
+                return d
+        return None
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable explanation of the difference."""
+        bits: list[str] = []
+        if not self.scenario_changes:
+            drive = "identical scenarios"
+        else:
+            drive = ", ".join(
+                f"{d.field} {d.before!r} -> {d.after!r}"
+                if d.delta is None
+                else f"{d.field} {d.before:g} -> {d.after:g}"
+                for d in self.scenario_changes
+            )
+        bits.append(f"diff[{self.index_a} -> {self.index_b}]: {drive}")
+        if not self.invariants_equal:
+            bits.append("non-axis scenario fields differ (not sweep neighbours)")
+        if self.feasibility_flip:
+            bits.append(
+                f"feasibility flipped: {self.regime_before} -> "
+                f"{self.regime_after}"
+            )
+        elif self.regime_change:
+            bits.append(
+                f"optimum moved {self.regime_before} -> {self.regime_after}"
+            )
+        else:
+            bits.append(f"optimum stayed {self.regime_before}")
+        if self.pair_flip:
+            bits.append(
+                f"winning pair {self.pair_before} -> {self.pair_after}"
+            )
+        for d in self.changes:
+            if d.percent is not None:
+                bits.append(f"{d.field} {d.percent:+.3g}%")
+        return "; ".join(bits)
+
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """One JSON-serialisable dict per changed quantity."""
+        return [d.to_dict() for d in self.scenario_changes] + [
+            d.to_dict() for d in self.changes
+        ]
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write one CSV row per changed quantity."""
+        return _write_rows(
+            path, ("field", "before", "after", "delta", "percent"), self.to_dicts()
+        )
+
+    def to_json(self, path: str | Path | None = None) -> str | Path:
+        """JSON export (returns the text, or writes to ``path``)."""
+        return _json_dump(
+            {
+                "name": self.name,
+                "index_a": self.index_a,
+                "index_b": self.index_b,
+                "scenario_changes": [d.to_dict() for d in self.scenario_changes],
+                "invariants_equal": self.invariants_equal,
+                "regime_before": self.regime_before,
+                "regime_after": self.regime_after,
+                "feasibility_flip": self.feasibility_flip,
+                "pair_before": list(self.pair_before) if self.pair_before else None,
+                "pair_after": list(self.pair_after) if self.pair_after else None,
+                "changes": [d.to_dict() for d in self.changes],
+                "provenance": self.provenance.to_dict(),
+            },
+            path,
+        )
+
+
+def _regime(result: "Result") -> str:
+    """Where this result's optimum sits (see :class:`DiffResult`)."""
+    if not result.feasible:
+        return "infeasible"
+    interval = getattr(result.best, "interval", None)
+    if interval is None:
+        return "unbounded"
+    lo, hi = float(interval[0]), float(interval[1])
+    w = result.work
+    if math.isclose(w, lo, rel_tol=_REGIME_RTOL):
+        return "at-w-lo"
+    if math.isclose(w, hi, rel_tol=_REGIME_RTOL):
+        return "at-w-hi"
+    return "interior"
+
+
+def build_diff(results: "ResultSet", a: int, b: int) -> DiffResult:
+    """Explain why results ``a`` and ``b`` of a set differ.
+
+    Indices follow the result order (negative indices allowed).  The
+    scenario-side deltas name the numeric sweep axes that moved (total
+    error rate, fail-stop fraction, rho — the same features the sweep
+    planner chains by); the solution-side deltas cover the optimum
+    (pattern size, energy/time overheads) and the feasible interval's
+    crossings, with the binding-regime classification saying whether a
+    feasibility crossing started or stopped pinning the optimum.
+    """
+    n = len(results)
+    ra: "Result" = results[a]
+    rb: "Result" = results[b]
+    ia, ib = a % n if n else a, b % n if n else b
+
+    from ..api.sweep_planner import _AXES, scenario_features
+
+    inv_a, ax_a = scenario_features(ra.scenario)
+    inv_b, ax_b = scenario_features(rb.scenario)
+    scenario_changes = tuple(
+        _numeric_delta(_AXES[j], ax_a[j], ax_b[j])
+        for j in range(len(_AXES))
+        if ax_a[j] != ax_b[j]
+    )
+
+    fields: list[tuple[str, float, float]] = [
+        ("work", ra.work, rb.work),
+        ("energy_overhead", ra.energy_overhead, rb.energy_overhead),
+        ("time_overhead", ra.time_overhead, rb.time_overhead),
+    ]
+    int_a = getattr(ra.best, "interval", None)
+    int_b = getattr(rb.best, "interval", None)
+    if int_a is not None or int_b is not None:
+        ia_lo, ia_hi = (
+            (float(int_a[0]), float(int_a[1]))
+            if int_a is not None
+            else (math.nan, math.nan)
+        )
+        ib_lo, ib_hi = (
+            (float(int_b[0]), float(int_b[1]))
+            if int_b is not None
+            else (math.nan, math.nan)
+        )
+        fields.append(("w_lo", ia_lo, ib_lo))
+        fields.append(("w_hi", ia_hi, ib_hi))
+    changes = tuple(
+        _numeric_delta(name, va, vb)
+        for name, va, vb in fields
+        if not (va == vb or (math.isnan(va) and math.isnan(vb)))
+    )
+    return DiffResult(
+        name=results.name,
+        index_a=ia,
+        index_b=ib,
+        scenario_changes=scenario_changes,
+        invariants_equal=inv_a == inv_b,
+        regime_before=_regime(ra),
+        regime_after=_regime(rb),
+        changes=changes,
+        pair_before=ra.speed_pair,
+        pair_after=rb.speed_pair,
         provenance=_provenance(results),
     )

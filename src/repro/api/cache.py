@@ -68,6 +68,7 @@ class SolveCache:
         self._entries: OrderedDict[Hashable, "Result"] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._by_backend: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -92,6 +93,17 @@ class SolveCache:
         """``(hits, misses)`` counters as a tuple."""
         return (self._hits, self._misses)
 
+    def stats_by_backend(self) -> dict[str, tuple[int, int]]:
+        """Per-backend ``{backend: (hits, misses)}`` breakdown.
+
+        Backends appear in first-lookup order; the totals across all
+        backends equal :meth:`stats`.  This is how the incremental
+        tier's cache behaviour stays observable: a sweep rerun should
+        show its hits under ``schedule-grid-incremental``, not merged
+        into a global counter.
+        """
+        return {name: (h, m) for name, (h, m) in self._by_backend.items()}
+
     # ------------------------------------------------------------------
     def get(self, scenario: Hashable, backend: str) -> "Result | None":
         """Look up a prior result; counts a hit or a miss.
@@ -101,10 +113,13 @@ class SolveCache:
         """
         key = _key(scenario, backend)
         result = self._entries.get(key)
+        counters = self._by_backend.setdefault(backend, [0, 0])
         if result is None:
             self._misses += 1
+            counters[1] += 1
         else:
             self._hits += 1
+            counters[0] += 1
             self._entries.move_to_end(key)
         return result
 
@@ -132,6 +147,7 @@ class SolveCache:
         self._entries.clear()
         self._hits = 0
         self._misses = 0
+        self._by_backend.clear()
 
 
 #: Process-wide cache used by ``Scenario.solve`` / ``Study.solve`` when

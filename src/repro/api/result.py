@@ -25,6 +25,7 @@ from ..exceptions import InfeasibleBoundError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.verbs import (
         CrossoverResult,
+        DiffResult,
         FrontierResult,
         SavingsResult,
         SensitivityResult,
@@ -316,6 +317,15 @@ class ResultSet:
         from ..analysis.verbs import build_crossover
 
         return build_crossover(self, values=values, axis=axis)
+
+    def diff(self, a: int, b: int) -> "DiffResult":
+        """Why results ``a`` and ``b`` differ: which scenario axis
+        moved, whether the optimum stayed interior or jumped onto a
+        feasibility crossing, how the feasible interval shifted — the
+        variational trace of two (typically neighbouring) solves."""
+        from ..analysis.verbs import build_diff
+
+        return build_diff(self, a, b)
 
     # -- conversions into the reporting layers --------------------------
     def to_dicts(self) -> list[dict[str, Any]]:

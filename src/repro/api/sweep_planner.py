@@ -1,0 +1,202 @@
+"""Sweep-aware shard ordering for :class:`~repro.api.experiment.ExecutionPlan`.
+
+The incremental solve tier (:mod:`repro.schedules.incremental`) gets
+its leverage from *chains*: runs of scenarios that differ in exactly
+one numeric field, solved in axis order so each point warm-starts from
+its neighbour's optimum.  A plan's scenario order, however, is whatever
+the experiment builder produced — a cartesian product iterates its axes
+in declaration order, a ``concat`` interleaves grids — and sharding a
+scrambled batch across transport workers splits chains mid-run, so the
+warm state dies at every shard boundary.
+
+This module recovers the sweep structure *before* sharding: scenarios
+are keyed by their solve-relevant invariants (mode, platform constants,
+schedule, renewal model, speed restrictions) and ordered
+lexicographically by (invariants, total error rate, fail-stop mix,
+rho) — rho last, matching the chain detection inside the solver — so
+every detectable sweep comes out contiguous and monotone.  Contiguous
+``_shard`` chunks then cut each chain at most once per worker instead
+of everywhere.
+
+:meth:`ExecutionPlan.execute` applies :func:`order_for_sweeps` to a
+group's cache misses whenever the group's backend declares
+``sweep_aware = True`` (the ``schedule-grid-incremental`` backend);
+:func:`detect_sweeps` is the introspection face of the same ordering,
+used by diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..errors.combined import CombinedErrors
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenario import Scenario
+
+__all__ = [
+    "SweepChain",
+    "detect_sweeps",
+    "order_for_sweeps",
+    "scenario_features",
+]
+
+
+#: The ordered numeric axes of the planner key, rho last (a chain's
+#: remaining fields are invariant, so these names what a chain sweeps).
+_AXES = ("error_rate", "failstop_fraction", "rho")
+
+
+def scenario_features(
+    sc: "Scenario",
+) -> tuple[tuple, tuple[float, float, float]]:
+    """Split a scenario into (invariant key, numeric axes).
+
+    The invariant key mirrors what the grid solver's row signature
+    holds constant along a chain: platform constants (minus the error
+    rate, which is a numeric axis even when it arrives folded into the
+    configuration), the canonical schedule, the renewal model identity
+    for non-memoryless families, mode and speed restrictions.  The
+    numeric part is ``(total error rate, fail-stop fraction, rho)``.
+    """
+    cfg = sc.resolved_config()
+    errors = sc.resolved_errors()
+    if isinstance(errors, CombinedErrors):
+        rate = errors.total_rate
+        frac = errors.failstop_fraction
+        model_key: object = None
+    elif errors is None:
+        # Silent-only: the solve reads the configuration's own rate.
+        rate = cfg.lam
+        frac = 0.0
+        model_key = None
+    else:
+        # General renewal family: the model is part of the invariant
+        # identity (rates live inside its parameters).
+        rate = 0.0
+        frac = 0.0
+        model_key = errors
+    invariant = (
+        sc.mode,
+        cfg.checkpoint_time,
+        cfg.verification_time,
+        cfg.recovery_time,
+        cfg.processor,
+        cfg.io_power,
+        cfg.speeds,
+        sc.speeds,
+        sc.sigma2_choices,
+        sc.schedule,
+        model_key,
+    )
+    return invariant, (float(rate), float(frac), float(sc.rho))
+
+
+def order_for_sweeps(
+    scenarios: Sequence["Scenario"], indices: Sequence[int] | None = None
+) -> list[int]:
+    """Indices reordered so detectable sweeps are contiguous and
+    monotone.
+
+    ``indices`` selects a subset of ``scenarios`` (a plan group's cache
+    misses); ``None`` means all of them.  The returned list is a
+    permutation of the input indices: scenarios sharing their invariant
+    key are grouped (first-appearance group order, so the result is
+    deterministic) and sorted by (error rate, fail-stop fraction, rho)
+    within the group — the same invariants-first, rho-last order the
+    incremental solver chains by.
+    """
+    idxs = list(range(len(scenarios))) if indices is None else list(indices)
+    group_ids: dict[tuple, int] = {}
+    keyed: list[tuple[int, float, float, float, int]] = []
+    for i in idxs:
+        invariant, axes = scenario_features(scenarios[i])
+        gid = group_ids.setdefault(invariant, len(group_ids))
+        keyed.append((gid, *axes, i))
+    keyed.sort()
+    return [k[-1] for k in keyed]
+
+
+@dataclass(frozen=True)
+class SweepChain:
+    """One detected sweep: a run of scenarios varying a single axis.
+
+    ``axis`` is one of ``error_rate`` / ``failstop_fraction`` / ``rho``
+    (or ``None`` for a singleton or pure-duplicate run), ``indices``
+    are the member positions in sweep order, and ``lo``/``hi`` bound
+    the swept values.
+    """
+
+    axis: str | None
+    indices: tuple[int, ...]
+    lo: float
+    hi: float
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def detect_sweeps(
+    scenarios: Sequence["Scenario"], indices: Sequence[int] | None = None
+) -> tuple[SweepChain, ...]:
+    """The sweep chains :func:`order_for_sweeps` makes contiguous.
+
+    Orders the scenarios, then cuts the order into maximal runs whose
+    consecutive members share the invariant key and differ in at most
+    one numeric axis — the same axis throughout the run.  Useful to
+    check *why* a grid does (or does not) benefit from the incremental
+    backend: one chain per (secondary-axis value) is the expected shape
+    of a 2-axis grid.
+    """
+    ordered = order_for_sweeps(scenarios, indices)
+    chains: list[SweepChain] = []
+    run: list[int] = []
+    run_inv: tuple | None = None
+    run_axes: list[tuple[float, float, float]] = []
+    axis_id: int | None = None
+
+    def close() -> None:
+        if not run:
+            return
+        if axis_id is None:
+            chains.append(
+                SweepChain(
+                    axis=None, indices=tuple(run), lo=float("nan"), hi=float("nan")
+                )
+            )
+        else:
+            vals = [a[axis_id] for a in run_axes]
+            chains.append(
+                SweepChain(
+                    axis=_AXES[axis_id],
+                    indices=tuple(run),
+                    lo=min(vals),
+                    hi=max(vals),
+                )
+            )
+
+    for i in ordered:
+        invariant, axes = scenario_features(scenarios[i])
+        if run:
+            assert run_inv is not None
+            diffs = [
+                j for j in range(3) if axes[j] != run_axes[-1][j]
+            ]
+            linkable = invariant == run_inv and len(diffs) <= 1
+            if linkable and diffs:
+                if axis_id is None:
+                    axis_id = diffs[0]
+                elif axis_id != diffs[0]:
+                    linkable = False
+            if not linkable:
+                close()
+                run = []
+                run_axes = []
+                axis_id = None
+        run.append(i)
+        run_axes.append(axes)
+        run_inv = invariant
+    close()
+    return tuple(chains)

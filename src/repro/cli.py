@@ -71,6 +71,10 @@ Commands
     ``transport="warm"`` (:mod:`repro.exec`): ``repro pool status``
     reports workers, health and lifetime counters (``--start`` spawns
     and heartbeats the fleet first); ``repro pool stop`` shuts it down.
+``cache``
+    The process-wide solve cache (:mod:`repro.api.cache`):
+    ``repro cache stats`` prints size, totals and the per-backend
+    hit/miss breakdown; ``repro cache clear`` resets it.
 """
 
 from __future__ import annotations
@@ -349,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
         "stop", help="shut the default warm pool's workers down"
     )
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect/reset the process-wide solve cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="entry count, totals, and per-backend hit/miss breakdown",
+    )
+    cache_sub.add_parser("clear", help="drop all entries and counters")
+
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific static checks (docs/static-analysis.md)"
     )
@@ -390,16 +404,16 @@ def _cmd_backends(_: argparse.Namespace) -> int:
         return "yes" if flag else "no"
 
     print(
-        f"{'backend':18s} {'modes':29s} {'schedules':>9s} "
-        f"{'errors':>7s} {'batched':>8s} {'jit':>4s}"
+        f"{'backend':26s} {'modes':29s} {'schedules':>9s} "
+        f"{'errors':>7s} {'batched':>8s} {'jit':>4s} {'sweep':>6s}"
     )
     for name in available_backends():
         backend = get_backend(name)
         modes = ", ".join(sorted(backend.modes))
         print(
-            f"{name:18s} {modes:29s} {yn(backend.handles_schedules):>9s} "
+            f"{name:26s} {modes:29s} {yn(backend.handles_schedules):>9s} "
             f"{yn(backend.handles_error_models):>7s} {yn(backend.batched):>8s} "
-            f"{yn(backend.uses_jit):>4s}"
+            f"{yn(backend.uses_jit):>4s} {yn(backend.sweep_aware):>6s}"
         )
     print()
     print("batched backends solve whole Experiment/Study groups in one")
@@ -409,6 +423,8 @@ def _cmd_backends(_: argparse.Namespace) -> int:
 
     state = "active" if jit_available() else "not installed - pure-NumPy fallback"
     print(f"jit backends use the optional numba kernel tier ({state})")
+    print("sweep-aware backends get their plan shards ordered along")
+    print("detected sweep axes (warm-started incremental solves)")
     return 0
 
 
@@ -1158,6 +1174,39 @@ def _cmd_pool(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache``: stats/clear of the process-wide solve cache.
+
+    Like the warm pool, the cache is process-local state: a bare
+    ``stats`` in a fresh CLI process reports empty counters.  The
+    per-backend breakdown is the observable face of the incremental
+    tier — a repeated sweep should show its replays under the backend
+    that solved it, not folded into one global number.
+    """
+    from .api.cache import DEFAULT_CACHE, clear_default_cache
+
+    if args.cache_command == "clear":
+        entries = len(DEFAULT_CACHE)
+        clear_default_cache()
+        print(f"solve cache: cleared {entries} entry(ies)")
+        return 0
+
+    # stats
+    hits, misses = DEFAULT_CACHE.stats()
+    bound = DEFAULT_CACHE.maxsize if DEFAULT_CACHE.maxsize is not None else "unbounded"
+    print(f"solve cache: {len(DEFAULT_CACHE)} entry(ies) (maxsize {bound})")
+    print(f"  total: {hits} hit(s), {misses} miss(es)")
+    breakdown = DEFAULT_CACHE.stats_by_backend()
+    if breakdown:
+        print(f"  {'backend':26s} {'hits':>8s} {'misses':>8s} {'hit rate':>9s}")
+        for name, (h, m) in breakdown.items():
+            rate = f"{h / (h + m):8.1%}" if h + m else "       -"
+            print(f"  {name:26s} {h:>8d} {m:>8d} {rate:>9s}")
+    else:
+        print("  (no lookups yet in this process)")
+    return 0
+
+
 _COMMANDS = {
     "configs": _cmd_configs,
     "backends": _cmd_backends,
@@ -1178,6 +1227,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench": _cmd_bench,
     "pool": _cmd_pool,
+    "cache": _cmd_cache,
     "lint": _cmd_lint,
 }
 

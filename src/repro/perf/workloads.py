@@ -33,6 +33,14 @@ Four suites mirror the legacy bench scripts:
     persistent :class:`~repro.exec.warm.WarmWorkerPool`
     (``transport="warm"``) — the per-plan spawn/teardown cost the warm
     fabric amortises.
+``incremental``
+    The cold lockstep solve vs the incremental (warm-started) tier on
+    the two sweep shapes the tier is specified against: a dense 1-axis
+    rho sweep (10k points full; the >= 5x acceptance shape) and a
+    2-axis error-rate x rho grid (64 x 96 full; the >= 2x shape).
+    Grids are stacked eagerly so the timed calls measure solving only,
+    mirroring how the ``schedule-grid-incremental`` backend reuses one
+    stacked batch per plan shard.
 
 Quick sizes are chosen so the whole quick run (warmup + 3 reps x all
 suites) stays in CI-smoke territory while still exercising every code
@@ -62,6 +70,8 @@ __all__ = [
     "experiment_plan_scenarios",
     "study_batch_study",
     "dispatch_scenarios",
+    "incremental_axis_points",
+    "incremental_grid_points",
 ]
 
 
@@ -186,6 +196,55 @@ def dispatch_scenarios(*, quick: bool = False) -> "list[Scenario]":
 
     rhos = np.linspace(2.9, 3.6, 4 if quick else 12)
     return [Scenario(config=_CONFIG, rho=float(rho)) for rho in rhos]
+
+
+def incremental_axis_points(
+    *, quick: bool = False
+) -> tuple[list[tuple], np.ndarray]:
+    """The ``incremental`` 1-axis shape: a dense rho sweep.
+
+    One (config, schedule) row repeated along 10k bounds (quick: 1200)
+    — the shape where the incremental tier's delta dedup collapses the
+    evaluation work to a single scan and every non-anchor point is a
+    warm-started solve.  Returns ``(points, rhos)`` ready for
+    ``ScheduleGrid.from_points``.
+    """
+    from ..platforms.catalog import get_configuration
+    from ..schedules import parse_schedule
+
+    cfg = get_configuration(_CONFIG)
+    schedule = parse_schedule("geom:0.4,1.5,1")
+    n = 1200 if quick else 10_000
+    rhos = np.linspace(2.8, 5.5, n)
+    return [(cfg, schedule, None)] * n, rhos
+
+
+def incremental_grid_points(
+    *, quick: bool = False
+) -> tuple[list[tuple], np.ndarray]:
+    """The ``incremental`` 2-axis shape: error rate x rho.
+
+    64 rates x 96 bounds full (quick: 24 x 64), rho fastest — each
+    rate contributes one warm chain, so the tier pays one anchor
+    ladder per rate plus warm refinements.  The quick grid stays above
+    the tier's fixed-overhead crossover (a too-small grid is dominated
+    by the anchor sub-solve and shows no speedup).  Returns
+    ``(points, rhos)``.
+    """
+    from ..platforms.catalog import get_configuration
+    from ..schedules import parse_schedule
+
+    cfg = get_configuration(_CONFIG)
+    schedule = parse_schedule("geom:0.4,1.5,1")
+    n_rates, n_rhos = (24, 64) if quick else (64, 96)
+    rates = np.logspace(-6, -4, n_rates)
+    rhos = np.linspace(2.8, 5.5, n_rhos)
+    points = [
+        (cfg.with_error_rate(float(rate)), schedule, None)
+        for rate in rates
+        for _ in rhos
+    ]
+    return points, np.tile(rhos, n_rates)
 
 
 def study_batch_study(*, quick: bool = False) -> "Study":
@@ -320,12 +379,56 @@ def _dispatch_overhead_suite(quick: bool) -> tuple[Workload, ...]:
     )
 
 
+def _incremental_suite(quick: bool) -> tuple[Workload, ...]:
+    from ..schedules.incremental import (
+        DeltaScheduleGrid,
+        solve_schedule_grid_incremental,
+    )
+    from ..schedules.vectorized import ScheduleGrid, solve_schedule_grid
+
+    axis_pts, axis_rhos = incremental_axis_points(quick=quick)
+    grid_pts, grid_rhos = incremental_grid_points(quick=quick)
+    axis_cold = ScheduleGrid.from_points(axis_pts)
+    axis_delta = DeltaScheduleGrid.from_points(axis_pts)
+    grid_cold = ScheduleGrid.from_points(grid_pts)
+    grid_delta = DeltaScheduleGrid.from_points(grid_pts)
+
+    def _cold(grid: ScheduleGrid, rhos: np.ndarray) -> dict[str, float]:
+        solve_schedule_grid(grid, rhos)
+        return {"rows": float(len(rhos))}
+
+    def _warm(grid: "DeltaScheduleGrid", rhos: np.ndarray) -> dict[str, float]:
+        stats = solve_schedule_grid_incremental(grid, rhos).stats
+        return {
+            "rows": float(stats.n),
+            "warm": float(stats.warm),
+            "anchors": float(stats.anchors),
+            "fallback": float(stats.fallback),
+        }
+
+    return (
+        Workload("sweep_1axis_cold", lambda: _cold(axis_cold, axis_rhos)),
+        Workload(
+            "sweep_1axis_incremental",
+            lambda: _warm(axis_delta, axis_rhos),
+            baseline="sweep_1axis_cold",
+        ),
+        Workload("grid_2axis_cold", lambda: _cold(grid_cold, grid_rhos)),
+        Workload(
+            "grid_2axis_incremental",
+            lambda: _warm(grid_delta, grid_rhos),
+            baseline="grid_2axis_cold",
+        ),
+    )
+
+
 _SUITES: dict[str, Callable[[bool], tuple[Workload, ...]]] = {
     "schedule_grid": _schedule_grid_suite,
     "error_models": _error_models_suite,
     "experiment_plan": _experiment_plan_suite,
     "study_batch": _study_batch_suite,
     "dispatch_overhead": _dispatch_overhead_suite,
+    "incremental": _incremental_suite,
 }
 
 

@@ -11,9 +11,12 @@ evaluates/solves whole schedule grids in broadcast NumPy ops
 (:mod:`repro.schedules.vectorized`), plus an optional native-speed
 tier (:mod:`repro.schedules.jit`) that jit-compiles the hot kernel
 when numba is installed and falls back byte-identically when it is
-not.  The ``schedule``, ``schedule-grid`` and ``schedule-grid-jit``
-backends of :mod:`repro.api` plug all of this into
-``Scenario(schedule=...)`` and ``Study`` batches.
+not, and an incremental (variational) tier
+(:mod:`repro.schedules.incremental`) that warm-starts sweep-shaped
+grids from neighbouring optima with validated seeds and cold fallback.
+The ``schedule``, ``schedule-grid``, ``schedule-grid-jit`` and
+``schedule-grid-incremental`` backends of :mod:`repro.api` plug all of
+this into ``Scenario(schedule=...)`` and ``Study`` batches.
 """
 
 from .base import (
@@ -36,11 +39,20 @@ from .evaluator import (
     expected_time_schedule,
     time_overhead_schedule,
 )
+from .incremental import (
+    DeltaScheduleGrid,
+    IncrementalOptions,
+    IncrementalSolution,
+    IncrementalStats,
+    solve_schedule_grid_incremental,
+)
 from .jit import JitScheduleGrid, jit_available
 from .solver import ScheduleSolution, schedule_min_bound, solve_schedule
 from .vectorized import (
+    DEFAULT_SOLVER_OPTIONS,
     ScheduleGrid,
     ScheduleGridSolution,
+    SolverOptions,
     evaluate_schedule_batch,
     solve_schedule_batch,
     solve_schedule_grid,
@@ -68,9 +80,16 @@ __all__ = [
     "schedule_min_bound",
     "ScheduleGrid",
     "ScheduleGridSolution",
+    "SolverOptions",
+    "DEFAULT_SOLVER_OPTIONS",
     "evaluate_schedule_batch",
     "solve_schedule_batch",
     "solve_schedule_grid",
     "JitScheduleGrid",
     "jit_available",
+    "DeltaScheduleGrid",
+    "IncrementalOptions",
+    "IncrementalStats",
+    "IncrementalSolution",
+    "solve_schedule_grid_incremental",
 ]

@@ -57,6 +57,8 @@ from .evaluator import ScheduleExpectation
 __all__ = [
     "ScheduleGrid",
     "ScheduleGridSolution",
+    "SolverOptions",
+    "DEFAULT_SOLVER_OPTIONS",
     "evaluate_schedule_batch",
     "solve_schedule_batch",
     "solve_schedule_grid",
@@ -64,7 +66,9 @@ __all__ = [
 
 #: Pattern-size search window and coarse-scan resolution — identical to
 #: :func:`repro.core.numeric.minimize_unimodal` so the batched solver
-#: localises the same basin as the scalar path.
+#: localises the same basin as the scalar path.  These module constants
+#: are the *defaults* of :class:`SolverOptions`; callers tune the
+#: solver through an options object, never by mutating these.
 _W_LO = 1e-3
 _W_HI = 1e12
 _COARSE = 200
@@ -76,6 +80,69 @@ _COARSE = 200
 _BISECT_ITERS = 96
 _GOLDEN_ITERS = 72
 _INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Typed knobs of :func:`solve_schedule_grid`'s lockstep stages.
+
+    The defaults reproduce the historical module-level constants
+    exactly (the regression tests pin that a default-constructed
+    options object changes nothing), so existing callers are
+    unaffected; the incremental tier (:mod:`repro.schedules.incremental`)
+    passes reduced budgets for its warm-started cold fallbacks, and
+    tests can shrink the coarse scan to exercise fallback ladders.
+
+    Parameters
+    ----------
+    w_lo, w_hi:
+        The pattern-size search window (must satisfy
+        ``0 < w_lo < w_hi``, both finite).
+    coarse:
+        Number of log-spaced coarse-scan points (>= 3, so the argmin
+        always has a left and right neighbour to polish between).
+    bisect_iters:
+        Lockstep bisection iterations for the feasibility crossings.
+    golden_iters:
+        Lockstep golden-section iterations (>= 2: the recurrence needs
+        its two seed probes).
+    """
+
+    w_lo: float = _W_LO
+    w_hi: float = _W_HI
+    coarse: int = _COARSE
+    bisect_iters: int = _BISECT_ITERS
+    golden_iters: int = _GOLDEN_ITERS
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.w_lo) and self.w_lo > 0):
+            raise InvalidParameterError(
+                f"w_lo must be finite and > 0, got {self.w_lo!r}"
+            )
+        if not (math.isfinite(self.w_hi) and self.w_hi > self.w_lo):
+            raise InvalidParameterError(
+                f"w_hi must be finite and > w_lo ({self.w_lo!r}), "
+                f"got {self.w_hi!r}"
+            )
+        if self.coarse < 3:
+            raise InvalidParameterError(
+                f"coarse must be >= 3 (argmin needs neighbours to polish "
+                f"between), got {self.coarse!r}"
+            )
+        if self.bisect_iters < 1:
+            raise InvalidParameterError(
+                f"bisect_iters must be >= 1, got {self.bisect_iters!r}"
+            )
+        if self.golden_iters < 2:
+            raise InvalidParameterError(
+                f"golden_iters must be >= 2 (the recurrence needs its seed "
+                f"probes), got {self.golden_iters!r}"
+            )
+
+
+#: The historical solver behaviour: every ``options=None`` call sees
+#: exactly these values.
+DEFAULT_SOLVER_OPTIONS = SolverOptions()
 
 
 def _capped_exposure_cols(lam_f: np.ndarray, tau: np.ndarray) -> np.ndarray:
@@ -216,6 +283,40 @@ class ScheduleGrid:
             kappa=col([cfg.processor.kappa for cfg, _, _ in points]),
             idle=col([cfg.processor.idle_power for cfg, _, _ in points]),
             p_io=col([cfg.io_power + cfg.processor.idle_power for cfg, _, _ in points]),
+        )
+
+    # ------------------------------------------------------------------
+    def take(self, indices: "Sequence[int] | np.ndarray") -> "ScheduleGrid":
+        """A row-subset grid (``indices`` order, which must be unique).
+
+        Rows are evaluated independently (padded heads are masked per
+        row), so a taken row's expectations are byte-identical to the
+        same row inside the parent grid — the property the incremental
+        tier's anchor/fallback sub-solves rely on.  ``models`` row
+        indices are remapped to the subset's positions.
+        """
+        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+        if idx.size != np.unique(idx).size:
+            raise InvalidParameterError("take() indices must be unique")
+        model_map = dict(self.models)
+        models = tuple(
+            (pos, model_map[int(i)])
+            for pos, i in enumerate(idx)
+            if int(i) in model_map
+        )
+        return type(self)(
+            head=self.head[idx],
+            head_len=self.head_len[idx],
+            tail=self.tail[idx],
+            lam_f=self.lam_f[idx],
+            lam_s=self.lam_s[idx],
+            models=models,
+            C=self.C[idx],
+            V=self.V[idx],
+            R=self.R[idx],
+            kappa=self.kappa[idx],
+            idle=self.idle[idx],
+            p_io=self.p_io[idx],
         )
 
     # ------------------------------------------------------------------
@@ -394,6 +495,8 @@ def _lockstep_bisect(
     a: FloatArray,
     b: FloatArray,
     fa: FloatArray,
+    *,
+    iters: int = _BISECT_ITERS,
 ) -> FloatArray:
     """Elementwise bisection of ``fn``'s sign change on ``[a, b]``.
 
@@ -401,7 +504,7 @@ def _lockstep_bisect(
     call.  Rows whose bracket is degenerate (``a == b``) simply stay
     put, so callers can pre-collapse rows that need no root find.
     """
-    for _ in range(_BISECT_ITERS):
+    for _ in range(iters):
         mid = 0.5 * (a + b)
         fm = fn(mid)
         same = np.sign(fm) == np.sign(fa)
@@ -412,7 +515,11 @@ def _lockstep_bisect(
 
 
 def _lockstep_golden(
-    fn: Callable[[FloatArray], FloatArray], a: FloatArray, b: FloatArray
+    fn: Callable[[FloatArray], FloatArray],
+    a: FloatArray,
+    b: FloatArray,
+    *,
+    iters: int = _GOLDEN_ITERS,
 ) -> tuple[FloatArray, FloatArray]:
     """Elementwise golden-section minimisation on ``[a, b]``.
 
@@ -427,7 +534,7 @@ def _lockstep_golden(
     d = _INVPHI * (b - a)
     c1, c2 = b - d, a + d  # lower/upper interior probes
     f1, f2 = fn(c1), fn(c2)
-    for _ in range(_GOLDEN_ITERS - 1):
+    for _ in range(iters - 1):
         keep_left = f1 < f2
         a = np.where(keep_left, a, c1)
         b = np.where(keep_left, c2, b)
@@ -446,7 +553,12 @@ def _lockstep_golden(
     return x, fn(x)
 
 
-def solve_schedule_grid(grid: ScheduleGrid, rho: ScalarOrArray) -> ScheduleGridSolution:
+def solve_schedule_grid(
+    grid: ScheduleGrid,
+    rho: ScalarOrArray,
+    *,
+    options: SolverOptions | None = None,
+) -> ScheduleGridSolution:
     """Constrained optimum of every grid point under its bound ``rho``.
 
     The batched analogue of :func:`repro.schedules.solver.solve_schedule`
@@ -464,22 +576,27 @@ def solve_schedule_grid(grid: ScheduleGrid, rho: ScalarOrArray) -> ScheduleGridS
        interior/endpoint candidate rule as the scalar solver.
 
     ``rho`` may be a scalar or an array of per-point bounds.
+    ``options=None`` runs with :data:`DEFAULT_SOLVER_OPTIONS` (the
+    historical behaviour, bit for bit).
     """
+    opt = DEFAULT_SOLVER_OPTIONS if options is None else options
     n = grid.n
     rho = np.broadcast_to(np.asarray(rho, dtype=np.float64), (n,)).astype(np.float64)
     if np.any(rho <= 0):
         raise InvalidParameterError("rho must be > 0")
 
     # Stage 1: coarse scan (shared grid, one broadcast evaluation).
-    w_grid = np.logspace(math.log10(_W_LO), math.log10(_W_HI), _COARSE)
+    w_grid = np.logspace(math.log10(opt.w_lo), math.log10(opt.w_hi), opt.coarse)
     with np.errstate(over="ignore", invalid="ignore"):
         t_grid = grid.evaluate(w_grid, components=("time",)).time / w_grid
     t_grid = np.where(np.isfinite(t_grid), t_grid, np.inf)
     k = np.argmin(t_grid, axis=1)
     rows = np.arange(n)
     left = w_grid[np.maximum(k - 1, 0)]
-    right = w_grid[np.minimum(k + 1, _COARSE - 1)]
-    w_star, t_polish = _lockstep_golden(grid.time_overhead, left, right)
+    right = w_grid[np.minimum(k + 1, opt.coarse - 1)]
+    w_star, t_polish = _lockstep_golden(
+        grid.time_overhead, left, right, iters=opt.golden_iters
+    )
     # Keep the better of grid/polish, as minimize_unimodal does.
     t_coarse = t_grid[rows, k]
     use_polish = t_polish <= t_coarse
@@ -491,16 +608,18 @@ def solve_schedule_grid(grid: ScheduleGrid, rho: ScalarOrArray) -> ScheduleGridS
         return grid.time_overhead(w) - rho  # inf-safe: inf - rho = inf
 
     # Stage 2a: left crossing on [W_LO, w_star] (T/W decreasing there).
-    lo = np.full(n, _W_LO)
+    lo = np.full(n, opt.w_lo)
     s_lo = shifted(lo)
     need_left = feasible & (s_lo > 0)
     a = np.where(need_left, lo, w_star)
-    w1 = _lockstep_bisect(shifted, a, w_star, np.where(need_left, s_lo, -1.0))
-    w1 = np.where(need_left, w1, _W_LO)
+    w1 = _lockstep_bisect(
+        shifted, a, w_star, np.where(need_left, s_lo, -1.0), iters=opt.bisect_iters
+    )
+    w1 = np.where(need_left, w1, opt.w_lo)
     w1 = np.where(feasible, w1, np.nan)
 
     # Stage 2b: right crossing — lockstep doubling then bisection.
-    hi = np.where(feasible, w_star, _W_LO)
+    hi = np.where(feasible, w_star, opt.w_lo)
     s_hi = shifted(hi)
     for _ in range(64):
         growing = feasible & (s_hi <= 0)
@@ -509,14 +628,18 @@ def solve_schedule_grid(grid: ScheduleGrid, rho: ScalarOrArray) -> ScheduleGridS
         hi = np.where(growing, hi * 2.0, hi)
         s_hi = np.where(growing, shifted(hi), s_hi)
     a2 = np.where(feasible, w_star, hi)
-    w2 = _lockstep_bisect(shifted, a2, hi, np.where(feasible, -1.0, 1.0))
+    w2 = _lockstep_bisect(
+        shifted, a2, hi, np.where(feasible, -1.0, 1.0), iters=opt.bisect_iters
+    )
     w2 = np.where(feasible, w2, np.nan)
 
     # Stage 3: energy minimisation on the feasible interval.  Collapse
     # infeasible rows to a harmless degenerate bracket, then mask.
     b_lo = np.where(feasible, w1, 1.0)
     b_hi = np.where(feasible, w2, 1.0)
-    x_e, f_e = _lockstep_golden(grid.energy_overhead, b_lo, b_hi)
+    x_e, f_e = _lockstep_golden(
+        grid.energy_overhead, b_lo, b_hi, iters=opt.golden_iters
+    )
     e1 = grid.energy_overhead(b_lo)
     e2 = grid.energy_overhead(b_hi)
     # Same candidate order as the scalar solver: interior, W1, W2 (the

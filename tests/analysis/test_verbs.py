@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis.verbs import (
     CrossoverResult,
+    DiffResult,
     FrontierResult,
     SavingsResult,
     SensitivityResult,
@@ -244,3 +245,79 @@ class TestCrossoverVerb:
         assert len(rows) == len(cx)
         payload = json.loads(cx.to_json())
         assert len(payload["events"]) == len(cx)
+
+
+class TestDiffVerb:
+    def test_rho_neighbours_name_the_moved_axis(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=12)
+        d = results.diff(3, 4)
+        assert isinstance(d, DiffResult)
+        assert d.invariants_equal
+        assert [c.field for c in d.scenario_changes] == ["rho"]
+        rho_delta = d.scenario_changes[0]
+        assert rho_delta.delta is not None and rho_delta.delta > 0
+        assert d.change("work") is not None or len(d) >= 0
+
+    def test_identical_results_have_no_changes(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=4)
+        d = results.diff(2, 2)
+        assert d.scenario_changes == ()
+        assert len(d) == 0
+        assert not d.regime_change
+        assert not d.pair_flip
+        assert "identical scenarios" in d.describe()
+
+    def test_feasibility_flip_across_rho_min(self, hera_xscale):
+        # rho=1.01 is below rho_min for this platform; rho=4 is feasible.
+        results = _rho_results(hera_xscale, n=2, lo=1.01, hi=4.0)
+        d = results.diff(0, 1)
+        assert d.regime_before == "infeasible"
+        assert d.regime_after != "infeasible"
+        assert d.feasibility_flip
+        assert "feasibility flipped" in d.describe()
+
+    def test_regimes_classified_against_interval(self, hera_xscale):
+        # The schedule backends attach the feasible interval to the
+        # winning solution, so the regime classifier can tell crossing-
+        # pinned optima from interior ones.
+        # Just past rho_min the optimum sits on the lower crossing;
+        # further out it relaxes to the interior energy minimum.
+        results = _rho_results(
+            hera_xscale, n=10, lo=2.35, hi=2.9,
+            schedules=("geom:0.4,1.5,1",),
+        )
+        regimes = [
+            results.diff(i, i + 1).regime_after
+            for i in range(len(results) - 1)
+        ]
+        assert "at-w-lo" in regimes
+        assert "interior" in regimes
+        assert set(regimes) <= {"infeasible", "interior", "at-w-lo", "at-w-hi"}
+
+    def test_negative_indices_and_describe(self, hera_xscale):
+        results = _rho_results(hera_xscale, n=6)
+        d = results.diff(-2, -1)
+        assert d.index_a == len(results) - 2
+        assert d.index_b == len(results) - 1
+        text = d.describe()
+        assert f"diff[{d.index_a} -> {d.index_b}]" in text
+        assert "rho" in text
+
+    def test_export_round_trip(self, hera_xscale, tmp_path):
+        results = _rho_results(hera_xscale, n=8)
+        d = results.diff(0, -1)
+        payload = json.loads(d.to_json())
+        assert payload["regime_before"] == d.regime_before
+        assert len(payload["changes"]) == len(d.changes)
+        assert len(payload["scenario_changes"]) == 1
+        rows = read_series_csv_rows(d.to_csv(tmp_path / "diff.csv"))
+        assert len(rows) == len(d.to_dicts())
+
+    def test_non_neighbour_scenarios_flagged(self, hera_xscale, atlas_crusoe):
+        results = Experiment.over(
+            configs=(hera_xscale, atlas_crusoe), rhos=(3.0,),
+            name="diff-invariants",
+        ).solve()
+        d = results.diff(0, 1)
+        assert not d.invariants_equal
+        assert "not sweep neighbours" in d.describe()

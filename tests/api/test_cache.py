@@ -172,3 +172,45 @@ class TestSolveCacheMechanics:
             assert second.provenance.cache_hit
         finally:
             DEFAULT_CACHE.clear()
+
+
+class TestPerBackendStats:
+    def test_breakdown_splits_by_backend(self, hera_xscale, cache):
+        sc = Scenario(config=hera_xscale, rho=2.3456)
+        sc.solve(backend="firstorder", cache=cache)
+        sc.solve(backend="firstorder", cache=cache)  # hit
+        sc.solve(backend="grid", cache=cache)
+        assert cache.stats_by_backend() == {
+            "firstorder": (1, 1),
+            "grid": (0, 1),
+        }
+
+    def test_breakdown_totals_match_stats(self, hera_xscale, cache):
+        for rho in (2.1, 2.2, 2.1, 2.3, 2.2):
+            Scenario(config=hera_xscale, rho=rho).solve(cache=cache)
+        hits, misses = cache.stats()
+        by_backend = cache.stats_by_backend()
+        assert sum(h for h, _ in by_backend.values()) == hits
+        assert sum(m for _, m in by_backend.values()) == misses
+
+    def test_breakdown_preserves_first_lookup_order(self, hera_xscale, cache):
+        sc = Scenario(config=hera_xscale, rho=2.3456)
+        sc.solve(backend="grid", cache=cache)
+        sc.solve(backend="firstorder", cache=cache)
+        sc.solve(backend="grid", cache=cache)
+        assert list(cache.stats_by_backend()) == ["grid", "firstorder"]
+
+    def test_clear_resets_breakdown(self, hera_xscale, cache):
+        Scenario(config=hera_xscale, rho=2.3456).solve(cache=cache)
+        cache.clear()
+        assert cache.stats_by_backend() == {}
+        assert cache.stats() == (0, 0)
+
+    def test_empty_cache_has_empty_breakdown(self, cache):
+        assert cache.stats_by_backend() == {}
+
+    def test_breakdown_is_a_snapshot(self, hera_xscale, cache):
+        Scenario(config=hera_xscale, rho=2.3456).solve(cache=cache)
+        snap = cache.stats_by_backend()
+        Scenario(config=hera_xscale, rho=9.9).solve(cache=cache)
+        assert snap != cache.stats_by_backend()  # snapshot, not a live view

@@ -1,0 +1,195 @@
+"""Sweep detection and shard ordering for the incremental backend.
+
+:func:`order_for_sweeps` must turn an arbitrarily-shuffled plan group
+into contiguous, monotone sweep chains — the shape the incremental
+solver warm-starts along — without changing *which* scenarios are
+solved, and :func:`detect_sweeps` must name the recovered chains.  The
+integration pins check that a plan routed through the
+``schedule-grid-incremental`` backend returns results in scenario
+order and agrees with the cold ``schedule-grid`` backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment, Scenario
+from repro.api.sweep_planner import (
+    SweepChain,
+    detect_sweeps,
+    order_for_sweeps,
+    scenario_features,
+)
+
+SCHEDULE = "geom:0.4,1.5,1"
+
+
+def _rho_scenarios(rhos, *, config="hera-xscale", **kwargs):
+    return [
+        Scenario(config=config, rho=float(r), schedule=SCHEDULE, **kwargs)
+        for r in rhos
+    ]
+
+
+class TestScenarioFeatures:
+    def test_rho_is_the_only_moving_axis_on_a_rho_sweep(self):
+        a, b = _rho_scenarios([3.0, 4.0])
+        inv_a, ax_a = scenario_features(a)
+        inv_b, ax_b = scenario_features(b)
+        assert inv_a == inv_b
+        assert ax_a[:2] == ax_b[:2]
+        assert ax_a[2] == 3.0 and ax_b[2] == 4.0
+
+    def test_silent_rate_read_from_configuration(self):
+        sc = _rho_scenarios([3.0])[0]
+        _, axes = scenario_features(sc)
+        assert axes[0] == sc.resolved_config().lam
+        assert axes[1] == 0.0
+
+    def test_combined_mode_exposes_rate_and_fraction(self):
+        sc = Scenario(
+            config="hera-xscale", rho=3.0, mode="combined",
+            failstop_fraction=0.4, error_rate=2e-5, schedule=SCHEDULE,
+        )
+        _, axes = scenario_features(sc)
+        assert axes[0] == pytest.approx(2e-5)
+        assert axes[1] == pytest.approx(0.4)
+
+    def test_renewal_model_part_of_invariant_key(self):
+        spec = "gamma:shape=2,mtbf=3e5"
+        a = Scenario(config="hera-xscale", rho=3.0, errors=spec,
+                     schedule=SCHEDULE)
+        b = Scenario(config="hera-xscale", rho=3.0, schedule=SCHEDULE)
+        inv_a, _ = scenario_features(a)
+        inv_b, _ = scenario_features(b)
+        assert inv_a != inv_b
+
+    def test_different_schedules_break_the_invariant(self):
+        a = Scenario(config="hera-xscale", rho=3.0, schedule="geom:0.4,1.5,1")
+        b = Scenario(config="hera-xscale", rho=3.0, schedule="two:0.4,0.8")
+        assert scenario_features(a)[0] != scenario_features(b)[0]
+
+
+class TestOrderForSweeps:
+    def test_permutation_of_input_indices(self):
+        rng = np.random.default_rng(3)
+        scenarios = _rho_scenarios(rng.permutation(np.linspace(2.5, 5.0, 17)))
+        order = order_for_sweeps(scenarios)
+        assert sorted(order) == list(range(len(scenarios)))
+
+    def test_shuffled_rho_sweep_comes_out_monotone(self):
+        rhos = np.linspace(2.5, 5.0, 13)
+        perm = np.random.default_rng(5).permutation(len(rhos))
+        scenarios = _rho_scenarios(rhos[perm])
+        order = order_for_sweeps(scenarios)
+        ordered_rhos = [scenarios[i].rho for i in order]
+        assert ordered_rhos == sorted(ordered_rhos)
+
+    def test_subset_indices_respected(self):
+        scenarios = _rho_scenarios([5.0, 3.0, 4.0, 2.8])
+        order = order_for_sweeps(scenarios, indices=[0, 2, 3])
+        assert sorted(order) == [0, 2, 3]
+        assert [scenarios[i].rho for i in order] == [2.8, 4.0, 5.0]
+
+    def test_interleaved_grid_grouped_by_invariants(self):
+        # Two rate levels interleaved point-by-point: the order must
+        # un-interleave them into one contiguous run per rate.
+        rhos = np.linspace(2.8, 4.5, 6)
+        scenarios = [
+            Scenario(config="hera-xscale", rho=float(r), mode="combined",
+                     failstop_fraction=0.2, error_rate=rate,
+                     schedule=SCHEDULE)
+            for r in rhos
+            for rate in (1e-5, 5e-5)
+        ]
+        order = order_for_sweeps(scenarios)
+        rates = [scenario_features(scenarios[i])[1][0] for i in order]
+        # One block per rate, each internally constant.
+        changes = sum(1 for x, y in zip(rates, rates[1:]) if x != y)
+        assert changes == 1
+
+    def test_deterministic(self):
+        scenarios = _rho_scenarios([4.0, 2.9, 3.3, 5.0, 2.8])
+        assert order_for_sweeps(scenarios) == order_for_sweeps(scenarios)
+
+
+class TestDetectSweeps:
+    def test_scrambled_two_axis_grid_one_chain_per_rate(self):
+        rhos = np.linspace(2.8, 4.5, 8)
+        scenarios = []
+        for rate in (1e-5, 3e-5, 9e-5):
+            scenarios.extend(
+                _rho_scenarios(rhos, mode="combined", failstop_fraction=0.2,
+                               error_rate=rate)
+            )
+        perm = np.random.default_rng(11).permutation(len(scenarios))
+        shuffled = [scenarios[i] for i in perm]
+        chains = detect_sweeps(shuffled)
+        assert len(chains) == 3
+        for chain in chains:
+            assert isinstance(chain, SweepChain)
+            assert chain.axis == "rho"
+            assert len(chain) == len(rhos)
+            assert chain.lo == pytest.approx(rhos[0])
+            assert chain.hi == pytest.approx(rhos[-1])
+
+    def test_rate_sweep_detected_on_its_axis(self):
+        scenarios = [
+            Scenario(config="hera-xscale", rho=3.0, mode="combined",
+                     failstop_fraction=0.2, error_rate=float(rate),
+                     schedule=SCHEDULE)
+            for rate in np.logspace(-6, -4, 9)
+        ]
+        chains = detect_sweeps(scenarios)
+        assert len(chains) == 1
+        assert chains[0].axis == "error_rate"
+        assert chains[0].lo == pytest.approx(1e-6)
+        assert chains[0].hi == pytest.approx(1e-4)
+
+    def test_singleton_has_no_axis(self):
+        chains = detect_sweeps(_rho_scenarios([3.0]))
+        assert len(chains) == 1
+        assert chains[0].axis is None
+        assert len(chains[0]) == 1
+
+    def test_duplicate_run_has_no_axis(self):
+        chains = detect_sweeps(_rho_scenarios([3.0, 3.0, 3.0]))
+        assert len(chains) == 1
+        assert chains[0].axis is None
+
+    def test_empty_input(self):
+        assert detect_sweeps([]) == ()
+
+
+class TestPlanIntegration:
+    def test_incremental_backend_matches_cold_in_scenario_order(self):
+        rhos = np.linspace(2.8, 4.8, 24)
+        perm = np.random.default_rng(2).permutation(len(rhos))
+        shuffled = tuple(float(r) for r in rhos[perm])
+        cold = Experiment.over(
+            configs=("hera-xscale",), rhos=shuffled, schedules=(SCHEDULE,),
+            backend="schedule-grid", name="sweep-cold",
+        ).solve(cache=False)
+        warm = Experiment.over(
+            configs=("hera-xscale",), rhos=shuffled, schedules=(SCHEDULE,),
+            backend="schedule-grid-incremental", name="sweep-warm",
+        ).solve(cache=False)
+        assert [r.scenario.rho for r in warm] == list(shuffled)
+        for rc, rw in zip(cold, warm):
+            assert rc.scenario.rho == rw.scenario.rho
+            assert rc.feasible == rw.feasible
+            if rc.feasible:
+                assert rw.energy_overhead == pytest.approx(
+                    rc.energy_overhead, abs=1e-9
+                )
+
+    def test_plan_groups_route_to_sweep_aware_backend(self):
+        plan = Experiment.over(
+            configs=("hera-xscale",), rhos=(2.8, 3.0, 3.2),
+            schedules=(SCHEDULE,),
+            backend="schedule-grid-incremental", name="sweep-plan",
+        ).plan()
+        assert any(
+            g.backend == "schedule-grid-incremental" for g in plan.groups
+        )

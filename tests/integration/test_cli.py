@@ -187,18 +187,22 @@ class TestVersionFlag:
 
 
 class TestBackendsListing:
-    def test_batched_and_jit_columns_exposed(self, capsys):
+    def test_batched_jit_and_sweep_columns_exposed(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
         header = out.splitlines()[0]
-        for column in ("backend", "modes", "schedules", "errors", "batched", "jit"):
+        for column in ("backend", "modes", "schedules", "errors", "batched",
+                       "jit", "sweep"):
             assert column in header
-        rows = {line.split()[0]: line for line in out.splitlines()[1:8]}
-        # Last two cells per row: (batched, jit).
-        assert rows["grid"].split()[-2:] == ["yes", "no"]
-        assert rows["schedule-grid"].split()[-2:] == ["yes", "no"]
-        assert rows["schedule-grid-jit"].split()[-2:] == ["yes", "yes"]
-        assert rows["firstorder"].split()[-2:] == ["no", "no"]
+        rows = {line.split()[0]: line for line in out.splitlines()[1:9]}
+        # Last three cells per row: (batched, jit, sweep).
+        assert rows["grid"].split()[-3:] == ["yes", "no", "no"]
+        assert rows["schedule-grid"].split()[-3:] == ["yes", "no", "no"]
+        assert rows["schedule-grid-jit"].split()[-3:] == ["yes", "yes", "no"]
+        assert rows["schedule-grid-incremental"].split()[-3:] == \
+            ["yes", "no", "yes"]
+        assert rows["firstorder"].split()[-3:] == ["no", "no", "no"]
+        assert "sweep-aware backends" in out
 
 
 class TestFrontierCommand:
@@ -398,3 +402,47 @@ class TestPool:
             assert main(["pool", "stop"]) == 0
         assert "stopped" in capsys.readouterr().out
         assert default_pool_or_none() is None
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.api.cache import clear_default_cache
+
+        clear_default_cache()
+        yield
+        clear_default_cache()
+
+    def test_stats_empty(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "0 entry(ies)" in out
+        assert "0 hit(s), 0 miss(es)" in out
+        assert "no lookups yet in this process" in out
+
+    def test_stats_after_solves_shows_backend_breakdown(self, capsys):
+        from repro.api import Scenario
+
+        scenario = Scenario(config="hera-xscale", rho=3.0)
+        scenario.solve()
+        scenario.solve()  # replay: one hit
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry(ies)" in out
+        assert "1 hit(s), 1 miss(es)" in out
+        backend = scenario.resolve_backend_name(None)
+        assert backend in out
+        assert "50.0%" in out
+
+    def test_clear_empties_the_cache(self, capsys):
+        from repro.api import Scenario
+        from repro.api.cache import DEFAULT_CACHE
+
+        Scenario(config="hera-xscale", rho=3.0).solve()
+        assert len(DEFAULT_CACHE) == 1
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 entry(ies)" in out
+        assert len(DEFAULT_CACHE) == 0
+        assert DEFAULT_CACHE.stats() == (0, 0)
+        assert DEFAULT_CACHE.stats_by_backend() == {}

@@ -232,6 +232,39 @@ _BACKEND_JIT_FLAG_NON_LITERAL = """
             return JitScheduleGrid.from_points(points)
 """
 
+# The incremental tier's shape (ScheduleGridIncrementalBackend): a
+# grid-tier subclass declaring sweep_aware and solving through the
+# warm-started incremental path.
+_BACKEND_SWEEP_AWARE_OK = """
+    class IncrementalTierBackend(ScheduleGridBackend):
+        name = "mine-incremental"
+        modes = ("silent",)
+        sweep_aware = True
+
+        def _solve_grid(self, grid, rhos):
+            return solve_schedule_grid_incremental(grid, rhos)
+"""
+
+_BACKEND_SWEEP_FLAG_WITHOUT_SOLVER = """
+    class IncrementalTierBackend(ScheduleGridBackend):
+        name = "mine-incremental"
+        modes = ("silent",)
+        sweep_aware = True
+
+        def _solve_grid(self, grid, rhos):
+            return solve_schedule_grid(grid, rhos)
+"""
+
+_BACKEND_SWEEP_FLAG_NON_LITERAL = """
+    class IncrementalTierBackend(ScheduleGridBackend):
+        name = "mine-incremental"
+        modes = ("silent",)
+        sweep_aware = compute_flag()
+
+        def _solve_grid(self, grid, rhos):
+            return solve_schedule_grid_incremental(grid, rhos)
+"""
+
 
 class TestBackendCapabilities:
     def test_conforming_backend_clean(self):
@@ -272,6 +305,19 @@ class TestBackendCapabilities:
 
     def test_uses_jit_non_literal_flagged(self):
         diags = run(_BACKEND_JIT_FLAG_NON_LITERAL, select="RPR003")
+        assert codes_of(diags) == ["RPR003"]
+        assert "non-literal" in diags[0].message
+
+    def test_sweep_aware_backend_clean(self):
+        assert run(_BACKEND_SWEEP_AWARE_OK, select="RPR003") == []
+
+    def test_sweep_aware_without_incremental_solver_flagged(self):
+        diags = run(_BACKEND_SWEEP_FLAG_WITHOUT_SOLVER, select="RPR003")
+        assert codes_of(diags) == ["RPR003"]
+        assert "sweep_aware" in diags[0].message
+
+    def test_sweep_aware_non_literal_flagged(self):
+        diags = run(_BACKEND_SWEEP_FLAG_NON_LITERAL, select="RPR003")
         assert codes_of(diags) == ["RPR003"]
         assert "non-literal" in diags[0].message
 

@@ -90,7 +90,7 @@ def test_compare_rejects_suite_mismatch() -> None:
 def test_suite_registry() -> None:
     assert suite_names() == (
         "schedule_grid", "error_models", "experiment_plan", "study_batch",
-        "dispatch_overhead",
+        "dispatch_overhead", "incremental",
     )
     for name in suite_names():
         suite = build_suite(name, quick=True)
@@ -214,4 +214,5 @@ def test_cli_backends_shows_jit_column(capsys) -> None:
     jit_line = next(
         line for line in out.splitlines() if line.startswith("schedule-grid-jit")
     )
-    assert jit_line.rstrip().endswith("yes")
+    # Trailing cells are (batched, jit, sweep).
+    assert jit_line.split()[-3:-1] == ["yes", "yes"]
