@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Drive the solver service end to end, in one process.
+
+Boots the HTTP job service on a loopback socket (stdlib carrier, no
+third-party packages), submits a 30-point frontier grid as a JSON
+spec, follows the job's Server-Sent Events stream to completion,
+downloads the CSV artifact, and then re-submits the identical spec to
+show the cross-request shared cache serving the whole grid as hits.
+
+The same spec works against a standalone `repro serve` deployment —
+see docs/service.md for the full spec grammar, auth, and metrics.
+
+Run:
+    python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.api.cache import SolveCache
+from repro.service import InMemoryArtifactStore, ServiceApp, ServiceConfig
+from repro.service.testing import InProcessClient, run_service, sse_events
+
+SPEC = {
+    "name": "quickstart-frontier",
+    "grid": {
+        "configs": ["hera-xscale"],
+        "rhos": {"start": 2.6, "stop": 5.5, "count": 30},
+    },
+    "analyses": ["frontier"],
+}
+
+
+def main() -> None:
+    app = ServiceApp(
+        ServiceConfig(transport="inline", job_workers=1),
+        cache=SolveCache(),
+        artifacts=InMemoryArtifactStore(),
+    )
+    with run_service(app) as server:
+        print(f"service listening on {server.url}\n")
+        client = InProcessClient(app)
+
+        accepted = client.submit(SPEC)
+        job_id = accepted["id"]
+        print(f"submitted {SPEC['name']!r} -> {job_id} ({accepted['state']})")
+
+        print("streaming events:")
+        for event in sse_events(server, job_id):
+            line = {k: v for k, v in event["data"].items() if k != "backends"}
+            print(f"  [{event['id']:>3}] {event['event']:<9} {line}")
+
+        final = client.wait_job(job_id)
+        result = final["result"]
+        print(
+            f"\njob {final['state']}: {result['scenarios']} scenarios in "
+            f"{result['elapsed_seconds']:.3f} s "
+            f"({result['cache_hits']} cache hits)"
+        )
+
+        body = client.get(f"/v1/jobs/{job_id}/artifacts/results.csv").text
+        rows = list(csv.DictReader(io.StringIO(body)))
+        print(f"results.csv: {len(rows)} rows; first optimal pair = "
+              f"({float(rows[0]['sigma1']):.3f}, {float(rows[0]['sigma2']):.3f})")
+
+        rerun = client.submit(SPEC)
+        redo = client.wait_job(rerun["id"])
+        hits = redo["result"]["cache_hits"]
+        total = redo["result"]["scenarios"]
+        print(f"\nidentical re-submission: {hits}/{total} served from the "
+              f"shared cache ({100.0 * hits / total:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -75,6 +75,12 @@ Commands
     The process-wide solve cache (:mod:`repro.api.cache`):
     ``repro cache stats`` prints size, totals and the per-backend
     hit/miss breakdown; ``repro cache clear`` resets it.
+``serve``
+    The solver-as-a-service HTTP job API (:mod:`repro.service`):
+    ``repro serve --port 8337`` boots the async job layer — JSON
+    experiment specs in, SSE progress and CSV/JSON artifacts out —
+    over the warm worker pool and the shared solve cache
+    (docs/service.md).
 """
 
 from __future__ import annotations
@@ -362,6 +368,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="entry count, totals, and per-backend hit/miss breakdown",
     )
     cache_sub.add_parser("clear", help="drop all entries and counters")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the solver-as-a-service HTTP job API (docs/service.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8337, help="bind port")
+    p_serve.add_argument(
+        "--transport", default="warm", choices=("warm", "pooled", "inline"),
+        help="where solve shards execute (default: the warm worker pool)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes in the warm pool (default: auto)",
+    )
+    p_serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="concurrent job executor threads (default: 2)",
+    )
+    p_serve.add_argument(
+        "--token", action="append", default=None, metavar="TOKEN",
+        help="accepted bearer token (repeatable; default: REPRO_SERVICE_TOKENS "
+        "env, or open access)",
+    )
+    p_serve.add_argument(
+        "--artifact-dir", default=None,
+        help="directory for job artifacts (default: REPRO_SERVICE_ARTIFACT_DIR "
+        "env, or in-memory)",
+    )
+    p_serve.add_argument(
+        "--max-points", type=int, default=None,
+        help="per-job scenario cap (default: 200000)",
+    )
+    p_serve.add_argument(
+        "--json-logs", action="store_true",
+        help="emit structured JSON log lines on stderr",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific static checks (docs/static-analysis.md)"
@@ -1207,6 +1249,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: boot the solver service in the foreground.
+
+    Flags override the ``REPRO_SERVICE_*`` environment; the service
+    runs on the dependency-free stdlib carrier (install the
+    ``repro[service]`` extra for the FastAPI/uvicorn shell instead).
+    """
+    from .service import ServiceApp, ServiceConfig, make_server
+
+    overrides: dict[str, object] = {
+        "transport": args.transport,
+        "job_workers": args.job_workers,
+        "json_logs": bool(args.json_logs),
+    }
+    if args.token is not None:
+        overrides["tokens"] = tuple(args.token)
+    if args.artifact_dir is not None:
+        overrides["artifact_dir"] = args.artifact_dir
+    if args.workers is not None:
+        overrides["max_workers"] = args.workers
+    if args.max_points is not None:
+        overrides["max_points"] = args.max_points
+    config = ServiceConfig.from_env(**overrides)
+    server = make_server(ServiceApp(config), host=args.host, port=args.port)
+    auth = "bearer-token" if config.auth_enabled else "open (no tokens configured)"
+    print(f"repro service listening on {server.url}")
+    print(f"  transport: {config.transport}  job workers: {config.job_workers}")
+    print(f"  auth: {auth}")
+    print("  docs: docs/service.md  (Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
 _COMMANDS = {
     "configs": _cmd_configs,
     "backends": _cmd_backends,
@@ -1228,6 +1303,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "pool": _cmd_pool,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -7,6 +7,11 @@ letting programming errors (``TypeError`` and friends) propagate untouched.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+
 __all__ = [
     "ReproError",
     "InvalidParameterError",
@@ -19,6 +24,8 @@ __all__ = [
     "UnsupportedScenarioError",
     "UnsupportedErrorModelError",
     "WorkerCrashError",
+    "InvalidSpecError",
+    "MissingDependencyError",
 ]
 
 
@@ -198,6 +205,59 @@ class WorkerCrashError(ReproError):
         # Multi-arg __init__ needs explicit pickle support so the error
         # survives a process boundary.
         return (type(self), (self.lost_shards, self.lost_scenarios))
+
+
+class InvalidSpecError(ReproError, ValueError):
+    """A JSON experiment spec failed validation.
+
+    Raised by the service spec codec (:mod:`repro.service.specs`) with
+    every problem found in one pass: ``issues`` is a tuple of
+    ``(path, message)`` pairs where ``path`` is the JSON field path of
+    the offending value (``"grid.schedules[2]"``,
+    ``"scenarios[3].rho"``).  The HTTP layer maps this error to a
+    ``422 Unprocessable Entity`` response carrying the field paths, so
+    a malformed payload never surfaces as a 500 from deep inside
+    :class:`~repro.api.scenario.Scenario` parsing.
+
+    Inherits :class:`ValueError`: the payload, not the system, is
+    wrong.
+    """
+
+    def __init__(self, issues: "Sequence[tuple[str, str]]"):
+        self.issues: tuple[tuple[str, str], ...] = tuple(
+            (str(path), str(message)) for path, message in issues
+        )
+        shown = "; ".join(f"{path}: {message}" for path, message in self.issues)
+        super().__init__(
+            f"invalid experiment spec ({len(self.issues)} issue(s)): {shown}"
+        )
+
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
+        # Multi-arg __init__ needs explicit pickle support so the error
+        # survives a process boundary.
+        return (type(self), (self.issues,))
+
+
+class MissingDependencyError(ReproError, ImportError):
+    """An optional integration was requested without its extra installed.
+
+    E.g. :func:`repro.service.asgi.create_fastapi_app` requires the
+    ``repro[service]`` extra (FastAPI); the core service app and the
+    stdlib server run without it.  The message names the extra to
+    install.
+    """
+
+    def __init__(self, feature: str, extra: str, missing: str):
+        self.feature = feature
+        self.extra = extra
+        self.missing = missing
+        super().__init__(
+            f"{feature} requires the optional dependency {missing!r}; "
+            f"install it with: pip install 'repro-reexec-speed[{extra}]'"
+        )
+
+    def __reduce__(self) -> tuple[type, tuple[object, ...]]:
+        return (type(self), (self.feature, self.extra, self.missing))
 
 
 class UnsupportedScenarioError(ReproError):

@@ -22,9 +22,11 @@ from .warm import (
     PoolStatus,
     WarmWorkerPool,
     WorkerStatus,
+    default_pool_lifespan,
     default_pool_or_none,
     get_default_pool,
     shutdown_default_pool,
+    warm_default_pool,
 )
 
 __all__ = [
@@ -39,6 +41,8 @@ __all__ = [
     "get_default_pool",
     "default_pool_or_none",
     "shutdown_default_pool",
+    "warm_default_pool",
+    "default_pool_lifespan",
     "resolve_transport",
     "solve_shard_inline",
 ]

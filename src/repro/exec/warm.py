@@ -46,6 +46,7 @@ import pickle
 import queue as _queue
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING, Any
@@ -69,6 +70,8 @@ __all__ = [
     "get_default_pool",
     "default_pool_or_none",
     "shutdown_default_pool",
+    "warm_default_pool",
+    "default_pool_lifespan",
 ]
 
 #: Tasks a worker solves before it is retired and replaced.
@@ -684,6 +687,57 @@ def shutdown_default_pool() -> None:
     if _default_pool is not None:
         _default_pool.shutdown()
         _default_pool = None
+
+
+def warm_default_pool(max_workers: int | None = None) -> WarmWorkerPool:
+    """Eagerly start (and heartbeat) the process-wide pool.
+
+    ``get_default_pool`` alone spawns nothing — workers appear lazily
+    at the first plan's ``prepare``, which is the right behaviour for
+    scripts but wrong for a long-lived server: the first request should
+    not pay the fleet spawn.  This helper is the *startup* half of the
+    server lifespan story: spawn the fleet now, heartbeat it, and
+    return the pool ready to serve.
+    """
+    pool = get_default_pool(max_workers)
+    pool.start()
+    if pool.heartbeat_timeout is not None and pool._idle:
+        pool.check_health()
+    return pool
+
+
+@contextmanager
+def default_pool_lifespan(
+    max_workers: int | None = None, *, drain_timeout: float = 5.0
+) -> "Iterator[WarmWorkerPool]":
+    """Tie the process-wide pool to an application lifespan.
+
+    A long-lived server cannot rely on the atexit hook alone: atexit
+    only runs at interpreter exit, while a server wants its fleet
+    spawned *before* the first request (startup warm) and drained
+    deterministically when the app stops — not when the process dies.
+    ``with default_pool_lifespan(n):`` is that contract:
+
+    * entry — :func:`warm_default_pool` spawns and heartbeats the
+      fleet;
+    * exit — :func:`shutdown_default_pool` stops every worker
+      (graceful ``stop`` message first, ``terminate`` after
+      ``drain_timeout`` seconds), even on error paths.
+
+    The atexit hook stays registered as the backstop for processes
+    that never exit the lifespan cleanly (``kill -9`` excepted — the
+    workers are daemons and die with the parent).
+    """
+    pool = warm_default_pool(max_workers)
+    try:
+        yield pool
+    finally:
+        global _default_pool
+        if _default_pool is pool:
+            pool.shutdown(timeout=drain_timeout)
+            _default_pool = None
+        else:  # pragma: no cover - pool swapped mid-lifespan
+            pool.shutdown(timeout=drain_timeout)
 
 
 atexit.register(shutdown_default_pool)

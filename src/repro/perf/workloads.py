@@ -41,6 +41,12 @@ Four suites mirror the legacy bench scripts:
     Grids are stacked eagerly so the timed calls measure solving only,
     mirroring how the ``schedule-grid-incremental`` backend reuses one
     stacked batch per plan shard.
+``service_dispatch``
+    The solver service's job-layer overhead: the same rho grid solved
+    directly (an inline :class:`~repro.api.experiment.Experiment`) vs
+    submitted as a JSON job through the in-process service client —
+    cold (fresh points every call) and fully cached (the identical
+    re-submission served from the shared solve cache).
 
 Quick sizes are chosen so the whole quick run (warmup + 3 reps x all
 suites) stays in CI-smoke territory while still exercising every code
@@ -422,6 +428,73 @@ def _incremental_suite(quick: bool) -> tuple[Workload, ...]:
     )
 
 
+def _service_dispatch_suite(quick: bool) -> tuple[Workload, ...]:
+    from ..api.cache import SolveCache
+    from ..api.experiment import Experiment
+    from ..service import InMemoryArtifactStore, ServiceApp, ServiceConfig
+    from ..service.testing import InProcessClient
+
+    n = 16 if quick else 96
+    rho_lo, rho_hi = 2.6, 5.0
+    # One long-lived service app (inline transport: the suite measures
+    # the job layer's overhead, not process dispatch), exercised by the
+    # in-process client.  Each cold call shifts the rho axis by a tiny
+    # unique offset so repetitions never hit the shared cache.
+    app = ServiceApp(
+        ServiceConfig(transport="inline", job_workers=1),
+        cache=SolveCache(),
+        artifacts=InMemoryArtifactStore(),
+    )
+    app.startup()
+    client = InProcessClient(app)
+    fresh = iter(range(1, 1_000_000))
+
+    def _spec(shift: int) -> dict[str, object]:
+        eps = shift * 1e-7
+        return {
+            "name": f"bench-dispatch-{shift}",
+            "grid": {
+                "configs": ["hera-xscale"],
+                "rhos": {"start": rho_lo + eps, "stop": rho_hi + eps, "count": n},
+            },
+            "artifacts": ["json"],
+        }
+
+    def _submit_and_wait(spec: dict[str, object]) -> dict[str, float]:
+        doc = client.submit(spec)
+        app.queue.wait_idle(timeout=300.0)
+        final = client.get(f"/v1/jobs/{doc['id']}").json()
+        result = final.get("result") or {}
+        return {
+            "scenarios": float(n),
+            "cache_hits": float(result.get("cache_hits", 0)),
+        }
+
+    def direct() -> dict[str, float]:
+        eps = next(fresh) * 1e-7
+        rhos = np.linspace(rho_lo + eps, rho_hi + eps, n)
+        exp = Experiment.over(configs=("hera-xscale",), rhos=tuple(rhos))
+        exp.solve(cache=False)
+        return {"scenarios": float(n)}
+
+    def cold() -> dict[str, float]:
+        return _submit_and_wait(_spec(next(fresh)))
+
+    warm_spec = _spec(0)
+    _submit_and_wait(warm_spec)  # prime the shared cache once, eagerly
+
+    def cached() -> dict[str, float]:
+        # The identical re-submission: every scenario replays from the
+        # shared solve cache — the >= 90% hit-rate acceptance path.
+        return _submit_and_wait(warm_spec)
+
+    return (
+        Workload("direct_solve", direct),
+        Workload("service_job_cold", cold, baseline="direct_solve"),
+        Workload("service_job_cached", cached, baseline="direct_solve"),
+    )
+
+
 _SUITES: dict[str, Callable[[bool], tuple[Workload, ...]]] = {
     "schedule_grid": _schedule_grid_suite,
     "error_models": _error_models_suite,
@@ -429,6 +502,7 @@ _SUITES: dict[str, Callable[[bool], tuple[Workload, ...]]] = {
     "study_batch": _study_batch_suite,
     "dispatch_overhead": _dispatch_overhead_suite,
     "incremental": _incremental_suite,
+    "service_dispatch": _service_dispatch_suite,
 }
 
 

@@ -1,0 +1,60 @@
+"""Solver-as-a-service: the async HTTP job layer over the pipeline.
+
+The service exposes the :class:`~repro.api.experiment.Experiment`
+pipeline as an async job API — ``POST /v1/jobs`` accepts a JSON
+experiment spec, execution happens on queue workers over the
+process-wide warm worker pool against the shared solve cache, progress
+streams as Server-Sent Events, and finished jobs leave CSV/JSON
+artifacts in a pluggable store.  See docs/service.md.
+
+The core (:mod:`repro.service.app`) is carrier-neutral and runs on the
+stdlib threaded server (:mod:`repro.service.server`) with zero
+third-party dependencies; the ``repro[service]`` extra adds the
+FastAPI/uvicorn shell (:mod:`repro.service.asgi`).
+"""
+
+from .app import ServiceApp, ServiceRequest, ServiceResponse
+from .artifacts import (
+    ArtifactInfo,
+    ArtifactNotFoundError,
+    ArtifactStore,
+    InMemoryArtifactStore,
+    LocalDirArtifactStore,
+)
+from .auth import AuthOutcome, TokenAuthenticator
+from .config import ServiceConfig
+from .jobs import Job, JobEvent, JobNotFoundError, JobState, JobStore
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .queue import JobQueue, ServiceMetrics
+from .server import ServiceServer, make_server, serve
+from .specs import ExperimentSpec, parse_experiment_spec
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactNotFoundError",
+    "ArtifactStore",
+    "AuthOutcome",
+    "Counter",
+    "ExperimentSpec",
+    "Gauge",
+    "Histogram",
+    "InMemoryArtifactStore",
+    "Job",
+    "JobEvent",
+    "JobNotFoundError",
+    "JobQueue",
+    "JobState",
+    "JobStore",
+    "LocalDirArtifactStore",
+    "MetricsRegistry",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceServer",
+    "TokenAuthenticator",
+    "make_server",
+    "parse_experiment_spec",
+    "serve",
+]

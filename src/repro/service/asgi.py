@@ -1,0 +1,148 @@
+"""ASGI adapter and the dependency-gated FastAPI factory.
+
+The toolchain image ships without FastAPI/uvicorn, so the service core
+is carrier-neutral and this module provides the bridge for
+environments that *do* install the ``repro[service]`` extra:
+
+* :class:`ASGIAdapter` — a hand-written, framework-free ASGI 3
+  application around :class:`~repro.service.app.ServiceApp`.  Any ASGI
+  server (uvicorn, hypercorn, daphne) can serve it directly::
+
+      uvicorn "repro.service.asgi:make_asgi_app()" --factory
+
+  Request handling (and streaming-body iteration) is pushed onto the
+  default executor so the solver never blocks the event loop; ASGI
+  ``lifespan`` events drive the app's startup/shutdown — the warm pool
+  is tied to the server's lifespan, exactly as with the stdlib carrier.
+
+* :func:`create_fastapi_app` — mounts the adapter inside a FastAPI
+  application (for OpenAPI docs and middleware composition), raising a
+  typed :class:`~repro.exceptions.MissingDependencyError` naming the
+  extra when FastAPI is absent, instead of an ImportError from deep
+  inside a web stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterator
+from typing import Any
+
+from ..exceptions import MissingDependencyError
+from .app import ServiceApp, ServiceRequest
+from .config import ServiceConfig
+
+__all__ = ["ASGIAdapter", "create_fastapi_app", "make_asgi_app"]
+
+
+class ASGIAdapter:
+    """ASGI 3 single-callable around the carrier-neutral service app."""
+
+    def __init__(self, app: ServiceApp):
+        self.app = app
+
+    async def __call__(
+        self, scope: dict[str, Any], receive: Any, send: Any
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - websockets unused
+            raise MissingDependencyError(
+                feature=f"ASGI scope {scope['type']!r}", extra="service",
+                missing="websocket support",
+            )
+        await self._http(scope, receive, send)
+
+    # ------------------------------------------------------------------
+    async def _lifespan(self, receive: Any, send: Any) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.app.startup
+                )
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.app.shutdown
+                )
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _http(self, scope: dict[str, Any], receive: Any, send: Any) -> None:
+        body = b""
+        while True:
+            message = await receive()
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+        headers = {
+            name.decode("latin-1").lower(): value.decode("latin-1")
+            for name, value in scope.get("headers", ())
+        }
+        query = scope.get("query_string", b"").decode("latin-1")
+        target = scope["path"] + (f"?{query}" if query else "")
+        request = ServiceRequest.make(
+            scope["method"], target, headers=headers, body=body
+        )
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(None, self.app.handle, request)
+        await send(
+            {
+                "type": "http.response.start",
+                "status": response.status,
+                "headers": [
+                    (name.encode("latin-1"), value.encode("latin-1"))
+                    for name, value in response.headers
+                ],
+            }
+        )
+        if isinstance(response.body, bytes):
+            await send(
+                {"type": "http.response.body", "body": response.body}
+            )
+            return
+        # Streaming (SSE): pull each chunk off the blocking iterator on
+        # the executor so keepalive waits never stall the event loop.
+        chunks: Iterator[bytes] = iter(response.body)
+        while True:
+            chunk = await loop.run_in_executor(None, next, chunks, None)
+            if chunk is None:
+                await send({"type": "http.response.body", "body": b""})
+                return
+            await send(
+                {
+                    "type": "http.response.body",
+                    "body": chunk,
+                    "more_body": True,
+                }
+            )
+
+
+def make_asgi_app(config: ServiceConfig | None = None) -> ASGIAdapter:
+    """An ASGI application over a fresh service app (uvicorn factory)."""
+    return ASGIAdapter(ServiceApp(config or ServiceConfig.from_env()))
+
+
+def create_fastapi_app(config: ServiceConfig | None = None) -> Any:
+    """The service mounted inside a FastAPI application.
+
+    Requires the ``repro[service]`` extra; raises
+    :class:`~repro.exceptions.MissingDependencyError` otherwise.
+    """
+    try:
+        from fastapi import FastAPI
+    except ImportError:
+        raise MissingDependencyError(
+            feature="the FastAPI service shell", extra="service",
+            missing="fastapi",
+        ) from None
+    service = ServiceApp(config or ServiceConfig.from_env())
+    adapter = ASGIAdapter(service)
+    api = FastAPI(
+        title="repro solver service",
+        description="Async job API over the re-execution-speed solver.",
+    )
+    api.mount("/", adapter)
+    return api

@@ -1,0 +1,84 @@
+"""Bearer-token authentication for the ``/v1`` API.
+
+Deliberately minimal: a static token set checked with constant-time
+comparison.  The authenticator is a value object — the app decides
+which routes it guards (``/v1/*``; health and metrics stay open for
+probes and scrapers) and maps a refusal to ``401`` with the matching
+``WWW-Authenticate`` challenge.
+"""
+
+from __future__ import annotations
+
+import hmac
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["AuthOutcome", "TokenAuthenticator", "parse_bearer_token"]
+
+
+class AuthOutcome(Enum):
+    """Why a request was admitted or refused."""
+
+    ALLOWED = "allowed"
+    ANONYMOUS = "anonymous"  # auth disabled (no tokens configured)
+    MISSING = "missing-credentials"
+    INVALID = "invalid-token"
+
+    @property
+    def ok(self) -> bool:
+        """True when the request may proceed."""
+        return self in (AuthOutcome.ALLOWED, AuthOutcome.ANONYMOUS)
+
+
+def parse_bearer_token(header_value: str | None) -> str | None:
+    """The token of an ``Authorization: Bearer <token>`` header, or
+    ``None`` when the header is absent or not a bearer credential."""
+    if not header_value:
+        return None
+    scheme, _, credential = header_value.strip().partition(" ")
+    if scheme.lower() != "bearer" or not credential.strip():
+        return None
+    return credential.strip()
+
+
+@dataclass(frozen=True)
+class TokenAuthenticator:
+    """Static bearer-token check with constant-time comparison.
+
+    An empty token set disables auth (development mode): every request
+    is admitted as :attr:`AuthOutcome.ANONYMOUS`.  With tokens
+    configured, the presented credential must match one of them —
+    compared via :func:`hmac.compare_digest` so the check does not leak
+    prefix-length timing.
+    """
+
+    tokens: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tokens", tuple(self.tokens))
+
+    @property
+    def enabled(self) -> bool:
+        """True when requests must present a token."""
+        return bool(self.tokens)
+
+    def check_token(self, token: str | None) -> AuthOutcome:
+        """Classify one presented credential."""
+        if not self.enabled:
+            return AuthOutcome.ANONYMOUS
+        if token is None:
+            return AuthOutcome.MISSING
+        for accepted in self.tokens:
+            if hmac.compare_digest(token.encode(), accepted.encode()):
+                return AuthOutcome.ALLOWED
+        return AuthOutcome.INVALID
+
+    def check_headers(self, headers: Mapping[str, str]) -> AuthOutcome:
+        """Classify a request by its (lower-cased-key) header mapping."""
+        return self.check_token(parse_bearer_token(headers.get("authorization")))
+
+    @classmethod
+    def from_tokens(cls, tokens: Sequence[str]) -> "TokenAuthenticator":
+        """An authenticator over ``tokens`` (order-insensitive)."""
+        return cls(tokens=tuple(tokens))

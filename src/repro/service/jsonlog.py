@@ -1,0 +1,110 @@
+"""Structured JSON logging for the solver service.
+
+One event per line, one JSON object per event — the shape log
+aggregators ingest directly.  The formatter serialises the standard
+record fields (timestamp, level, logger) plus whatever key/value
+context the call site attached through :func:`log_event`; nothing here
+depends on the HTTP layer, so the queue, the artifact store and the
+CLI share the same logger.
+
+The ``repro.service`` logger stays un-configured (propagating, no
+handlers) until :func:`configure_json_logging` is called — importing
+the service must not hijack the host application's logging setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Any
+
+__all__ = [
+    "SERVICE_LOGGER",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "log_event",
+]
+
+#: Name of the service's logger tree.
+SERVICE_LOGGER = "repro.service"
+
+#: Attribute under which :func:`log_event` stores its context fields.
+_FIELDS_ATTR = "repro_fields"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render one log record as a single JSON line.
+
+    The object always carries ``ts`` (Unix seconds), ``level``,
+    ``logger`` and ``event`` (the log message); context fields attached
+    by :func:`log_event` are merged at the top level (they may not
+    shadow the four reserved keys).  Values that are not JSON
+    serialisable are degraded to their ``repr`` — a log line must never
+    raise.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                if key not in payload:
+                    payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        try:
+            return json.dumps(payload, default=repr, separators=(",", ":"))
+        except (TypeError, ValueError):  # pragma: no cover - repr fallback
+            return json.dumps({"ts": time.time(), "event": "unserialisable-log"})
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The service logger (or a child of it)."""
+    if name:
+        return logging.getLogger(f"{SERVICE_LOGGER}.{name}")
+    return logging.getLogger(SERVICE_LOGGER)
+
+
+def configure_json_logging(
+    stream: "IO[str] | None" = None, *, level: int = logging.INFO
+) -> logging.Handler:
+    """Attach a JSON-line handler to the service logger (idempotent).
+
+    Returns the handler so callers (tests, the CLI) can detach it.
+    The logger stops propagating while configured — the service's
+    structured lines must not be double-rendered by a root handler.
+    """
+    logger = logging.getLogger(SERVICE_LOGGER)
+    for existing in logger.handlers:
+        if isinstance(existing.formatter, JsonLogFormatter):
+            return existing
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Log ``event`` with structured context ``fields``.
+
+    With the JSON formatter attached the fields become top-level JSON
+    keys; with ordinary formatters they ride along unrendered — call
+    sites never need to know which is active.
+    """
+    logger.log(level, event, extra={_FIELDS_ATTR: fields})

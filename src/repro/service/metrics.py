@@ -1,0 +1,339 @@
+"""Prometheus instrumentation without the client dependency.
+
+The service exposes ``/metrics`` in the Prometheus text exposition
+format (version 0.0.4 — the format every scraper speaks).  The
+toolchain image does not carry ``prometheus_client``, so this module
+implements the small subset the service needs natively: labelled
+:class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments on a
+:class:`MetricsRegistry`, plus *callback collectors* for values that
+live elsewhere and are only read at scrape time (the shared
+:class:`~repro.api.cache.SolveCache` counters, the warm pool's
+lifetime stats).
+
+Everything is thread-safe: instruments are updated from request
+threads and queue workers concurrently with scrapes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram buckets for shard/job latencies (seconds): tight
+#: sub-second resolution (dispatch overheads) through multi-minute
+#: grid solves.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise InvalidParameterError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise InvalidParameterError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(str(val))}"' for key, val in labels)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Base of the three instrument kinds: a labelled family of series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        self.name = _validate_name(name)
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _label_key(
+        self, labels: Mapping[str, str] | None
+    ) -> tuple[tuple[str, str], ...]:
+        given = dict(labels or {})
+        if set(given) != set(self.labelnames):
+            raise InvalidParameterError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(given)!r}"
+            )
+        return tuple((name, str(given[name])) for name in self.labelnames)
+
+    def samples(self) -> "list[Sample]":  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing labelled counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the labelled series."""
+        if amount < 0:
+            raise InvalidParameterError("counters only go up")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 when never touched)."""
+        with self._lock:
+            return self._values.get(self._label_key(labels), 0.0)
+
+    def samples(self) -> "list[Sample]":
+        with self._lock:
+            return [
+                Sample(self.name, key, value) for key, value in self._values.items()
+            ]
+
+
+class Gauge(_Instrument):
+    """A labelled value that can go both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help_text, labelnames)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[self._label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (either sign) to the labelled series."""
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 when never touched)."""
+        with self._lock:
+            return self._values.get(self._label_key(labels), 0.0)
+
+    def samples(self) -> "list[Sample]":
+        with self._lock:
+            return [
+                Sample(self.name, key, value) for key, value in self._values.items()
+            ]
+
+
+class Histogram(_Instrument):
+    """A labelled cumulative histogram (``_bucket``/``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise InvalidParameterError(
+                "histogram buckets must be a non-empty strictly increasing sequence"
+            )
+        self.buckets = bounds
+        self._counts: dict[tuple[tuple[str, str], ...], list[int]] = {}
+        self._sums: dict[tuple[tuple[str, str], ...], float] = {}
+        self._totals: dict[tuple[tuple[str, str], ...], int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = self._label_key(labels)
+        # Cumulative buckets: ``le=b`` counts observations <= b, so an
+        # observation lands in every bucket from the first bound that
+        # fits it onwards.
+        first = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for i in range(first, len(self.buckets)):
+                counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        """Total observations of one labelled series."""
+        with self._lock:
+            return self._totals.get(self._label_key(labels), 0)
+
+    def samples(self) -> "list[Sample]":
+        out: list[Sample] = []
+        with self._lock:
+            for key, counts in self._counts.items():
+                for bound, cumulative in zip(self.buckets, counts):
+                    out.append(
+                        Sample(
+                            f"{self.name}_bucket",
+                            (*key, ("le", _format_value(bound))),
+                            float(cumulative),
+                        )
+                    )
+                out.append(
+                    Sample(
+                        f"{self.name}_bucket",
+                        (*key, ("le", "+Inf")),
+                        float(self._totals[key]),
+                    )
+                )
+                out.append(Sample(f"{self.name}_sum", key, self._sums[key]))
+                out.append(
+                    Sample(f"{self.name}_count", key, float(self._totals[key]))
+                )
+        return out
+
+
+class MetricsRegistry:
+    """The scrape surface: instruments plus scrape-time callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._callbacks: list[Callable[[], Iterable[tuple[str, str, Iterable[Sample]]]]] = []
+
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Register (or fetch the existing) counter ``name``."""
+        return self._register(Counter(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Register (or fetch the existing) gauge ``name``."""
+        return self._register(Gauge(name, help_text, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch the existing) histogram ``name``."""
+        return self._register(Histogram(name, help_text, labelnames, buckets=buckets))  # type: ignore[return-value]
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                if type(existing) is not type(instrument):
+                    raise InvalidParameterError(
+                        f"metric {instrument.name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._instruments[instrument.name] = instrument
+            return instrument
+
+    def register_callback(
+        self,
+        callback: Callable[[], Iterable[tuple[str, str, Iterable[Sample]]]],
+    ) -> None:
+        """Register a scrape-time collector.
+
+        ``callback`` is invoked at every :meth:`render` and yields
+        ``(metric_name, kind, samples)`` families — how externally-owned
+        monotone values (cache hit counters, pool crash totals) are
+        exposed without double bookkeeping.
+        """
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        with self._lock:
+            instruments = list(self._instruments.values())
+            callbacks = list(self._callbacks)
+        for instrument in instruments:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for sample in instrument.samples():
+                lines.append(
+                    f"{sample.name}{_render_labels(sample.labels)} "
+                    f"{_format_value(sample.value)}"
+                )
+        for callback in callbacks:
+            for name, kind, samples in callback():
+                lines.append(f"# TYPE {_validate_name(name)} {kind}")
+                for sample in samples:
+                    lines.append(
+                        f"{sample.name}{_render_labels(sample.labels)} "
+                        f"{_format_value(sample.value)}"
+                    )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,207 @@
+"""Test and benchmark clients for the solver service.
+
+:class:`InProcessClient` exercises the carrier-neutral app directly —
+no sockets, no threads beyond the queue's own — which is what the
+spec/auth/metrics tests and the dispatch benchmarks want.
+:func:`run_service` boots the stdlib server on an ephemeral port for
+end-to-end tests over a real HTTP connection (SSE framing included),
+using only :mod:`http.client` on the client side.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from ..exceptions import ReproError
+from .app import ServiceApp, ServiceRequest, ServiceResponse
+from .server import ServiceServer, make_server
+
+__all__ = ["ClientResponse", "InProcessClient", "run_service", "sse_events"]
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One response as tests want to see it."""
+
+    status: int
+    headers: tuple[tuple[str, str], ...]
+    body: bytes
+
+    def header(self, name: str) -> str | None:
+        """First header value of ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    def json(self) -> Any:
+        """The parsed JSON body."""
+        return json.loads(self.body)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode()
+
+
+class InProcessClient:
+    """Call the app's router directly (no HTTP carrier).
+
+    Streaming responses are drained eagerly, so SSE endpoints should be
+    exercised with ``?stream=false`` (the JSON event list) or over
+    :func:`run_service` — an in-process drain of a live job's stream
+    would block until the job finishes.
+    """
+
+    def __init__(self, app: ServiceApp, *, token: str | None = None):
+        self.app = app
+        self.token = token
+
+    def _headers(self, headers: Mapping[str, str] | None) -> dict[str, str]:
+        merged = dict(headers or {})
+        if self.token is not None and "authorization" not in {
+            k.lower() for k in merged
+        }:
+            merged["Authorization"] = f"Bearer {self.token}"
+        return merged
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        headers: Mapping[str, str] | None = None,
+        body: bytes = b"",
+    ) -> ClientResponse:
+        response = self.app.handle(
+            ServiceRequest.make(
+                method, target, headers=self._headers(headers), body=body
+            )
+        )
+        return _drain(response)
+
+    def get(
+        self, target: str, *, headers: Mapping[str, str] | None = None
+    ) -> ClientResponse:
+        return self.request("GET", target, headers=headers)
+
+    def post_json(
+        self,
+        target: str,
+        payload: Any,
+        *,
+        headers: Mapping[str, str] | None = None,
+    ) -> ClientResponse:
+        merged = {"Content-Type": "application/json", **(headers or {})}
+        return self.request(
+            "POST", target, headers=merged, body=json.dumps(payload).encode()
+        )
+
+    # -- conveniences over the job API ---------------------------------
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """Submit a spec; returns the accepted job document (raises on
+        any non-202 answer)."""
+        response = self.post_json("/v1/jobs", spec)
+        if response.status != 202:
+            raise ReproError(
+                f"job submission failed with {response.status}: {response.text}"
+            )
+        payload: dict[str, Any] = response.json()
+        return payload
+
+    def wait_job(
+        self, job_id: str, *, timeout: float = 60.0, poll: float = 0.02
+    ) -> dict[str, Any]:
+        """Poll ``GET /v1/jobs/{id}`` until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc: dict[str, Any] = self.get(f"/v1/jobs/{job_id}").json()
+            if doc["state"] in ("succeeded", "failed"):
+                return doc
+            if time.monotonic() > deadline:
+                raise ReproError(
+                    f"job {job_id} still {doc['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+def _drain(response: ServiceResponse) -> ClientResponse:
+    body = (
+        response.body
+        if isinstance(response.body, bytes)
+        else b"".join(response.body)
+    )
+    return ClientResponse(
+        status=response.status, headers=tuple(response.headers), body=body
+    )
+
+
+@contextmanager
+def run_service(
+    app: ServiceApp, *, host: str = "127.0.0.1"
+) -> Iterator[ServiceServer]:
+    """Boot the stdlib carrier on an ephemeral port around ``app``."""
+    server = make_server(app, host=host, port=0)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def sse_events(
+    server: ServiceServer,
+    job_id: str,
+    *,
+    token: str | None = None,
+    after: int = 0,
+    timeout: float = 60.0,
+) -> Iterator[dict[str, Any]]:
+    """Consume a job's live SSE stream over a real HTTP connection.
+
+    Yields one dict per event — ``{"id": seq, "event": kind, "data":
+    payload}`` — until the server closes the stream (terminal job) or
+    ``timeout`` elapses on the socket.
+    """
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    headers = {"Accept": "text/event-stream"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    if after:
+        headers["Last-Event-ID"] = str(after)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/events", headers=headers)
+        response = conn.getresponse()
+        if response.status != 200:
+            raise ReproError(
+                f"SSE stream refused with {response.status}: "
+                f"{response.read().decode(errors='replace')}"
+            )
+        event: dict[str, Any] = {}
+        for raw in response:
+            line = raw.decode().rstrip("\n").rstrip("\r")
+            if not line:
+                if event:
+                    yield event
+                    event = {}
+                continue
+            if line.startswith(":"):
+                continue  # keepalive comment
+            field, _, value = line.partition(":")
+            value = value.removeprefix(" ")
+            if field == "id":
+                event["id"] = int(value)
+            elif field == "event":
+                event["event"] = value
+            elif field == "data":
+                event["data"] = json.loads(value)
+        if event:  # pragma: no cover - streams end on a blank line
+            yield event
+    finally:
+        conn.close()

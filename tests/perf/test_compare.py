@@ -90,7 +90,7 @@ def test_compare_rejects_suite_mismatch() -> None:
 def test_suite_registry() -> None:
     assert suite_names() == (
         "schedule_grid", "error_models", "experiment_plan", "study_batch",
-        "dispatch_overhead", "incremental",
+        "dispatch_overhead", "incremental", "service_dispatch",
     )
     for name in suite_names():
         suite = build_suite(name, quick=True)

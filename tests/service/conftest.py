@@ -1,0 +1,103 @@
+"""Fixtures for the solver-service suite.
+
+The package registers the label-scripted ``chaos`` backend (the same
+fault-injection idiom as ``tests/exec``) for its whole run — in the
+parent process, before any warm-pool worker spawns, so forked workers
+inherit it — and provides an inline-transport in-process service app
+for everything that does not need real processes or sockets.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.api.backends import (
+    FirstOrderBackend,
+    SolverBackend,
+    _REGISTRY,
+    register_backend,
+)
+from repro.api.cache import SolveCache
+from repro.api.result import Result
+from repro.api.scenario import Scenario
+from repro.exceptions import ConvergenceError
+from repro.service import InMemoryArtifactStore, ServiceApp, ServiceConfig
+from repro.service.testing import InProcessClient
+
+CHAOS_BACKEND = "chaos-service-backend"
+
+_first_order = FirstOrderBackend()
+
+
+class ChaosBackend(SolverBackend):
+    """Label-scripted fault injection (see tests/exec/conftest.py)."""
+
+    name = CHAOS_BACKEND
+    modes = frozenset({"silent"})
+
+    def _solve(self, scenario: Scenario) -> Result:
+        for part in (scenario.label or "").split(";"):
+            if part.startswith("kill:"):
+                flag = part[len("kill:") :]
+                if os.path.exists(flag):
+                    os.remove(flag)
+                    os.kill(os.getpid(), signal.SIGKILL)
+            elif part.startswith("sleep:"):
+                time.sleep(float(part[len("sleep:") :]))
+            elif part == "poison":
+                raise ConvergenceError("poisoned shard (chaos test backend)")
+        res = _first_order._solve(scenario)
+        return replace(res, provenance=replace(res.provenance, backend=self.name))
+
+
+@pytest.fixture(autouse=True, scope="package")
+def _chaos_backend_registered():
+    fresh = CHAOS_BACKEND not in _REGISTRY
+    if fresh:
+        register_backend(ChaosBackend())
+    try:
+        yield
+    finally:
+        if fresh:
+            _REGISTRY.pop(CHAOS_BACKEND, None)
+
+
+@pytest.fixture
+def inline_app():
+    """A started inline-transport app on private cache + memory store."""
+    app = ServiceApp(
+        ServiceConfig(transport="inline", job_workers=2),
+        cache=SolveCache(),
+        artifacts=InMemoryArtifactStore(),
+    )
+    with app:
+        yield app
+
+
+@pytest.fixture
+def client(inline_app):
+    """In-process client over ``inline_app``."""
+    return InProcessClient(inline_app)
+
+
+@pytest.fixture
+def small_grid_spec():
+    """A fast 6-point grid spec (inline-solvable in milliseconds)."""
+    return {
+        "name": "test-grid",
+        "grid": {
+            "configs": ["hera-xscale"],
+            "rhos": {"start": 2.6, "stop": 4.0, "count": 6},
+        },
+        "analyses": ["frontier"],
+    }
+
+
+def wait_done(client: InProcessClient, job_id: str, timeout: float = 60.0) -> dict:
+    """Poll the job API until terminal; returns the final document."""
+    return client.wait_job(job_id, timeout=timeout, poll=0.01)

@@ -1,0 +1,86 @@
+"""The pluggable artifact store: both backends, one contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service.artifacts import (
+    ArtifactNotFoundError,
+    InMemoryArtifactStore,
+    LocalDirArtifactStore,
+    content_type_for,
+)
+
+
+@pytest.fixture(params=["local", "memory"])
+def store(request, tmp_path):
+    if request.param == "local":
+        return LocalDirArtifactStore(tmp_path / "artifacts")
+    return InMemoryArtifactStore()
+
+
+class TestStoreContract:
+    def test_put_get_roundtrip(self, store):
+        info = store.put("job-1", "results.csv", b"config,rho\n")
+        assert info.name == "results.csv"
+        assert info.size == 11
+        assert info.content_type.startswith("text/csv")
+        assert store.get("job-1", "results.csv") == b"config,rho\n"
+
+    def test_put_overwrites(self, store):
+        store.put("job-1", "a.txt", b"old")
+        store.put("job-1", "a.txt", b"newer")
+        assert store.get("job-1", "a.txt") == b"newer"
+
+    def test_list_is_name_ordered_per_job(self, store):
+        store.put("job-1", "b.json", b"{}")
+        store.put("job-1", "a.csv", b"x")
+        store.put("job-2", "c.txt", b"y")
+        names = [info.name for info in store.list("job-1")]
+        assert names == ["a.csv", "b.json"]
+        assert store.list("no-such-job") == ()
+
+    def test_info(self, store):
+        store.put("job-1", "a.json", b"{}")
+        assert store.info("job-1", "a.json").size == 2
+        with pytest.raises(ArtifactNotFoundError):
+            store.info("job-1", "b.json")
+
+    def test_missing_raises_not_found(self, store):
+        with pytest.raises(ArtifactNotFoundError) as excinfo:
+            store.get("job-1", "nope.csv")
+        assert "nope.csv" in str(excinfo.value)
+        # Doubles as KeyError for mapping-style callers.
+        assert isinstance(excinfo.value, KeyError)
+
+    @pytest.mark.parametrize(
+        "name", ["../escape.csv", "a/b.csv", ".hidden", "", "a\\b", "a b.csv"]
+    )
+    def test_traversal_and_bad_names_rejected(self, store, name):
+        with pytest.raises(InvalidParameterError):
+            store.put("job-1", name, b"x")
+
+    def test_bad_job_ids_rejected(self, store):
+        with pytest.raises(InvalidParameterError):
+            store.put("../sneaky", "a.csv", b"x")
+
+
+class TestLocalDirStore:
+    def test_layout_is_one_dir_per_job(self, tmp_path):
+        store = LocalDirArtifactStore(tmp_path / "root")
+        store.put("job-9", "results.csv", b"data")
+        assert (tmp_path / "root" / "job-9" / "results.csv").read_bytes() == b"data"
+
+    def test_temp_files_invisible_in_listing(self, tmp_path):
+        store = LocalDirArtifactStore(tmp_path / "root")
+        store.put("job-9", "a.csv", b"data")
+        (tmp_path / "root" / "job-9" / ".b.csv.tmp").write_bytes(b"partial")
+        assert [info.name for info in store.list("job-9")] == ["a.csv"]
+
+
+def test_content_types():
+    assert content_type_for("x.csv").startswith("text/csv")
+    assert content_type_for("x.json") == "application/json"
+    assert content_type_for("x.md").startswith("text/markdown")
+    assert content_type_for("x.bin") == "application/octet-stream"

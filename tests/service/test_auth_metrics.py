@@ -1,0 +1,182 @@
+"""Bearer-token auth and the native Prometheus instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service import InMemoryArtifactStore, ServiceApp, ServiceConfig
+from repro.service.auth import AuthOutcome, TokenAuthenticator, parse_bearer_token
+from repro.service.metrics import MetricsRegistry, Sample
+from repro.service.testing import InProcessClient
+
+
+class TestBearerParsing:
+    @pytest.mark.parametrize(
+        ("header", "token"),
+        [
+            ("Bearer abc", "abc"),
+            ("bearer abc", "abc"),
+            ("  Bearer   abc  ", "abc"),
+            ("Basic abc", None),
+            ("Bearer", None),
+            ("", None),
+            (None, None),
+        ],
+    )
+    def test_parse(self, header, token):
+        assert parse_bearer_token(header) == token
+
+
+class TestTokenAuthenticator:
+    def test_open_mode_admits_anonymously(self):
+        auth = TokenAuthenticator()
+        assert not auth.enabled
+        assert auth.check_token(None) is AuthOutcome.ANONYMOUS
+        assert auth.check_token("anything").ok
+
+    def test_enabled_checks(self):
+        auth = TokenAuthenticator.from_tokens(["tok-a", "tok-b"])
+        assert auth.check_token("tok-a") is AuthOutcome.ALLOWED
+        assert auth.check_token("tok-b") is AuthOutcome.ALLOWED
+        assert auth.check_token("tok-c") is AuthOutcome.INVALID
+        assert auth.check_token(None) is AuthOutcome.MISSING
+        assert not AuthOutcome.INVALID.ok
+
+    def test_check_headers(self):
+        auth = TokenAuthenticator.from_tokens(["t"])
+        assert auth.check_headers({"authorization": "Bearer t"}).ok
+        assert auth.check_headers({}) is AuthOutcome.MISSING
+
+
+class TestAuthOverApp:
+    @pytest.fixture
+    def guarded(self):
+        app = ServiceApp(
+            ServiceConfig(transport="inline", tokens=("secret-token",)),
+            artifacts=InMemoryArtifactStore(),
+        )
+        with app:
+            yield app
+
+    def test_v1_requires_token(self, guarded):
+        anon = InProcessClient(guarded)
+        response = anon.get("/v1/jobs")
+        assert response.status == 401
+        assert response.header("WWW-Authenticate") is not None
+        assert anon.post_json("/v1/jobs", {}).status == 401
+
+    def test_wrong_token_refused(self, guarded):
+        response = InProcessClient(guarded, token="wrong").get("/v1/jobs")
+        assert response.status == 401
+        assert response.json()["detail"] == "invalid bearer token"
+
+    def test_right_token_admitted(self, guarded):
+        assert InProcessClient(guarded, token="secret-token").get("/v1/jobs").status == 200
+
+    def test_health_and_metrics_stay_open(self, guarded):
+        anon = InProcessClient(guarded)
+        assert anon.get("/healthz").status == 200
+        assert anon.get("/metrics").status == 200
+
+    def test_refusals_are_counted(self, guarded):
+        anon = InProcessClient(guarded)
+        anon.get("/v1/jobs")
+        anon.get("/v1/jobs")
+        text = anon.get("/metrics").text
+        assert (
+            'repro_service_auth_refused_total{reason="missing-credentials"} 2'
+            in text
+        )
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help", ("backend",))
+        c.inc(backend="grid")
+        c.inc(2.0, backend="grid")
+        assert c.value(backend="grid") == 3.0
+        assert c.value(backend="other") == 0.0
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1.0, backend="grid")
+        with pytest.raises(InvalidParameterError):
+            c.inc(wrong_label="x")
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("t_gauge", "help")
+        g.set(5.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value() == 4.0
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = registry.render()
+        assert 't_seconds_bucket{le="0.1"} 1' in text
+        assert 't_seconds_bucket{le="1"} 2' in text
+        assert 't_seconds_bucket{le="10"} 3' in text
+        assert 't_seconds_bucket{le="+Inf"} 4' in text
+        assert "t_seconds_count 4" in text
+        assert h.count() == 4
+
+    def test_histogram_boundary_is_le(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t_edge", "help", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1" includes the boundary
+        assert 't_edge_bucket{le="1"} 1' in registry.render()
+
+    def test_registration_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        a = registry.counter("dup_total", "help")
+        assert registry.counter("dup_total", "help") is a
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("dup_total", "help")
+
+    def test_bad_names_and_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.counter("bad name", "help")
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("h", "help", buckets=())
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("h", "help", buckets=(1.0, 1.0))
+
+    def test_callback_families_rendered(self):
+        registry = MetricsRegistry()
+
+        def collect():
+            yield "ext_total", "counter", [
+                Sample("ext_total", (("backend", "grid"),), 7.0)
+            ]
+
+        registry.register_callback(collect)
+        text = registry.render()
+        assert "# TYPE ext_total counter" in text
+        assert 'ext_total{backend="grid"} 7' in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        c = registry.counter("esc_total", "help", ("label",))
+        c.inc(label='sa"y\nhi\\')
+        assert r'esc_total{label="sa\"y\nhi\\"} 1' in registry.render()
+
+
+class TestServiceMetricsEndpoint:
+    def test_job_and_cache_counters_exposed(self, client, small_grid_spec):
+        doc = client.submit(small_grid_spec)
+        client.wait_job(doc["id"], poll=0.01)
+        text = client.get("/metrics").text
+        assert 'repro_service_jobs_completed_total{state="succeeded"} 1' in text
+        assert 'repro_service_jobs{state="succeeded"} 1' in text
+        assert "repro_service_cache_misses_total" in text
+        assert "repro_service_shard_seconds_bucket" in text
+        assert 'repro_service_requests_total{route="jobs.submit",status="202"} 1' in text
+
+    def test_content_type_is_prometheus_text(self, client):
+        response = client.get("/metrics")
+        assert "version=0.0.4" in (response.header("Content-Type") or "")

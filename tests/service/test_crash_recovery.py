@@ -1,0 +1,120 @@
+"""Crash recovery at the service level: SIGKILLed workers, finished jobs.
+
+The acceptance contract (ISSUE): killing a warm-pool worker mid-job
+must not lose completed shards — the job still completes, with results
+field-equal to an uninterrupted run.  The kamikaze shard is scripted
+through the chaos backend (conftest): the worker solving it SIGKILLs
+itself once (a flag file makes the crash one-shot), exercising the
+pool's retry tier; stacking three flags exhausts the pool's retry
+budget and exercises the queue's plan re-execution tier, which resumes
+from the per-shard cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.cache import SolveCache
+from repro.service import InMemoryArtifactStore, ServiceApp, ServiceConfig
+from repro.service.testing import InProcessClient
+
+from .conftest import CHAOS_BACKEND
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def _chaos_spec(labels: list[str]) -> dict:
+    return {
+        "name": "chaos-job",
+        "scenarios": [
+            {
+                "config": "hera-xscale",
+                "rho": 3.0 + 0.1 * i,
+                "backend": CHAOS_BACKEND,
+                "label": label or None,
+            }
+            for i, label in enumerate(labels)
+        ],
+        "artifacts": ["json"],
+    }
+
+
+def _run_job(spec: dict, *, transport: str, max_workers: int | None = None) -> tuple[dict, dict, dict]:
+    """Run one job on a fresh app; returns (final doc, results.json,
+    pool stats or {})."""
+    app = ServiceApp(
+        ServiceConfig(
+            transport=transport, job_workers=1, max_workers=max_workers,
+        ),
+        cache=SolveCache(),
+        artifacts=InMemoryArtifactStore(),
+    )
+    with app:
+        client = InProcessClient(app)
+        accepted = client.submit(spec)
+        final = client.wait_job(accepted["id"], timeout=180.0, poll=0.02)
+        results = client.get(
+            f"/v1/jobs/{accepted['id']}/artifacts/results.json"
+        ).json()
+        stats = client.get("/v1/stats").json()
+    return final, results, stats.get("pool") or {}
+
+
+def _assert_field_equal(a: dict, b: dict) -> None:
+    for ra, rb in zip(a["results"], b["results"], strict=True):
+        assert ra["scenario"] == rb["scenario"]
+        assert ra["feasible"] == rb["feasible"]
+        assert ra["rho_min"] == rb["rho_min"]
+        assert ra["best"] == rb["best"]
+
+
+def test_worker_sigkill_mid_job_retries_and_completes(tmp_path):
+    labels = ["", "", "", "", "", ""]
+    # Uninterrupted baseline first: the flag file does not exist yet.
+    flag = tmp_path / "kill-once"
+    labels[2] = f"kill:{flag}"
+    baseline, baseline_results, _ = _run_job(
+        _chaos_spec(labels), transport="inline"
+    )
+    assert baseline["state"] == "succeeded"
+
+    flag.touch()
+    final, results, pool = _run_job(
+        _chaos_spec(labels), transport="warm", max_workers=2
+    )
+    # The kill actually happened (flag consumed, crash counted) ...
+    assert not flag.exists()
+    assert pool.get("worker_crashes", 0) >= 1
+    # ... and the job still delivered, field-equal to the clean run.
+    assert final["state"] == "succeeded"
+    assert final["result"]["scenarios"] == 6
+    _assert_field_equal(results, baseline_results)
+
+
+def test_retry_budget_exhaustion_resumes_plan_from_cache(tmp_path):
+    # Three one-shot kills on the same scenario: 1 try + 2 pool-level
+    # retries all die, the pool surfaces WorkerCrashError, and the
+    # queue's resume tier re-executes the plan — healthy shards replay
+    # from the per-shard cache, only the kamikaze point is re-solved.
+    flags = [tmp_path / f"kill-{i}" for i in range(3)]
+    labels = ["", "", "", "", ""]
+    labels[1] = ";".join(f"kill:{flag}" for flag in flags)
+    spec = _chaos_spec(labels)
+
+    # Baseline first — no flag file exists yet, so the kill labels are
+    # inert and the inline run in *this* process solves normally.
+    baseline, baseline_results, _ = _run_job(spec, transport="inline")
+    assert baseline["state"] == "succeeded"
+
+    for flag in flags:
+        flag.touch()
+    final, results, pool = _run_job(spec, transport="warm", max_workers=2)
+    assert all(not flag.exists() for flag in flags)
+    assert final["state"] == "succeeded"
+    # The queue logged at least one plan re-execution...
+    assert final["attempts"] >= 1
+    # ...whose replay came from the cache: completed shards were not
+    # re-solved (>= the 4 healthy scenarios hit the cache).
+    assert final["result"]["cache_hits"] >= 4
+    assert pool.get("worker_crashes", 0) >= 3
+    _assert_field_equal(results, baseline_results)

@@ -1,0 +1,193 @@
+"""The job model and the queue, below the HTTP surface."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.cache import SolveCache
+from repro.exceptions import InvalidParameterError
+from repro.service import (
+    InMemoryArtifactStore,
+    JobNotFoundError,
+    JobQueue,
+    JobState,
+    JobStore,
+    ServiceConfig,
+)
+from repro.service.queue import ServiceMetrics
+from repro.service.metrics import MetricsRegistry
+from repro.service.specs import parse_experiment_spec
+
+
+@pytest.fixture
+def spec():
+    return parse_experiment_spec(
+        {
+            "name": "queue-test",
+            "grid": {
+                "configs": ["hera-xscale"],
+                "rhos": {"start": 2.6, "stop": 3.6, "count": 4},
+            },
+        }
+    )
+
+
+class TestJobModel:
+    def test_lifecycle_and_event_log(self, spec):
+        store = JobStore()
+        job = store.create(spec)
+        assert job.state is JobState.QUEUED
+        assert store.get(job.id) is job
+        job.set_state(JobState.RUNNING)
+        job.record_progress({"done_shards": 1, "total_shards": 2})
+        job.record_artifact("results.csv", 123)
+        job.set_state(JobState.SUCCEEDED)
+        kinds = [e.kind for e in job.events_since(0)]
+        assert kinds == ["state", "state", "progress", "artifact", "state"]
+        seqs = [e.seq for e in job.events_since(0)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert job.events_since(3)[0].kind == "artifact"
+
+    def test_terminal_state_is_final(self, spec):
+        job = JobStore().create(spec)
+        job.set_state(JobState.FAILED, error="boom")
+        assert job.state.terminal
+        with pytest.raises(InvalidParameterError):
+            job.set_state(JobState.RUNNING)
+        assert job.snapshot()["error"] == "boom"
+
+    def test_snapshot_shape(self, spec):
+        job = JobStore().create(spec)
+        doc = job.snapshot()
+        assert doc["id"] == job.id
+        assert doc["state"] == "queued"
+        assert doc["spec"]["scenarios"] == 4
+        assert doc["artifacts"] == []
+
+    def test_wait_events_blocks_until_append(self, spec):
+        job = JobStore().create(spec)
+        got: list = []
+
+        def reader():
+            got.extend(job.wait_events(1, timeout=10.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        job.record_progress({"done_shards": 1})
+        thread.join(timeout=10.0)
+        assert [e.kind for e in got] == ["progress"]
+
+    def test_wait_events_times_out_quietly(self, spec):
+        job = JobStore().create(spec)
+        start = time.monotonic()
+        assert job.wait_events(1, timeout=0.05) == ()
+        assert time.monotonic() - start >= 0.04
+
+    def test_wait_events_returns_immediately_on_terminal(self, spec):
+        job = JobStore().create(spec)
+        job.set_state(JobState.FAILED, error="x")
+        drained = job.wait_events(2, timeout=30.0)
+        assert drained == ()  # no wait: terminal jobs append nothing more
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(JobNotFoundError):
+            JobStore().get("job-missing")
+
+    def test_counts(self, spec):
+        store = JobStore()
+        store.create(spec)
+        job = store.create(spec)
+        job.set_state(JobState.RUNNING)
+        assert store.counts() == {
+            "queued": 1, "running": 1, "succeeded": 0, "failed": 0,
+        }
+        assert len(store) == 2
+
+
+class TestJobQueue:
+    @pytest.fixture
+    def harness(self):
+        store = JobStore()
+        cache = SolveCache()
+        registry = MetricsRegistry()
+        queue = JobQueue(
+            store,
+            ServiceConfig(transport="inline", job_workers=2),
+            cache=cache,
+            artifacts=InMemoryArtifactStore(),
+            metrics=ServiceMetrics.create(registry),
+        )
+        queue.start()
+        yield store, queue, cache
+        queue.shutdown()
+
+    def test_executes_to_success_with_artifacts(self, harness, spec):
+        store, queue, _ = harness
+        job = store.create(spec)
+        queue.submit(job)
+        assert queue.wait_idle(timeout=60.0)
+        assert job.state is JobState.SUCCEEDED
+        doc = job.snapshot()
+        assert doc["result"]["scenarios"] == 4
+        assert set(doc["artifacts"]) == {"results.csv", "results.json"}
+        assert queue.artifacts.get(job.id, "results.csv").startswith(b"config")
+        assert queue.metrics.jobs_completed.value(state="succeeded") == 1.0
+
+    def test_progress_events_cover_all_scenarios(self, harness, spec):
+        store, queue, _ = harness
+        job = store.create(spec)
+        queue.submit(job)
+        queue.wait_idle(timeout=60.0)
+        progress = [e for e in job.events_since(0) if e.kind == "progress"]
+        assert progress, "inline execution must still tick per shard"
+        assert progress[-1].data["fraction"] == 1.0
+        assert progress[-1].data["total_scenarios"] == 4
+
+    def test_shared_cache_across_jobs(self, harness, spec):
+        store, queue, cache = harness
+        first = store.create(spec)
+        queue.submit(first)
+        queue.wait_idle(timeout=60.0)
+        misses_after_first = cache.stats()[1]
+        second = store.create(spec)
+        queue.submit(second)
+        queue.wait_idle(timeout=60.0)
+        assert second.state is JobState.SUCCEEDED
+        # The identical re-submission is pure replay: no new misses.
+        assert cache.stats()[1] == misses_after_first
+        assert second.snapshot()["result"]["cache_hits"] == 4
+
+    def test_failing_job_is_failed_not_crashed(self, harness):
+        store, queue, _ = harness
+        # A poisoned chaos shard raises deterministically: the job
+        # fails with the typed error, and the queue survives.
+        bad = parse_experiment_spec(
+            {
+                "scenarios": [
+                    {
+                        "config": "hera-xscale",
+                        "rho": 3.0,
+                        "backend": "chaos-service-backend",
+                        "label": "poison",
+                    }
+                ],
+            }
+        )
+        job = store.create(bad)
+        queue.submit(job)
+        queue.wait_idle(timeout=60.0)
+        assert job.state is JobState.FAILED
+        assert "error" in job.snapshot()
+        # The queue still executes afterwards.
+        ok = store.create(
+            parse_experiment_spec(
+                {"grid": {"configs": ["hera-xscale"], "rhos": [3.0]}}
+            )
+        )
+        queue.submit(ok)
+        queue.wait_idle(timeout=60.0)
+        assert ok.state is JobState.SUCCEEDED
